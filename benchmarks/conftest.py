@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+with a reduced parameterisation (so ``pytest benchmarks/ --benchmark-only``
+completes in minutes) and prints the resulting rows, mirroring what the
+corresponding full experiment in ``repro.experiments`` produces.  The
+``examples/reproduce_paper.py`` script runs the full-size versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(ref): the paper table/figure a benchmark regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def print_rows():
+    """Helper that pretty-prints experiment rows beneath the benchmark output."""
+
+    from repro.experiments import render_rows
+
+    def _print(rows, title, columns=None):
+        print()
+        print(render_rows(rows, columns=columns, title=title))
+        return rows
+
+    return _print

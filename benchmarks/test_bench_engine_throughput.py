@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core library itself (not a paper artifact).
+
+These keep an eye on the cost of the pieces the experiment harnesses lean
+on: the policy search, a CGOPipe step simulation and a functional-engine
+decode step.  They are benchmarked properly (multiple rounds) because they
+are fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.policy import Policy
+from repro.engine import MoETransformer, MoEWeights, ReferenceExecutor
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.schedules import CGOPipeSchedule
+from repro.workloads import mtbench
+
+
+@pytest.mark.paper_artifact("infrastructure")
+def test_policy_search_latency(benchmark):
+    """§B.2: policy generation is fast (the paper's MILP takes <1 minute)."""
+    model = get_model("mixtral-8x7b")
+    hardware = get_hardware("1xT4")
+    workload = mtbench(generation_len=128)
+
+    def search():
+        return PolicyOptimizer(
+            model=model, hardware=hardware, workload=workload, padded=True
+        ).search()
+
+    result = benchmark(search)
+    assert result.throughput > 0
+
+
+@pytest.mark.paper_artifact("infrastructure")
+def test_cgopipe_step_simulation_latency(benchmark):
+    model = get_model("mixtral-8x7b")
+    hardware = get_hardware("1xT4")
+    schedule = CGOPipeSchedule(model, hardware, max_sim_layers=4)
+    policy = Policy(
+        batch_size=512, micro_batch_size=64, attention_on_gpu=False,
+        ffn_on_gpu=True, weights_gpu_ratio=0.05,
+    )
+    timing = benchmark(schedule.step_timing, policy, 500)
+    assert timing.step_time > 0
+
+
+@pytest.mark.paper_artifact("infrastructure")
+def test_functional_engine_decode_step(benchmark):
+    config = get_model("tiny-moe")
+    model = MoETransformer(MoEWeights.initialize(config, seed=0))
+    executor = ReferenceExecutor(model)
+    rng = np.random.default_rng(0)
+    prompts = rng.integers(0, config.vocab_size, size=(8, 16))
+    result = executor.generate(prompts, generation_len=2)
+    from repro.engine.kv_state import KVCacheState
+
+    def step():
+        kv = result.kv_state.copy()
+        tokens = result.tokens_per_step[-1]
+        return executor.decode_step(tokens, kv)
+
+    logits = benchmark(step)
+    assert logits.shape == (8, config.vocab_size)

@@ -1,0 +1,28 @@
+"""Figure 1: generation throughput vs. CPU memory for three systems."""
+
+import pytest
+
+from repro.experiments import run_cpu_memory_sweep
+from repro.experiments.throughput_vs_cpumem import cpu_memory_to_match
+
+
+@pytest.mark.paper_artifact("Figure 1")
+def test_fig1_throughput_vs_cpu_memory(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_cpu_memory_sweep,
+        kwargs={
+            "cpu_memory_gb": (128, 160, 192, 256, 320),
+            "max_sim_layers": 3,
+            "simulate": True,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        title="Figure 1: throughput vs CPU memory (MTBench @ S1, gen len 128)",
+        columns=["cpu_memory_gb", "system", "throughput", "batch_size"],
+    )
+    saving = cpu_memory_to_match(rows)
+    print_rows([saving], title="Figure 1 headline: CPU memory needed to match FlexGen's best")
+    assert saving["cpu_memory_saving"] >= 2.0

@@ -1,0 +1,22 @@
+"""Figure 4: HRM placement of the GQA attention block (decode, context 512)."""
+
+import pytest
+
+from repro.analysis import attention_case_study
+from repro.hardware import get_hardware
+from repro.models import get_model
+
+
+@pytest.mark.paper_artifact("Figure 4")
+def test_fig4_hrm_attention_case_study(benchmark, print_rows):
+    model = get_model("mixtral-8x7b")
+    hardware = get_hardware("1xL4")
+    study = benchmark(attention_case_study, model, hardware, 512)
+    rows = print_rows(
+        study.as_rows(),
+        title="Figure 4: Mixtral 8x7B GQA attention on the L4 HRM (context 512)",
+    )
+    # Paper conclusion: both fp16 and int4 KV sit below P1 -> CPU attention.
+    for row in rows:
+        assert row["prefer_cpu"]
+        assert row["intensity"] < row["p1_intensity"]

@@ -1,0 +1,34 @@
+"""Figure 5: HRM placement of the MoE FFN block across batch sizes."""
+
+import pytest
+
+from repro.analysis import ffn_case_study
+from repro.hardware import get_hardware
+from repro.models import get_model
+
+
+@pytest.mark.paper_artifact("Figure 5")
+def test_fig5_hrm_ffn_case_study(benchmark, print_rows):
+    model = get_model("mixtral-8x7b")
+    hardware = get_hardware("1xL4")
+    study = benchmark(
+        ffn_case_study, model, hardware, 128, (32, 128, 1024, 16384)
+    )
+    print_rows(
+        study.as_rows(),
+        title="Figure 5: Mixtral 8x7B MoE FFN on the L4 HRM (mu = 128)",
+    )
+    print_rows(
+        [
+            {
+                "P1_intensity": study.p1_intensity,
+                "P2_intensity": study.p2_intensity,
+                "kernel_gflops_at_mu128": study.kernel_performance / 1e9,
+                "balance_batch_size": study.balance_batch_size,
+            }
+        ],
+        title="Figure 5 turning points",
+    )
+    assert study.p1_intensity < study.p2_intensity
+    assert study.attainable == sorted(study.attainable)
+    assert study.balance_batch_size is not None

@@ -1,0 +1,29 @@
+"""Figure 6: CGOPipe vs. the baseline decode schedules."""
+
+import pytest
+
+from repro.experiments import run_schedule_comparison
+from repro.experiments.pipeline_diagram import comparison_rows
+
+
+@pytest.mark.paper_artifact("Figure 6")
+def test_fig6_schedule_comparison(benchmark, print_rows):
+    results = benchmark.pedantic(
+        run_schedule_comparison,
+        kwargs={"max_sim_layers": 6},
+        iterations=1,
+        rounds=1,
+    )
+    rows = print_rows(
+        comparison_rows(results),
+        title="Figure 6: decode schedules (Mixtral 8x7B @ S1, N=960, mu=64, ctx=512)",
+    )
+    print()
+    for result in results:
+        print(f"--- {result.schedule} ---")
+        print(result.gantt)
+    cgopipe = next(r for r in rows if r["schedule"] == "cgopipe")
+    for row in rows:
+        if row["schedule"] != "cgopipe":
+            assert row["step_time_ms"] > cgopipe["step_time_ms"]
+            assert row["gpu_bubble_fraction"] > cgopipe["gpu_bubble_fraction"]

@@ -1,0 +1,64 @@
+"""Figure 7: end-to-end MTBench throughput across settings and systems."""
+
+import pytest
+
+from repro.experiments import run_mtbench_experiment
+from repro.experiments.e2e import speedup_summary
+
+
+@pytest.mark.paper_artifact("Figure 7")
+def test_fig7_mtbench_single_gpu(benchmark, print_rows):
+    """S1 and S2 (single T4 / single L4) across all four generation lengths."""
+    rows = benchmark.pedantic(
+        run_mtbench_experiment,
+        kwargs={
+            "settings": ("S1", "S2"),
+            "generation_lengths": (32, 64, 128, 256),
+            "max_sim_layers": 4,
+            "include_unpadded": True,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        title="Figure 7 (S1, S2): MTBench generation throughput",
+        columns=[
+            "setting", "generation_len", "system", "throughput",
+            "batch_size", "micro_batch_size",
+        ],
+    )
+    summary = print_rows(
+        speedup_summary(rows),
+        title="Figure 7 speedups: MoE-Lightning vs best baseline",
+    )
+    for cell in summary:
+        assert cell["padded_speedup"] > 1.0
+        assert cell["unpadded_speedup"] > cell["padded_speedup"]
+
+
+@pytest.mark.paper_artifact("Figure 7")
+def test_fig7_mtbench_multi_gpu(benchmark, print_rows):
+    """S6 and S7 (Mixtral 8x22B on 2x / 4x T4), reduced generation lengths."""
+    rows = benchmark.pedantic(
+        run_mtbench_experiment,
+        kwargs={
+            "settings": ("S6", "S7"),
+            "generation_lengths": (32, 128),
+            "max_sim_layers": 3,
+            "include_unpadded": False,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        title="Figure 7 (S6, S7): Mixtral 8x22B MTBench generation throughput",
+        columns=[
+            "setting", "generation_len", "system", "throughput",
+            "batch_size", "micro_batch_size", "error",
+        ],
+    )
+    summary = speedup_summary(rows)
+    for cell in summary:
+        assert cell["padded_speedup"] > 1.0

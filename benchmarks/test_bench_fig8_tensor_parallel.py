@@ -1,0 +1,37 @@
+"""Figure 8: DBRX with tensor parallelism on 2x and 4x T4 nodes."""
+
+import pytest
+
+from repro.experiments import run_tp_scaling
+from repro.experiments.tp_scaling import scaling_factors
+
+
+@pytest.mark.paper_artifact("Figure 8")
+def test_fig8_dbrx_tensor_parallel_scaling(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_tp_scaling,
+        kwargs={
+            "settings": ("S8", "S9"),
+            "generation_lengths": (32, 64, 128, 256),
+            "max_sim_layers": 3,
+            "simulate": True,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        title="Figure 8: DBRX MTBench throughput, 2xT4 (S8) vs 4xT4 (S9)",
+        columns=[
+            "setting", "generation_len", "throughput", "batch_size",
+            "micro_batch_size", "weights_gpu_ratio", "error",
+        ],
+    )
+    factors = print_rows(
+        scaling_factors(rows), title="Figure 8 scaling factors (4xT4 / 2xT4)"
+    )
+    # More GPUs always help, driven by the larger resident-weight fraction.
+    # (The paper reports 2.1-2.8x on its testbed; the PCIe-bound simulator
+    # reproduces the direction with a smaller factor — see EXPERIMENTS.md.)
+    for factor in factors:
+        assert factor["scaling_factor"] > 1.05

@@ -1,0 +1,29 @@
+"""Table 5: optimizer-policy ablation (FlexGen policies vs. MoE-Lightning)."""
+
+import pytest
+
+from repro.experiments import run_policy_ablation
+
+
+@pytest.mark.paper_artifact("Table 5")
+def test_table5_policy_ablation(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_policy_ablation,
+        kwargs={"max_sim_layers": 4},
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        title="Table 5: MTBench @ S1 (generation length 128)",
+        columns=[
+            "variant", "micro_batch_size", "batch_size", "throughput",
+            "speedup_vs_flexgen",
+        ],
+    )
+    throughputs = [row["throughput"] for row in rows]
+    # Paper ordering: their policy < our policy (~1.8x) <= larger N (~2.2x)
+    # < MoE-Lightning(p) (~3.2x).
+    assert throughputs[1] > 1.3 * throughputs[0]
+    assert throughputs[2] >= 0.98 * throughputs[1]
+    assert throughputs[3] > 1.15 * throughputs[2]

@@ -1,0 +1,74 @@
+"""Show that CGOPipe's execution order computes exactly the same function.
+
+Builds a miniature Mixtral-shaped MoE model with random weights, generates a
+few sequences with (a) straightforward whole-batch execution and (b) the
+pipelined CGOPipe ordering (micro-batched, layer-sliced, attention on a
+separate CPU path, weights touched page by page), and verifies that logits,
+sampled tokens and the final KV cache are identical.
+
+Run with:  python examples/functional_equivalence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.engine import (
+    MoETransformer,
+    MoEWeights,
+    PipelinedExecutor,
+    ReferenceExecutor,
+    ToyTokenizer,
+    max_logit_difference,
+    outputs_equivalent,
+)
+from repro.models import get_model
+
+
+def main() -> None:
+    config = get_model("tiny-moe")
+    print(config.describe())
+    weights = MoEWeights.initialize(config, seed=2024)
+    model = MoETransformer(weights)
+    tokenizer = ToyTokenizer(vocab_size=config.vocab_size)
+
+    prompts_text = [
+        "offload the experts to host memory",
+        "pipeline the attention on the cpu",
+        "page the weights so transfers interleave",
+        "find the balance point with the roofline model",
+        "batch aggressively to amortise the weight traffic",
+        "measure generation throughput end to end",
+    ]
+    prompts = np.array(tokenizer.encode_batch(prompts_text, pad_to=7))
+    generation_len = 8
+
+    reference = ReferenceExecutor(model).generate(prompts, generation_len)
+
+    policy = Policy(
+        batch_size=prompts.shape[0],
+        micro_batch_size=2,
+        attention_on_gpu=False,
+        ffn_on_gpu=True,
+        weights_gpu_ratio=0.25,
+    )
+    executor = PipelinedExecutor(model, policy)
+    print(executor.weight_manager.describe())
+    pipelined = executor.generate(prompts, generation_len)
+
+    difference = max_logit_difference(reference, pipelined)
+    print(f"max |logit difference| across {generation_len} steps: {difference:.2e}")
+    print(f"identical sampled tokens: "
+          f"{np.array_equal(reference.generated_tokens, pipelined.generated_tokens)}")
+    print(f"identical KV caches:      "
+          f"{reference.kv_state.equal_to(pipelined.kv_state)}")
+    print(f"outputs_equivalent():     {outputs_equivalent(reference, pipelined)}")
+    print()
+    for index, text in enumerate(prompts_text[:3]):
+        generated = tokenizer.decode(list(reference.generated_tokens[:, index]))
+        print(f"  prompt: {text!r}\n  output tokens: {generated}")
+
+
+if __name__ == "__main__":
+    main()

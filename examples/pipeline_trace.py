@@ -1,0 +1,44 @@
+"""Visualise CGOPipe against the baseline schedules (paper Fig. 6).
+
+Simulates one decode step of Mixtral 8x7B on the T4 setting under all four
+schedules and prints, for each, the per-channel utilisation, the GPU bubble
+fraction and an ASCII Gantt chart of the timeline.
+
+Run with:  python examples/pipeline_trace.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_rows
+from repro.experiments.pipeline_diagram import comparison_rows, run_schedule_comparison
+
+
+def main() -> None:
+    results = run_schedule_comparison(
+        setting_name="S1",
+        batch_size=960,
+        micro_batch_size=64,
+        context_len=512,
+        max_sim_layers=6,
+    )
+    print(
+        render_rows(
+            comparison_rows(results),
+            title="Figure 6: decode-step comparison (Mixtral 8x7B @ S1, N=960, mu=64)",
+        )
+    )
+    print()
+    legend = (
+        "Gantt legend: A=pre-attention  B=attention  C=post-attention (O-proj+FFN)  "
+        "W=weight transfer  K=KV transfer  h=hidden load  q=QKV offload  S=sample"
+    )
+    print(legend)
+    for result in results:
+        print()
+        print(f"--- {result.schedule} (step {result.step_time * 1e3:.0f} ms, "
+              f"GPU bubbles {result.gpu_bubble_fraction:.0%}) ---")
+        print(result.gantt)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the heavyweight driver behind ``benchmarks/`` (which run reduced
+parameterisations): it executes the full experiment harnesses and prints
+paper-style tables, optionally writing them to a markdown report.
+
+Run with:  python examples/reproduce_paper.py            (full, ~10-20 min)
+           python examples/reproduce_paper.py --fast     (reduced, ~2-3 min)
+           python examples/reproduce_paper.py --fast --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    render_rows,
+    rows_to_markdown,
+    run_cpu_memory_sweep,
+    run_hardware_sweep,
+    run_helm_experiment,
+    run_kernel_latency_ablation,
+    run_mtbench_experiment,
+    run_policy_ablation,
+    run_schedule_comparison,
+    run_tp_scaling,
+)
+from repro.experiments.ablation_kernels import crossover_points
+from repro.experiments.e2e import speedup_summary
+from repro.experiments.hardware_sweep import offload_trends
+from repro.experiments.pipeline_diagram import comparison_rows
+from repro.experiments.throughput_vs_cpumem import cpu_memory_to_match
+from repro.experiments.tp_scaling import scaling_factors
+
+
+def run_all(fast: bool) -> list[tuple[str, list[dict[str, object]]]]:
+    """Run every experiment and return (title, rows) pairs in paper order."""
+    layers = 3 if fast else 6
+    sections: list[tuple[str, list[dict[str, object]]]] = []
+
+    fig1 = run_cpu_memory_sweep(
+        cpu_memory_gb=(128, 160, 192, 256, 320) if fast else (112, 128, 160, 192, 256, 320, 384),
+        max_sim_layers=layers,
+    )
+    sections.append(("Figure 1: throughput vs CPU memory (MTBench @ S1)", fig1))
+    sections.append(("Figure 1 headline (CPU memory saving)", [cpu_memory_to_match(fig1)]))
+
+    fig6 = comparison_rows(run_schedule_comparison(max_sim_layers=layers))
+    sections.append(("Figure 6: schedule comparison", fig6))
+
+    fig7 = run_mtbench_experiment(
+        settings=("S1", "S2") if fast else ("S1", "S2", "S6", "S7"),
+        generation_lengths=(32, 128) if fast else (32, 64, 128, 256),
+        max_sim_layers=layers,
+    )
+    sections.append(("Figure 7: MTBench end-to-end throughput", fig7))
+    sections.append(("Figure 7 speedups vs best baseline", speedup_summary(fig7)))
+
+    table4 = run_helm_experiment(
+        settings=("S1",) if fast else ("S1", "S2"), max_sim_layers=layers
+    )
+    sections.append(("Table 4: HELM tasks", table4))
+
+    fig8 = run_tp_scaling(
+        generation_lengths=(32, 128) if fast else (32, 64, 128, 256),
+        max_sim_layers=layers,
+    )
+    sections.append(("Figure 8: DBRX tensor-parallel scaling", fig8))
+    sections.append(("Figure 8 scaling factors", scaling_factors(fig8)))
+
+    table5 = run_policy_ablation(max_sim_layers=layers)
+    sections.append(("Table 5: optimizer policy ablation", table5))
+
+    fig9 = run_kernel_latency_ablation()
+    sections.append(("Figure 9: kernel latency comparison", fig9))
+    sections.append(("Figure 9 crossover points", crossover_points(fig9)))
+
+    fig10 = run_hardware_sweep(
+        cpu_gpu_bandwidths_gb=(100, 300, 500) if fast else (100, 200, 300, 400, 500),
+        cpu_scaling_ratios=(1, 4, 10) if fast else (1, 2, 4, 6, 8, 10),
+    )
+    sections.append(("Figure 10: policy vs hardware sweep", fig10))
+    sections.append(("Figure 10 offload trends", [offload_trends(fig10)]))
+
+    return sections
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="reduced parameterisation")
+    parser.add_argument("--output", default=None, help="also write a markdown report")
+    args = parser.parse_args(argv)
+
+    sections = run_all(fast=args.fast)
+    markdown_parts = ["# MoE-Lightning reproduction report", ""]
+    for title, rows in sections:
+        print()
+        print(render_rows(rows, title=title))
+        markdown_parts.extend([f"## {title}", "", rows_to_markdown(rows), ""])
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(markdown_parts))
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

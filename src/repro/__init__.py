@@ -1,0 +1,53 @@
+"""MoE-Lightning reproduction: high-throughput MoE inference on
+memory-constrained GPUs (ASPLOS 2025).
+
+The package is organised around the paper's two contributions and the
+substrates they need:
+
+* ``repro.core`` — the Hierarchical Roofline Model (HRM), the per-layer
+  performance model and the policy optimizer.
+* ``repro.schedules`` — CGOPipe and the baseline decode schedules of Fig. 6,
+  executed on the discrete-event simulator in ``repro.runtime``.
+* ``repro.systems`` — end-to-end MoE-Lightning / FlexGen / DeepSpeed systems
+  reporting generation throughput for the workloads in ``repro.workloads``.
+* ``repro.engine`` — a functional numpy MoE transformer proving that the
+  CGOPipe execution order is semantics-preserving.
+* ``repro.experiments`` — one harness per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro.models import get_model
+    from repro.hardware import get_hardware
+    from repro.workloads import mtbench
+    from repro.systems import MoELightningSystem
+
+    system = MoELightningSystem(get_model("mixtral-8x7b"), get_hardware("1xT4"))
+    result = system.run(mtbench(generation_len=128))
+    print(result.generation_throughput, "tokens/s with", result.policy.describe())
+"""
+
+from repro.core.hrm import HierarchicalRoofline
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.performance_model import EfficiencyModel, PerformanceModel
+from repro.core.policy import Policy
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.systems import DeepSpeedZeroSystem, FlexGenSystem, MoELightningSystem
+from repro.workloads import get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HierarchicalRoofline",
+    "PolicyOptimizer",
+    "EfficiencyModel",
+    "PerformanceModel",
+    "Policy",
+    "get_hardware",
+    "get_model",
+    "get_workload",
+    "MoELightningSystem",
+    "FlexGenSystem",
+    "DeepSpeedZeroSystem",
+    "__version__",
+]

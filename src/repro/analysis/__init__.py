@@ -1,0 +1,35 @@
+"""Analysis helpers: HRM case studies, bottleneck classification, diagrams.
+
+These modules turn the core library's numbers into the figures of the
+paper's analysis sections: the HRM roofline plots of Fig. 4-5, the schedule
+comparison of Fig. 6, performance-region classification (§3.3) and the
+tensor-parallel scaling analysis (§5.3).
+"""
+
+from repro.analysis.hrm_plots import (
+    AttentionCaseStudy,
+    FFNCaseStudy,
+    attention_case_study,
+    ffn_case_study,
+)
+from repro.analysis.bottleneck import (
+    BottleneckReport,
+    classify_policy,
+    sweep_batch_size,
+)
+from repro.analysis.schedule_diagram import ScheduleComparison, compare_schedules
+from repro.analysis.scaling import ScalingPoint, tensor_parallel_scaling
+
+__all__ = [
+    "AttentionCaseStudy",
+    "FFNCaseStudy",
+    "attention_case_study",
+    "ffn_case_study",
+    "BottleneckReport",
+    "classify_policy",
+    "sweep_batch_size",
+    "ScheduleComparison",
+    "compare_schedules",
+    "ScalingPoint",
+    "tensor_parallel_scaling",
+]

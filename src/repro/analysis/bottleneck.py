@@ -1,0 +1,106 @@
+"""Performance-region classification (§3.3).
+
+Given a policy, names the binding resource (GPU compute, GPU memory
+bandwidth, CPU compute/bandwidth, CPU-GPU interconnect) and whether the
+policy is GPU- or CPU-memory *capacity* bound — i.e. whether raising the
+batch or micro-batch size is blocked by memory rather than by the pipeline.
+This is the machinery behind statements like "CGOPipe renders the system
+GPU memory capacity bound in these settings" (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.memory_model import MemoryModel
+from repro.core.performance_model import EfficiencyModel, PerformanceModel
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.utils.validation import require_positive_int
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Binding constraints for one policy."""
+
+    policy: Policy
+    pipeline_bottleneck: str
+    gpu_memory_utilization: float
+    cpu_memory_utilization: float
+    gpu_memory_bound: bool
+    cpu_memory_bound: bool
+    throughput: float
+
+    @property
+    def capacity_bound(self) -> str:
+        """Which memory capacity (if any) blocks further scaling."""
+        if self.gpu_memory_bound and self.cpu_memory_bound:
+            return "gpu+cpu"
+        if self.gpu_memory_bound:
+            return "gpu"
+        if self.cpu_memory_bound:
+            return "cpu"
+        return "none"
+
+
+def classify_policy(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    workload: WorkloadSpec,
+    policy: Policy,
+    efficiency: EfficiencyModel | None = None,
+    padded: bool = False,
+    capacity_threshold: float = 0.92,
+) -> BottleneckReport:
+    """Classify the binding resources of ``policy``.
+
+    A memory is considered capacity-bound when the policy uses more than
+    ``capacity_threshold`` of its usable space, i.e. the optimizer could not
+    meaningfully grow the batch/micro-batch/resident-weight knobs further.
+    """
+    performance = PerformanceModel(
+        model=model,
+        hardware=hardware,
+        workload=workload,
+        efficiency=efficiency or EfficiencyModel(),
+        padded=padded,
+    )
+    memory = MemoryModel(model=model, hardware=hardware, workload=workload, padded=padded)
+    usage = memory.usage(policy)
+    estimate = performance.estimate(policy)
+    return BottleneckReport(
+        policy=policy,
+        pipeline_bottleneck=estimate.bottleneck,
+        gpu_memory_utilization=usage.gpu_utilization,
+        cpu_memory_utilization=usage.cpu_utilization,
+        gpu_memory_bound=usage.gpu_utilization >= capacity_threshold,
+        cpu_memory_bound=usage.cpu_utilization >= capacity_threshold,
+        throughput=estimate.throughput,
+    )
+
+
+def sweep_batch_size(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    workload: WorkloadSpec,
+    base_policy: Policy,
+    batch_sizes: list[int],
+    padded: bool = False,
+) -> list[BottleneckReport]:
+    """Classify the same policy shape across a range of batch sizes.
+
+    Used to show how the bottleneck migrates from interconnect-bound at small
+    ``N`` to CPU/GPU-bound at large ``N`` (the Fig. 1 narrative).
+    """
+    reports = []
+    for batch_size in batch_sizes:
+        require_positive_int("batch_size", batch_size)
+        policy = base_policy.with_batch_size(batch_size)
+        reports.append(
+            classify_policy(
+                model, hardware, workload, policy, padded=padded
+            )
+        )
+    return reports

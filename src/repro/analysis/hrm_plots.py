@@ -1,0 +1,189 @@
+"""HRM case studies for the attention and MoE-FFN blocks (Figs. 4 and 5).
+
+The paper's case study places Mixtral 8x7B's decode-stage attention and MoE
+feed-forward computations on the two-level HRM of an L4 instance.  These
+helpers compute the same quantities numerically:
+
+* the five roofs (CPU/GPU memory bandwidth, CPU-GPU bandwidth, CPU/GPU peak
+  FLOPS);
+* the operational intensities of the attention block for different KV-cache
+  data types (which sit *below* P1 — hence CPU attention);
+* the operational intensities of the MoE FFN at different batch sizes, the
+  turning points P1/P2 and the attainable performance along the sweep (which
+  saturates at the balance point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hrm import HierarchicalRoofline
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import DataType, ModelConfig
+from repro.models.flops import attention_decode_cost, ffn_cost
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class AttentionCaseStudy:
+    """Fig. 4: where decode attention lands on the HRM."""
+
+    context_len: int
+    intensities: dict[str, float]
+    p1_intensity: dict[str, float]
+    prefer_cpu: dict[str, bool]
+    cpu_performance: dict[str, float]
+    gpu_performance: dict[str, float]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """One row per KV-cache data type (for report tables)."""
+        return [
+            {
+                "kv_dtype": dtype,
+                "intensity": self.intensities[dtype],
+                "p1_intensity": self.p1_intensity[dtype],
+                "prefer_cpu": self.prefer_cpu[dtype],
+                "cpu_gflops": self.cpu_performance[dtype] / 1e9,
+                "gpu_gflops": self.gpu_performance[dtype] / 1e9,
+            }
+            for dtype in self.intensities
+        ]
+
+
+@dataclass(frozen=True)
+class FFNCaseStudy:
+    """Fig. 5: where the MoE FFN lands on the HRM across batch sizes."""
+
+    micro_batch_size: int
+    gpu_intensity: float
+    kernel_performance: float
+    p1_intensity: float
+    p2_intensity: float
+    batch_sizes: list[int] = field(default_factory=list)
+    cross_intensities: list[float] = field(default_factory=list)
+    attainable: list[float] = field(default_factory=list)
+    bottlenecks: list[str] = field(default_factory=list)
+
+    @property
+    def balance_batch_size(self) -> int | None:
+        """Smallest swept batch size whose attainable performance hits P2."""
+        for batch, perf in zip(self.batch_sizes, self.attainable):
+            if perf >= self.kernel_performance * 0.999:
+                return batch
+        return None
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """One row per swept batch size (for report tables)."""
+        return [
+            {
+                "batch_size": batch,
+                "cross_intensity": intensity,
+                "attainable_gflops": perf / 1e9,
+                "bottleneck": bottleneck,
+            }
+            for batch, intensity, perf, bottleneck in zip(
+                self.batch_sizes,
+                self.cross_intensities,
+                self.attainable,
+                self.bottlenecks,
+            )
+        ]
+
+
+def attention_case_study(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    context_len: int = 512,
+    kv_dtypes: tuple[DataType, ...] = (DataType.FLOAT16, DataType.INT4),
+) -> AttentionCaseStudy:
+    """Reproduce Fig. 4 for ``model`` on ``hardware`` at ``context_len``.
+
+    The attention operational intensity is independent of the batch size
+    (FLOPs and bytes both scale with it), so a batch of one is used.
+    """
+    require_positive_int("context_len", context_len)
+    hrm = HierarchicalRoofline.from_hardware(hardware)
+    intensities: dict[str, float] = {}
+    p1: dict[str, float] = {}
+    prefer_cpu: dict[str, bool] = {}
+    cpu_perf: dict[str, float] = {}
+    gpu_perf: dict[str, float] = {}
+    for kv_dtype in kv_dtypes:
+        variant = ModelConfig(
+            name=f"{model.name}-kv-{kv_dtype.label}",
+            num_layers=model.num_layers,
+            hidden_size=model.hidden_size,
+            intermediate_size=model.intermediate_size,
+            num_query_heads=model.num_query_heads,
+            num_kv_heads=model.num_kv_heads,
+            num_experts=model.num_experts,
+            top_k=model.top_k,
+            vocab_size=model.vocab_size,
+            dtype=model.dtype,
+            kv_dtype=kv_dtype,
+        )
+        cost = attention_decode_cost(variant, batch=1, context_len=context_len)
+        intensity = cost.operational_intensity
+        label = kv_dtype.label
+        intensities[label] = intensity
+        p1[label] = hrm.p1(intensity)
+        prefer_cpu[label] = hrm.prefer_cpu(intensity, intensity)
+        cpu_perf[label] = hrm.attainable_on_cpu(intensity)
+        gpu_perf[label] = hrm.attainable_on_gpu(intensity, intensity)
+    return AttentionCaseStudy(
+        context_len=context_len,
+        intensities=intensities,
+        p1_intensity=p1,
+        prefer_cpu=prefer_cpu,
+        cpu_performance=cpu_perf,
+        gpu_performance=gpu_perf,
+    )
+
+
+def ffn_case_study(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    micro_batch_size: int = 128,
+    batch_sizes: tuple[int, ...] = (32, 128, 1024, 16384),
+) -> FFNCaseStudy:
+    """Reproduce Fig. 5 for ``model`` on ``hardware``.
+
+    The GPU-side intensity of the MoE FFN is set by the micro-batch size
+    (every kernel launch re-reads the expert weights from HBM); the CPU-side
+    intensity grows with the total batch size ``N`` because the same streamed
+    weights serve more tokens.  Attainable performance climbs along the
+    CPU-GPU bandwidth roof until it hits the balance point at P2.
+    """
+    require_positive_int("micro_batch_size", micro_batch_size)
+    hrm = HierarchicalRoofline.from_hardware(hardware)
+    kernel_cost = ffn_cost(model, micro_batch_size)
+    gpu_intensity = kernel_cost.operational_intensity
+    kernel_performance = hrm.gpu.roofline.attainable(gpu_intensity)
+    p2 = hrm.p2(gpu_intensity)
+
+    cross_intensities: list[float] = []
+    attainable: list[float] = []
+    bottlenecks: list[str] = []
+    p1_value = 0.0
+    for batch in batch_sizes:
+        cost = ffn_cost(model, batch)
+        # Per-byte-streamed intensity: all experts' weights cross PCIe once
+        # per layer regardless of N, so intensity grows linearly with N.
+        cross_intensity = cost.flops / max(cost.weight_bytes, 1.0)
+        cross_intensities.append(cross_intensity)
+        roofs = hrm.roofs_on_gpu(gpu_intensity, cross_intensity)
+        attainable.append(roofs.attainable)
+        bottlenecks.append(roofs.bottleneck)
+        p1_value = hrm.p1(cross_intensity)
+
+    return FFNCaseStudy(
+        micro_batch_size=micro_batch_size,
+        gpu_intensity=gpu_intensity,
+        kernel_performance=kernel_performance,
+        p1_intensity=p1_value,
+        p2_intensity=p2,
+        batch_sizes=list(batch_sizes),
+        cross_intensities=cross_intensities,
+        attainable=attainable,
+        bottlenecks=bottlenecks,
+    )

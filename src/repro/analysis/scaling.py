@@ -1,0 +1,76 @@
+"""Tensor-parallel scaling analysis (§4.3 / §5.3, Fig. 8).
+
+MoE-Lightning scales within a node with tensor parallelism: each added GPU
+contributes memory capacity and HBM bandwidth, which raises both the largest
+feasible resident-weight fraction ``r_w`` and the feasible micro-batch size,
+so throughput can grow *super-linearly* with GPU count even though the
+CPU-GPU interconnect is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.performance_model import EfficiencyModel
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.systems.moe_lightning import MoELightningSystem
+from repro.utils.validation import require_positive_int
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Throughput of one tensor-parallel group size."""
+
+    tp_size: int
+    throughput: float
+    batch_size: int
+    micro_batch_size: int
+    weights_gpu_ratio: float
+
+    def speedup_over(self, baseline: "ScalingPoint") -> float:
+        """Throughput ratio relative to ``baseline``."""
+        if baseline.throughput <= 0:
+            return float("inf")
+        return self.throughput / baseline.throughput
+
+    def scaling_efficiency(self, baseline: "ScalingPoint") -> float:
+        """Speedup divided by the GPU-count ratio (1.0 = linear scaling)."""
+        gpu_ratio = self.tp_size / baseline.tp_size
+        return self.speedup_over(baseline) / gpu_ratio
+
+
+def tensor_parallel_scaling(
+    model: ModelConfig,
+    base_hardware: HardwareSpec,
+    workload: WorkloadSpec,
+    tp_sizes: tuple[int, ...] = (2, 4),
+    padded: bool = False,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    simulate: bool = True,
+) -> list[ScalingPoint]:
+    """Measure MoE-Lightning throughput across tensor-parallel group sizes."""
+    points = []
+    for tp_size in tp_sizes:
+        require_positive_int("tp_size", tp_size)
+        hardware = base_hardware.with_tensor_parallel(tp_size)
+        system = MoELightningSystem(
+            model,
+            hardware,
+            padded=padded,
+            efficiency=efficiency,
+            max_sim_layers=max_sim_layers,
+        )
+        result = system.run(workload, simulate=simulate)
+        points.append(
+            ScalingPoint(
+                tp_size=tp_size,
+                throughput=result.generation_throughput,
+                batch_size=result.policy.batch_size,
+                micro_batch_size=result.policy.micro_batch_size,
+                weights_gpu_ratio=result.policy.weights_gpu_ratio,
+            )
+        )
+    return points

@@ -1,0 +1,127 @@
+"""Schedule comparison (Fig. 6): traces, bubbles and Gantt renderings.
+
+Runs each schedule on the same (model, hardware, policy, context) and
+collects per-channel utilisation, GPU bubble fractions and an ASCII Gantt
+chart of a steady-state window — the textual equivalent of the paper's
+Fig. 6 timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.performance_model import EfficiencyModel
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.runtime.resources import ResourceKind
+from repro.schedules import (
+    CGOPipeSchedule,
+    FastDecodeSchedule,
+    FlexGenCPUSchedule,
+    FlexGenSchedule,
+)
+from repro.schedules.base import PipelineSchedule
+
+
+@dataclass(frozen=True)
+class ScheduleComparison:
+    """Per-schedule timing and utilisation for one configuration."""
+
+    schedule: str
+    step_time: float
+    gpu_utilization: float
+    htod_utilization: float
+    cpu_utilization: float
+    gpu_bubble_fraction: float
+    gantt: str = field(compare=False, default="")
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary used by report tables."""
+        return {
+            "schedule": self.schedule,
+            "step_time_ms": self.step_time * 1e3,
+            "gpu_util": self.gpu_utilization,
+            "htod_util": self.htod_utilization,
+            "cpu_util": self.cpu_utilization,
+            "gpu_bubble_fraction": self.gpu_bubble_fraction,
+        }
+
+
+def default_schedule_set(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 4,
+) -> list[PipelineSchedule]:
+    """The four schedules of Fig. 6, CGOPipe first."""
+    kwargs = {"efficiency": efficiency, "max_sim_layers": max_sim_layers}
+    return [
+        CGOPipeSchedule(model, hardware, **kwargs),
+        FastDecodeSchedule(model, hardware, **kwargs),
+        FlexGenCPUSchedule(model, hardware, **kwargs),
+        FlexGenSchedule(model, hardware, **kwargs),
+    ]
+
+
+def compare_schedules(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    policy: Policy,
+    context_len: int = 512,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 4,
+    gantt_width: int = 96,
+) -> list[ScheduleComparison]:
+    """Run every Fig. 6 schedule under a common policy and compare them.
+
+    CPU-attention schedules run the policy as given; the GPU-attention
+    schedule (FlexGen S4) runs its GPU-attention twin so every schedule
+    executes the same batch shape.
+    """
+    results = []
+    for schedule in default_schedule_set(
+        model, hardware, efficiency=efficiency, max_sim_layers=max_sim_layers
+    ):
+        if schedule.uses_cpu_attention:
+            run_policy = policy.with_kv_cache_gpu_ratio(0.0)
+            if run_policy.attention_on_gpu:
+                run_policy = Policy(
+                    batch_size=policy.batch_size,
+                    micro_batch_size=policy.micro_batch_size,
+                    attention_on_gpu=False,
+                    ffn_on_gpu=True,
+                    weights_gpu_ratio=policy.weights_gpu_ratio,
+                )
+        else:
+            run_policy = Policy(
+                batch_size=policy.batch_size,
+                micro_batch_size=policy.micro_batch_size,
+                attention_on_gpu=True,
+                ffn_on_gpu=True,
+                weights_gpu_ratio=policy.weights_gpu_ratio,
+                kv_cache_gpu_ratio=0.0,
+            )
+        timing = schedule.step_timing(run_policy, context_len)
+        simulation = schedule.simulate(run_policy, context_len, num_steps=1)
+        trace = simulation.trace
+        results.append(
+            ScheduleComparison(
+                schedule=schedule.name,
+                step_time=timing.step_time,
+                gpu_utilization=timing.utilization.get("gpu", 0.0),
+                htod_utilization=timing.utilization.get("htod", 0.0),
+                cpu_utilization=timing.utilization.get("cpu", 0.0),
+                gpu_bubble_fraction=timing.gpu_bubble_fraction,
+                gantt=trace.gantt(
+                    width=gantt_width,
+                    resources=[
+                        ResourceKind.GPU,
+                        ResourceKind.CPU,
+                        ResourceKind.DTOH,
+                        ResourceKind.HTOD,
+                    ],
+                ),
+            )
+        )
+    return results

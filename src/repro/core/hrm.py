@@ -1,0 +1,245 @@
+"""Hierarchical Roofline Model (HRM), paper §3.2.
+
+The HRM extends the classical roofline to a hierarchy of memory levels, each
+coupled with a processor.  For a computation ``x`` executed at level ``i``
+that fetches data from level ``j`` the attainable performance is bounded by
+three roofs (Eq. 7):
+
+* the compute roof at level ``i``:        ``P <= P_peak^i``
+* the memory roof at level ``i``:         ``P <= B_peak^i * I^i``
+* the cross-level memory roof ``j -> i``: ``P <= B_peak^{j,i} * I^j``
+
+Two turning points and a balance point fall out of these roofs:
+
+* **P1** (Eq. 9): below this intensity it is better to compute at level
+  ``j`` (e.g. on the CPU) than to move the data to level ``i`` (the GPU).
+* **P2** (Eq. 10): below this intensity the computation at level ``i`` is
+  bound by the ``j -> i`` interconnect rather than by level ``i`` itself.
+* **balance point** (Eq. 11): the intensity pair at which the level-``i``
+  memory roof equals the cross-level roof; the policy optimizer looks for
+  the maximum balance point that fits in device memory.
+
+In this reproduction the hierarchy is two levels — level ``i`` = GPU
+(HBM + CUDA cores), level ``j`` = CPU (DRAM + cores) — connected by PCIe,
+exactly the configuration of the paper's case study (Fig. 3-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.roofline import RooflineModel
+from repro.hardware.spec import HardwareSpec
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy: a memory coupled with a processor."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+    capacity_bytes: float
+
+    def __post_init__(self) -> None:
+        require_positive("peak_flops", self.peak_flops)
+        require_positive("peak_bandwidth", self.peak_bandwidth)
+        require_positive("capacity_bytes", self.capacity_bytes)
+
+    @property
+    def roofline(self) -> RooflineModel:
+        """The single-level roofline of this memory level."""
+        return RooflineModel(
+            peak_flops=self.peak_flops, peak_bandwidth=self.peak_bandwidth
+        )
+
+
+@dataclass(frozen=True)
+class RoofSet:
+    """The attainable performance of one computation under the three roofs."""
+
+    compute_roof: float
+    local_memory_roof: float
+    cross_memory_roof: float
+
+    @property
+    def attainable(self) -> float:
+        """Eq. 7: the minimum of the three roofs."""
+        return min(self.compute_roof, self.local_memory_roof, self.cross_memory_roof)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which roof is binding: ``compute``, ``local_memory`` or ``interconnect``."""
+        roofs = {
+            "compute": self.compute_roof,
+            "local_memory": self.local_memory_roof,
+            "interconnect": self.cross_memory_roof,
+        }
+        return min(roofs, key=roofs.get)
+
+
+def turning_point_p1(
+    lower: MemoryLevel, cross_bandwidth: float, intensity_at_lower: float
+) -> float:
+    """Critical intensity of turning point P1 (Eq. 9).
+
+    Below the returned ``I^j`` it is not beneficial to transfer the data from
+    level ``j`` (``lower``) to level ``i`` for computation, because the lower
+    level could finish the work at least as fast locally.
+    """
+    require_positive("cross_bandwidth", cross_bandwidth)
+    require_positive("intensity_at_lower", intensity_at_lower)
+    lower_perf = min(
+        lower.peak_flops, lower.peak_bandwidth * intensity_at_lower
+    )
+    return lower_perf / cross_bandwidth
+
+
+def turning_point_p2(
+    upper: MemoryLevel, cross_bandwidth: float, intensity_at_upper: float
+) -> float:
+    """Critical intensity of turning point P2 (Eq. 10).
+
+    Below the returned ``I^j`` the computation executed at level ``i``
+    (``upper``) is bound by the ``j -> i`` interconnect; above it, level
+    ``i``'s own roofline is the binding constraint.
+    """
+    require_positive("cross_bandwidth", cross_bandwidth)
+    require_positive("intensity_at_upper", intensity_at_upper)
+    upper_perf = min(upper.peak_flops, upper.peak_bandwidth * intensity_at_upper)
+    return upper_perf / cross_bandwidth
+
+
+def balance_point_intensity(
+    upper: MemoryLevel, cross_bandwidth: float, intensity_at_upper: float
+) -> float:
+    """The cross-level intensity ``I^j`` satisfying the balance point (Eq. 11).
+
+    At the balance point ``B_peak^i * I^i = B_peak^{j,i} * I^j``: the
+    level-``i`` memory roof and the cross-level roof are equal, so neither
+    the local memory nor the interconnect is idle.
+    """
+    require_positive("cross_bandwidth", cross_bandwidth)
+    require_positive("intensity_at_upper", intensity_at_upper)
+    return upper.peak_bandwidth * intensity_at_upper / cross_bandwidth
+
+
+@dataclass(frozen=True)
+class HierarchicalRoofline:
+    """A two-level HRM: GPU (level ``i``) over CPU (level ``j``) over PCIe."""
+
+    gpu: MemoryLevel
+    cpu: MemoryLevel
+    cross_bandwidth: float
+
+    def __post_init__(self) -> None:
+        require_positive("cross_bandwidth", self.cross_bandwidth)
+        if self.gpu.peak_flops < self.cpu.peak_flops:
+            raise ConfigurationError(
+                "HRM assumes the upper level (GPU) has peak FLOPS >= the lower "
+                "level (CPU); see paper footnote 1"
+            )
+
+    @classmethod
+    def from_hardware(cls, hardware: HardwareSpec) -> "HierarchicalRoofline":
+        """Build the two-level HRM straight from a :class:`HardwareSpec`."""
+        gpu = MemoryLevel(
+            name="gpu",
+            peak_flops=hardware.gpu_flops,
+            peak_bandwidth=hardware.gpu_bandwidth,
+            capacity_bytes=hardware.gpu_memory,
+        )
+        cpu = MemoryLevel(
+            name="cpu",
+            peak_flops=hardware.cpu_flops,
+            peak_bandwidth=hardware.cpu_bandwidth,
+            capacity_bytes=hardware.cpu_memory,
+        )
+        return cls(gpu=gpu, cpu=cpu, cross_bandwidth=hardware.cpu_gpu_bandwidth)
+
+    # ------------------------------------------------------------------
+    # Roofs and attainable performance
+    # ------------------------------------------------------------------
+    def roofs_on_gpu(
+        self, gpu_intensity: float, cpu_intensity: float
+    ) -> RoofSet:
+        """Roofs for a computation on the GPU fetching data from the CPU.
+
+        ``gpu_intensity`` is ``I^i`` (FLOPs per byte of GPU-HBM traffic);
+        ``cpu_intensity`` is ``I^j`` (FLOPs per byte fetched from CPU DRAM
+        over the interconnect).
+        """
+        require_positive("gpu_intensity", gpu_intensity)
+        require_positive("cpu_intensity", cpu_intensity)
+        return RoofSet(
+            compute_roof=self.gpu.peak_flops,
+            local_memory_roof=self.gpu.peak_bandwidth * gpu_intensity,
+            cross_memory_roof=self.cross_bandwidth * cpu_intensity,
+        )
+
+    def roofs_on_cpu(self, cpu_intensity: float) -> RoofSet:
+        """Roofs for a computation executed on the CPU with local data (Eq. 8)."""
+        require_positive("cpu_intensity", cpu_intensity)
+        return RoofSet(
+            compute_roof=self.cpu.peak_flops,
+            local_memory_roof=self.cpu.peak_bandwidth * cpu_intensity,
+            cross_memory_roof=float("inf"),
+        )
+
+    def attainable_on_gpu(self, gpu_intensity: float, cpu_intensity: float) -> float:
+        """Eq. 7 evaluated for GPU execution with CPU-resident data."""
+        return self.roofs_on_gpu(gpu_intensity, cpu_intensity).attainable
+
+    def attainable_on_cpu(self, cpu_intensity: float) -> float:
+        """Eq. 8 evaluated for CPU execution."""
+        return self.roofs_on_cpu(cpu_intensity).attainable
+
+    # ------------------------------------------------------------------
+    # Turning points and balance point (for a given computation)
+    # ------------------------------------------------------------------
+    def p1(self, cpu_intensity: float) -> float:
+        """Turning point P1 for a computation with CPU-side intensity ``I^j``."""
+        return turning_point_p1(self.cpu, self.cross_bandwidth, cpu_intensity)
+
+    def p2(self, gpu_intensity: float) -> float:
+        """Turning point P2 for a computation with GPU-side intensity ``I^i``."""
+        return turning_point_p2(self.gpu, self.cross_bandwidth, gpu_intensity)
+
+    def balance_point(self, gpu_intensity: float) -> float:
+        """Balance-point cross-level intensity for GPU-side intensity ``I^i``."""
+        return balance_point_intensity(
+            self.gpu, self.cross_bandwidth, gpu_intensity
+        )
+
+    def prefer_cpu(self, gpu_intensity: float, cpu_intensity: float) -> bool:
+        """Whether executing the computation on the CPU is at least as fast.
+
+        This is the P1 test of §3.3: when the CPU-side intensity falls below
+        P1's critical intensity, moving the data to the GPU cannot beat
+        computing where the data lives.
+        """
+        gpu_perf = self.attainable_on_gpu(gpu_intensity, cpu_intensity)
+        cpu_perf = self.attainable_on_cpu(cpu_intensity)
+        return cpu_perf >= gpu_perf
+
+    def classify_gpu_execution(
+        self, gpu_intensity: float, cpu_intensity: float
+    ) -> str:
+        """Name the binding constraint for GPU execution of a computation."""
+        return self.roofs_on_gpu(gpu_intensity, cpu_intensity).bottleneck
+
+    def sweep_cross_intensity(
+        self, gpu_intensity: float, cpu_intensities: Sequence[float]
+    ) -> list[float]:
+        """Attainable GPU performance across a range of ``I^j`` values.
+
+        Used to produce the Fig. 5-style series: performance grows linearly
+        along the interconnect roof until the balance point, then flattens.
+        """
+        return [
+            self.attainable_on_gpu(gpu_intensity, cpu_intensity)
+            for cpu_intensity in cpu_intensities
+        ]

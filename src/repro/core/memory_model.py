@@ -1,0 +1,245 @@
+"""GPU / CPU memory-constraint accounting for a policy.
+
+The policy optimizer rejects any candidate whose projected GPU or CPU memory
+footprint exceeds the hardware capacity (paper §4.2: "without violating the
+CPU and GPU memory constraints").  This module projects those footprints
+analytically:
+
+GPU memory holds
+    * the statically resident weight fraction ``r_w``,
+    * a double buffer for the streamed layer weights (Appendix A.1 allocates
+      ``2 x sizeof(W_L)`` so the next layer's page transfers overlap with the
+      current layer's compute),
+    * the GPU-resident KV-cache fraction ``r_c``,
+    * peak activations of the widest live micro-batch (prefill is the peak
+      because a micro-batch there carries ``μ x prompt_len`` tokens).
+
+CPU memory holds
+    * the weight fraction that is not GPU-resident,
+    * the CPU-resident KV-cache fraction at its end-of-generation size,
+    * pinned staging buffers for weight pages and intermediate tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.memory import (
+    MemoryFootprint,
+    activation_bytes,
+    attention_weight_bytes,
+    embedding_weight_bytes,
+    ffn_weight_bytes,
+    kv_cache_bytes_per_token,
+    layer_weight_bytes,
+    model_weight_bytes,
+)
+from repro.utils.errors import InfeasiblePolicyError
+from repro.utils.validation import require_fraction
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PolicyMemoryUsage:
+    """Projected GPU and CPU footprints for one policy."""
+
+    gpu: MemoryFootprint
+    cpu: MemoryFootprint
+    gpu_capacity: float
+    cpu_capacity: float
+
+    @property
+    def gpu_fits(self) -> bool:
+        """Whether the GPU footprint fits within usable GPU memory."""
+        return self.gpu.total <= self.gpu_capacity
+
+    @property
+    def cpu_fits(self) -> bool:
+        """Whether the CPU footprint fits within usable CPU memory."""
+        return self.cpu.total <= self.cpu_capacity
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the policy fits in both memories."""
+        return self.gpu_fits and self.cpu_fits
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Fraction of usable GPU memory occupied."""
+        return self.gpu.total / self.gpu_capacity
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of usable CPU memory occupied."""
+        return self.cpu.total / self.cpu_capacity
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Analytical memory model for (model, hardware, workload) triples.
+
+    ``reserve_fraction`` keeps a slice of each memory for allocator overhead,
+    CUDA context, fragmentation and the framework itself.
+    """
+
+    model: ModelConfig
+    hardware: HardwareSpec
+    workload: WorkloadSpec
+    reserve_fraction: float = 0.08
+    padded: bool = False
+
+    def __post_init__(self) -> None:
+        require_fraction("reserve_fraction", self.reserve_fraction)
+
+    # ------------------------------------------------------------------
+    # Capacities
+    # ------------------------------------------------------------------
+    @property
+    def usable_gpu_memory(self) -> float:
+        """GPU bytes available to the policy after the reserve."""
+        return self.hardware.gpu_memory * (1.0 - self.reserve_fraction)
+
+    @property
+    def usable_cpu_memory(self) -> float:
+        """CPU bytes available to the policy after the reserve."""
+        return self.hardware.cpu_memory * (1.0 - self.reserve_fraction)
+
+    # ------------------------------------------------------------------
+    # Footprint components
+    # ------------------------------------------------------------------
+    def prompt_len(self) -> int:
+        """Prompt length charged per request (max when padding is in force)."""
+        return self.workload.effective_prompt_len(self.padded)
+
+    def kv_cache_total_bytes(self, policy: Policy) -> float:
+        """KV-cache bytes for the whole batch at end of generation."""
+        tokens_per_request = self.prompt_len() + self.workload.generation_len
+        return (
+            policy.batch_size
+            * tokens_per_request
+            * kv_cache_bytes_per_token(self.model)
+        )
+
+    def streamed_layer_bytes(self, policy: Policy) -> float:
+        """Bytes of one layer's weights that must be streamed from CPU."""
+        per_layer = layer_weight_bytes(self.model)
+        if not policy.ffn_on_gpu:
+            # Only the attention-side weights need to reach the GPU.
+            per_layer = attention_weight_bytes(self.model)
+        return policy.weights_cpu_ratio * per_layer
+
+    def gpu_activation_peak(self, policy: Policy) -> float:
+        """Peak activation bytes on the GPU across prefill and decode."""
+        decode_tokens = policy.micro_batch_size
+        prefill_tokens = policy.micro_batch_size * self.prompt_len()
+        return max(
+            activation_bytes(self.model, decode_tokens),
+            activation_bytes(self.model, prefill_tokens),
+        )
+
+    def gpu_usage(self, policy: Policy) -> MemoryFootprint:
+        """Projected GPU footprint for ``policy``."""
+        total_weights = model_weight_bytes(self.model)
+        resident_weights = policy.weights_gpu_ratio * total_weights
+        # Embeddings / LM head are small relative to the expert stacks and are
+        # kept on the GPU so prefill and sampling never wait on them.
+        resident_weights += (
+            policy.weights_cpu_ratio * embedding_weight_bytes(self.model)
+        )
+        double_buffer = 2.0 * self.streamed_layer_bytes(policy)
+        kv_on_gpu = policy.kv_cache_gpu_ratio * self.kv_cache_total_bytes(policy)
+        return MemoryFootprint(
+            weights=resident_weights,
+            kv_cache=kv_on_gpu,
+            activations=self.gpu_activation_peak(policy),
+            workspace=double_buffer,
+        )
+
+    def cpu_usage(self, policy: Policy) -> MemoryFootprint:
+        """Projected CPU footprint for ``policy``."""
+        total_weights = model_weight_bytes(self.model)
+        cpu_weights = policy.weights_cpu_ratio * total_weights
+        kv_on_cpu = policy.kv_cache_cpu_ratio * self.kv_cache_total_bytes(policy)
+        # Pinned staging: two weight pages in flight plus per-micro-batch
+        # hidden-state buffers (Appendix A.1).
+        pinned = 2.0 * self.streamed_layer_bytes(policy)
+        hidden_buffers = (
+            2.0
+            * policy.batch_size
+            * self.model.hidden_size
+            * self.model.dtype.num_bytes
+        )
+        return MemoryFootprint(
+            weights=cpu_weights,
+            kv_cache=kv_on_cpu,
+            activations=hidden_buffers,
+            workspace=pinned,
+        )
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def usage(self, policy: Policy) -> PolicyMemoryUsage:
+        """Both footprints plus the capacities they are judged against."""
+        return PolicyMemoryUsage(
+            gpu=self.gpu_usage(policy),
+            cpu=self.cpu_usage(policy),
+            gpu_capacity=self.usable_gpu_memory,
+            cpu_capacity=self.usable_cpu_memory,
+        )
+
+    def is_feasible(self, policy: Policy) -> bool:
+        """Whether ``policy`` fits in GPU and CPU memory."""
+        return self.usage(policy).feasible
+
+    def check(self, policy: Policy) -> PolicyMemoryUsage:
+        """Like :meth:`usage` but raises when the policy does not fit."""
+        usage = self.usage(policy)
+        if not usage.gpu_fits:
+            raise InfeasiblePolicyError(
+                f"policy {policy.describe()} needs "
+                f"{usage.gpu.total / 1e9:.2f} GB of GPU memory but only "
+                f"{usage.gpu_capacity / 1e9:.2f} GB is usable"
+            )
+        if not usage.cpu_fits:
+            raise InfeasiblePolicyError(
+                f"policy {policy.describe()} needs "
+                f"{usage.cpu.total / 1e9:.2f} GB of CPU memory but only "
+                f"{usage.cpu_capacity / 1e9:.2f} GB is usable"
+            )
+        return usage
+
+    # ------------------------------------------------------------------
+    # Derived bounds used by the optimizer
+    # ------------------------------------------------------------------
+    def max_weights_gpu_ratio(self, policy: Policy) -> float:
+        """Largest ``r_w`` that fits on the GPU for this ``(N, μ, r_c)``.
+
+        More static weights always reduces interconnect traffic, so the
+        optimizer pushes ``r_w`` to this bound.
+        """
+        total_weights = model_weight_bytes(self.model)
+        base = self.gpu_usage(policy.with_weights_gpu_ratio(0.0))
+        headroom = self.usable_gpu_memory - base.total
+        if headroom <= 0 or total_weights <= 0:
+            return 0.0
+        return min(1.0, max(0.0, headroom / total_weights))
+
+    def max_batch_size(self, policy: Policy) -> int:
+        """Largest batch size ``N`` whose CPU-side footprint still fits."""
+        tokens_per_request = self.prompt_len() + self.workload.generation_len
+        kv_per_request = tokens_per_request * kv_cache_bytes_per_token(self.model)
+        hidden_per_request = 2.0 * self.model.hidden_size * self.model.dtype.num_bytes
+        per_request = (
+            policy.kv_cache_cpu_ratio * kv_per_request + hidden_per_request
+        )
+        fixed = self.cpu_usage(policy.with_batch_size(1)).total - per_request
+        headroom = self.usable_cpu_memory - fixed
+        if policy.kv_cache_cpu_ratio <= 0:
+            return max(1, self.workload.num_requests)
+        if headroom <= 0:
+            return 0
+        return int(headroom / per_request)

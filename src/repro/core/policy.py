@@ -1,0 +1,137 @@
+"""The offloading policy tuple (paper Table 1, "Policy, P").
+
+A policy fixes, for a given (model, hardware, workload) triple:
+
+* ``batch_size`` ``N``   — tokens processed per pass of the whole model,
+* ``micro_batch_size`` ``μ`` — tokens per GPU kernel launch,
+* ``attention_on_gpu`` ``A_g`` — whether the attention core runs on the GPU,
+* ``ffn_on_gpu`` ``F_g`` — whether the MoE FFN runs on the GPU,
+* ``weights_gpu_ratio`` ``r_w`` — fraction of weights resident on the GPU,
+* ``kv_cache_gpu_ratio`` ``r_c`` — fraction of the KV cache resident on GPU.
+
+The paper's main setting produces ``A_g = 0, F_g = 1`` (CPU attention, GPU
+FFN); §6.3 explores other corners under different hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_fraction, require_positive_int
+
+
+class Placement(enum.Enum):
+    """Where a computation runs."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """An offloading/scheduling policy ``(N, μ, A_g, F_g, r_w, r_c)``."""
+
+    batch_size: int
+    micro_batch_size: int
+    attention_on_gpu: bool = False
+    ffn_on_gpu: bool = True
+    weights_gpu_ratio: float = 0.0
+    kv_cache_gpu_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive_int("batch_size", self.batch_size)
+        require_positive_int("micro_batch_size", self.micro_batch_size)
+        require_fraction("weights_gpu_ratio", self.weights_gpu_ratio)
+        require_fraction("kv_cache_gpu_ratio", self.kv_cache_gpu_ratio)
+        if self.micro_batch_size > self.batch_size:
+            raise ConfigurationError(
+                f"micro_batch_size ({self.micro_batch_size}) cannot exceed "
+                f"batch_size ({self.batch_size})"
+            )
+        if not self.attention_on_gpu and self.kv_cache_gpu_ratio > 0:
+            raise ConfigurationError(
+                "kv_cache_gpu_ratio > 0 requires attention_on_gpu=True: with "
+                "CPU attention the KV cache lives entirely in CPU memory"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_micro_batches(self) -> int:
+        """Number of micro-batches per pass (``N / μ`` rounded up)."""
+        return math.ceil(self.batch_size / self.micro_batch_size)
+
+    @property
+    def attention_placement(self) -> Placement:
+        """Placement of the attention core."""
+        return Placement.GPU if self.attention_on_gpu else Placement.CPU
+
+    @property
+    def ffn_placement(self) -> Placement:
+        """Placement of the MoE FFN."""
+        return Placement.GPU if self.ffn_on_gpu else Placement.CPU
+
+    @property
+    def weights_cpu_ratio(self) -> float:
+        """Fraction of weights streamed from CPU each layer (``1 - r_w``)."""
+        return 1.0 - self.weights_gpu_ratio
+
+    @property
+    def kv_cache_cpu_ratio(self) -> float:
+        """Fraction of the KV cache resident in CPU memory (``1 - r_c``)."""
+        return 1.0 - self.kv_cache_gpu_ratio
+
+    @property
+    def streams_weights(self) -> bool:
+        """Whether any per-layer weight streaming from CPU is required."""
+        return self.weights_gpu_ratio < 1.0
+
+    def as_tuple(self) -> tuple:
+        """The 6-tuple ``(N, μ, A_g, F_g, r_w, r_c)`` in the paper's order."""
+        return (
+            self.batch_size,
+            self.micro_batch_size,
+            int(self.attention_on_gpu),
+            int(self.ffn_on_gpu),
+            self.weights_gpu_ratio,
+            self.kv_cache_gpu_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / modifiers
+    # ------------------------------------------------------------------
+    def with_batch_size(self, batch_size: int) -> "Policy":
+        """Copy with a different batch size (micro-batch size clamped)."""
+        require_positive_int("batch_size", batch_size)
+        return replace(
+            self,
+            batch_size=batch_size,
+            micro_batch_size=min(self.micro_batch_size, batch_size),
+        )
+
+    def with_micro_batch_size(self, micro_batch_size: int) -> "Policy":
+        """Copy with a different micro-batch size."""
+        require_positive_int("micro_batch_size", micro_batch_size)
+        return replace(self, micro_batch_size=micro_batch_size)
+
+    def with_weights_gpu_ratio(self, ratio: float) -> "Policy":
+        """Copy with a different static-weight ratio."""
+        return replace(self, weights_gpu_ratio=require_fraction("ratio", ratio))
+
+    def with_kv_cache_gpu_ratio(self, ratio: float) -> "Policy":
+        """Copy with a different GPU-resident KV-cache ratio."""
+        return replace(self, kv_cache_gpu_ratio=require_fraction("ratio", ratio))
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports."""
+        return (
+            f"N={self.batch_size}, mu={self.micro_batch_size} "
+            f"({self.num_micro_batches} micro-batches), "
+            f"attention={'GPU' if self.attention_on_gpu else 'CPU'}, "
+            f"ffn={'GPU' if self.ffn_on_gpu else 'CPU'}, "
+            f"r_w={self.weights_gpu_ratio:.2f}, r_c={self.kv_cache_gpu_ratio:.2f}"
+        )

@@ -1,0 +1,95 @@
+"""The classical Roofline Model (paper §3.1).
+
+The roofline bounds achievable performance ``P`` (FLOPs/s) of a computation
+with operational intensity ``I`` (FLOPs/byte) on a processor with peak
+compute ``P_peak`` and memory bandwidth ``B_peak``:
+
+``P <= min(P_peak, B_peak * I)``
+
+The intersection ``I_crit = P_peak / B_peak`` separates the memory-bound
+region (left) from the compute-bound region (right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A computation placed on the roofline.
+
+    ``intensity`` is FLOPs/byte, ``performance`` the attainable FLOPs/s and
+    ``bound`` either ``"memory"`` or ``"compute"``.
+    """
+
+    intensity: float
+    performance: float
+    bound: str
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether the computation is limited by memory bandwidth."""
+        return self.bound == "memory"
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Whether the computation is limited by peak compute."""
+        return self.bound == "compute"
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A single-level roofline: one processor, one memory."""
+
+    peak_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        require_positive("peak_flops", self.peak_flops)
+        require_positive("peak_bandwidth", self.peak_bandwidth)
+
+    @property
+    def critical_intensity(self) -> float:
+        """The turning point ``I_crit = P_peak / B_peak`` (Eq. 3)."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def memory_roof(self, intensity: float) -> float:
+        """Performance bound imposed by memory bandwidth (Eq. 1)."""
+        require_positive("intensity", intensity)
+        return self.peak_bandwidth * intensity
+
+    def compute_roof(self) -> float:
+        """Performance bound imposed by peak compute (Eq. 2)."""
+        return self.peak_flops
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable performance at ``intensity`` (the roofline itself)."""
+        return min(self.compute_roof(), self.memory_roof(intensity))
+
+    def classify(self, intensity: float) -> RooflinePoint:
+        """Place a computation on the roofline and name its bottleneck."""
+        performance = self.attainable(intensity)
+        bound = "compute" if intensity >= self.critical_intensity else "memory"
+        return RooflinePoint(intensity=intensity, performance=performance, bound=bound)
+
+    def time_for(self, flops: float, bytes_moved: float) -> float:
+        """Execution time of a task with the given FLOPs and byte traffic.
+
+        This is the ``max(comm, comp)`` form used throughout the paper's
+        performance model (Eq. 14): the task takes at least as long as its
+        compute at peak FLOPs and at least as long as its data movement at
+        peak bandwidth.
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        compute_time = flops / self.peak_flops
+        memory_time = bytes_moved / self.peak_bandwidth
+        return max(compute_time, memory_time)
+
+    def sweep(self, intensities: Sequence[float]) -> list[RooflinePoint]:
+        """Evaluate the roofline at a list of intensities (for plotting)."""
+        return [self.classify(intensity) for intensity in intensities]

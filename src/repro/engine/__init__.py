@@ -1,0 +1,55 @@
+"""Functional MoE transformer engine (numpy).
+
+The simulated systems in :mod:`repro.systems` answer *how fast* a schedule
+runs; this package answers *whether the schedule computes the right thing*.
+It implements a small but architecturally faithful MoE transformer — RMSNorm,
+rotary position embeddings, grouped-query attention with a paged KV cache,
+top-k expert routing and SwiGLU expert FFNs — and two execution paths over
+the same weights:
+
+* :mod:`repro.engine.reference` — straightforward whole-batch execution;
+* :mod:`repro.engine.pipelined` — execution in CGOPipe order (micro-batched,
+  layer by layer, attention computed on a separate "CPU" path from offloaded
+  QKV, weights touched one page at a time),
+
+plus an equivalence checker proving both produce identical logits, which is
+the correctness argument for the scheduling contribution.
+"""
+
+from repro.engine.numerics import (
+    gqa_attention_decode,
+    gqa_attention_prefill,
+    rms_norm,
+    rotary_embedding,
+    silu,
+    softmax,
+    top_k_routing,
+)
+from repro.engine.weights_init import MoEWeights
+from repro.engine.moe_model import MoETransformer
+from repro.engine.kv_state import KVCacheState
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.pipelined import PipelinedExecutor
+from repro.engine.sampling import greedy_sample, sample_top_k
+from repro.engine.tokenizer import ToyTokenizer
+from repro.engine.equivalence import max_logit_difference, outputs_equivalent
+
+__all__ = [
+    "gqa_attention_decode",
+    "gqa_attention_prefill",
+    "rms_norm",
+    "rotary_embedding",
+    "silu",
+    "softmax",
+    "top_k_routing",
+    "MoEWeights",
+    "MoETransformer",
+    "KVCacheState",
+    "ReferenceExecutor",
+    "PipelinedExecutor",
+    "greedy_sample",
+    "sample_top_k",
+    "ToyTokenizer",
+    "max_logit_difference",
+    "outputs_equivalent",
+]

@@ -1,0 +1,37 @@
+"""Equivalence checking between reference and pipelined executions.
+
+CGOPipe's claim is that it only *reorders* work; these helpers quantify and
+assert that the reordered execution computes the same function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.reference import GenerationResult
+
+
+def max_logit_difference(a: GenerationResult, b: GenerationResult) -> float:
+    """Largest absolute logit difference across all steps of two runs."""
+    if len(a.logits_per_step) != len(b.logits_per_step):
+        raise ValueError(
+            f"runs have different lengths: {len(a.logits_per_step)} vs "
+            f"{len(b.logits_per_step)} steps"
+        )
+    worst = 0.0
+    for left, right in zip(a.logits_per_step, b.logits_per_step):
+        worst = max(worst, float(np.max(np.abs(left - right))))
+    return worst
+
+
+def outputs_equivalent(
+    a: GenerationResult, b: GenerationResult, atol: float = 1e-8
+) -> bool:
+    """Whether two runs sampled identical tokens and near-identical logits."""
+    if max_logit_difference(a, b) > atol:
+        return False
+    if not np.array_equal(a.generated_tokens, b.generated_tokens):
+        return False
+    if a.kv_state is not None and b.kv_state is not None:
+        return a.kv_state.equal_to(b.kv_state, atol=atol)
+    return True

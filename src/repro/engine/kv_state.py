@@ -1,0 +1,82 @@
+"""Numerical KV-cache state for the functional engine.
+
+Stores keys and values per layer in dense ``(batch, max_len, n_kv, head_dim)``
+arrays with per-sequence lengths, mirroring what the paged KV cache holds in
+pages.  Both the reference and the pipelined executor mutate an instance of
+this class, so equality of their final states is part of the equivalence
+check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.utils.errors import SimulationError
+from repro.utils.validation import require_positive_int
+
+
+class KVCacheState:
+    """Dense per-layer KV cache for a batch of sequences."""
+
+    def __init__(self, config: ModelConfig, batch_size: int, max_len: int) -> None:
+        require_positive_int("batch_size", batch_size)
+        require_positive_int("max_len", max_len)
+        self.config = config
+        self.batch_size = batch_size
+        self.max_len = max_len
+        head_dim = config.head_dim
+        n_kv = config.num_kv_heads
+        shape = (config.num_layers, batch_size, max_len, n_kv, head_dim)
+        self.keys = np.zeros(shape)
+        self.values = np.zeros(shape)
+        self.lengths = np.zeros(batch_size, dtype=int)
+
+    def append_prefill(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Store prompt keys/values for ``layer``.
+
+        ``k``/``v`` have shape ``(batch, seq, n_kv, head_dim)``; sequence
+        lengths are only advanced after the last layer so every layer sees the
+        same starting offsets.
+        """
+        seq = k.shape[1]
+        if seq > self.max_len:
+            raise SimulationError("prompt longer than the allocated KV cache")
+        self.keys[layer, :, :seq] = k
+        self.values[layer, :, :seq] = v
+        if layer == self.config.num_layers - 1:
+            self.lengths[:] = seq
+
+    def append_decode(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Store one decode step's keys/values for ``layer``.
+
+        ``k``/``v`` have shape ``(batch, n_kv, head_dim)``.
+        """
+        positions = self.lengths
+        if np.any(positions >= self.max_len):
+            raise SimulationError("KV cache overflow during decode")
+        batch_index = np.arange(self.batch_size)
+        self.keys[layer, batch_index, positions] = k
+        self.values[layer, batch_index, positions] = v
+        if layer == self.config.num_layers - 1:
+            self.lengths += 1
+
+    def layer_view(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Keys and values of ``layer`` (including unused tail slots)."""
+        return self.keys[layer], self.values[layer]
+
+    def copy(self) -> "KVCacheState":
+        """Deep copy (used to fork reference vs. pipelined executions)."""
+        clone = KVCacheState(self.config, self.batch_size, self.max_len)
+        clone.keys = self.keys.copy()
+        clone.values = self.values.copy()
+        clone.lengths = self.lengths.copy()
+        return clone
+
+    def equal_to(self, other: "KVCacheState", atol: float = 1e-9) -> bool:
+        """Whether two cache states hold the same tensors and lengths."""
+        return (
+            np.array_equal(self.lengths, other.lengths)
+            and np.allclose(self.keys, other.keys, atol=atol)
+            and np.allclose(self.values, other.values, atol=atol)
+        )

@@ -1,0 +1,185 @@
+"""The functional MoE transformer.
+
+:class:`MoETransformer` exposes the per-layer operations at the granularity
+the schedules reason about — pre-attention (norm + QKV projection + RoPE),
+the attention core, and post-attention (output projection + routed expert
+FFN) — so the reference executor and the pipelined executor can call exactly
+the same numerical code while ordering it differently.  Every operation is
+pure per sequence/token, which is what makes micro-batched, layer-sliced
+execution bit-compatible with whole-batch execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.kv_state import KVCacheState
+from repro.engine.numerics import (
+    gqa_attention_decode,
+    gqa_attention_prefill,
+    rms_norm,
+    rotary_embedding,
+    silu,
+    softmax,
+    top_k_routing,
+)
+from repro.engine.weights_init import LayerWeights, MoEWeights
+from repro.models.config import ModelConfig
+from repro.utils.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class AttentionInputs:
+    """QKV tensors produced by pre-attention for one group of sequences."""
+
+    q: np.ndarray  # (batch, n_q, head_dim) in decode, (batch, seq, n_q, d) in prefill
+    k: np.ndarray
+    v: np.ndarray
+    residual: np.ndarray  # hidden states before the attention block
+
+
+class MoETransformer:
+    """A numpy MoE transformer operating on explicit KV-cache state."""
+
+    def __init__(self, weights: MoEWeights) -> None:
+        self.weights = weights
+        self.config: ModelConfig = weights.config
+
+    # ------------------------------------------------------------------
+    # Embedding / head
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        """Token embeddings for ``token_ids`` of shape ``(batch, seq)`` or ``(batch,)``."""
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ConfigurationError("token id out of vocabulary range")
+        return self.weights.embedding[token_ids]
+
+    def logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Final norm + LM head."""
+        normed = rms_norm(hidden, self.weights.final_norm)
+        return normed @ self.weights.lm_head
+
+    # ------------------------------------------------------------------
+    # Per-layer operations (decode granularity)
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: np.ndarray, num_heads: int) -> np.ndarray:
+        head_dim = self.config.head_dim
+        return x.reshape(*x.shape[:-1], num_heads, head_dim)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(*x.shape[:-2], -1)
+
+    def pre_attention_decode(
+        self, layer_index: int, hidden: np.ndarray, positions: np.ndarray
+    ) -> AttentionInputs:
+        """Norm + QKV projection + RoPE for one decode step.
+
+        ``hidden`` has shape ``(batch, hidden)``; ``positions`` has shape
+        ``(batch,)`` (the absolute position of the token being decoded).
+        """
+        layer = self.weights.layers[layer_index]
+        normed = rms_norm(hidden, layer.input_norm)
+        q = self._split_heads(normed @ layer.wq, self.config.num_query_heads)
+        k = self._split_heads(normed @ layer.wk, self.config.num_kv_heads)
+        v = self._split_heads(normed @ layer.wv, self.config.num_kv_heads)
+        q = rotary_embedding(q[:, None], positions[:, None])[:, 0]
+        k = rotary_embedding(k[:, None], positions[:, None])[:, 0]
+        return AttentionInputs(q=q, k=k, v=v, residual=hidden)
+
+    def attention_decode(
+        self,
+        layer_index: int,
+        inputs: AttentionInputs,
+        kv_state: KVCacheState,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Attention core for one decode step over the rows ``rows``.
+
+        The new K/V is appended to the cache for those rows first (so the
+        token attends to itself), then grouped-query attention runs over the
+        cached context.  Returns ``(len(rows), hidden)`` attention outputs
+        (pre output-projection).
+        """
+        positions = kv_state.lengths[rows]
+        if np.any(positions >= kv_state.max_len):
+            raise SimulationError(
+                "KV cache overflow during decode: increase max_len when "
+                "creating the KVCacheState"
+            )
+        kv_state.keys[layer_index, rows, positions] = inputs.k
+        kv_state.values[layer_index, rows, positions] = inputs.v
+        k_cache = kv_state.keys[layer_index, rows]
+        v_cache = kv_state.values[layer_index, rows]
+        out = gqa_attention_decode(
+            inputs.q, k_cache, v_cache, context_lens=positions + 1
+        )
+        return self._merge_heads(out)
+
+    def moe_ffn(self, layer_index: int, hidden: np.ndarray) -> np.ndarray:
+        """Routed expert FFN over ``(tokens, hidden)`` inputs."""
+        layer = self.weights.layers[layer_index]
+        if not self.config.is_moe or layer.router is None:
+            expert = layer.experts[0]
+            gate = silu(hidden @ expert["w_gate"]) * (hidden @ expert["w_up"])
+            return gate @ expert["w_down"]
+        router_logits = hidden @ layer.router
+        indices, gates = top_k_routing(router_logits, self.config.top_k)
+        output = np.zeros_like(hidden)
+        for expert_index, expert in enumerate(layer.experts):
+            # Tokens (and their top-k slot) routed to this expert.
+            token_rows, slot = np.nonzero(indices == expert_index)
+            if token_rows.size == 0:
+                continue
+            tokens = hidden[token_rows]
+            gate = silu(tokens @ expert["w_gate"]) * (tokens @ expert["w_up"])
+            expert_out = gate @ expert["w_down"]
+            output[token_rows] += expert_out * gates[token_rows, slot][:, None]
+        return output
+
+    def post_attention(
+        self, layer_index: int, attn_output: np.ndarray, residual: np.ndarray
+    ) -> np.ndarray:
+        """Output projection, residual adds and the routed FFN."""
+        layer = self.weights.layers[layer_index]
+        hidden = residual + attn_output @ layer.wo
+        normed = rms_norm(hidden, layer.post_attn_norm)
+        return hidden + self.moe_ffn(layer_index, normed)
+
+    # ------------------------------------------------------------------
+    # Per-layer operations (prefill granularity)
+    # ------------------------------------------------------------------
+    def prefill_layer(
+        self,
+        layer_index: int,
+        hidden: np.ndarray,
+        positions: np.ndarray,
+        kv_state: KVCacheState,
+    ) -> np.ndarray:
+        """One full layer over a prompt: ``hidden`` is ``(batch, seq, hidden)``."""
+        layer = self.weights.layers[layer_index]
+        normed = rms_norm(hidden, layer.input_norm)
+        q = self._split_heads(normed @ layer.wq, self.config.num_query_heads)
+        k = self._split_heads(normed @ layer.wk, self.config.num_kv_heads)
+        v = self._split_heads(normed @ layer.wv, self.config.num_kv_heads)
+        q = rotary_embedding(q, positions)
+        k = rotary_embedding(k, positions)
+        kv_state.append_prefill(layer_index, k, v)
+        attn = gqa_attention_prefill(q, k, v)
+        attn = self._merge_heads(attn)
+        hidden = hidden + attn @ layer.wo
+        normed = rms_norm(hidden, layer.post_attn_norm)
+        batch, seq, width = normed.shape
+        ffn_out = self.moe_ffn(layer_index, normed.reshape(batch * seq, width))
+        return hidden + ffn_out.reshape(batch, seq, width)
+
+    # ------------------------------------------------------------------
+    # Routing introspection (used by tests and examples)
+    # ------------------------------------------------------------------
+    def router_distribution(self, layer_index: int, hidden: np.ndarray) -> np.ndarray:
+        """Softmax router probabilities for ``(tokens, hidden)`` inputs."""
+        layer = self.weights.layers[layer_index]
+        if layer.router is None:
+            return np.ones((hidden.shape[0], 1))
+        return softmax(hidden @ layer.router, axis=-1)

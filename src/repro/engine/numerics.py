@@ -1,0 +1,138 @@
+"""Numerical building blocks of the MoE transformer (numpy).
+
+Everything operates on float64/float32 numpy arrays with explicit shapes in
+the docstrings.  The functions are written for clarity and testability, not
+speed — the engine exists to validate execution-order semantics, not to be a
+fast kernel library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer normalisation.
+
+    ``x`` has shape ``(..., hidden)``; ``weight`` has shape ``(hidden,)``.
+    """
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation used by the gated expert FFNs."""
+    return x / (1.0 + np.exp(-x))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def rotary_embedding(
+    x: np.ndarray, positions: np.ndarray, base: float = 10_000.0
+) -> np.ndarray:
+    """Apply rotary position embeddings.
+
+    ``x`` has shape ``(batch, seq, heads, head_dim)`` and ``positions`` has
+    shape ``(batch, seq)`` (absolute token positions).  ``head_dim`` must be
+    even.
+    """
+    head_dim = x.shape[-1]
+    if head_dim % 2 != 0:
+        raise ConfigurationError("rotary embeddings require an even head_dim")
+    half = head_dim // 2
+    freqs = 1.0 / (base ** (np.arange(half) / half))
+    angles = positions[..., None] * freqs  # (batch, seq, half)
+    cos = np.cos(angles)[:, :, None, :]
+    sin = np.sin(angles)[:, :, None, :]
+    x1, x2 = x[..., :half], x[..., half:]
+    rotated = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+    return rotated
+
+
+def _expand_kv(kv: np.ndarray, group_size: int) -> np.ndarray:
+    """Repeat KV heads so each query head sees its shared KV head (GQA)."""
+    return np.repeat(kv, group_size, axis=-2)
+
+
+def gqa_attention_prefill(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Causal grouped-query attention over a full prompt.
+
+    Shapes: ``q`` is ``(batch, seq, n_q, head_dim)``, ``k``/``v`` are
+    ``(batch, seq, n_kv, head_dim)``.  Returns ``(batch, seq, n_q, head_dim)``.
+    """
+    batch, seq, n_q, head_dim = q.shape
+    n_kv = k.shape[2]
+    if n_q % n_kv != 0:
+        raise ConfigurationError("query heads must be a multiple of KV heads")
+    group = n_q // n_kv
+    k_full = _expand_kv(k, group)
+    v_full = _expand_kv(v, group)
+    scale = 1.0 / np.sqrt(head_dim)
+    # (batch, heads, seq_q, seq_k)
+    scores = np.einsum("bqhd,bkhd->bhqk", q, k_full) * scale
+    causal = np.tril(np.ones((seq, seq), dtype=bool))
+    scores = np.where(causal[None, None, :, :], scores, -np.inf)
+    weights = softmax(scores, axis=-1)
+    out = np.einsum("bhqk,bkhd->bqhd", weights, v_full)
+    return out
+
+
+def gqa_attention_decode(
+    q: np.ndarray,
+    k_cache: np.ndarray,
+    v_cache: np.ndarray,
+    context_lens: np.ndarray | None = None,
+) -> np.ndarray:
+    """Grouped-query attention for a single decode step.
+
+    Shapes: ``q`` is ``(batch, n_q, head_dim)``; ``k_cache``/``v_cache`` are
+    ``(batch, max_context, n_kv, head_dim)``.  ``context_lens`` (shape
+    ``(batch,)``) masks out unused cache slots for sequences shorter than
+    ``max_context``.  Returns ``(batch, n_q, head_dim)``.
+    """
+    batch, n_q, head_dim = q.shape
+    max_context, n_kv = k_cache.shape[1], k_cache.shape[2]
+    if n_q % n_kv != 0:
+        raise ConfigurationError("query heads must be a multiple of KV heads")
+    group = n_q // n_kv
+    k_full = _expand_kv(k_cache, group)  # (batch, ctx, n_q, head_dim)
+    v_full = _expand_kv(v_cache, group)
+    scale = 1.0 / np.sqrt(head_dim)
+    scores = np.einsum("bhd,bchd->bhc", q, k_full) * scale
+    if context_lens is not None:
+        mask = np.arange(max_context)[None, :] < context_lens[:, None]
+        scores = np.where(mask[:, None, :], scores, -np.inf)
+    weights = softmax(scores, axis=-1)
+    return np.einsum("bhc,bchd->bhd", weights, v_full)
+
+
+def top_k_routing(logits: np.ndarray, top_k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Select the top-k experts per token and their normalised weights.
+
+    ``logits`` has shape ``(tokens, num_experts)``.  Returns ``(indices,
+    weights)`` with shapes ``(tokens, top_k)``; the weights are a softmax over
+    the selected experts' logits (the Mixtral convention).
+    """
+    if top_k <= 0 or top_k > logits.shape[-1]:
+        raise ConfigurationError(
+            f"top_k must be in [1, {logits.shape[-1]}], got {top_k}"
+        )
+    indices = np.argpartition(-logits, top_k - 1, axis=-1)[:, :top_k]
+    # Sort the selected experts by logit so the output is deterministic.
+    row = np.arange(logits.shape[0])[:, None]
+    order = np.argsort(-logits[row, indices], axis=-1)
+    indices = np.take_along_axis(indices, order, axis=-1)
+    selected = logits[row, indices]
+    weights = softmax(selected, axis=-1)
+    return indices, weights

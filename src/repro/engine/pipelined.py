@@ -1,0 +1,136 @@
+"""Pipelined executor: CGOPipe execution order over the same weights.
+
+Decode steps are executed the way Algorithm 1 orders them — micro-batch by
+micro-batch within each layer, with the attention core computed on a logical
+"CPU path" from offloaded QKV tensors and the result loaded back before the
+post-attention block — and the streamed weights are touched page by page
+through the paged weight manager, exercising the double-buffer state machine.
+
+Because every operation is pure per sequence, this ordering produces exactly
+the same logits as the reference executor; ``repro.engine.equivalence``
+asserts that, which is the correctness argument for CGOPipe's reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.engine.kv_state import KVCacheState
+from repro.engine.moe_model import MoETransformer
+from repro.engine.reference import GenerationResult, ReferenceExecutor
+from repro.engine.sampling import greedy_sample
+from repro.models.memory import layer_weight_bytes
+from repro.runtime.memory_manager import MemoryPool
+from repro.runtime.weights import PagedWeightManager
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+
+class PipelinedExecutor:
+    """Micro-batched, CGOPipe-ordered execution of decode."""
+
+    def __init__(self, model: MoETransformer, policy: Policy) -> None:
+        if policy.attention_on_gpu:
+            raise ConfigurationError(
+                "the pipelined executor models CGOPipe, which runs attention "
+                "on the CPU path (attention_on_gpu must be False)"
+            )
+        self.model = model
+        self.policy = policy
+        # A small GPU pool sized for the double buffer keeps the paged weight
+        # manager honest about its buffer lifecycle during execution.
+        streamed = max(
+            1.0, policy.weights_cpu_ratio * layer_weight_bytes(model.config)
+        )
+        self.gpu_pool = MemoryPool(
+            name="gpu-weights", capacity_bytes=4 * streamed, page_bytes=streamed / 64
+        )
+        self.weight_manager = PagedWeightManager(
+            model=model.config, policy=policy, gpu_pool=self.gpu_pool
+        )
+
+    # ------------------------------------------------------------------
+    # Micro-batch slicing
+    # ------------------------------------------------------------------
+    def micro_batch_rows(self, batch_size: int) -> list[np.ndarray]:
+        """Row indices of each micro-batch for a batch of ``batch_size``."""
+        mu = self.policy.micro_batch_size
+        return [
+            np.arange(start, min(start + mu, batch_size))
+            for start in range(0, batch_size, mu)
+        ]
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode_step(self, tokens: np.ndarray, kv_state: KVCacheState) -> np.ndarray:
+        """One decode step in CGOPipe order; returns ``(batch, vocab)`` logits."""
+        batch = tokens.shape[0]
+        rows_per_mb = self.micro_batch_rows(batch)
+        positions = kv_state.lengths.copy()
+        hidden = self.model.embed(tokens)
+        output_hidden = np.empty_like(hidden)
+
+        # Per-micro-batch hidden states flow layer by layer; the "CPU path"
+        # holds attention outputs between the QKV offload and the hidden load.
+        current = {mb: hidden[rows] for mb, rows in enumerate(rows_per_mb)}
+        for layer in range(self.model.config.num_layers):
+            # Touch this layer's streamed pages (double-buffer rotation).
+            self.weight_manager.begin_prefetch(layer)
+            for _ in self.weight_manager.pages_for_layer(layer):
+                pass
+            self.weight_manager.advance_layer()
+
+            cpu_path: dict[int, tuple] = {}
+            # Pre-attention + QKV offload + CPU attention, two micro-batches
+            # ahead of post-attention (Algorithm 1's launch order).
+            for mb, rows in enumerate(rows_per_mb):
+                inputs = self.model.pre_attention_decode(
+                    layer, current[mb], positions[rows]
+                )
+                attn_out = self.model.attention_decode(layer, inputs, kv_state, rows)
+                cpu_path[mb] = (attn_out, inputs.residual)
+                # Post-attention lags two micro-batches behind.
+                ready = mb - 2
+                if ready >= 0:
+                    attn_ready, residual_ready = cpu_path.pop(ready)
+                    current[ready] = self.model.post_attention(
+                        layer, attn_ready, residual_ready
+                    )
+            for mb in sorted(cpu_path):
+                attn_ready, residual_ready = cpu_path.pop(mb)
+                current[mb] = self.model.post_attention(layer, attn_ready, residual_ready)
+
+        for mb, rows in enumerate(rows_per_mb):
+            output_hidden[rows] = current[mb]
+        kv_state.lengths += 1
+        return self.model.logits(output_hidden)
+
+    def generate(
+        self,
+        prompts: np.ndarray,
+        generation_len: int,
+        max_len: int | None = None,
+        reference_prefill: ReferenceExecutor | None = None,
+    ) -> GenerationResult:
+        """Prefill (whole batch, as the paper does on GPU) then pipelined decode."""
+        require_positive_int("generation_len", generation_len)
+        batch, prompt_len = prompts.shape
+        capacity = max_len or (prompt_len + generation_len + 1)
+        kv_state = KVCacheState(self.model.config, batch, capacity)
+        result = GenerationResult(kv_state=kv_state)
+
+        prefill_executor = reference_prefill or ReferenceExecutor(self.model)
+        last_hidden = prefill_executor.prefill(prompts, kv_state)
+        logits = self.model.logits(last_hidden)
+        tokens = greedy_sample(logits)
+        result.logits_per_step.append(logits)
+        result.tokens_per_step.append(tokens)
+
+        for _ in range(generation_len - 1):
+            logits = self.decode_step(tokens, kv_state)
+            tokens = greedy_sample(logits)
+            result.logits_per_step.append(logits)
+            result.tokens_per_step.append(tokens)
+        return result

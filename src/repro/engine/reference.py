@@ -1,0 +1,97 @@
+"""Reference executor: straightforward whole-batch execution.
+
+Prefill runs layer by layer over the full padded prompt matrix; each decode
+step runs every layer over the whole batch at once.  This is the semantics
+the pipelined executor must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.kv_state import KVCacheState
+from repro.engine.moe_model import MoETransformer
+from repro.engine.sampling import greedy_sample
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a generation run: logits trace, sampled tokens, cache."""
+
+    logits_per_step: list[np.ndarray] = field(default_factory=list)
+    tokens_per_step: list[np.ndarray] = field(default_factory=list)
+    kv_state: KVCacheState | None = None
+
+    @property
+    def generated_tokens(self) -> np.ndarray:
+        """Sampled token ids with shape ``(steps, batch)``."""
+        return np.stack(self.tokens_per_step) if self.tokens_per_step else np.empty((0, 0))
+
+
+class ReferenceExecutor:
+    """Whole-batch, layer-by-layer execution of prefill and decode."""
+
+    def __init__(self, model: MoETransformer) -> None:
+        self.model = model
+
+    def prefill(
+        self, prompts: np.ndarray, kv_state: KVCacheState
+    ) -> np.ndarray:
+        """Run prefill over ``prompts`` of shape ``(batch, prompt_len)``.
+
+        Returns the hidden states of the last prompt position,
+        shape ``(batch, hidden)``.
+        """
+        if prompts.ndim != 2:
+            raise ConfigurationError("prompts must have shape (batch, prompt_len)")
+        batch, prompt_len = prompts.shape
+        positions = np.broadcast_to(np.arange(prompt_len), (batch, prompt_len))
+        hidden = self.model.embed(prompts)
+        for layer in range(self.model.config.num_layers):
+            hidden = self.model.prefill_layer(layer, hidden, positions, kv_state)
+        return hidden[:, -1, :]
+
+    def decode_step(
+        self, tokens: np.ndarray, kv_state: KVCacheState
+    ) -> np.ndarray:
+        """Run one decode step for ``tokens`` of shape ``(batch,)``.
+
+        Returns logits of shape ``(batch, vocab)``.
+        """
+        batch = tokens.shape[0]
+        rows = np.arange(batch)
+        positions = kv_state.lengths.copy()
+        hidden = self.model.embed(tokens)
+        for layer in range(self.model.config.num_layers):
+            inputs = self.model.pre_attention_decode(layer, hidden, positions)
+            attn_out = self.model.attention_decode(layer, inputs, kv_state, rows)
+            hidden = self.model.post_attention(layer, attn_out, inputs.residual)
+        kv_state.lengths += 1
+        return self.model.logits(hidden)
+
+    def generate(
+        self, prompts: np.ndarray, generation_len: int, max_len: int | None = None
+    ) -> GenerationResult:
+        """Prefill then greedily decode ``generation_len`` tokens."""
+        require_positive_int("generation_len", generation_len)
+        batch, prompt_len = prompts.shape
+        capacity = max_len or (prompt_len + generation_len + 1)
+        kv_state = KVCacheState(self.model.config, batch, capacity)
+        result = GenerationResult(kv_state=kv_state)
+
+        last_hidden = self.prefill(prompts, kv_state)
+        logits = self.model.logits(last_hidden)
+        tokens = greedy_sample(logits)
+        result.logits_per_step.append(logits)
+        result.tokens_per_step.append(tokens)
+
+        for _ in range(generation_len - 1):
+            logits = self.decode_step(tokens, kv_state)
+            tokens = greedy_sample(logits)
+            result.logits_per_step.append(logits)
+            result.tokens_per_step.append(tokens)
+        return result

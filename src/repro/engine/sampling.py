@@ -1,0 +1,35 @@
+"""Token sampling strategies for the functional engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.numerics import softmax
+from repro.utils.validation import require_positive_int
+
+
+def greedy_sample(logits: np.ndarray) -> np.ndarray:
+    """Pick the arg-max token per row; shape ``(batch, vocab) -> (batch,)``."""
+    return np.argmax(logits, axis=-1)
+
+
+def sample_top_k(
+    logits: np.ndarray,
+    k: int,
+    temperature: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample from the top-``k`` tokens of each row after temperature scaling."""
+    require_positive_int("k", k)
+    if temperature <= 0:
+        return greedy_sample(logits)
+    rng = rng or np.random.default_rng(0)
+    batch, vocab = logits.shape
+    k = min(k, vocab)
+    scaled = logits / temperature
+    out = np.empty(batch, dtype=int)
+    for row in range(batch):
+        top = np.argpartition(-scaled[row], k - 1)[:k]
+        probs = softmax(scaled[row, top])
+        out[row] = rng.choice(top, p=probs)
+    return out

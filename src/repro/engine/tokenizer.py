@@ -1,0 +1,40 @@
+"""A deterministic toy tokenizer for examples and tests.
+
+The functional engine's weights are random, so no tokenizer could produce
+meaningful text; this one exists so examples can round-trip strings into
+token ids (and back into printable placeholder tokens) without external
+vocabulary files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.utils.validation import require_positive_int
+
+
+class ToyTokenizer:
+    """Hashes whitespace-separated words into a fixed-size vocabulary."""
+
+    def __init__(self, vocab_size: int = 512) -> None:
+        require_positive_int("vocab_size", vocab_size)
+        self.vocab_size = vocab_size
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for ``text`` (one id per whitespace-separated word)."""
+        tokens = []
+        for word in text.split():
+            digest = hashlib.sha256(word.lower().encode("utf-8")).digest()
+            tokens.append(int.from_bytes(digest[:4], "little") % self.vocab_size)
+        return tokens or [0]
+
+    def decode(self, token_ids: list[int]) -> str:
+        """Printable placeholder string for ``token_ids``."""
+        return " ".join(f"<tok{token_id}>" for token_id in token_ids)
+
+    def encode_batch(self, texts: list[str], pad_to: int | None = None) -> list[list[int]]:
+        """Encode several texts, optionally left-padding to a common length."""
+        encoded = [self.encode(text) for text in texts]
+        if pad_to is None:
+            pad_to = max(len(ids) for ids in encoded)
+        return [[0] * (pad_to - len(ids)) + ids[:pad_to] for ids in encoded]

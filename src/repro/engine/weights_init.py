@@ -1,0 +1,103 @@
+"""Deterministic weight initialisation for the functional engine.
+
+Weights are drawn from a seeded normal distribution scaled like standard
+transformer initialisation.  The container mirrors the layout the paged
+weight manager reasons about: per-layer attention projections, a router and
+per-expert FFN matrices, plus embeddings, norms and the LM head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+
+@dataclass
+class LayerWeights:
+    """All parameters of one transformer layer."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    input_norm: np.ndarray
+    post_attn_norm: np.ndarray
+    router: np.ndarray | None
+    experts: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+
+@dataclass
+class MoEWeights:
+    """All parameters of the model."""
+
+    config: ModelConfig
+    embedding: np.ndarray
+    final_norm: np.ndarray
+    lm_head: np.ndarray
+    layers: list[LayerWeights] = field(default_factory=list)
+
+    @classmethod
+    def initialize(cls, config: ModelConfig, seed: int = 0) -> "MoEWeights":
+        """Create a full set of weights from ``seed``."""
+        rng = np.random.default_rng(seed)
+        h = config.hidden_size
+        kv = config.kv_dim
+        inter = config.intermediate_size
+        scale = 1.0 / np.sqrt(h)
+
+        def matrix(rows: int, cols: int) -> np.ndarray:
+            return rng.normal(0.0, scale, size=(rows, cols)).astype(np.float64)
+
+        layers = []
+        for _ in range(config.num_layers):
+            experts = [
+                {
+                    "w_gate": matrix(h, inter),
+                    "w_up": matrix(h, inter),
+                    "w_down": matrix(inter, h),
+                }
+                for _ in range(config.num_experts)
+            ]
+            router = matrix(h, config.num_experts) if config.is_moe else None
+            layers.append(
+                LayerWeights(
+                    wq=matrix(h, h),
+                    wk=matrix(h, kv),
+                    wv=matrix(h, kv),
+                    wo=matrix(h, h),
+                    input_norm=np.ones(h),
+                    post_attn_norm=np.ones(h),
+                    router=router,
+                    experts=experts,
+                )
+            )
+        embedding = rng.normal(0.0, 1.0, size=(config.vocab_size, h)) * scale
+        lm_head = matrix(h, config.vocab_size)
+        return cls(
+            config=config,
+            embedding=embedding,
+            final_norm=np.ones(h),
+            lm_head=lm_head,
+            layers=layers,
+        )
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters held by this container."""
+        count = self.embedding.size + self.final_norm.size + self.lm_head.size
+        for layer in self.layers:
+            count += (
+                layer.wq.size
+                + layer.wk.size
+                + layer.wv.size
+                + layer.wo.size
+                + layer.input_norm.size
+                + layer.post_attn_norm.size
+            )
+            if layer.router is not None:
+                count += layer.router.size
+            for expert in layer.experts:
+                count += sum(weight.size for weight in expert.values())
+        return count

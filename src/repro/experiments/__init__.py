@@ -1,0 +1,52 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns plain rows (lists of dictionaries) so the benchmark
+suite, the examples and the report generator can share them:
+
+* :mod:`repro.experiments.settings` — the model/hardware settings of Tab. 2
+  and the workloads of Tab. 3.
+* :mod:`repro.experiments.e2e` — Fig. 7 (MTBench) and Tab. 4 (HELM tasks).
+* :mod:`repro.experiments.ablation_policy` — Tab. 5 (optimizer policy
+  ablation).
+* :mod:`repro.experiments.ablation_kernels` — Fig. 9 (CPU attention vs. MoE
+  FFN vs. KV transfer latency).
+* :mod:`repro.experiments.hardware_sweep` — Fig. 10 (policy vs. hardware).
+* :mod:`repro.experiments.pipeline_diagram` — Fig. 6 (schedule comparison).
+* :mod:`repro.experiments.throughput_vs_cpumem` — Fig. 1 (throughput vs.
+  CPU memory).
+* :mod:`repro.experiments.tp_scaling` — Fig. 8 (tensor-parallel scaling).
+* :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
+  regeneration.
+"""
+
+from repro.experiments.settings import (
+    EVALUATION_SETTINGS,
+    EvaluationSetting,
+    get_setting,
+    list_settings,
+)
+from repro.experiments.e2e import run_helm_experiment, run_mtbench_experiment
+from repro.experiments.ablation_policy import run_policy_ablation
+from repro.experiments.ablation_kernels import run_kernel_latency_ablation
+from repro.experiments.hardware_sweep import run_hardware_sweep
+from repro.experiments.pipeline_diagram import run_schedule_comparison
+from repro.experiments.throughput_vs_cpumem import run_cpu_memory_sweep
+from repro.experiments.tp_scaling import run_tp_scaling
+from repro.experiments.report import render_rows, rows_to_markdown
+
+__all__ = [
+    "EVALUATION_SETTINGS",
+    "EvaluationSetting",
+    "get_setting",
+    "list_settings",
+    "run_helm_experiment",
+    "run_mtbench_experiment",
+    "run_policy_ablation",
+    "run_kernel_latency_ablation",
+    "run_hardware_sweep",
+    "run_schedule_comparison",
+    "run_cpu_memory_sweep",
+    "run_tp_scaling",
+    "render_rows",
+    "rows_to_markdown",
+]

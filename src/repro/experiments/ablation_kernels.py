@@ -1,0 +1,77 @@
+"""Kernel latency ablation (paper Fig. 9).
+
+For each micro-batch size and context length, compares the single-layer
+latency of (a) transferring the micro-batch's KV cache from CPU pinned
+memory to the GPU, (b) the CPU grouped-query attention kernel, and (c) the
+GPU MoE FFN kernel.  The paper's observations to reproduce:
+
+* the CPU attention kernel is roughly 3-4x faster than the KV transfer
+  (the ratio of CPU DRAM to PCIe bandwidth);
+* the MoE FFN latency barely changes with the micro-batch size (it is
+  memory-bound on the expert weights during decode);
+* CPU attention eventually overtakes the FFN as ``μ x context`` grows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.performance_model import EfficiencyModel
+from repro.experiments.settings import get_setting
+from repro.runtime.costs import TaskCostModel
+
+
+def run_kernel_latency_ablation(
+    setting_name: str = "S2",
+    micro_batch_sizes: Sequence[int] = (32, 64, 128, 256),
+    context_lengths: Sequence[int] = (128, 256, 512, 1024, 2048),
+    efficiency: EfficiencyModel | None = None,
+) -> list[dict[str, object]]:
+    """Latency of KV transfer vs. CPU attention vs. MoE FFN per (μ, context)."""
+    setting = get_setting(setting_name)
+    costs = TaskCostModel(
+        model=setting.model,
+        hardware=setting.hardware,
+        efficiency=efficiency or EfficiencyModel(),
+    )
+    rows = []
+    for micro_batch in micro_batch_sizes:
+        for context_len in context_lengths:
+            kv_transfer = costs.kv_transfer(micro_batch, context_len)
+            cpu_attention = costs.cpu_attention(micro_batch, context_len)
+            moe_ffn = costs.post_attention(micro_batch, ffn_on_gpu=True)
+            rows.append(
+                {
+                    "micro_batch_size": micro_batch,
+                    "context_len": context_len,
+                    "kv_transfer_s": kv_transfer,
+                    "cpu_attention_s": cpu_attention,
+                    "moe_ffn_s": moe_ffn,
+                    "kv_over_cpu_attention": kv_transfer / cpu_attention,
+                    "cpu_attention_over_ffn": cpu_attention / moe_ffn,
+                }
+            )
+    return rows
+
+
+def crossover_points(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """For each micro-batch size, the smallest context where CPU attention
+    exceeds the MoE FFN latency (None if it never does in the sweep)."""
+    by_micro_batch: dict[int, list[dict[str, object]]] = {}
+    for row in rows:
+        by_micro_batch.setdefault(int(row["micro_batch_size"]), []).append(row)
+    crossings = []
+    for micro_batch, group in sorted(by_micro_batch.items()):
+        group = sorted(group, key=lambda r: r["context_len"])
+        crossing = next(
+            (
+                r["context_len"]
+                for r in group
+                if r["cpu_attention_s"] > r["moe_ffn_s"]
+            ),
+            None,
+        )
+        crossings.append(
+            {"micro_batch_size": micro_batch, "crossover_context_len": crossing}
+        )
+    return crossings

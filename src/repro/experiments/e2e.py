@@ -1,0 +1,168 @@
+"""End-to-end throughput experiments: Fig. 7 (MTBench) and Tab. 4 (HELM).
+
+Each run produces one row per (setting, workload, generation length, system)
+with the generation throughput and the selected policy, mirroring the bars
+of Fig. 7 and the cells of Tab. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.performance_model import EfficiencyModel
+from repro.experiments.settings import (
+    MTBENCH_GENERATION_LENGTHS,
+    EvaluationSetting,
+    get_setting,
+)
+from repro.systems import DeepSpeedZeroSystem, FlexGenSystem, MoELightningSystem
+from repro.systems.base import OffloadingSystem
+from repro.utils.errors import ReproError
+from repro.workloads.spec import WorkloadSpec
+
+
+def default_system_set(
+    setting: EvaluationSetting,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    include_unpadded: bool = True,
+) -> list[OffloadingSystem]:
+    """The systems compared in Fig. 7 for one evaluation setting."""
+    model = setting.model
+    hardware = setting.hardware
+    kwargs = {"efficiency": efficiency, "max_sim_layers": max_sim_layers}
+    systems: list[OffloadingSystem] = [
+        FlexGenSystem(model, hardware, **kwargs),
+        FlexGenSystem(model, hardware, cpu_attention=True, **kwargs),
+        DeepSpeedZeroSystem(model, hardware, **kwargs),
+        MoELightningSystem(model, hardware, padded=True, **kwargs),
+    ]
+    if include_unpadded:
+        systems.append(MoELightningSystem(model, hardware, padded=False, **kwargs))
+    return systems
+
+
+def _run_systems(
+    systems: Iterable[OffloadingSystem],
+    workload: WorkloadSpec,
+    setting: EvaluationSetting,
+    generation_len: int,
+    simulate: bool,
+) -> list[dict[str, object]]:
+    rows = []
+    for system in systems:
+        try:
+            result = system.run(workload, simulate=simulate)
+        except ReproError as error:
+            rows.append(
+                {
+                    "setting": setting.name,
+                    "workload": workload.name,
+                    "generation_len": generation_len,
+                    "system": system.name,
+                    "throughput": None,
+                    "error": str(error),
+                }
+            )
+            continue
+        row = result.as_row()
+        row.update(
+            {
+                "setting": setting.name,
+                "generation_len": generation_len,
+                "error": None,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def run_mtbench_experiment(
+    settings: Sequence[str] = ("S1", "S2", "S6", "S7"),
+    generation_lengths: Sequence[int] = MTBENCH_GENERATION_LENGTHS,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    simulate: bool = True,
+    include_unpadded: bool = True,
+) -> list[dict[str, object]]:
+    """Reproduce Fig. 7: MTBench throughput across settings and lengths."""
+    rows: list[dict[str, object]] = []
+    for setting_name in settings:
+        setting = get_setting(setting_name)
+        include_full = include_unpadded and setting_name in ("S1", "S2")
+        systems = default_system_set(
+            setting,
+            efficiency=efficiency,
+            max_sim_layers=max_sim_layers,
+            include_unpadded=include_full,
+        )
+        for generation_len in generation_lengths:
+            workload = setting.workload("mtbench", generation_len=generation_len)
+            rows.extend(
+                _run_systems(systems, workload, setting, generation_len, simulate)
+            )
+    return rows
+
+
+def run_helm_experiment(
+    settings: Sequence[str] = ("S1", "S2"),
+    workloads: Sequence[str] = ("synthetic_reasoning", "summarization"),
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    simulate: bool = True,
+) -> list[dict[str, object]]:
+    """Reproduce Tab. 4: HELM synthetic reasoning and summarization."""
+    rows: list[dict[str, object]] = []
+    for setting_name in settings:
+        setting = get_setting(setting_name)
+        systems = default_system_set(
+            setting,
+            efficiency=efficiency,
+            max_sim_layers=max_sim_layers,
+            include_unpadded=False,
+        )
+        for workload_name in workloads:
+            workload = setting.workload(workload_name)
+            rows.extend(
+                _run_systems(
+                    systems, workload, setting, workload.generation_len, simulate
+                )
+            )
+    return rows
+
+
+def speedup_summary(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Per (setting, workload, generation length): MoE-Lightning vs. best baseline."""
+    groups: dict[tuple, list[dict[str, object]]] = {}
+    for row in rows:
+        if row.get("throughput") is None:
+            continue
+        key = (row["setting"], row["workload"], row["generation_len"])
+        groups.setdefault(key, []).append(row)
+    summary = []
+    for (setting, workload, generation_len), group in sorted(groups.items()):
+        ours = [r for r in group if str(r["system"]).startswith("moe-lightning")]
+        baselines = [r for r in group if not str(r["system"]).startswith("moe-lightning")]
+        if not ours or not baselines:
+            continue
+        best_ours = max(ours, key=lambda r: r["throughput"])
+        best_padded = max(
+            (r for r in ours if r["system"] == "moe-lightning(p)"),
+            key=lambda r: r["throughput"],
+            default=best_ours,
+        )
+        best_baseline = max(baselines, key=lambda r: r["throughput"])
+        summary.append(
+            {
+                "setting": setting,
+                "workload": workload,
+                "generation_len": generation_len,
+                "best_baseline": best_baseline["system"],
+                "baseline_throughput": best_baseline["throughput"],
+                "moe_lightning_p_throughput": best_padded["throughput"],
+                "moe_lightning_throughput": best_ours["throughput"],
+                "padded_speedup": best_padded["throughput"] / best_baseline["throughput"],
+                "unpadded_speedup": best_ours["throughput"] / best_baseline["throughput"],
+            }
+        )
+    return summary

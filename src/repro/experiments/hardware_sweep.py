@@ -1,0 +1,149 @@
+"""Policy-vs-hardware sweep (paper Fig. 10, §6.3).
+
+Fixes the model (Mixtral 8x7B) and GPU side (2x A100-80G, enough to hold the
+weights), then sweeps the CPU-GPU interconnect bandwidth and a "CPU scaling
+ratio" that multiplies CPU memory bandwidth, FLOPs and capacity.  For every
+point the HRM optimizer re-selects the best policy; the quantities plotted
+are the fraction of weights kept on the CPU, the fraction of KV cache kept
+on the CPU and whether attention runs on the CPU.
+
+The paper's observations to reproduce: more weights are offloaded to the CPU
+as the interconnect gets faster, and KV-cache offloading (CPU attention)
+only pays off when the CPU scaling ratio is high.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.performance_model import EfficiencyModel
+from repro.hardware import a100_80g, make_hardware, xeon_24_core
+from repro.hardware.registry import pcie_gen4_x16
+from repro.models import get_model
+from repro.utils.errors import InfeasiblePolicyError
+from repro.utils.units import GB, TERA
+from repro.workloads import uniform_workload
+
+
+def base_a100_hardware():
+    """The 2x A100-80G node used as the sweep's GPU side."""
+    return make_hardware(
+        a100_80g(),
+        xeon_24_core(memory_gb=200),
+        pcie_gen4_x16(),
+        tp_size=2,
+        name="2xA100-80G",
+    )
+
+
+def run_hardware_sweep(
+    cpu_gpu_bandwidths_gb: Sequence[float] = (100, 200, 300, 400, 500),
+    cpu_scaling_ratios: Sequence[float] = (1, 2, 4, 6, 8, 10),
+    prompt_len: int = 512,
+    generation_len: int = 32,
+    model_name: str = "mixtral-8x7b",
+    efficiency: EfficiencyModel | None = None,
+) -> list[dict[str, object]]:
+    """Reproduce Fig. 10: best-policy composition across hardware points.
+
+    The base CPU follows the paper's sweep: 200 GB/s memory bandwidth,
+    100 GB of DRAM and 1.6 TFLOPS, each multiplied by the scaling ratio.
+    """
+    model = get_model(model_name)
+    workload = uniform_workload(
+        prompt_len=prompt_len, generation_len=generation_len, num_requests=4000
+    )
+    rows = []
+    for bandwidth_gb in cpu_gpu_bandwidths_gb:
+        for ratio in cpu_scaling_ratios:
+            hardware = base_a100_hardware().with_interconnect_bandwidth(
+                bandwidth_gb * GB
+            )
+            cpu = hardware.cpu
+            scaled_cpu = type(cpu)(
+                name=f"{cpu.name}-x{ratio}",
+                memory_bytes=100 * GB * ratio,
+                memory_bandwidth=200 * GB * ratio,
+                peak_flops=1.6 * TERA * ratio,
+                cores=cpu.cores,
+            )
+            hardware = make_hardware(
+                hardware.gpu,
+                scaled_cpu,
+                hardware.interconnect,
+                tp_size=hardware.tp_size,
+                name=f"2xA100+{bandwidth_gb}GBps+cpu x{ratio}",
+            )
+            optimizer = PolicyOptimizer(
+                model=model,
+                hardware=hardware,
+                workload=workload,
+                efficiency=efficiency or EfficiencyModel(),
+                padded=False,
+                allow_cpu_attention=True,
+                allow_gpu_attention=True,
+            )
+            try:
+                result = optimizer.search()
+            except InfeasiblePolicyError as error:
+                rows.append(
+                    {
+                        "cpu_gpu_bandwidth_gb": bandwidth_gb,
+                        "cpu_scaling_ratio": ratio,
+                        "error": str(error),
+                    }
+                )
+                continue
+            policy = result.policy
+            rows.append(
+                {
+                    "cpu_gpu_bandwidth_gb": bandwidth_gb,
+                    "cpu_scaling_ratio": ratio,
+                    "weights_on_cpu": policy.weights_cpu_ratio,
+                    "kv_cache_on_cpu": (
+                        policy.kv_cache_cpu_ratio if policy.attention_on_gpu else 1.0
+                    ),
+                    "attention_on_cpu": not policy.attention_on_gpu,
+                    "batch_size": policy.batch_size,
+                    "micro_batch_size": policy.micro_batch_size,
+                    "throughput": result.throughput,
+                    "error": None,
+                }
+            )
+    return rows
+
+
+def offload_trends(rows: list[dict[str, object]]) -> dict[str, float]:
+    """Correlation-style summary of the two trends the paper highlights.
+
+    Returns the average CPU-weight fraction at the lowest and highest
+    interconnect bandwidth, and the average CPU-KV fraction at the lowest and
+    highest CPU scaling ratio, so tests can assert the directions match the
+    paper (more weight offload with faster links; KV offload only with
+    stronger CPUs).
+    """
+    valid = [row for row in rows if row.get("error") is None]
+    if not valid:
+        return {}
+    bandwidths = sorted({row["cpu_gpu_bandwidth_gb"] for row in valid})
+    ratios = sorted({row["cpu_scaling_ratio"] for row in valid})
+
+    def average(key: str, filter_key: str, filter_value) -> float:
+        values = [row[key] for row in valid if row[filter_key] == filter_value]
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "weights_on_cpu_at_low_bandwidth": average(
+            "weights_on_cpu", "cpu_gpu_bandwidth_gb", bandwidths[0]
+        ),
+        "weights_on_cpu_at_high_bandwidth": average(
+            "weights_on_cpu", "cpu_gpu_bandwidth_gb", bandwidths[-1]
+        ),
+        "kv_on_cpu_at_low_cpu_scale": average(
+            "kv_cache_on_cpu", "cpu_scaling_ratio", ratios[0]
+        ),
+        "kv_on_cpu_at_high_cpu_scale": average(
+            "kv_cache_on_cpu", "cpu_scaling_ratio", ratios[-1]
+        ),
+    }

@@ -1,0 +1,55 @@
+"""Schedule comparison experiment (paper Fig. 6).
+
+Runs the four decode schedules of Fig. 6 on a representative
+memory-constrained configuration (Mixtral 8x7B on the T4 setting with a
+CGOPipe-style policy) and reports per-schedule step time, channel
+utilisation, GPU bubble fraction and an ASCII Gantt chart of one decode
+step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.schedule_diagram import ScheduleComparison, compare_schedules
+from repro.core.performance_model import EfficiencyModel
+from repro.core.policy import Policy
+from repro.experiments.settings import get_setting
+
+
+def run_schedule_comparison(
+    setting_name: str = "S1",
+    batch_size: int = 960,
+    micro_batch_size: int = 64,
+    context_len: int = 512,
+    weights_gpu_ratio: float = 0.05,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+) -> list[ScheduleComparison]:
+    """Compare CGOPipe against the three baseline schedules of Fig. 6."""
+    setting = get_setting(setting_name)
+    policy = Policy(
+        batch_size=batch_size,
+        micro_batch_size=micro_batch_size,
+        attention_on_gpu=False,
+        ffn_on_gpu=True,
+        weights_gpu_ratio=weights_gpu_ratio,
+    )
+    return compare_schedules(
+        model=setting.model,
+        hardware=setting.hardware,
+        policy=policy,
+        context_len=context_len,
+        efficiency=efficiency,
+        max_sim_layers=max_sim_layers,
+    )
+
+
+def comparison_rows(results: list[ScheduleComparison]) -> list[dict[str, object]]:
+    """Flat rows (plus CGOPipe-relative slowdown) for report tables."""
+    cgopipe = next((r for r in results if r.schedule == "cgopipe"), None)
+    rows = []
+    for result in results:
+        row = result.as_row()
+        if cgopipe is not None and cgopipe.step_time > 0:
+            row["slowdown_vs_cgopipe"] = result.step_time / cgopipe.step_time
+        rows.append(row)
+    return rows

@@ -1,0 +1,45 @@
+"""Rendering experiment rows as text / markdown tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.tables import render_markdown_table, render_table
+
+
+def _columns(rows: Sequence[dict[str, object]], columns: Sequence[str] | None) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    seen: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def render_rows(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render experiment rows as a fixed-width text table."""
+    if not rows:
+        return f"{title or 'results'}: (no rows)"
+    headers = _columns(rows, columns)
+    body = [[row.get(column) for column in headers] for row in rows]
+    return render_table(headers, body, precision=precision, title=title)
+
+
+def rows_to_markdown(
+    rows: Sequence[dict[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 2,
+) -> str:
+    """Render experiment rows as a markdown table (for EXPERIMENTS.md)."""
+    if not rows:
+        return "(no rows)"
+    headers = _columns(rows, columns)
+    body = [[row.get(column) for column in headers] for row in rows]
+    return render_markdown_table(headers, body, precision=precision)

@@ -1,0 +1,100 @@
+"""Evaluation settings (paper Table 2) and workload roster (Table 3).
+
+``S1``/``S2`` pair Mixtral 8x7B with a single T4/L4 plus a 24-core Xeon with
+192 GB of DRAM; ``S6``/``S7`` pair Mixtral 8x22B with 2/4 T4s and a 32-core
+Xeon with 416 GB; ``S8``/``S9`` run DBRX on the same multi-T4 nodes.  (The
+paper's table skips the labels S3-S5.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import get_hardware
+from repro.hardware.spec import HardwareSpec
+from repro.models import get_model
+from repro.models.config import ModelConfig
+from repro.utils.errors import ConfigurationError
+from repro.workloads import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EvaluationSetting:
+    """One row of Table 2: a model paired with a hardware node."""
+
+    name: str
+    model_name: str
+    hardware_name: str
+    description: str = ""
+
+    @property
+    def model(self) -> ModelConfig:
+        """Instantiate the model configuration."""
+        return get_model(self.model_name)
+
+    @property
+    def hardware(self) -> HardwareSpec:
+        """Instantiate the hardware specification."""
+        return get_hardware(self.hardware_name)
+
+    def workload(self, name: str, **kwargs) -> WorkloadSpec:
+        """Instantiate one of the Table 3 workloads."""
+        return get_workload(name, **kwargs)
+
+
+EVALUATION_SETTINGS: dict[str, EvaluationSetting] = {
+    "S1": EvaluationSetting(
+        name="S1",
+        model_name="mixtral-8x7b",
+        hardware_name="1xT4",
+        description="Mixtral 8x7B, 1x T4 (16GB), 24-core Xeon 192GB",
+    ),
+    "S2": EvaluationSetting(
+        name="S2",
+        model_name="mixtral-8x7b",
+        hardware_name="1xL4",
+        description="Mixtral 8x7B, 1x L4 (24GB), 24-core Xeon 192GB",
+    ),
+    "S6": EvaluationSetting(
+        name="S6",
+        model_name="mixtral-8x22b",
+        hardware_name="2xT4",
+        description="Mixtral 8x22B, 2x T4 (32GB), 32-core Xeon 416GB",
+    ),
+    "S7": EvaluationSetting(
+        name="S7",
+        model_name="mixtral-8x22b",
+        hardware_name="4xT4",
+        description="Mixtral 8x22B, 4x T4 (64GB), 32-core Xeon 416GB",
+    ),
+    "S8": EvaluationSetting(
+        name="S8",
+        model_name="dbrx",
+        hardware_name="2xT4",
+        description="DBRX, 2x T4 (32GB), 32-core Xeon 416GB",
+    ),
+    "S9": EvaluationSetting(
+        name="S9",
+        model_name="dbrx",
+        hardware_name="4xT4",
+        description="DBRX, 4x T4 (64GB), 32-core Xeon 416GB",
+    ),
+}
+
+#: Generation lengths swept for MTBench in Fig. 7 / Fig. 8.
+MTBENCH_GENERATION_LENGTHS: tuple[int, ...] = (32, 64, 128, 256)
+
+
+def get_setting(name: str) -> EvaluationSetting:
+    """Look an evaluation setting up by its paper label (case-insensitive)."""
+    key = name.upper()
+    if key not in EVALUATION_SETTINGS:
+        known = ", ".join(sorted(EVALUATION_SETTINGS))
+        raise ConfigurationError(f"unknown setting {name!r}; known settings: {known}")
+    return EVALUATION_SETTINGS[key]
+
+
+def list_settings() -> list[str]:
+    """All setting labels in paper order."""
+    return list(EVALUATION_SETTINGS)

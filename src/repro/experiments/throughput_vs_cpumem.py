@@ -1,0 +1,153 @@
+"""Throughput vs. CPU memory (paper Fig. 1).
+
+Sweeps the host DRAM capacity with the GPU fixed and, for every capacity,
+lets each system pick its best policy and reports the resulting generation
+throughput.  The paper's claims to reproduce:
+
+* every system's throughput rises with CPU memory (larger batches amortise
+  the weight traffic) until it saturates at a bound set by GPU memory /
+  interconnect;
+* MoE-Lightning reaches that saturation throughput with 2-3x less CPU
+  memory than FlexGen-style systems, because CGOPipe wastes far less I/O;
+* FlexGen with our policy sits between the two (policy alone helps, but the
+  schedule still leaves I/O on the table).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.performance_model import EfficiencyModel
+from repro.experiments.settings import get_setting
+from repro.systems import FlexGenSystem, MoELightningSystem
+from repro.utils.errors import ReproError
+from repro.utils.units import GB
+
+
+def run_cpu_memory_sweep(
+    setting_name: str = "S1",
+    cpu_memory_gb: Sequence[float] = (112, 128, 160, 192, 256, 320, 384),
+    generation_len: int = 128,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    simulate: bool = True,
+) -> list[dict[str, object]]:
+    """Reproduce Fig. 1's throughput-vs-CPU-memory curves."""
+    setting = get_setting(setting_name)
+    model = setting.model
+    rows: list[dict[str, object]] = []
+    for memory_gb in cpu_memory_gb:
+        hardware = setting.hardware.with_cpu_memory(memory_gb * GB)
+        kwargs = {"efficiency": efficiency, "max_sim_layers": max_sim_layers}
+        systems = [
+            ("flexgen w/ their policy", FlexGenSystem(model, hardware, **kwargs)),
+            (
+                "flexgen w/ our policy",
+                FlexGenSystem(model, hardware, policy_mode="hrm", **kwargs),
+            ),
+            (
+                "moe-lightning",
+                MoELightningSystem(model, hardware, padded=True, **kwargs),
+            ),
+        ]
+        workload = setting.workload("mtbench", generation_len=generation_len)
+        for label, system in systems:
+            try:
+                result = system.run(workload, simulate=simulate)
+                throughput = result.generation_throughput
+                batch_size = result.policy.batch_size
+                error = None
+            except ReproError as exc:
+                throughput, batch_size, error = None, None, str(exc)
+            rows.append(
+                {
+                    "cpu_memory_gb": memory_gb,
+                    "system": label,
+                    "throughput": throughput,
+                    "batch_size": batch_size,
+                    "error": error,
+                }
+            )
+    return rows
+
+
+def cpu_memory_to_match(
+    rows: list[dict[str, object]],
+    reference_system: str = "flexgen w/ their policy",
+    target_system: str = "moe-lightning",
+) -> dict[str, object]:
+    """CPU memory the target system needs to match the reference's best.
+
+    This is the paper's headline Fig. 1 reading: MoE-Lightning reaches the
+    throughput FlexGen only achieves with its largest CPU memory using
+    "2-3x less CPU memory".  Returns the reference peak, the CPU memory at
+    which the reference achieves it, the smallest CPU memory at which the
+    target meets-or-exceeds it, and the resulting saving ratio.
+    """
+    reference_rows = [
+        row for row in rows if row["system"] == reference_system and row.get("throughput")
+    ]
+    target_rows = sorted(
+        (row for row in rows if row["system"] == target_system and row.get("throughput")),
+        key=lambda row: row["cpu_memory_gb"],
+    )
+    if not reference_rows or not target_rows:
+        return {}
+    reference_best = max(reference_rows, key=lambda row: row["throughput"])
+    matching = next(
+        (
+            row
+            for row in target_rows
+            if row["throughput"] >= reference_best["throughput"]
+        ),
+        None,
+    )
+    result = {
+        "reference_system": reference_system,
+        "target_system": target_system,
+        "reference_throughput": reference_best["throughput"],
+        "reference_cpu_memory_gb": reference_best["cpu_memory_gb"],
+        "target_cpu_memory_gb": None if matching is None else matching["cpu_memory_gb"],
+        "cpu_memory_saving": None,
+    }
+    if matching is not None and matching["cpu_memory_gb"]:
+        result["cpu_memory_saving"] = (
+            reference_best["cpu_memory_gb"] / matching["cpu_memory_gb"]
+        )
+    return result
+
+
+def memory_to_reach(
+    rows: list[dict[str, object]], fraction_of_peak: float = 0.95
+) -> list[dict[str, object]]:
+    """CPU memory each system needs to reach ``fraction_of_peak`` of its peak.
+
+    This quantifies the paper's "2-3x less CPU memory" headline: MoE-Lightning
+    should need substantially less DRAM than the FlexGen variants to reach
+    (nearly) the same saturated throughput.
+    """
+    by_system: dict[str, list[dict[str, object]]] = {}
+    for row in rows:
+        if row.get("throughput") is None:
+            continue
+        by_system.setdefault(str(row["system"]), []).append(row)
+    summary = []
+    for system, group in by_system.items():
+        group = sorted(group, key=lambda r: r["cpu_memory_gb"])
+        peak = max(r["throughput"] for r in group)
+        needed = next(
+            (
+                r["cpu_memory_gb"]
+                for r in group
+                if r["throughput"] >= fraction_of_peak * peak
+            ),
+            group[-1]["cpu_memory_gb"],
+        )
+        summary.append(
+            {
+                "system": system,
+                "peak_throughput": peak,
+                "cpu_memory_gb_to_reach_peak": needed,
+            }
+        )
+    return summary

@@ -1,0 +1,98 @@
+"""Tensor-parallel scaling experiments (paper Fig. 8 and the S6/S7 columns
+of Fig. 7).
+
+Fig. 8 runs DBRX with all MoE-Lightning optimisations enabled (variable
+length batching, CGOPipe, HRM) on 2x and 4x T4 nodes across MTBench
+generation lengths; the expected shape is a 2.1-2.8x throughput gain from
+doubling the GPU count for DBRX, and super-linear (>2x) scaling for the
+padded Mixtral 8x22B comparison of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.performance_model import EfficiencyModel
+from repro.experiments.settings import get_setting
+from repro.systems import MoELightningSystem
+from repro.utils.errors import ReproError
+
+
+def run_tp_scaling(
+    settings: Sequence[str] = ("S8", "S9"),
+    generation_lengths: Sequence[int] = (32, 64, 128, 256),
+    padded: bool = False,
+    efficiency: EfficiencyModel | None = None,
+    max_sim_layers: int | None = 6,
+    simulate: bool = True,
+) -> list[dict[str, object]]:
+    """Reproduce Fig. 8: MoE-Lightning throughput on 2xT4 vs. 4xT4."""
+    rows: list[dict[str, object]] = []
+    for setting_name in settings:
+        setting = get_setting(setting_name)
+        system = MoELightningSystem(
+            setting.model,
+            setting.hardware,
+            padded=padded,
+            efficiency=efficiency,
+            max_sim_layers=max_sim_layers,
+        )
+        for generation_len in generation_lengths:
+            workload = setting.workload("mtbench", generation_len=generation_len)
+            try:
+                result = system.run(workload, simulate=simulate)
+                rows.append(
+                    {
+                        "setting": setting_name,
+                        "hardware": setting.hardware_name,
+                        "model": setting.model_name,
+                        "generation_len": generation_len,
+                        "throughput": result.generation_throughput,
+                        "batch_size": result.policy.batch_size,
+                        "micro_batch_size": result.policy.micro_batch_size,
+                        "weights_gpu_ratio": result.policy.weights_gpu_ratio,
+                        "error": None,
+                    }
+                )
+            except ReproError as exc:
+                rows.append(
+                    {
+                        "setting": setting_name,
+                        "hardware": setting.hardware_name,
+                        "model": setting.model_name,
+                        "generation_len": generation_len,
+                        "throughput": None,
+                        "error": str(exc),
+                    }
+                )
+    return rows
+
+
+def scaling_factors(
+    rows: list[dict[str, object]],
+    small_setting: str = "S8",
+    large_setting: str = "S9",
+) -> list[dict[str, object]]:
+    """Per generation length: throughput ratio of the larger node to the smaller."""
+    small = {
+        row["generation_len"]: row
+        for row in rows
+        if row["setting"] == small_setting and row.get("throughput")
+    }
+    large = {
+        row["generation_len"]: row
+        for row in rows
+        if row["setting"] == large_setting and row.get("throughput")
+    }
+    factors = []
+    for generation_len in sorted(set(small) & set(large)):
+        ratio = large[generation_len]["throughput"] / small[generation_len]["throughput"]
+        factors.append(
+            {
+                "generation_len": generation_len,
+                "small_throughput": small[generation_len]["throughput"],
+                "large_throughput": large[generation_len]["throughput"],
+                "scaling_factor": ratio,
+            }
+        )
+    return factors

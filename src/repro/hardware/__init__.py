@@ -1,0 +1,41 @@
+"""Hardware specifications: GPUs, CPU hosts and CPU-GPU interconnects.
+
+This package encodes the "Hardware Configurations, H" block of Table 1 in
+the paper — GPU/CPU memory capacities, GPU/CPU/interconnect bandwidths and
+GPU/CPU peak FLOPS — together with a registry of the concrete devices used
+in the evaluation (T4, L4, A100-80G, the GCP Xeon hosts) and tensor-parallel
+group composition (§4.3).
+"""
+
+from repro.hardware.spec import CPUSpec, GPUSpec, HardwareSpec, InterconnectSpec
+from repro.hardware.registry import (
+    HARDWARE_REGISTRY,
+    a100_80g,
+    get_hardware,
+    get_gpu,
+    l4,
+    list_hardware,
+    make_hardware,
+    register_hardware,
+    t4,
+    xeon_24_core,
+    xeon_32_core,
+)
+
+__all__ = [
+    "CPUSpec",
+    "GPUSpec",
+    "HardwareSpec",
+    "InterconnectSpec",
+    "HARDWARE_REGISTRY",
+    "a100_80g",
+    "get_hardware",
+    "get_gpu",
+    "l4",
+    "list_hardware",
+    "make_hardware",
+    "register_hardware",
+    "t4",
+    "xeon_24_core",
+    "xeon_32_core",
+]

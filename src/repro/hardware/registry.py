@@ -1,0 +1,173 @@
+"""Registry of the concrete devices used in the paper's evaluation.
+
+GPU numbers come from the paper where given (Fig. 3 for the L4 instance) and
+from public spec sheets otherwise.  The CPU hosts match Table 2: a 24-core
+Intel Xeon @ 2.30/2.20 GHz with 192 GB for the single-GPU settings, and a
+32-core Xeon with 416 GB for the multi-T4 settings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hardware.spec import CPUSpec, GPUSpec, HardwareSpec, InterconnectSpec
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, TERA
+
+GPU_REGISTRY: Dict[str, Callable[[], GPUSpec]] = {}
+HARDWARE_REGISTRY: Dict[str, Callable[[], HardwareSpec]] = {}
+
+
+# ----------------------------------------------------------------------
+# GPUs
+# ----------------------------------------------------------------------
+def t4() -> GPUSpec:
+    """NVIDIA T4: 16 GB, ~300 GB/s HBM, ~65 TFLOPS fp16 tensor."""
+    return GPUSpec(
+        name="T4",
+        memory_bytes=16 * GB,
+        memory_bandwidth=300 * GB,
+        peak_flops=65 * TERA,
+    )
+
+
+def l4() -> GPUSpec:
+    """NVIDIA L4 as specified in the paper's Fig. 3: 24 GB, 300 GB/s, 242 TFLOPS."""
+    return GPUSpec(
+        name="L4",
+        memory_bytes=24 * GB,
+        memory_bandwidth=300 * GB,
+        peak_flops=242 * TERA,
+    )
+
+
+def a100_80g() -> GPUSpec:
+    """NVIDIA A100-80GB: 80 GB, ~2 TB/s HBM, ~312 TFLOPS bf16."""
+    return GPUSpec(
+        name="A100-80G",
+        memory_bytes=80 * GB,
+        memory_bandwidth=2000 * GB,
+        peak_flops=312 * TERA,
+    )
+
+
+# ----------------------------------------------------------------------
+# CPU hosts
+# ----------------------------------------------------------------------
+def xeon_24_core(memory_gb: float = 192) -> CPUSpec:
+    """24-core Intel Xeon host used in settings S1/S2 (192 GB DRAM).
+
+    Peak FLOPS follows the paper's Fig. 3 (1.3 TFLOPS) and DRAM bandwidth
+    100 GB/s.
+    """
+    return CPUSpec(
+        name="Xeon-24c",
+        memory_bytes=memory_gb * GB,
+        memory_bandwidth=100 * GB,
+        peak_flops=1.3 * TERA,
+        cores=24,
+    )
+
+
+def xeon_32_core(memory_gb: float = 416) -> CPUSpec:
+    """32-core Intel Xeon host used in settings S6-S9 (416 GB DRAM)."""
+    return CPUSpec(
+        name="Xeon-32c",
+        memory_bytes=memory_gb * GB,
+        memory_bandwidth=130 * GB,
+        peak_flops=1.7 * TERA,
+        cores=32,
+    )
+
+
+def pcie_gen3_x16() -> InterconnectSpec:
+    """PCIe 3.0 x16 link (T4 hosts): ~12 GB/s effective per direction."""
+    return InterconnectSpec(name="PCIe3x16", bandwidth=12 * GB)
+
+
+def pcie_gen4_x16() -> InterconnectSpec:
+    """PCIe 4.0 x16 link (L4/A100 hosts).
+
+    The paper's Fig. 3 reports 32 GB/s for the L4 instance; we keep that
+    number so the HRM case-study plots line up.
+    """
+    return InterconnectSpec(name="PCIe4x16", bandwidth=32 * GB)
+
+
+# ----------------------------------------------------------------------
+# Registry plumbing
+# ----------------------------------------------------------------------
+def register_gpu(name: str, factory: Callable[[], GPUSpec]) -> None:
+    """Register a GPU factory under ``name``."""
+    key = name.lower()
+    if key in GPU_REGISTRY:
+        raise ConfigurationError(f"GPU {name!r} is already registered")
+    GPU_REGISTRY[key] = factory
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Instantiate a registered GPU by name."""
+    key = name.lower()
+    if key not in GPU_REGISTRY:
+        known = ", ".join(sorted(GPU_REGISTRY))
+        raise ConfigurationError(f"unknown GPU {name!r}; known GPUs: {known}")
+    return GPU_REGISTRY[key]()
+
+
+def register_hardware(name: str, factory: Callable[[], HardwareSpec]) -> None:
+    """Register a full-node hardware factory under ``name``."""
+    key = name.lower()
+    if key in HARDWARE_REGISTRY:
+        raise ConfigurationError(f"hardware {name!r} is already registered")
+    HARDWARE_REGISTRY[key] = factory
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Instantiate a registered hardware node by name."""
+    key = name.lower()
+    if key not in HARDWARE_REGISTRY:
+        known = ", ".join(sorted(HARDWARE_REGISTRY))
+        raise ConfigurationError(f"unknown hardware {name!r}; known: {known}")
+    return HARDWARE_REGISTRY[key]()
+
+
+def list_hardware() -> list[str]:
+    """Names of all registered hardware nodes."""
+    return sorted(HARDWARE_REGISTRY)
+
+
+def make_hardware(
+    gpu: GPUSpec,
+    cpu: CPUSpec,
+    interconnect: InterconnectSpec,
+    tp_size: int = 1,
+    name: str | None = None,
+) -> HardwareSpec:
+    """Assemble a :class:`HardwareSpec` from its components."""
+    label = name or f"{tp_size}x{gpu.name}+{cpu.name}"
+    return HardwareSpec(
+        name=label, gpu=gpu, cpu=cpu, interconnect=interconnect, tp_size=tp_size
+    )
+
+
+def _node_t4(tp_size: int, cpu: CPUSpec) -> HardwareSpec:
+    return make_hardware(t4(), cpu, pcie_gen3_x16(), tp_size=tp_size)
+
+
+def _node_l4() -> HardwareSpec:
+    return make_hardware(l4(), xeon_24_core(), pcie_gen4_x16(), tp_size=1)
+
+
+def _node_a100(tp_size: int) -> HardwareSpec:
+    return make_hardware(a100_80g(), xeon_24_core(200), pcie_gen4_x16(), tp_size=tp_size)
+
+
+register_gpu("t4", t4)
+register_gpu("l4", l4)
+register_gpu("a100-80g", a100_80g)
+
+register_hardware("1xT4", lambda: _node_t4(1, xeon_24_core()))
+register_hardware("1xL4", _node_l4)
+register_hardware("2xT4", lambda: _node_t4(2, xeon_32_core()))
+register_hardware("4xT4", lambda: _node_t4(4, xeon_32_core()))
+register_hardware("2xA100-80G", lambda: _node_a100(2))

@@ -1,0 +1,173 @@
+"""Hardware specification dataclasses.
+
+:class:`HardwareSpec` bundles a GPU, a CPU host and the interconnect between
+them, exposing exactly the symbols of Table 1: ``m_g``/``m_c`` (memories),
+``b_g``/``b_c``/``b_cg`` (bandwidths) and ``p_g``/``p_c`` (peak FLOPS).
+Tensor-parallel groups are modelled per §4.3: ``tp_size`` GPUs multiply the
+aggregate GPU memory capacity and GPU memory bandwidth, while the CPU host
+and the CPU-GPU interconnect stay shared within the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU: memory capacity, HBM bandwidth and peak compute."""
+
+    name: str
+    memory_bytes: float
+    memory_bandwidth: float  # bytes / second
+    peak_flops: float  # FLOPs / second (dense fp16/bf16 tensor throughput)
+
+    def __post_init__(self) -> None:
+        require_positive("memory_bytes", self.memory_bytes)
+        require_positive("memory_bandwidth", self.memory_bandwidth)
+        require_positive("peak_flops", self.peak_flops)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU host: DRAM capacity, DRAM bandwidth and peak compute."""
+
+    name: str
+    memory_bytes: float
+    memory_bandwidth: float  # bytes / second
+    peak_flops: float  # FLOPs / second
+    cores: int = 24
+
+    def __post_init__(self) -> None:
+        require_positive("memory_bytes", self.memory_bytes)
+        require_positive("memory_bandwidth", self.memory_bandwidth)
+        require_positive("peak_flops", self.peak_flops)
+        require_positive_int("cores", self.cores)
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """The CPU-GPU link (PCIe): bandwidth per direction and latency.
+
+    ``duplex`` reflects the paper's observation that "due to independent
+    data paths, data transfers in opposite directions can happen
+    simultaneously" (§4.1); when True the HtoD and DtoH channels are
+    independent, each with ``bandwidth`` bytes/s.
+    """
+
+    name: str
+    bandwidth: float  # bytes / second, per direction
+    latency: float = 10e-6  # seconds per transfer launch
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth", self.bandwidth)
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A complete node: ``tp_size`` identical GPUs + one CPU host + PCIe.
+
+    Aggregate properties follow §4.3: with tensor parallelism the policy
+    search sees ``tp_size``-times more GPU memory capacity and bandwidth
+    (and compute), while CPU memory, CPU bandwidth and the CPU-to-GPU link
+    are shared across the node — which is precisely why the paper observes
+    FlexGen's pipeline parallelism failing to scale within one node.
+    """
+
+    name: str
+    gpu: GPUSpec
+    cpu: CPUSpec
+    interconnect: InterconnectSpec
+    tp_size: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive_int("tp_size", self.tp_size)
+
+    # -- Table 1 symbols ------------------------------------------------
+    @property
+    def gpu_memory(self) -> float:
+        """``m_g``: aggregate GPU memory in bytes across the TP group."""
+        return self.gpu.memory_bytes * self.tp_size
+
+    @property
+    def cpu_memory(self) -> float:
+        """``m_c``: CPU DRAM capacity in bytes."""
+        return self.cpu.memory_bytes
+
+    @property
+    def gpu_bandwidth(self) -> float:
+        """``b_g``: aggregate GPU HBM bandwidth in bytes/s."""
+        return self.gpu.memory_bandwidth * self.tp_size
+
+    @property
+    def cpu_bandwidth(self) -> float:
+        """``b_c``: CPU DRAM bandwidth in bytes/s."""
+        return self.cpu.memory_bandwidth
+
+    @property
+    def cpu_gpu_bandwidth(self) -> float:
+        """``b_cg``: CPU-to-GPU interconnect bandwidth in bytes/s.
+
+        Within one node the PCIe root complex is shared, so adding GPUs does
+        not add host-to-device bandwidth (paper §5.3 discussion); multi-node
+        pipeline parallelism, which would, is out of scope.
+        """
+        return self.interconnect.bandwidth
+
+    @property
+    def gpu_flops(self) -> float:
+        """``p_g``: aggregate GPU peak FLOPs/s across the TP group."""
+        return self.gpu.peak_flops * self.tp_size
+
+    @property
+    def cpu_flops(self) -> float:
+        """``p_c``: CPU peak FLOPs/s."""
+        return self.cpu.peak_flops
+
+    # -- Composition helpers --------------------------------------------
+    def with_tensor_parallel(self, tp_size: int) -> "HardwareSpec":
+        """Return a copy of this node with ``tp_size`` GPUs (§4.3)."""
+        require_positive_int("tp_size", tp_size)
+        suffix = f"{tp_size}x{self.gpu.name}"
+        return replace(self, name=f"{suffix}+{self.cpu.name}", tp_size=tp_size)
+
+    def with_cpu_memory(self, memory_bytes: float) -> "HardwareSpec":
+        """Return a copy with a different CPU DRAM capacity (Fig. 1 sweeps)."""
+        require_positive("memory_bytes", memory_bytes)
+        cpu = replace(self.cpu, memory_bytes=memory_bytes)
+        return replace(self, cpu=cpu)
+
+    def with_interconnect_bandwidth(self, bandwidth: float) -> "HardwareSpec":
+        """Return a copy with a different CPU-GPU bandwidth (Fig. 10 sweeps)."""
+        require_positive("bandwidth", bandwidth)
+        link = replace(self.interconnect, bandwidth=bandwidth)
+        return replace(self, interconnect=link)
+
+    def with_cpu_scaling(self, ratio: float) -> "HardwareSpec":
+        """Scale CPU bandwidth/FLOPs/memory by ``ratio`` (Fig. 10 sweeps)."""
+        require_positive("ratio", ratio)
+        cpu = replace(
+            self.cpu,
+            memory_bandwidth=self.cpu.memory_bandwidth * ratio,
+            peak_flops=self.cpu.peak_flops * ratio,
+            memory_bytes=self.cpu.memory_bytes * ratio,
+        )
+        return replace(self, cpu=cpu)
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports."""
+        from repro.utils.units import format_bytes
+
+        return (
+            f"{self.name}: {self.tp_size}x {self.gpu.name} "
+            f"({format_bytes(self.gpu_memory)} HBM, "
+            f"{self.gpu_flops / 1e12:.0f} TFLOPS), "
+            f"CPU {self.cpu.name} ({format_bytes(self.cpu_memory)} DRAM), "
+            f"PCIe {self.cpu_gpu_bandwidth / 1e9:.0f} GB/s"
+        )

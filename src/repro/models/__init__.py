@@ -1,0 +1,64 @@
+"""Model configurations, operator FLOP/byte accounting and memory footprints.
+
+This package encodes the "Model Configurations, M" block of Table 1 in the
+paper: number of layers, hidden sizes, attention head layout (GQA), expert
+count and routing top-k, plus the derived per-operator FLOP and byte counts
+used by the Hierarchical Roofline Model and the performance model.
+"""
+
+from repro.models.config import Attention, DataType, MLPKind, ModelConfig
+from repro.models.flops import (
+    OperatorCost,
+    attention_decode_cost,
+    attention_prefill_cost,
+    ffn_cost,
+    layer_decode_cost,
+    o_proj_cost,
+    qkv_proj_cost,
+)
+from repro.models.memory import (
+    MemoryFootprint,
+    activation_bytes,
+    kv_cache_bytes_per_token,
+    layer_weight_bytes,
+    model_weight_bytes,
+)
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    dbrx,
+    get_model,
+    list_models,
+    llama2_70b,
+    mixtral_8x22b,
+    mixtral_8x7b,
+    register_model,
+    tiny_moe,
+)
+
+__all__ = [
+    "Attention",
+    "DataType",
+    "MLPKind",
+    "ModelConfig",
+    "OperatorCost",
+    "MemoryFootprint",
+    "attention_decode_cost",
+    "attention_prefill_cost",
+    "ffn_cost",
+    "layer_decode_cost",
+    "o_proj_cost",
+    "qkv_proj_cost",
+    "activation_bytes",
+    "kv_cache_bytes_per_token",
+    "layer_weight_bytes",
+    "model_weight_bytes",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+    "register_model",
+    "mixtral_8x7b",
+    "mixtral_8x22b",
+    "dbrx",
+    "llama2_70b",
+    "tiny_moe",
+]

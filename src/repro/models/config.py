@@ -1,0 +1,193 @@
+"""Model architecture configuration.
+
+:class:`ModelConfig` captures exactly the fields the paper's performance
+model needs (Table 1, "Model Configurations, M"): layer count ``l``, model
+and intermediate hidden dimensions ``h1``/``h2``, query and key/value head
+counts ``n_q``/``n_kv``, expert count ``n_e`` and routing top-k ``k``, and
+the parameter data type.  Dense models are represented as the degenerate
+case ``n_e = k = 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import (
+    require_divides,
+    require_positive_int,
+)
+
+
+class DataType(enum.Enum):
+    """Parameter / KV-cache storage data types and their byte widths."""
+
+    FLOAT32 = ("float32", 4)
+    FLOAT16 = ("float16", 2)
+    BFLOAT16 = ("bfloat16", 2)
+    INT8 = ("int8", 1)
+    INT4 = ("int4", 0.5)
+
+    def __init__(self, label: str, num_bytes: float) -> None:
+        self.label = label
+        self.num_bytes = num_bytes
+
+    @classmethod
+    def from_label(cls, label: str) -> "DataType":
+        """Look a data type up by its string label (e.g. ``"float16"``)."""
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ConfigurationError(f"unknown data type {label!r}")
+
+
+class Attention(enum.Enum):
+    """Attention variants (all current MoE models in the paper use GQA)."""
+
+    MULTI_HEAD = "mha"
+    GROUPED_QUERY = "gqa"
+    MULTI_QUERY = "mqa"
+
+
+class MLPKind(enum.Enum):
+    """Feed-forward block variants.
+
+    ``GATED`` is the SwiGLU-style gated MLP used by Mixtral/DBRX (three
+    weight matrices per expert); ``STANDARD`` is a two-matrix MLP.
+    """
+
+    GATED = "gated"
+    STANDARD = "standard"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture description of a transformer (MoE or dense) model.
+
+    Attributes mirror the paper's notation: ``num_layers`` is ``l``,
+    ``hidden_size`` is ``h1``, ``intermediate_size`` is ``h2``, ``num_query_heads``
+    is ``n_q``, ``num_kv_heads`` is ``n_kv``, ``num_experts`` is ``n_e`` and
+    ``top_k`` is ``k``.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    num_query_heads: int
+    num_kv_heads: int
+    num_experts: int = 1
+    top_k: int = 1
+    vocab_size: int = 32_000
+    dtype: DataType = DataType.FLOAT16
+    kv_dtype: DataType | None = None
+    attention: Attention = Attention.GROUPED_QUERY
+    mlp: MLPKind = MLPKind.GATED
+    tie_embeddings: bool = False
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        require_positive_int("num_layers", self.num_layers)
+        require_positive_int("hidden_size", self.hidden_size)
+        require_positive_int("intermediate_size", self.intermediate_size)
+        require_positive_int("num_query_heads", self.num_query_heads)
+        require_positive_int("num_kv_heads", self.num_kv_heads)
+        require_positive_int("num_experts", self.num_experts)
+        require_positive_int("top_k", self.top_k)
+        require_positive_int("vocab_size", self.vocab_size)
+        require_divides("num_query_heads", self.num_kv_heads, self.num_query_heads)
+        require_divides("hidden_size", self.num_query_heads, self.hidden_size)
+        if self.top_k > self.num_experts:
+            raise ConfigurationError(
+                f"top_k ({self.top_k}) cannot exceed num_experts ({self.num_experts})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived architectural quantities
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Dimension of a single attention head."""
+        return self.hidden_size // self.num_query_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total width of the key (or value) projection output."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def gqa_group_size(self) -> int:
+        """Number of query heads sharing one KV head."""
+        return self.num_query_heads // self.num_kv_heads
+
+    @property
+    def is_moe(self) -> bool:
+        """True when the FFN is a mixture of experts (more than one expert)."""
+        return self.num_experts > 1
+
+    @property
+    def kv_cache_dtype(self) -> DataType:
+        """Data type used for the KV cache (defaults to the weight dtype)."""
+        return self.kv_dtype if self.kv_dtype is not None else self.dtype
+
+    @property
+    def ffn_matrices_per_expert(self) -> int:
+        """Weight matrices in one expert FFN (3 for gated/SwiGLU, 2 otherwise)."""
+        return 3 if self.mlp is MLPKind.GATED else 2
+
+    # ------------------------------------------------------------------
+    # Parameter counts (per layer and total), in number of elements
+    # ------------------------------------------------------------------
+    def attention_params_per_layer(self) -> int:
+        """Q, K, V and O projection parameters for one layer."""
+        q_params = self.hidden_size * self.hidden_size
+        kv_params = 2 * self.hidden_size * self.kv_dim
+        o_params = self.hidden_size * self.hidden_size
+        return q_params + kv_params + o_params
+
+    def expert_params(self) -> int:
+        """Parameters of a single expert FFN."""
+        return self.ffn_matrices_per_expert * self.hidden_size * self.intermediate_size
+
+    def ffn_params_per_layer(self) -> int:
+        """All expert parameters plus the router for one layer."""
+        router = self.hidden_size * self.num_experts if self.is_moe else 0
+        return self.num_experts * self.expert_params() + router
+
+    def params_per_layer(self) -> int:
+        """Total parameters in one transformer layer (attention + MoE FFN + norms)."""
+        norms = 2 * self.hidden_size
+        return self.attention_params_per_layer() + self.ffn_params_per_layer() + norms
+
+    def embedding_params(self) -> int:
+        """Token-embedding (and untied LM-head) parameters."""
+        embed = self.vocab_size * self.hidden_size
+        return embed if self.tie_embeddings else 2 * embed
+
+    def total_params(self) -> int:
+        """Total parameter count of the model."""
+        final_norm = self.hidden_size
+        return (
+            self.num_layers * self.params_per_layer()
+            + self.embedding_params()
+            + final_norm
+        )
+
+    def active_params_per_token(self) -> int:
+        """Parameters touched when processing one token (top-k experts only)."""
+        router = self.hidden_size * self.num_experts if self.is_moe else 0
+        active_ffn = self.top_k * self.expert_params() + router
+        per_layer = self.attention_params_per_layer() + active_ffn + 2 * self.hidden_size
+        return self.num_layers * per_layer + self.embedding_params() + self.hidden_size
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used by reports."""
+        total_b = self.total_params() / 1e9
+        active_b = self.active_params_per_token() / 1e9
+        return (
+            f"{self.name}: {self.num_layers}L, h={self.hidden_size}, "
+            f"ffn={self.intermediate_size}, heads={self.num_query_heads}/"
+            f"{self.num_kv_heads}, experts={self.num_experts} (top-{self.top_k}), "
+            f"{total_b:.1f}B params ({active_b:.1f}B active)"
+        )

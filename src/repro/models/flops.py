@@ -1,0 +1,269 @@
+"""Per-operator FLOP and byte accounting.
+
+The Hierarchical Roofline Model and the performance model (paper §3-§4.2)
+are driven by two numbers per operator: how many floating-point operations
+it performs and how many bytes it must move from a given memory level.  This
+module computes those numbers analytically from the model configuration,
+mirroring the paper's approach of using "theoretically calculated computation
+flops and bytes" rather than profiled kernels.
+
+Conventions
+-----------
+* A matrix multiply of shapes ``(m, k) x (k, n)`` counts ``2 * m * k * n``
+  FLOPs.
+* ``tokens`` is the number of tokens processed by the operator call
+  (micro-batch size during decode, ``micro_batch * prompt_len`` in prefill).
+* Byte counts separate **weight bytes** (parameters that must be resident or
+  streamed), **activation bytes** (inputs/outputs of the operator) and
+  **kv bytes** (KV-cache traffic), so callers can decide which of them cross
+  the CPU-GPU interconnect under a given policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """FLOPs and categorised byte traffic for one operator invocation."""
+
+    name: str
+    flops: float
+    weight_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    kv_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("flops", self.flops)
+        require_non_negative("weight_bytes", self.weight_bytes)
+        require_non_negative("activation_bytes", self.activation_bytes)
+        require_non_negative("kv_bytes", self.kv_bytes)
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes the operator touches, regardless of category."""
+        return self.weight_bytes + self.activation_bytes + self.kv_bytes
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte accessed (the roofline x-axis)."""
+        total = self.total_bytes
+        return self.flops / total if total > 0 else float("inf")
+
+    def intensity_excluding_weights(self) -> float:
+        """Operational intensity counting only activation + KV traffic."""
+        data = self.activation_bytes + self.kv_bytes
+        return self.flops / data if data > 0 else float("inf")
+
+    def combine(self, other: "OperatorCost", name: str | None = None) -> "OperatorCost":
+        """Sum two operator costs (e.g. QKV projection + attention core)."""
+        return OperatorCost(
+            name=name or f"{self.name}+{other.name}",
+            flops=self.flops + other.flops,
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            activation_bytes=self.activation_bytes + other.activation_bytes,
+            kv_bytes=self.kv_bytes + other.kv_bytes,
+        )
+
+    def scaled(self, factor: float, name: str | None = None) -> "OperatorCost":
+        """Multiply every component by ``factor`` (e.g. layers per model)."""
+        require_non_negative("factor", factor)
+        return OperatorCost(
+            name=name or self.name,
+            flops=self.flops * factor,
+            weight_bytes=self.weight_bytes * factor,
+            activation_bytes=self.activation_bytes * factor,
+            kv_bytes=self.kv_bytes * factor,
+        )
+
+
+# ----------------------------------------------------------------------
+# Attention block
+# ----------------------------------------------------------------------
+def qkv_proj_cost(model: ModelConfig, tokens: int) -> OperatorCost:
+    """Q, K and V projections for ``tokens`` tokens of one layer."""
+    require_positive_int("tokens", tokens)
+    h = model.hidden_size
+    kv = model.kv_dim
+    weight_elems = h * h + 2 * h * kv
+    flops = 2.0 * tokens * weight_elems
+    dtype_bytes = model.dtype.num_bytes
+    act_bytes = tokens * (h + h + 2 * kv) * dtype_bytes
+    return OperatorCost(
+        name="qkv_proj",
+        flops=flops,
+        weight_bytes=weight_elems * dtype_bytes,
+        activation_bytes=act_bytes,
+    )
+
+
+def o_proj_cost(model: ModelConfig, tokens: int) -> OperatorCost:
+    """Output projection after attention for ``tokens`` tokens of one layer."""
+    require_positive_int("tokens", tokens)
+    h = model.hidden_size
+    dtype_bytes = model.dtype.num_bytes
+    return OperatorCost(
+        name="o_proj",
+        flops=2.0 * tokens * h * h,
+        weight_bytes=h * h * dtype_bytes,
+        activation_bytes=2 * tokens * h * dtype_bytes,
+    )
+
+
+def attention_decode_cost(
+    model: ModelConfig, batch: int, context_len: int
+) -> OperatorCost:
+    """Attention core (QK^T, softmax, PV) for one decode step of one layer.
+
+    Each of the ``batch`` sequences attends over ``context_len`` cached
+    tokens.  The dominant byte traffic is reading the KV cache; with GQA the
+    cache holds ``n_kv`` heads while the computation uses ``n_q`` query
+    heads, which is exactly the effect that moves the operator's intensity
+    in Fig. 4.
+    """
+    require_positive_int("batch", batch)
+    require_positive_int("context_len", context_len)
+    head_dim = model.head_dim
+    # QK^T and PV each cost 2 * n_q * head_dim * context per token.
+    flops_per_token = 2 * 2.0 * model.num_query_heads * head_dim * context_len
+    # Softmax: ~5 ops per score (max, sub, exp, sum, div), negligible but counted.
+    flops_per_token += 5.0 * model.num_query_heads * context_len
+    kv_dtype_bytes = model.kv_cache_dtype.num_bytes
+    kv_bytes = batch * 2.0 * model.num_kv_heads * head_dim * context_len * kv_dtype_bytes
+    act_dtype_bytes = model.dtype.num_bytes
+    act_bytes = batch * (2 * model.hidden_size + 2 * model.kv_dim) * act_dtype_bytes
+    return OperatorCost(
+        name="attention_decode",
+        flops=batch * flops_per_token,
+        kv_bytes=kv_bytes,
+        activation_bytes=act_bytes,
+    )
+
+
+def attention_prefill_cost(
+    model: ModelConfig, batch: int, prompt_len: int
+) -> OperatorCost:
+    """Attention core for the prefill of ``batch`` prompts of ``prompt_len``.
+
+    Uses the causal-mask average: each position attends to ``(i + 1)``
+    previous positions, i.e. roughly ``prompt_len / 2`` on average.
+    """
+    require_positive_int("batch", batch)
+    require_positive_int("prompt_len", prompt_len)
+    head_dim = model.head_dim
+    avg_context = (prompt_len + 1) / 2.0
+    flops = (
+        batch
+        * prompt_len
+        * 2
+        * 2.0
+        * model.num_query_heads
+        * head_dim
+        * avg_context
+    )
+    kv_dtype_bytes = model.kv_cache_dtype.num_bytes
+    kv_bytes = batch * 2.0 * model.num_kv_heads * head_dim * prompt_len * kv_dtype_bytes
+    act_bytes = batch * prompt_len * 2 * model.hidden_size * model.dtype.num_bytes
+    return OperatorCost(
+        name="attention_prefill",
+        flops=flops,
+        kv_bytes=kv_bytes,
+        activation_bytes=act_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# MoE feed-forward block
+# ----------------------------------------------------------------------
+def router_cost(model: ModelConfig, tokens: int) -> OperatorCost:
+    """Gating network (a single linear layer over experts) for one layer."""
+    require_positive_int("tokens", tokens)
+    if not model.is_moe:
+        return OperatorCost(name="router", flops=0.0)
+    dtype_bytes = model.dtype.num_bytes
+    return OperatorCost(
+        name="router",
+        flops=2.0 * tokens * model.hidden_size * model.num_experts,
+        weight_bytes=model.hidden_size * model.num_experts * dtype_bytes,
+        activation_bytes=tokens * (model.hidden_size + model.num_experts) * dtype_bytes,
+    )
+
+
+def ffn_cost(
+    model: ModelConfig,
+    tokens: int,
+    experts_touched: int | None = None,
+) -> OperatorCost:
+    """MoE feed-forward block for ``tokens`` tokens of one layer.
+
+    FLOPs scale with the number of (token, expert) pairs — ``tokens * top_k``
+    — while weight bytes scale with the number of *distinct* experts whose
+    weights must be read.  For throughput-oriented batches the paper assumes
+    all experts are touched once the micro-batch is reasonably large, which
+    ``experts_touched=None`` reproduces via a balls-in-bins expectation
+    capped at ``num_experts``.
+    """
+    require_positive_int("tokens", tokens)
+    expert_params = model.expert_params()
+    flops = 2.0 * tokens * model.top_k * expert_params
+    if experts_touched is None:
+        # Expected number of non-empty experts with uniform routing.
+        assignments = tokens * model.top_k
+        n_e = model.num_experts
+        expected = n_e * (1.0 - (1.0 - 1.0 / n_e) ** assignments)
+        experts_touched = min(n_e, expected)
+    dtype_bytes = model.dtype.num_bytes
+    weight_bytes = experts_touched * expert_params * dtype_bytes
+    act_bytes = tokens * (2 * model.hidden_size) * dtype_bytes
+    base = OperatorCost(
+        name="moe_ffn",
+        flops=flops,
+        weight_bytes=weight_bytes,
+        activation_bytes=act_bytes,
+    )
+    return base.combine(router_cost(model, tokens), name="moe_ffn")
+
+
+def layer_norm_cost(model: ModelConfig, tokens: int) -> OperatorCost:
+    """Two RMS/LayerNorms per layer (pre-attention and pre-FFN)."""
+    require_positive_int("tokens", tokens)
+    dtype_bytes = model.dtype.num_bytes
+    return OperatorCost(
+        name="layer_norm",
+        flops=2 * 5.0 * tokens * model.hidden_size,
+        weight_bytes=2 * model.hidden_size * dtype_bytes,
+        activation_bytes=2 * 2 * tokens * model.hidden_size * dtype_bytes,
+    )
+
+
+def lm_head_cost(model: ModelConfig, tokens: int) -> OperatorCost:
+    """Final projection to vocabulary logits."""
+    require_positive_int("tokens", tokens)
+    dtype_bytes = model.dtype.num_bytes
+    return OperatorCost(
+        name="lm_head",
+        flops=2.0 * tokens * model.hidden_size * model.vocab_size,
+        weight_bytes=model.hidden_size * model.vocab_size * dtype_bytes,
+        activation_bytes=tokens * (model.hidden_size + model.vocab_size) * dtype_bytes,
+    )
+
+
+def layer_decode_cost(
+    model: ModelConfig, batch: int, context_len: int
+) -> dict[str, OperatorCost]:
+    """All operator costs for one decode step of one transformer layer.
+
+    Returns a dict keyed by the task names used by the pipeline schedules:
+    ``pre_attn`` (layer norm + QKV projection), ``attention`` (the softmax
+    part that may run on CPU), ``post_attn`` (O projection + MoE FFN).
+    """
+    pre = layer_norm_cost(model, batch).combine(
+        qkv_proj_cost(model, batch), name="pre_attn"
+    )
+    attn = attention_decode_cost(model, batch, context_len)
+    post = o_proj_cost(model, batch).combine(ffn_cost(model, batch), name="post_attn")
+    return {"pre_attn": pre, "attention": attn, "post_attn": post}

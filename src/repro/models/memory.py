@@ -1,0 +1,118 @@
+"""Memory footprint accounting: weights, KV cache and activations.
+
+The policy optimizer (paper §4.2) needs to know, for a candidate policy
+``(N, μ, A_g, F_g, r_w, r_c)``, how much GPU and CPU memory the run will
+consume.  This module provides the building blocks: per-layer and total
+weight bytes, KV-cache bytes per token, and peak activation bytes for a
+micro-batch during prefill and decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+def layer_weight_bytes(model: ModelConfig) -> float:
+    """Bytes of parameters in one transformer layer."""
+    return model.params_per_layer() * model.dtype.num_bytes
+
+
+def attention_weight_bytes(model: ModelConfig) -> float:
+    """Bytes of the attention (QKVO) weights in one layer."""
+    return model.attention_params_per_layer() * model.dtype.num_bytes
+
+
+def ffn_weight_bytes(model: ModelConfig) -> float:
+    """Bytes of the MoE FFN (all experts + router) weights in one layer."""
+    return model.ffn_params_per_layer() * model.dtype.num_bytes
+
+
+def embedding_weight_bytes(model: ModelConfig) -> float:
+    """Bytes of the embedding and LM-head parameters."""
+    return model.embedding_params() * model.dtype.num_bytes
+
+
+def model_weight_bytes(model: ModelConfig) -> float:
+    """Total bytes of all model parameters."""
+    return model.total_params() * model.dtype.num_bytes
+
+
+def kv_cache_bytes_per_token(model: ModelConfig) -> float:
+    """KV-cache bytes added by one token across all layers."""
+    per_layer = 2 * model.kv_dim * model.kv_cache_dtype.num_bytes
+    return per_layer * model.num_layers
+
+
+def kv_cache_bytes_per_token_per_layer(model: ModelConfig) -> float:
+    """KV-cache bytes added by one token in a single layer."""
+    return 2 * model.kv_dim * model.kv_cache_dtype.num_bytes
+
+
+def activation_bytes(model: ModelConfig, tokens: int) -> float:
+    """Peak activation bytes for processing ``tokens`` tokens in one layer.
+
+    Counts the hidden states, the QKV projections and the widest expert
+    intermediate activations that are live simultaneously.  This is what
+    bounds the micro-batch size during prefill (where ``tokens`` is
+    ``micro_batch * prompt_len``).
+    """
+    require_positive_int("tokens", tokens)
+    dtype_bytes = model.dtype.num_bytes
+    hidden = 2 * tokens * model.hidden_size  # input + residual copy
+    qkv = tokens * (model.hidden_size + 2 * model.kv_dim)
+    ffn_intermediate = tokens * model.top_k * 2 * model.intermediate_size
+    return (hidden + qkv + ffn_intermediate) * dtype_bytes
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """A breakdown of bytes by category, for one device.
+
+    ``weights``: resident model parameters.
+    ``kv_cache``: key/value tensors for all tracked tokens.
+    ``activations``: peak temporary tensors of the widest live micro-batch.
+    ``workspace``: transfer buffers (paged-weight double buffer, pinned
+    staging) and allocator slack.
+    """
+
+    weights: float = 0.0
+    kv_cache: float = 0.0
+    activations: float = 0.0
+    workspace: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("weights", self.weights)
+        require_non_negative("kv_cache", self.kv_cache)
+        require_non_negative("activations", self.activations)
+        require_non_negative("workspace", self.workspace)
+
+    @property
+    def total(self) -> float:
+        """Total bytes across all categories."""
+        return self.weights + self.kv_cache + self.activations + self.workspace
+
+    def fits_within(self, capacity_bytes: float) -> bool:
+        """Whether the footprint fits in ``capacity_bytes`` of memory."""
+        return self.total <= capacity_bytes
+
+    def combine(self, other: "MemoryFootprint") -> "MemoryFootprint":
+        """Element-wise sum of two footprints (e.g. two co-resident stages)."""
+        return MemoryFootprint(
+            weights=self.weights + other.weights,
+            kv_cache=self.kv_cache + other.kv_cache,
+            activations=self.activations + other.activations,
+            workspace=self.workspace + other.workspace,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary view used by reports."""
+        return {
+            "weights": self.weights,
+            "kv_cache": self.kv_cache,
+            "activations": self.activations,
+            "workspace": self.workspace,
+            "total": self.total,
+        }

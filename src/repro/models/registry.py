@@ -1,0 +1,141 @@
+"""Registry of the model configurations evaluated in the paper.
+
+The paper evaluates Mixtral 8x7B, Mixtral 8x22B and DBRX (132B, 16 experts).
+We also register a dense Llama-2-70B configuration (used by the "MoE vs.
+dense" discussion in Appendix B.1) and a ``tiny-moe`` configuration small
+enough to run through the functional numpy engine in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.config import Attention, DataType, MLPKind, ModelConfig
+from repro.utils.errors import ConfigurationError
+
+MODEL_REGISTRY: Dict[str, Callable[[], ModelConfig]] = {}
+
+
+def register_model(name: str, factory: Callable[[], ModelConfig]) -> None:
+    """Register a model factory under ``name`` (case-insensitive lookup)."""
+    key = name.lower()
+    if key in MODEL_REGISTRY:
+        raise ConfigurationError(f"model {name!r} is already registered")
+    MODEL_REGISTRY[key] = factory
+
+
+def get_model(name: str) -> ModelConfig:
+    """Instantiate a registered model configuration by name."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise ConfigurationError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_REGISTRY[key]()
+
+
+def list_models() -> list[str]:
+    """Names of all registered models, sorted alphabetically."""
+    return sorted(MODEL_REGISTRY)
+
+
+def mixtral_8x7b(dtype: DataType = DataType.FLOAT16) -> ModelConfig:
+    """Mixtral 8x7B: 32 layers, 8 experts with top-2 routing, GQA 32/8."""
+    return ModelConfig(
+        name="mixtral-8x7b",
+        num_layers=32,
+        hidden_size=4096,
+        intermediate_size=14336,
+        num_query_heads=32,
+        num_kv_heads=8,
+        num_experts=8,
+        top_k=2,
+        vocab_size=32_000,
+        dtype=dtype,
+        attention=Attention.GROUPED_QUERY,
+        mlp=MLPKind.GATED,
+    )
+
+
+def mixtral_8x22b(dtype: DataType = DataType.FLOAT16) -> ModelConfig:
+    """Mixtral 8x22B: 56 layers, 8 experts with top-2 routing, GQA 48/8."""
+    return ModelConfig(
+        name="mixtral-8x22b",
+        num_layers=56,
+        hidden_size=6144,
+        intermediate_size=16384,
+        num_query_heads=48,
+        num_kv_heads=8,
+        num_experts=8,
+        top_k=2,
+        vocab_size=32_768,
+        dtype=dtype,
+        attention=Attention.GROUPED_QUERY,
+        mlp=MLPKind.GATED,
+    )
+
+
+def dbrx(dtype: DataType = DataType.FLOAT16) -> ModelConfig:
+    """DBRX: 132B total parameters, 40 layers, 16 experts with top-4 routing."""
+    return ModelConfig(
+        name="dbrx",
+        num_layers=40,
+        hidden_size=6144,
+        intermediate_size=10752,
+        num_query_heads=48,
+        num_kv_heads=8,
+        num_experts=16,
+        top_k=4,
+        vocab_size=100_352,
+        dtype=dtype,
+        attention=Attention.GROUPED_QUERY,
+        mlp=MLPKind.GATED,
+    )
+
+
+def llama2_70b(dtype: DataType = DataType.FLOAT16) -> ModelConfig:
+    """Dense Llama-2-70B, used for the MoE-vs-dense discussion (Appendix B.1)."""
+    return ModelConfig(
+        name="llama2-70b",
+        num_layers=80,
+        hidden_size=8192,
+        intermediate_size=28672,
+        num_query_heads=64,
+        num_kv_heads=8,
+        num_experts=1,
+        top_k=1,
+        vocab_size=32_000,
+        dtype=dtype,
+        attention=Attention.GROUPED_QUERY,
+        mlp=MLPKind.GATED,
+    )
+
+
+def tiny_moe(dtype: DataType = DataType.FLOAT32) -> ModelConfig:
+    """A miniature Mixtral-shaped model for the functional numpy engine.
+
+    Four layers, 64-wide hidden dimension, four experts with top-2 routing
+    and GQA 8/2 — the same architectural features as Mixtral at a size that
+    executes in milliseconds, so correctness tests can compare pipelined
+    against reference execution exactly.
+    """
+    return ModelConfig(
+        name="tiny-moe",
+        num_layers=4,
+        hidden_size=64,
+        intermediate_size=128,
+        num_query_heads=8,
+        num_kv_heads=2,
+        num_experts=4,
+        top_k=2,
+        vocab_size=512,
+        dtype=dtype,
+        attention=Attention.GROUPED_QUERY,
+        mlp=MLPKind.GATED,
+    )
+
+
+register_model("mixtral-8x7b", mixtral_8x7b)
+register_model("mixtral-8x22b", mixtral_8x22b)
+register_model("dbrx", dbrx)
+register_model("llama2-70b", llama2_70b)
+register_model("tiny-moe", tiny_moe)

@@ -1,0 +1,217 @@
+"""Task-duration model shared by every pipeline schedule.
+
+Schedules describe *ordering*; this module supplies the durations of the
+individual tasks they order, derived from the same analytical operator
+costs and derated hardware peaks as the policy optimizer's performance
+model.  Keeping one cost source for both the optimizer and the simulator is
+deliberate: the paper argues relative policy quality is what the model must
+predict, so all systems are simulated with identical task costs and differ
+only in how their schedules arrange those tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.performance_model import EfficiencyModel
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.flops import (
+    attention_decode_cost,
+    attention_prefill_cost,
+    ffn_cost,
+    layer_norm_cost,
+    lm_head_cost,
+    o_proj_cost,
+    qkv_proj_cost,
+)
+from repro.models.memory import (
+    attention_weight_bytes,
+    kv_cache_bytes_per_token_per_layer,
+    layer_weight_bytes,
+)
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+@dataclass(frozen=True)
+class TaskCostModel:
+    """Durations (seconds) of the individual pipeline tasks."""
+
+    model: ModelConfig
+    hardware: HardwareSpec
+    efficiency: EfficiencyModel = field(default_factory=EfficiencyModel)
+
+    # ------------------------------------------------------------------
+    # Effective rates
+    # ------------------------------------------------------------------
+    @property
+    def gpu_flops(self) -> float:
+        """Derated GPU FLOPs/s."""
+        return self.hardware.gpu_flops * self.efficiency.gpu_compute
+
+    @property
+    def gpu_bandwidth(self) -> float:
+        """Derated GPU HBM bandwidth."""
+        return self.hardware.gpu_bandwidth * self.efficiency.gpu_memory
+
+    @property
+    def cpu_flops(self) -> float:
+        """Derated CPU FLOPs/s."""
+        return self.hardware.cpu_flops * self.efficiency.cpu_compute
+
+    @property
+    def cpu_bandwidth(self) -> float:
+        """Derated CPU DRAM bandwidth."""
+        return self.hardware.cpu_bandwidth * self.efficiency.cpu_memory
+
+    @property
+    def interconnect_bandwidth(self) -> float:
+        """Derated PCIe bandwidth per direction."""
+        return self.hardware.cpu_gpu_bandwidth * self.efficiency.interconnect
+
+    @property
+    def transfer_latency(self) -> float:
+        """Fixed launch latency per DMA transfer."""
+        return self.hardware.interconnect.latency
+
+    # ------------------------------------------------------------------
+    # Primitive timings
+    # ------------------------------------------------------------------
+    def _gpu_time(self, flops: float, local_bytes: float) -> float:
+        return max(flops / self.gpu_flops, local_bytes / self.gpu_bandwidth)
+
+    def _cpu_time(self, flops: float, local_bytes: float) -> float:
+        return max(flops / self.cpu_flops, local_bytes / self.cpu_bandwidth)
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Duration of one DMA transfer of ``num_bytes``."""
+        require_non_negative("num_bytes", num_bytes)
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.interconnect_bandwidth + self.transfer_latency
+
+    # ------------------------------------------------------------------
+    # Decode-stage compute tasks (per micro-batch, per layer)
+    # ------------------------------------------------------------------
+    def pre_attention(self, micro_batch: int) -> float:
+        """Layer norm + QKV projection on the GPU."""
+        require_positive_int("micro_batch", micro_batch)
+        cost = layer_norm_cost(self.model, micro_batch).combine(
+            qkv_proj_cost(self.model, micro_batch)
+        )
+        return self._gpu_time(cost.flops, cost.total_bytes)
+
+    def post_attention(self, micro_batch: int, ffn_on_gpu: bool = True) -> float:
+        """O projection (plus the MoE FFN when it runs on the GPU)."""
+        require_positive_int("micro_batch", micro_batch)
+        cost = o_proj_cost(self.model, micro_batch)
+        if ffn_on_gpu:
+            cost = cost.combine(ffn_cost(self.model, micro_batch))
+        return self._gpu_time(cost.flops, cost.total_bytes)
+
+    def cpu_attention(self, micro_batch: int, context_len: int) -> float:
+        """Grouped-query attention core executed on the CPU."""
+        cost = attention_decode_cost(self.model, micro_batch, context_len)
+        return self._cpu_time(cost.flops, cost.total_bytes)
+
+    def gpu_attention(self, micro_batch: int, context_len: int) -> float:
+        """Attention core executed on the GPU over HBM-resident KV."""
+        cost = attention_decode_cost(self.model, micro_batch, context_len)
+        return self._gpu_time(cost.flops, cost.total_bytes)
+
+    def cpu_ffn(self, micro_batch: int) -> float:
+        """MoE FFN executed on the CPU (latency-oriented corner)."""
+        cost = ffn_cost(self.model, micro_batch)
+        return self._cpu_time(cost.flops, cost.total_bytes)
+
+    def sample(self, batch_size: int) -> float:
+        """LM head plus sampling for one decode step of the whole batch."""
+        cost = lm_head_cost(self.model, batch_size)
+        return self._gpu_time(cost.flops, cost.total_bytes)
+
+    # ------------------------------------------------------------------
+    # Transfer tasks
+    # ------------------------------------------------------------------
+    def weight_page_transfer(self, policy: Policy) -> float:
+        """One paged weight transfer (streamed layer bytes / pages-per-layer)."""
+        return self.transfer_time(self.streamed_layer_bytes(policy) / max(1, policy.num_micro_batches))
+
+    def weight_layer_transfer(self, policy: Policy) -> float:
+        """A whole layer's streamed weights moved as one monolithic transfer."""
+        return self.transfer_time(self.streamed_layer_bytes(policy))
+
+    def streamed_layer_bytes(self, policy: Policy) -> float:
+        """Bytes of one layer's weights streamed from the CPU."""
+        per_layer = layer_weight_bytes(self.model)
+        if not policy.ffn_on_gpu:
+            per_layer = attention_weight_bytes(self.model)
+        return policy.weights_cpu_ratio * per_layer
+
+    def qkv_offload(self, micro_batch: int) -> float:
+        """Q + new K/V moved GPU -> CPU for CPU attention (D1)."""
+        require_positive_int("micro_batch", micro_batch)
+        num_bytes = (
+            micro_batch
+            * (self.model.hidden_size + 2 * self.model.kv_dim)
+            * self.model.dtype.num_bytes
+        )
+        return self.transfer_time(num_bytes)
+
+    def hidden_load(self, micro_batch: int) -> float:
+        """Attention-output hidden states moved CPU -> GPU (D2)."""
+        require_positive_int("micro_batch", micro_batch)
+        num_bytes = micro_batch * self.model.hidden_size * self.model.dtype.num_bytes
+        return self.transfer_time(num_bytes)
+
+    def hidden_offload(self, micro_batch: int) -> float:
+        """Hidden states moved GPU -> CPU (CPU-FFN corner)."""
+        return self.hidden_load(micro_batch)
+
+    def kv_transfer(self, micro_batch: int, context_len: int, cpu_ratio: float = 1.0) -> float:
+        """A micro-batch's KV cache moved CPU -> GPU for GPU attention (D4)."""
+        require_positive_int("micro_batch", micro_batch)
+        require_positive_int("context_len", context_len)
+        num_bytes = (
+            cpu_ratio
+            * micro_batch
+            * context_len
+            * kv_cache_bytes_per_token_per_layer(self.model)
+        )
+        return self.transfer_time(num_bytes)
+
+    def kv_offload(self, micro_batch: int, num_tokens: int = 1) -> float:
+        """Freshly produced K/V moved GPU -> CPU after attention."""
+        require_positive_int("micro_batch", micro_batch)
+        require_positive_int("num_tokens", num_tokens)
+        num_bytes = (
+            micro_batch
+            * num_tokens
+            * kv_cache_bytes_per_token_per_layer(self.model)
+        )
+        return self.transfer_time(num_bytes)
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def prefill_layer(self, micro_batch: int, prompt_len: int) -> float:
+        """GPU compute time of one layer's prefill for one micro-batch."""
+        require_positive_int("micro_batch", micro_batch)
+        require_positive_int("prompt_len", prompt_len)
+        tokens = micro_batch * prompt_len
+        cost = (
+            layer_norm_cost(self.model, tokens)
+            .combine(qkv_proj_cost(self.model, tokens))
+            .combine(attention_prefill_cost(self.model, micro_batch, prompt_len))
+            .combine(o_proj_cost(self.model, tokens))
+            .combine(ffn_cost(self.model, tokens))
+        )
+        return self._gpu_time(cost.flops, cost.total_bytes)
+
+    def prefill_kv_offload(self, micro_batch: int, prompt_len: int) -> float:
+        """Prompt KV for one micro-batch of one layer moved GPU -> CPU."""
+        return self.transfer_time(
+            micro_batch
+            * prompt_len
+            * kv_cache_bytes_per_token_per_layer(self.model)
+        )

@@ -1,0 +1,153 @@
+"""Paged KV cache split across CPU and GPU memory pools.
+
+Each sequence owns a block table mapping logical KV blocks (a fixed number
+of token positions per layer) to physical pages in either the CPU or the GPU
+pool, following the policy's ``r_c`` split.  The functional engine uses the
+manager to track real tensors; the simulated systems use it for capacity
+accounting and to size KV-transfer tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import ModelConfig
+from repro.models.memory import kv_cache_bytes_per_token_per_layer
+from repro.runtime.memory_manager import MemoryPool, PagedAllocation
+from repro.utils.errors import MemoryManagerError
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+@dataclass
+class SequenceCache:
+    """KV bookkeeping for one sequence: its length and page allocations."""
+
+    sequence_id: int
+    num_tokens: int = 0
+    cpu_allocations: list[PagedAllocation] = field(default_factory=list)
+    gpu_allocations: list[PagedAllocation] = field(default_factory=list)
+
+    @property
+    def cpu_bytes(self) -> float:
+        """Bytes of this sequence's cache held in CPU memory."""
+        return sum(allocation.total_bytes for allocation in self.cpu_allocations)
+
+    @property
+    def gpu_bytes(self) -> float:
+        """Bytes of this sequence's cache held in GPU memory."""
+        return sum(allocation.total_bytes for allocation in self.gpu_allocations)
+
+
+class KVCacheManager:
+    """Allocates and tracks the paged KV cache for a batch of sequences."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cpu_pool: MemoryPool,
+        gpu_pool: MemoryPool | None = None,
+        gpu_ratio: float = 0.0,
+        block_tokens: int = 16,
+    ) -> None:
+        require_non_negative("gpu_ratio", gpu_ratio)
+        require_positive_int("block_tokens", block_tokens)
+        if gpu_ratio > 0 and gpu_pool is None:
+            raise MemoryManagerError(
+                "gpu_ratio > 0 requires a GPU memory pool for the KV cache"
+            )
+        self.model = model
+        self.cpu_pool = cpu_pool
+        self.gpu_pool = gpu_pool
+        self.gpu_ratio = min(1.0, gpu_ratio)
+        self.block_tokens = block_tokens
+        self.sequences: dict[int, SequenceCache] = {}
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def bytes_per_token(self) -> float:
+        """KV bytes per token across all layers."""
+        return kv_cache_bytes_per_token_per_layer(self.model) * self.model.num_layers
+
+    def bytes_for_tokens(self, num_tokens: int) -> float:
+        """KV bytes for ``num_tokens`` tokens across all layers."""
+        require_non_negative("num_tokens", num_tokens)
+        return num_tokens * self.bytes_per_token()
+
+    # ------------------------------------------------------------------
+    # Sequence lifecycle
+    # ------------------------------------------------------------------
+    def register_sequence(self, sequence_id: int, prompt_tokens: int) -> SequenceCache:
+        """Create bookkeeping for a sequence and allocate its prompt cache."""
+        require_positive_int("prompt_tokens", prompt_tokens)
+        if sequence_id in self.sequences:
+            raise MemoryManagerError(f"sequence {sequence_id} already registered")
+        cache = SequenceCache(sequence_id=sequence_id)
+        self.sequences[sequence_id] = cache
+        self.append_tokens(sequence_id, prompt_tokens)
+        return cache
+
+    def append_tokens(self, sequence_id: int, num_tokens: int) -> None:
+        """Grow a sequence's cache by ``num_tokens`` decode/prefill tokens."""
+        require_positive_int("num_tokens", num_tokens)
+        cache = self._get(sequence_id)
+        total_bytes = self.bytes_for_tokens(num_tokens)
+        gpu_bytes = total_bytes * self.gpu_ratio
+        cpu_bytes = total_bytes - gpu_bytes
+        if cpu_bytes > 0:
+            cache.cpu_allocations.append(self.cpu_pool.allocate(cpu_bytes))
+        if gpu_bytes > 0:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            cache.gpu_allocations.append(self.gpu_pool.allocate(gpu_bytes))
+        cache.num_tokens += num_tokens
+
+    def release_sequence(self, sequence_id: int) -> None:
+        """Free every page owned by a finished sequence."""
+        cache = self._get(sequence_id)
+        for allocation in cache.cpu_allocations:
+            self.cpu_pool.free(allocation)
+        if self.gpu_pool is not None:
+            for allocation in cache.gpu_allocations:
+                self.gpu_pool.free(allocation)
+        del self.sequences[sequence_id]
+
+    def release_all(self) -> None:
+        """Free every sequence (end of a batch)."""
+        for sequence_id in list(self.sequences):
+            self.release_sequence(sequence_id)
+
+    def _get(self, sequence_id: int) -> SequenceCache:
+        if sequence_id not in self.sequences:
+            raise MemoryManagerError(f"unknown sequence {sequence_id}")
+        return self.sequences[sequence_id]
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        """Tokens cached across all live sequences."""
+        return sum(cache.num_tokens for cache in self.sequences.values())
+
+    @property
+    def cpu_bytes(self) -> float:
+        """Total CPU bytes held by the cache."""
+        return sum(cache.cpu_bytes for cache in self.sequences.values())
+
+    @property
+    def gpu_bytes(self) -> float:
+        """Total GPU bytes held by the cache."""
+        return sum(cache.gpu_bytes for cache in self.sequences.values())
+
+    def can_admit(self, prompt_tokens: int, generation_len: int) -> bool:
+        """Whether a new request fits the pools at its end-of-generation size."""
+        require_positive_int("prompt_tokens", prompt_tokens)
+        require_non_negative("generation_len", generation_len)
+        total_bytes = self.bytes_for_tokens(prompt_tokens + generation_len)
+        gpu_bytes = total_bytes * self.gpu_ratio
+        cpu_bytes = total_bytes - gpu_bytes
+        cpu_ok = self.cpu_pool.can_allocate(cpu_bytes)
+        gpu_ok = True
+        if gpu_bytes > 0:
+            gpu_ok = self.gpu_pool is not None and self.gpu_pool.can_allocate(gpu_bytes)
+        return cpu_ok and gpu_ok

@@ -1,0 +1,61 @@
+"""Resources (channels) of the simulated CPU-GPU node.
+
+CGOPipe reasons about four independently progressing channels (Fig. 6):
+
+* ``GPU``  — the GPU compute stream,
+* ``CPU``  — the CPU attention worker pool,
+* ``HTOD`` — the host-to-device copy engine,
+* ``DTOH`` — the device-to-host copy engine.
+
+Transfers in opposite directions run simultaneously (independent data
+paths), while transfers in the same direction serialise — which is exactly
+what modelling HtoD and DtoH as two separate exclusive resources captures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive_int
+
+
+class ResourceKind(enum.Enum):
+    """The four channels a task can occupy."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+    HTOD = "htod"
+    DTOH = "dtoh"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An execution channel with a fixed number of parallel slots.
+
+    All four default channels are exclusive (one task at a time): GPU kernels
+    on one stream, CPU attention as one aggregate worker pool whose
+    parallelism is already folded into the task duration, and one DMA engine
+    per direction.
+    """
+
+    kind: ResourceKind
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive_int("slots", self.slots)
+
+    @property
+    def name(self) -> str:
+        """Short channel name used in traces."""
+        return self.kind.value
+
+
+def default_resources() -> dict[ResourceKind, Resource]:
+    """The standard single-node resource set used by all schedules."""
+    return {
+        ResourceKind.GPU: Resource(ResourceKind.GPU),
+        ResourceKind.CPU: Resource(ResourceKind.CPU),
+        ResourceKind.HTOD: Resource(ResourceKind.HTOD),
+        ResourceKind.DTOH: Resource(ResourceKind.DTOH),
+    }

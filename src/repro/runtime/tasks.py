@@ -1,0 +1,160 @@
+"""Task descriptions and task-graph construction.
+
+A :class:`Task` is one unit of work pinned to a resource: a GPU kernel
+launch, a CPU attention call, or a single DMA transfer.  Schedules build a
+:class:`TaskGraph` — tasks plus dependency edges — and hand it to the
+simulator.  The task *kinds* mirror the blocks of the paper's Fig. 6 and the
+operations of Algorithm 1 (``PreAttn``, ``OffloadQKV``, ``CPUAttn``,
+``W_CtoPin``/``W_PintoG``, ``LoadH``, ``PostAttn``), plus the extra kinds the
+baseline schedules need (GPU attention and KV-cache transfers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.runtime.resources import ResourceKind
+from repro.utils.errors import ScheduleError
+from repro.utils.validation import require_non_negative
+
+
+class TaskKind(enum.Enum):
+    """Task vocabulary shared by all schedules."""
+
+    PRE_ATTENTION = "pre_attn"  # layer norm + QKV projection (GPU)
+    GPU_ATTENTION = "gpu_attn"  # attention core on GPU
+    CPU_ATTENTION = "cpu_attn"  # attention core on CPU
+    POST_ATTENTION = "post_attn"  # O projection + MoE FFN (GPU)
+    CPU_FFN = "cpu_ffn"  # MoE FFN on CPU (latency-oriented corner)
+    WEIGHT_TRANSFER = "weight_transfer"  # weights page, CPU -> GPU
+    WEIGHT_TO_PINNED = "weight_to_pinned"  # weights page, pageable -> pinned
+    KV_TRANSFER = "kv_transfer"  # KV cache micro-batch, CPU -> GPU
+    KV_OFFLOAD = "kv_offload"  # freshly computed KV, GPU -> CPU
+    QKV_OFFLOAD = "qkv_offload"  # Q/K/V for CPU attention, GPU -> CPU
+    HIDDEN_LOAD = "hidden_load"  # attention outputs, CPU -> GPU
+    HIDDEN_OFFLOAD = "hidden_offload"  # hidden states, GPU -> CPU
+    SAMPLE = "sample"  # LM head + sampling (GPU)
+    OTHER = "other"
+
+
+@dataclass
+class Task:
+    """A single schedulable unit of work."""
+
+    task_id: int
+    kind: TaskKind
+    resource: ResourceKind
+    duration: float
+    layer: int = -1
+    micro_batch: int = -1
+    step: int = -1
+    deps: list[int] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        require_non_negative("duration", self.duration)
+        if not self.label:
+            self.label = f"{self.kind.value}[L{self.layer},mb{self.micro_batch}]"
+
+
+class TaskGraph:
+    """A DAG of tasks with monotonically increasing submission order.
+
+    Submission order matters: when several tasks are ready on the same
+    resource, the simulator runs them in the order they were added — this is
+    how a schedule's launch order (e.g. Algorithm 1's loop body) is encoded.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._by_id: dict[int, Task] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        kind: TaskKind,
+        resource: ResourceKind,
+        duration: float,
+        deps: Iterable[int] = (),
+        layer: int = -1,
+        micro_batch: int = -1,
+        step: int = -1,
+        label: str = "",
+    ) -> Task:
+        """Create a task, append it in submission order, and return it.
+
+        Zero-duration tasks are allowed (e.g. an empty weight page when all
+        weights are GPU-resident); they still participate in dependency
+        ordering but never occupy their resource.
+        """
+        task_id = len(self._tasks)
+        dep_list = []
+        for dep in deps:
+            if dep is None:
+                continue
+            if dep not in self._by_id:
+                raise ScheduleError(
+                    f"task {task_id} depends on unknown task id {dep}"
+                )
+            dep_list.append(dep)
+        task = Task(
+            task_id=task_id,
+            kind=kind,
+            resource=resource,
+            duration=duration,
+            layer=layer,
+            micro_batch=micro_batch,
+            step=step,
+            deps=dep_list,
+            label=label,
+        )
+        self._tasks.append(task)
+        self._by_id[task_id] = task
+        return task
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def get(self, task_id: int) -> Task:
+        """Look up a task by id."""
+        if task_id not in self._by_id:
+            raise ScheduleError(f"unknown task id {task_id}")
+        return self._by_id[task_id]
+
+    @property
+    def tasks(self) -> list[Task]:
+        """All tasks in submission order."""
+        return list(self._tasks)
+
+    def tasks_on(self, resource: ResourceKind) -> list[Task]:
+        """Tasks pinned to ``resource``, in submission order."""
+        return [task for task in self._tasks if task.resource == resource]
+
+    def total_work(self, resource: ResourceKind) -> float:
+        """Sum of task durations on ``resource`` (lower bound on busy time)."""
+        return sum(task.duration for task in self.tasks_on(resource))
+
+    def validate(self) -> None:
+        """Check the graph is a DAG with forward-only dependencies.
+
+        Because tasks may only depend on previously added tasks, the graph is
+        acyclic by construction; this re-checks the invariant explicitly so a
+        schedule bug fails loudly rather than deadlocking the simulator.
+        """
+        for task in self._tasks:
+            for dep in task.deps:
+                if dep >= task.task_id:
+                    raise ScheduleError(
+                        f"task {task.task_id} depends on a later task {dep}; "
+                        "dependencies must reference earlier submissions"
+                    )

@@ -1,0 +1,228 @@
+"""Execution traces: per-task spans, utilisation, bubbles and Gantt rendering.
+
+A :class:`Trace` is the output of the simulator: one :class:`TraceEvent` per
+executed task, recording which resource it occupied and when.  The analysis
+helpers answer the questions the paper's Fig. 6 poses visually — how busy is
+each channel, where are the bubbles (the "squares with red zigzag lines"),
+and what fraction of the makespan does the GPU sit idle waiting for data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import Task, TaskKind
+from repro.utils.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed task: its identity plus the occupied time span."""
+
+    task_id: int
+    kind: TaskKind
+    resource: ResourceKind
+    start: float
+    end: float
+    layer: int = -1
+    micro_batch: int = -1
+    step: int = -1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"trace event {self.label or self.task_id} ends before it starts"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Time the task occupied its resource."""
+        return self.end - self.start
+
+    @classmethod
+    def from_task(cls, task: Task, start: float, end: float) -> "TraceEvent":
+        """Build an event from a task and its scheduled span."""
+        return cls(
+            task_id=task.task_id,
+            kind=task.kind,
+            resource=task.resource,
+            start=start,
+            end=end,
+            layer=task.layer,
+            micro_batch=task.micro_batch,
+            step=task.step,
+            label=task.label,
+        )
+
+
+@dataclass
+class Trace:
+    """A full execution timeline."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append an event to the trace."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Span queries
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """End time of the last event (traces start at time zero)."""
+        return max((event.end for event in self.events), default=0.0)
+
+    @property
+    def start_time(self) -> float:
+        """Start time of the earliest event."""
+        return min((event.start for event in self.events), default=0.0)
+
+    def events_on(self, resource: ResourceKind) -> list[TraceEvent]:
+        """Events on ``resource`` ordered by start time."""
+        return sorted(
+            (event for event in self.events if event.resource == resource),
+            key=lambda event: (event.start, event.end),
+        )
+
+    def events_of(self, kind: TaskKind) -> list[TraceEvent]:
+        """Events of a given kind ordered by start time."""
+        return sorted(
+            (event for event in self.events if event.kind == kind),
+            key=lambda event: (event.start, event.end),
+        )
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Events overlapping the window, clipped to it."""
+        if end < start:
+            raise SimulationError("window end must not precede its start")
+        clipped = []
+        for event in self.events:
+            if event.end <= start or event.start >= end:
+                continue
+            clipped.append(
+                TraceEvent(
+                    task_id=event.task_id,
+                    kind=event.kind,
+                    resource=event.resource,
+                    start=max(event.start, start),
+                    end=min(event.end, end),
+                    layer=event.layer,
+                    micro_batch=event.micro_batch,
+                    step=event.step,
+                    label=event.label,
+                )
+            )
+        return Trace(events=clipped)
+
+    # ------------------------------------------------------------------
+    # Utilisation and bubbles
+    # ------------------------------------------------------------------
+    def busy_time(self, resource: ResourceKind) -> float:
+        """Total occupied time on ``resource`` (events never overlap there)."""
+        return sum(event.duration for event in self.events_on(resource))
+
+    def utilization(self, resource: ResourceKind, span: float | None = None) -> float:
+        """Busy fraction of ``resource`` over ``span`` (default: makespan)."""
+        total = span if span is not None else self.makespan
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(resource) / total)
+
+    def utilization_report(self) -> dict[str, float]:
+        """Utilisation of every channel plus the makespan."""
+        report = {
+            resource.value: self.utilization(resource) for resource in ResourceKind
+        }
+        report["makespan"] = self.makespan
+        return report
+
+    def bubbles(self, resource: ResourceKind) -> list[tuple[float, float]]:
+        """Idle gaps on ``resource`` between its first and last event."""
+        events = self.events_on(resource)
+        if not events:
+            return []
+        gaps = []
+        cursor = events[0].end
+        for event in events[1:]:
+            if event.start > cursor + 1e-12:
+                gaps.append((cursor, event.start))
+            cursor = max(cursor, event.end)
+        return gaps
+
+    def bubble_time(self, resource: ResourceKind) -> float:
+        """Total idle time on ``resource`` between its first and last event."""
+        return sum(end - start for start, end in self.bubbles(resource))
+
+    def bubble_fraction(self, resource: ResourceKind) -> float:
+        """Idle fraction of the busy window on ``resource``."""
+        events = self.events_on(resource)
+        if not events:
+            return 0.0
+        window = events[-1].end - events[0].start
+        if window <= 0:
+            return 0.0
+        return self.bubble_time(resource) / window
+
+    def verify_exclusive(self) -> None:
+        """Assert no two events overlap on the same exclusive resource."""
+        for resource in ResourceKind:
+            events = self.events_on(resource)
+            for previous, current in zip(events, events[1:]):
+                if current.start < previous.end - 1e-9:
+                    raise SimulationError(
+                        f"overlapping events on {resource.value}: "
+                        f"{previous.label} [{previous.start:.6f}, {previous.end:.6f}] "
+                        f"and {current.label} [{current.start:.6f}, {current.end:.6f}]"
+                    )
+
+    # ------------------------------------------------------------------
+    # Rendering (Fig. 6-style diagrams)
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 100, resources: Iterable[ResourceKind] = ResourceKind) -> str:
+        """Render an ASCII Gantt chart of the trace.
+
+        Each channel becomes one row; task kinds map to single characters so
+        the pipeline structure (and its bubbles, shown as spaces) is visible
+        in a terminal, mirroring the paper's Fig. 6.
+        """
+        span = self.makespan - self.start_time
+        if span <= 0:
+            return "(empty trace)"
+        symbols = {
+            TaskKind.PRE_ATTENTION: "A",
+            TaskKind.GPU_ATTENTION: "B",
+            TaskKind.CPU_ATTENTION: "B",
+            TaskKind.POST_ATTENTION: "C",
+            TaskKind.CPU_FFN: "F",
+            TaskKind.WEIGHT_TRANSFER: "W",
+            TaskKind.WEIGHT_TO_PINNED: "w",
+            TaskKind.KV_TRANSFER: "K",
+            TaskKind.KV_OFFLOAD: "k",
+            TaskKind.QKV_OFFLOAD: "q",
+            TaskKind.HIDDEN_LOAD: "h",
+            TaskKind.HIDDEN_OFFLOAD: "d",
+            TaskKind.SAMPLE: "S",
+            TaskKind.OTHER: "o",
+        }
+        lines = []
+        for resource in resources:
+            row = [" "] * width
+            for event in self.events_on(resource):
+                start_col = int((event.start - self.start_time) / span * (width - 1))
+                end_col = int((event.end - self.start_time) / span * (width - 1))
+                symbol = symbols.get(event.kind, "o")
+                for col in range(start_col, max(start_col + 1, end_col + 1)):
+                    if 0 <= col < width:
+                        row[col] = symbol
+            lines.append(f"{resource.value:>5} |{''.join(row)}|")
+        return "\n".join(lines)

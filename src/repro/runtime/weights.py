@@ -1,0 +1,163 @@
+"""Paged weight management (paper §4.1 "Weights Paging" and Appendix A.1).
+
+The streamed portion of a layer's weights is chunked into ``n`` pages, where
+``n`` equals the number of micro-batches in the pipeline, so that one page
+transfer interleaves naturally with each micro-batch's intermediate-result
+transfers.  On the GPU a double buffer of size ``2 x sizeof(W_L)`` holds the
+current layer's pages and the next layer's incoming pages; on the host a
+pinned staging area lets pageable-to-pinned and pinned-to-GPU copies overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import Policy
+from repro.models.config import ModelConfig
+from repro.models.memory import attention_weight_bytes, layer_weight_bytes
+from repro.runtime.memory_manager import MemoryPool, PagedAllocation, PageTable
+from repro.utils.errors import MemoryManagerError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class WeightPage:
+    """One transferable chunk of a layer's streamed weights."""
+
+    layer: int
+    page_index: int
+    num_bytes: float
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this page carries no data (fully GPU-resident layer)."""
+        return self.num_bytes <= 0
+
+
+class PagedWeightManager:
+    """Splits streamed layer weights into pages and tracks GPU residency.
+
+    The manager owns two GPU-side buffers (current layer / next layer) carved
+    out of a GPU :class:`MemoryPool`, plus a pinned staging buffer on the
+    host.  ``pages_for_layer`` yields the transfer schedule CGOPipe
+    interleaves; ``advance_layer`` swaps the double buffer exactly like the
+    real system rotates its weight buffers between layers.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        policy: Policy,
+        gpu_pool: MemoryPool,
+        pinned_pool: MemoryPool | None = None,
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.gpu_pool = gpu_pool
+        self.pinned_pool = pinned_pool
+        self.page_table = PageTable()
+        self.num_pages_per_layer = max(1, policy.num_micro_batches)
+
+        streamed = self.streamed_bytes_per_layer()
+        self._buffers: list[PagedAllocation | None] = [None, None]
+        if streamed > 0:
+            self._buffers[0] = gpu_pool.allocate(streamed)
+            self._buffers[1] = gpu_pool.allocate(streamed)
+        self._current = 0
+        self._resident_layer: int | None = None
+        self._incoming_layer: int | None = None
+        if pinned_pool is not None and streamed > 0:
+            self._pinned_allocation = pinned_pool.allocate(
+                min(streamed, pinned_pool.capacity_bytes)
+            )
+        else:
+            self._pinned_allocation = None
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def streamed_bytes_per_layer(self) -> float:
+        """Bytes of one layer's weights that are not GPU-resident."""
+        per_layer = layer_weight_bytes(self.model)
+        if not self.policy.ffn_on_gpu:
+            per_layer = attention_weight_bytes(self.model)
+        return self.policy.weights_cpu_ratio * per_layer
+
+    def page_bytes(self) -> float:
+        """Size of one weight page."""
+        return self.streamed_bytes_per_layer() / self.num_pages_per_layer
+
+    def pages_for_layer(self, layer: int) -> list[WeightPage]:
+        """The transfer schedule (one page per micro-batch) for ``layer``."""
+        require_positive_int("layer", layer + 1)  # layers are 0-indexed
+        page_bytes = self.page_bytes()
+        return [
+            WeightPage(layer=layer, page_index=index, num_bytes=page_bytes)
+            for index in range(self.num_pages_per_layer)
+        ]
+
+    # ------------------------------------------------------------------
+    # Double-buffer state machine
+    # ------------------------------------------------------------------
+    @property
+    def resident_layer(self) -> int | None:
+        """Layer whose weights currently occupy the active buffer."""
+        return self._resident_layer
+
+    @property
+    def incoming_layer(self) -> int | None:
+        """Layer currently being prefetched into the inactive buffer."""
+        return self._incoming_layer
+
+    def begin_prefetch(self, layer: int) -> PagedAllocation | None:
+        """Mark ``layer`` as the prefetch target of the inactive buffer."""
+        if self._incoming_layer is not None and self._incoming_layer != layer:
+            raise MemoryManagerError(
+                f"cannot prefetch layer {layer}: buffer already holds an "
+                f"in-flight prefetch of layer {self._incoming_layer}"
+            )
+        self._incoming_layer = layer
+        buffer = self._buffers[1 - self._current]
+        if buffer is not None:
+            self.page_table.map(("incoming", layer), buffer)
+        return buffer
+
+    def advance_layer(self) -> None:
+        """Swap buffers: the prefetched layer becomes the resident layer."""
+        if self._incoming_layer is None:
+            raise MemoryManagerError("advance_layer called with no prefetch in flight")
+        if self._resident_layer is not None:
+            self.page_table.unmap(("resident", self._resident_layer))
+        self._current = 1 - self._current
+        self._resident_layer = self._incoming_layer
+        self._incoming_layer = None
+        buffer = self._buffers[self._current]
+        if buffer is not None:
+            self.page_table.map(("resident", self._resident_layer), buffer)
+
+    def release(self) -> None:
+        """Free all GPU and pinned buffers held by the manager."""
+        for buffer in self._buffers:
+            if buffer is not None:
+                self.gpu_pool.free(buffer)
+        self._buffers = [None, None]
+        if self._pinned_allocation is not None and self.pinned_pool is not None:
+            self.pinned_pool.free(self._pinned_allocation)
+            self._pinned_allocation = None
+
+    # ------------------------------------------------------------------
+    # Static placement
+    # ------------------------------------------------------------------
+    def resident_bytes_total(self) -> float:
+        """Bytes of weights statically resident on the GPU (all layers)."""
+        per_layer = layer_weight_bytes(self.model)
+        return self.policy.weights_gpu_ratio * per_layer * self.model.num_layers
+
+    def describe(self) -> str:
+        """Human-readable summary used in examples."""
+        return (
+            f"paged weights: {self.num_pages_per_layer} pages/layer of "
+            f"{self.page_bytes() / 1e6:.1f} MB, streamed "
+            f"{self.streamed_bytes_per_layer() / 1e9:.2f} GB/layer, resident "
+            f"{self.resident_bytes_total() / 1e9:.2f} GB total"
+        )

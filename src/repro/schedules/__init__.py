@@ -1,0 +1,52 @@
+"""Pipeline schedules: CGOPipe and the baseline schedules of Fig. 6.
+
+Every schedule consumes the same task-duration model
+(:class:`~repro.runtime.costs.TaskCostModel`) and produces a task graph for
+the decode stage; they differ only in *which* tasks exist (CPU vs. GPU
+attention, KV transfers vs. QKV offloads) and in *how* transfers are ordered
+(paged and interleaved vs. monolithic).  The simulator turns each graph into
+a timeline, so the throughput differences between systems come purely from
+scheduling — which is the paper's claim about CGOPipe.
+
+* :class:`CGOPipeSchedule` — the paper's schedule (Algorithm 1): CPU
+  attention launched two micro-batches ahead, paged weights interleaved with
+  hidden-state uploads.
+* :class:`FastDecodeSchedule` — S2: CPU attention overlapped with GPU
+  compute, but monolithic (un-paged) weight transfers.
+* :class:`FlexGenCPUSchedule` — S3: CPU attention with no overlap (the GPU
+  waits), monolithic weight transfers; FlexGen's CPU-attention mode.
+* :class:`FlexGenSchedule` — S4: GPU attention with per-micro-batch KV-cache
+  swapping and monolithic weight transfers; FlexGen's default mode.
+* :class:`DeepSpeedSchedule` — DeepSpeed ZeRO-Inference: whole-batch
+  micro-batches, KV cache resident on the GPU, weights streamed layer by
+  layer with single-buffer prefetch.
+"""
+
+from repro.schedules.base import PipelineSchedule, StepTiming
+from repro.schedules.cgopipe import CGOPipeSchedule
+from repro.schedules.fastdecode import FastDecodeSchedule
+from repro.schedules.flexgen import FlexGenSchedule
+from repro.schedules.flexgen_cpu import FlexGenCPUSchedule
+from repro.schedules.deepspeed import DeepSpeedSchedule
+
+SCHEDULE_REGISTRY = {
+    schedule.name: schedule
+    for schedule in (
+        CGOPipeSchedule,
+        FastDecodeSchedule,
+        FlexGenCPUSchedule,
+        FlexGenSchedule,
+        DeepSpeedSchedule,
+    )
+}
+
+__all__ = [
+    "PipelineSchedule",
+    "StepTiming",
+    "CGOPipeSchedule",
+    "FastDecodeSchedule",
+    "FlexGenCPUSchedule",
+    "FlexGenSchedule",
+    "DeepSpeedSchedule",
+    "SCHEDULE_REGISTRY",
+]

@@ -1,0 +1,140 @@
+"""DeepSpeed ZeRO-Inference style schedule.
+
+ZeRO-Inference pins the model weights in CPU memory and streams them to the
+GPU layer by layer, prefetching the next layer while the current one
+computes.  It does not split the batch into micro-batches (the whole batch
+is one kernel launch, ``N / μ = 1`` in the paper's Table 4) and it keeps the
+KV cache in GPU memory, so the batch size — and with it the achievable
+weight-transfer amortisation — is limited by GPU memory rather than CPU
+memory.  Attention runs on the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import TaskGraph, TaskKind
+from repro.schedules.base import PipelineSchedule
+from repro.utils.errors import ScheduleError
+from repro.utils.validation import require_positive_int
+
+
+class DeepSpeedSchedule(PipelineSchedule):
+    """Layer-streamed weights, whole-batch kernels, GPU-resident KV cache."""
+
+    name = "deepspeed"
+    uses_cpu_attention = False
+    uses_paged_weights = False
+
+    def validate_policy(self, policy: Policy) -> None:
+        super().validate_policy(policy)
+        if policy.num_micro_batches != 1:
+            raise ScheduleError(
+                "DeepSpeed ZeRO-Inference processes the whole batch as a "
+                "single micro-batch; the policy must have N == mu"
+            )
+        if policy.kv_cache_gpu_ratio < 1.0:
+            raise ScheduleError(
+                "DeepSpeed ZeRO-Inference keeps the KV cache in GPU memory; "
+                "the policy must have r_c == 1"
+            )
+
+    def build_decode_graph(
+        self, policy: Policy, context_len: int, num_steps: int = 1
+    ) -> TaskGraph:
+        """Build the ZeRO-Inference task graph for ``num_steps`` decode steps."""
+        require_positive_int("context_len", context_len)
+        require_positive_int("num_steps", num_steps)
+        self.validate_policy(policy)
+
+        graph = TaskGraph()
+        costs = self.costs
+        mu = policy.micro_batch_size
+        num_layers = self.sim_num_layers
+
+        pre_time = costs.pre_attention(mu)
+        attn_time = costs.gpu_attention(mu, context_len)
+        post_time = costs.post_attention(mu, ffn_on_gpu=policy.ffn_on_gpu)
+        weight_time = costs.weight_layer_transfer(policy)
+        sample_time = costs.sample(policy.batch_size)
+
+        sample_ids: dict[int, int] = {}
+
+        for step in range(num_steps):
+            previous_post: int | None = None
+            weight_ids: dict[int, int] = {}
+
+            def emit_weights(step_idx: int, layer: int, deps: list[int]) -> None:
+                if not policy.streams_weights:
+                    return
+                task = graph.add(
+                    TaskKind.WEIGHT_TRANSFER,
+                    ResourceKind.HTOD,
+                    weight_time,
+                    deps=deps,
+                    layer=layer,
+                    micro_batch=-1,
+                    step=step_idx,
+                )
+                weight_ids[layer] = task.task_id
+
+            # Double-buffer prefetch: the first two layers' weights start
+            # moving at the beginning of the step; each later layer's weights
+            # start once the layer two positions earlier has released its
+            # buffer (its post-attention finished).
+            start_deps = [sample_ids[step - 1]] if step > 0 else []
+            emit_weights(step, 0, start_deps)
+            if num_layers > 1:
+                emit_weights(step, 1, start_deps)
+
+            for layer in range(num_layers):
+                deps = []
+                if previous_post is not None:
+                    deps.append(previous_post)
+                elif step > 0:
+                    deps.append(sample_ids[step - 1])
+                if layer in weight_ids:
+                    deps.append(weight_ids[layer])
+                pre = graph.add(
+                    TaskKind.PRE_ATTENTION,
+                    ResourceKind.GPU,
+                    pre_time,
+                    deps=deps,
+                    layer=layer,
+                    micro_batch=0,
+                    step=step,
+                )
+                attn = graph.add(
+                    TaskKind.GPU_ATTENTION,
+                    ResourceKind.GPU,
+                    attn_time,
+                    deps=[pre.task_id],
+                    layer=layer,
+                    micro_batch=0,
+                    step=step,
+                )
+                post = graph.add(
+                    TaskKind.POST_ATTENTION,
+                    ResourceKind.GPU,
+                    post_time,
+                    deps=[attn.task_id],
+                    layer=layer,
+                    micro_batch=0,
+                    step=step,
+                )
+                previous_post = post.task_id
+                if layer + 2 < num_layers:
+                    emit_weights(step, layer + 2, [post.task_id])
+
+            sample = graph.add(
+                TaskKind.SAMPLE,
+                ResourceKind.GPU,
+                sample_time,
+                deps=[previous_post] if previous_post is not None else [],
+                layer=num_layers - 1,
+                micro_batch=-1,
+                step=step,
+            )
+            sample_ids[step] = sample.task_id
+
+        return graph

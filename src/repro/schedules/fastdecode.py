@@ -1,0 +1,189 @@
+"""FastDecode-style schedule (S2 in Fig. 6).
+
+CPU attention is overlapped with GPU compute — the same producer/consumer
+structure as CGOPipe — but the next layer's weights move as a single
+monolithic transfer after the layer's hidden-state uploads.  The big weight
+blob therefore blocks the next layer's first hidden-state upload (and hence
+the next layer's first post-attention), producing the layer-boundary bubbles
+CGOPipe's paging removes.  FastDecode itself does not target weight
+offloading at all; this schedule is the paper's "pipeline, without paged
+weights" rendition of it.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import TaskGraph, TaskKind
+from repro.schedules.base import PipelineSchedule
+from repro.utils.errors import ScheduleError
+from repro.utils.validation import require_positive_int
+
+
+class FastDecodeSchedule(PipelineSchedule):
+    """Overlapped CPU attention with monolithic (un-paged) weight transfers."""
+
+    name = "fastdecode"
+    uses_cpu_attention = True
+    uses_paged_weights = False
+
+    def validate_policy(self, policy: Policy) -> None:
+        super().validate_policy(policy)
+        if not policy.ffn_on_gpu:
+            raise ScheduleError(
+                f"{self.name} models the F_g=1 corner (MoE FFN on the GPU)"
+            )
+
+    def build_decode_graph(
+        self, policy: Policy, context_len: int, num_steps: int = 1
+    ) -> TaskGraph:
+        """Build the S2 task graph for ``num_steps`` decode steps."""
+        require_positive_int("context_len", context_len)
+        require_positive_int("num_steps", num_steps)
+        self.validate_policy(policy)
+
+        graph = TaskGraph()
+        costs = self.costs
+        mu = policy.micro_batch_size
+        n_ub = policy.num_micro_batches
+        num_layers = self.sim_num_layers
+
+        pre_time = costs.pre_attention(mu)
+        qkv_time = costs.qkv_offload(mu)
+        attn_time = costs.cpu_attention(mu, context_len)
+        hidden_time = costs.hidden_load(mu)
+        post_time = costs.post_attention(mu, ffn_on_gpu=True)
+        weight_time = costs.weight_layer_transfer(policy)
+        sample_time = costs.sample(policy.batch_size)
+
+        post_ids: dict[tuple[int, int, int], int] = {}
+        cpu_attn_ids: dict[tuple[int, int, int], int] = {}
+        weight_ids: dict[tuple[int, int], int] = {}
+        sample_ids: dict[int, int] = {}
+
+        def emit_pre_chain(step: int, layer: int, mb: int) -> None:
+            deps = []
+            if layer == 0:
+                if step > 0:
+                    deps.append(sample_ids[step - 1])
+            else:
+                deps.append(post_ids[(step, layer - 1, mb)])
+            if (step, layer) in weight_ids:
+                deps.append(weight_ids[(step, layer)])
+            pre = graph.add(
+                TaskKind.PRE_ATTENTION,
+                ResourceKind.GPU,
+                pre_time,
+                deps=deps,
+                layer=layer,
+                micro_batch=mb,
+                step=step,
+            )
+            offload = graph.add(
+                TaskKind.QKV_OFFLOAD,
+                ResourceKind.DTOH,
+                qkv_time,
+                deps=[pre.task_id],
+                layer=layer,
+                micro_batch=mb,
+                step=step,
+            )
+            cpu_attn = graph.add(
+                TaskKind.CPU_ATTENTION,
+                ResourceKind.CPU,
+                attn_time,
+                deps=[offload.task_id],
+                layer=layer,
+                micro_batch=mb,
+                step=step,
+            )
+            cpu_attn_ids[(step, layer, mb)] = cpu_attn.task_id
+
+        def emit_weights(step: int, layer: int) -> None:
+            if not policy.streams_weights:
+                return
+            # Double-buffer release: layer ``i``'s monolithic transfer may only
+            # start once layer ``i-2`` (wrapping across steps) has finished its
+            # last post-attention and freed its weight buffer.
+            deps = []
+            release_global = step * num_layers + layer - 2
+            if release_global >= 0:
+                release_key = (
+                    release_global // num_layers,
+                    release_global % num_layers,
+                    n_ub - 1,
+                )
+                if release_key in post_ids:
+                    deps.append(post_ids[release_key])
+            task = graph.add(
+                TaskKind.WEIGHT_TRANSFER,
+                ResourceKind.HTOD,
+                weight_time,
+                deps=deps,
+                layer=layer,
+                micro_batch=-1,
+                step=step,
+            )
+            weight_ids[(step, layer)] = task.task_id
+
+        for step in range(num_steps):
+            num_slots = num_layers * n_ub
+            prologue_slots = min(2, num_slots)
+            for slot in range(prologue_slots):
+                layer, mb = slot // n_ub, slot % n_ub
+                emit_pre_chain(step, layer, mb)
+
+            for slot in range(num_slots):
+                layer, mb = slot // n_ub, slot % n_ub
+                key = (step, layer, mb)
+                if key not in cpu_attn_ids:
+                    raise ScheduleError(
+                        f"missing CPU attention for step {step}, layer {layer}, "
+                        f"micro-batch {mb}"
+                    )
+                hidden = graph.add(
+                    TaskKind.HIDDEN_LOAD,
+                    ResourceKind.HTOD,
+                    hidden_time,
+                    deps=[cpu_attn_ids[key]],
+                    layer=layer,
+                    micro_batch=mb,
+                    step=step,
+                )
+                # The whole next-layer weight blob is queued after the last
+                # hidden-state upload of the current layer (no paging).
+                if mb == n_ub - 1:
+                    if layer + 1 < num_layers:
+                        emit_weights(step, layer + 1)
+                    elif step + 1 < num_steps:
+                        emit_weights(step + 1, 0)
+                deps = [hidden.task_id]
+                if (step, layer) in weight_ids:
+                    deps.append(weight_ids[(step, layer)])
+                post = graph.add(
+                    TaskKind.POST_ATTENTION,
+                    ResourceKind.GPU,
+                    post_time,
+                    deps=deps,
+                    layer=layer,
+                    micro_batch=mb,
+                    step=step,
+                )
+                post_ids[key] = post.task_id
+                ahead = slot + 2
+                if ahead < num_slots and ahead >= prologue_slots:
+                    ahead_layer, ahead_mb = ahead // n_ub, ahead % n_ub
+                    emit_pre_chain(step, ahead_layer, ahead_mb)
+
+            sample = graph.add(
+                TaskKind.SAMPLE,
+                ResourceKind.GPU,
+                sample_time,
+                deps=[post_ids[(step, num_layers - 1, mb)] for mb in range(n_ub)],
+                layer=num_layers - 1,
+                micro_batch=-1,
+                step=step,
+            )
+            sample_ids[step] = sample.task_id
+
+        return graph

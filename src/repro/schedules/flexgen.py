@@ -1,0 +1,202 @@
+"""FlexGen's default decode schedule (S4 in Fig. 6).
+
+Attention runs on the GPU, so every micro-batch's KV cache must be swapped
+in from CPU memory before its attention kernel can run.  The KV cache for
+the next micro-batch is prefetched while the current one computes, and the
+next layer's weights are transferred as one monolithic blob after the
+layer's KV transfers — which is why the GPU sits idle at every layer
+boundary waiting for the weight transfer to complete (the red-zigzag squares
+of Fig. 6), and why the host-to-device channel carries far more bytes than
+under CGOPipe.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import TaskGraph, TaskKind
+from repro.schedules.base import PipelineSchedule
+from repro.utils.validation import require_positive_int
+
+
+class FlexGenSchedule(PipelineSchedule):
+    """GPU attention with per-micro-batch KV swapping and un-paged weights."""
+
+    name = "flexgen"
+    uses_cpu_attention = False
+    uses_paged_weights = False
+
+    def build_decode_graph(
+        self, policy: Policy, context_len: int, num_steps: int = 1
+    ) -> TaskGraph:
+        """Build the S4 task graph for ``num_steps`` decode steps."""
+        require_positive_int("context_len", context_len)
+        require_positive_int("num_steps", num_steps)
+        self.validate_policy(policy)
+
+        graph = TaskGraph()
+        costs = self.costs
+        mu = policy.micro_batch_size
+        n_ub = policy.num_micro_batches
+        num_layers = self.sim_num_layers
+
+        pre_time = costs.pre_attention(mu)
+        attn_time = costs.gpu_attention(mu, context_len)
+        post_time = costs.post_attention(mu, ffn_on_gpu=policy.ffn_on_gpu)
+        kv_time = costs.kv_transfer(
+            mu, context_len, cpu_ratio=policy.kv_cache_cpu_ratio
+        )
+        kv_offload_time = costs.kv_offload(mu)
+        weight_time = costs.weight_layer_transfer(policy)
+        sample_time = costs.sample(policy.batch_size)
+
+        post_ids: dict[tuple[int, int, int], int] = {}
+        kv_ids: dict[tuple[int, int, int], int] = {}
+        weight_ids: dict[tuple[int, int], int] = {}
+        sample_ids: dict[int, int] = {}
+
+        attn_ids: dict[tuple[int, int, int], int] = {}
+
+        def slot_key(step: int, layer: int, mb: int, offset: int) -> tuple | None:
+            """The (step, layer, mb) key ``offset`` slots before the given one."""
+            global_slot = (step * num_layers + layer) * n_ub + mb - offset
+            if global_slot < 0:
+                return None
+            step_idx, rest = divmod(global_slot, num_layers * n_ub)
+            layer_idx, mb_idx = divmod(rest, n_ub)
+            return (step_idx, layer_idx, mb_idx)
+
+        def emit_kv(step: int, layer: int, mb: int) -> None:
+            """Prefetch the KV cache of (layer, mb) over the HtoD channel.
+
+            FlexGen keeps at most two micro-batch KV buffers on the GPU, so a
+            transfer waits for the attention two slots earlier to release its
+            buffer.
+            """
+            if kv_time <= 0:
+                return
+            deps = []
+            release = slot_key(step, layer, mb, offset=2)
+            if release is not None and release in attn_ids:
+                deps.append(attn_ids[release])
+            task = graph.add(
+                TaskKind.KV_TRANSFER,
+                ResourceKind.HTOD,
+                kv_time,
+                deps=deps,
+                layer=layer,
+                micro_batch=mb,
+                step=step,
+            )
+            kv_ids[(step, layer, mb)] = task.task_id
+
+        def emit_weights(step: int, layer: int) -> None:
+            """Transfer the whole streamed weight blob of ``layer``.
+
+            The double buffer forces the transfer to wait until the layer two
+            positions earlier has finished its last post-attention.
+            """
+            if not policy.streams_weights:
+                return
+            deps = []
+            release_global = step * num_layers + layer - 2
+            if release_global >= 0:
+                release_key = (
+                    release_global // num_layers,
+                    release_global % num_layers,
+                    n_ub - 1,
+                )
+                if release_key in post_ids:
+                    deps.append(post_ids[release_key])
+            task = graph.add(
+                TaskKind.WEIGHT_TRANSFER,
+                ResourceKind.HTOD,
+                weight_time,
+                deps=deps,
+                layer=layer,
+                micro_batch=-1,
+                step=step,
+            )
+            weight_ids[(step, layer)] = task.task_id
+
+        for step in range(num_steps):
+            # KV for the first micro-batch of the step is fetched up front.
+            emit_kv(step, 0, 0)
+            for layer in range(num_layers):
+                for mb in range(n_ub):
+                    # Prefetch the next micro-batch's KV (or the next layer's
+                    # first micro-batch, followed by that layer's weights).
+                    if mb + 1 < n_ub:
+                        emit_kv(step, layer, mb + 1)
+                    else:
+                        if layer + 1 < num_layers:
+                            emit_kv(step, layer + 1, 0)
+                            emit_weights(step, layer + 1)
+                        elif step + 1 < num_steps:
+                            emit_kv(step + 1, 0, 0)
+                            emit_weights(step + 1, 0)
+
+                    deps = []
+                    if layer == 0:
+                        if step > 0:
+                            deps.append(sample_ids[step - 1])
+                    else:
+                        deps.append(post_ids[(step, layer - 1, mb)])
+                    if (step, layer) in weight_ids:
+                        deps.append(weight_ids[(step, layer)])
+                    pre = graph.add(
+                        TaskKind.PRE_ATTENTION,
+                        ResourceKind.GPU,
+                        pre_time,
+                        deps=deps,
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    attn_deps = [pre.task_id]
+                    if (step, layer, mb) in kv_ids:
+                        attn_deps.append(kv_ids[(step, layer, mb)])
+                    attn = graph.add(
+                        TaskKind.GPU_ATTENTION,
+                        ResourceKind.GPU,
+                        attn_time,
+                        deps=attn_deps,
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    attn_ids[(step, layer, mb)] = attn.task_id
+                    # The new token's K/V is written back to the CPU cache.
+                    if kv_offload_time > 0 and policy.kv_cache_cpu_ratio > 0:
+                        graph.add(
+                            TaskKind.KV_OFFLOAD,
+                            ResourceKind.DTOH,
+                            kv_offload_time,
+                            deps=[pre.task_id],
+                            layer=layer,
+                            micro_batch=mb,
+                            step=step,
+                        )
+                    post = graph.add(
+                        TaskKind.POST_ATTENTION,
+                        ResourceKind.GPU,
+                        post_time,
+                        deps=[attn.task_id],
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    post_ids[(step, layer, mb)] = post.task_id
+
+            sample = graph.add(
+                TaskKind.SAMPLE,
+                ResourceKind.GPU,
+                sample_time,
+                deps=[post_ids[(step, num_layers - 1, mb)] for mb in range(n_ub)],
+                layer=num_layers - 1,
+                micro_batch=-1,
+                step=step,
+            )
+            sample_ids[step] = sample.task_id
+
+        return graph

@@ -1,0 +1,157 @@
+"""FlexGen with CPU attention enabled (S3 in Fig. 6).
+
+FlexGen(c) calls its CPU attention synchronously from the scheduling loop:
+for each micro-batch the GPU runs pre-attention, then *waits* for the CPU
+attention to finish, then runs post-attention before moving to the next
+micro-batch.  Nothing hides the CPU attention latency, and weights still
+move as monolithic per-layer transfers.  As the paper notes (§4.1), this is
+the least-optimised schedule and can be slower than S4 whenever the KV
+transfer time is smaller than pre-attention + CPU attention + post-attention.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import TaskGraph, TaskKind
+from repro.schedules.base import PipelineSchedule
+from repro.utils.errors import ScheduleError
+from repro.utils.validation import require_positive_int
+
+
+class FlexGenCPUSchedule(PipelineSchedule):
+    """Synchronous CPU attention with monolithic weight transfers."""
+
+    name = "flexgen_cpu"
+    uses_cpu_attention = True
+    uses_paged_weights = False
+
+    def validate_policy(self, policy: Policy) -> None:
+        super().validate_policy(policy)
+        if not policy.ffn_on_gpu:
+            raise ScheduleError(
+                f"{self.name} models the F_g=1 corner (MoE FFN on the GPU)"
+            )
+
+    def build_decode_graph(
+        self, policy: Policy, context_len: int, num_steps: int = 1
+    ) -> TaskGraph:
+        """Build the S3 task graph for ``num_steps`` decode steps."""
+        require_positive_int("context_len", context_len)
+        require_positive_int("num_steps", num_steps)
+        self.validate_policy(policy)
+
+        graph = TaskGraph()
+        costs = self.costs
+        mu = policy.micro_batch_size
+        n_ub = policy.num_micro_batches
+        num_layers = self.sim_num_layers
+
+        pre_time = costs.pre_attention(mu)
+        qkv_time = costs.qkv_offload(mu)
+        attn_time = costs.cpu_attention(mu, context_len)
+        hidden_time = costs.hidden_load(mu)
+        post_time = costs.post_attention(mu, ffn_on_gpu=True)
+        weight_time = costs.weight_layer_transfer(policy)
+        sample_time = costs.sample(policy.batch_size)
+
+        weight_ids: dict[tuple[int, int], int] = {}
+        sample_ids: dict[int, int] = {}
+
+        def emit_weights(step: int, layer: int, deps: list[int]) -> None:
+            if not policy.streams_weights:
+                return
+            task = graph.add(
+                TaskKind.WEIGHT_TRANSFER,
+                ResourceKind.HTOD,
+                weight_time,
+                deps=deps,
+                layer=layer,
+                micro_batch=-1,
+                step=step,
+            )
+            weight_ids[(step, layer)] = task.task_id
+
+        for step in range(num_steps):
+            previous_post: int | None = None
+            last_layer_posts: list[int] = []
+            for layer in range(num_layers):
+                # The next layer's weights start moving while this layer's
+                # serial pre -> CPU-attention -> post chain occupies the GPU
+                # (double buffer: the previous layer must have finished).
+                release = [previous_post] if previous_post is not None else []
+                if layer + 1 < num_layers:
+                    emit_weights(step, layer + 1, release)
+                elif step + 1 < num_steps:
+                    emit_weights(step + 1, 0, release)
+                for mb in range(n_ub):
+                    deps = []
+                    if previous_post is not None:
+                        deps.append(previous_post)
+                    elif step > 0:
+                        deps.append(sample_ids[step - 1])
+                    if (step, layer) in weight_ids:
+                        deps.append(weight_ids[(step, layer)])
+                    pre = graph.add(
+                        TaskKind.PRE_ATTENTION,
+                        ResourceKind.GPU,
+                        pre_time,
+                        deps=deps,
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    offload = graph.add(
+                        TaskKind.QKV_OFFLOAD,
+                        ResourceKind.DTOH,
+                        qkv_time,
+                        deps=[pre.task_id],
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    cpu_attn = graph.add(
+                        TaskKind.CPU_ATTENTION,
+                        ResourceKind.CPU,
+                        attn_time,
+                        deps=[offload.task_id],
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    hidden = graph.add(
+                        TaskKind.HIDDEN_LOAD,
+                        ResourceKind.HTOD,
+                        hidden_time,
+                        deps=[cpu_attn.task_id],
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    post = graph.add(
+                        TaskKind.POST_ATTENTION,
+                        ResourceKind.GPU,
+                        post_time,
+                        deps=[hidden.task_id],
+                        layer=layer,
+                        micro_batch=mb,
+                        step=step,
+                    )
+                    # Synchronous loop: the next micro-batch's GPU work only
+                    # starts once this one is fully finished.
+                    previous_post = post.task_id
+                    if layer == num_layers - 1:
+                        last_layer_posts.append(post.task_id)
+
+            sample = graph.add(
+                TaskKind.SAMPLE,
+                ResourceKind.GPU,
+                sample_time,
+                deps=last_layer_posts,
+                layer=num_layers - 1,
+                micro_batch=-1,
+                step=step,
+            )
+            sample_ids[step] = sample.task_id
+
+        return graph

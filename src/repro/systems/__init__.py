@@ -1,0 +1,36 @@
+"""End-to-end inference systems built on the schedules and the optimizer.
+
+Each system couples a policy-selection strategy with a decode schedule and a
+prefill model, and reports the paper's metric — generation throughput =
+generated tokens / (prefill time + decode time) — for a workload:
+
+* :class:`MoELightningSystem` — HRM-driven policy search + CGOPipe
+  (``padded=True`` gives the MoE-Lightning(p) variant used for
+  like-for-like comparisons against FlexGen).
+* :class:`FlexGenSystem` — request padding, GPU attention with KV swapping
+  (or synchronous CPU attention for FlexGen(c)), monolithic weight
+  transfers, and either FlexGen's own conservative policy heuristic or a
+  policy produced by our optimizer (the Table 5 ablation).
+* :class:`DeepSpeedZeroSystem` — ZeRO-Inference-style layer streaming with
+  whole-batch kernels and a GPU-resident KV cache.
+"""
+
+from repro.systems.base import OffloadingSystem, SystemResult
+from repro.systems.moe_lightning import MoELightningSystem
+from repro.systems.flexgen_system import FlexGenSystem
+from repro.systems.deepspeed_system import DeepSpeedZeroSystem
+
+SYSTEM_REGISTRY = {
+    "moe-lightning": MoELightningSystem,
+    "flexgen": FlexGenSystem,
+    "deepspeed": DeepSpeedZeroSystem,
+}
+
+__all__ = [
+    "OffloadingSystem",
+    "SystemResult",
+    "MoELightningSystem",
+    "FlexGenSystem",
+    "DeepSpeedZeroSystem",
+    "SYSTEM_REGISTRY",
+]

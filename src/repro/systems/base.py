@@ -1,0 +1,179 @@
+"""Common machinery for end-to-end offloading inference systems."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.memory_model import MemoryModel
+from repro.core.performance_model import EfficiencyModel, PerformanceModel
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.schedules.base import PipelineSchedule, StepTiming
+from repro.utils.validation import require_positive_int
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    """End-to-end result of running one workload on one system."""
+
+    system: str
+    model: str
+    hardware: str
+    workload: str
+    policy: Policy
+    prefill_time: float
+    decode_time: float
+    tokens_generated: int
+    padded: bool
+    step_timing: StepTiming | None = None
+
+    @property
+    def total_time(self) -> float:
+        """Prefill plus decode time for one full batch."""
+        return self.prefill_time + self.decode_time
+
+    @property
+    def generation_throughput(self) -> float:
+        """Generated tokens per second including prefill (the paper's metric)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.tokens_generated / self.total_time
+
+    @property
+    def decode_throughput(self) -> float:
+        """Generated tokens per second over decode time only."""
+        if self.decode_time <= 0:
+            return 0.0
+        return self.tokens_generated / self.decode_time
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary used by experiment report tables."""
+        return {
+            "system": self.system,
+            "model": self.model,
+            "hardware": self.hardware,
+            "workload": self.workload,
+            "throughput": self.generation_throughput,
+            "decode_throughput": self.decode_throughput,
+            "prefill_time": self.prefill_time,
+            "decode_time": self.decode_time,
+            "batch_size": self.policy.batch_size,
+            "micro_batch_size": self.policy.micro_batch_size,
+            "weights_gpu_ratio": self.policy.weights_gpu_ratio,
+            "kv_cache_gpu_ratio": self.policy.kv_cache_gpu_ratio,
+            "attention_on_gpu": self.policy.attention_on_gpu,
+        }
+
+
+class OffloadingSystem(abc.ABC):
+    """Base class: policy selection + prefill model + decode schedule."""
+
+    #: Registry / report name; subclasses override.
+    name: str = "base"
+    #: Whether the system pads every request to the batch's maximum prompt.
+    padded: bool = True
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        hardware: HardwareSpec,
+        efficiency: EfficiencyModel | None = None,
+        max_sim_layers: int | None = 8,
+        decode_samples: int = 3,
+    ) -> None:
+        require_positive_int("decode_samples", decode_samples)
+        self.model = model
+        self.hardware = hardware
+        self.efficiency = efficiency or EfficiencyModel()
+        self.max_sim_layers = max_sim_layers
+        self.decode_samples = decode_samples
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def select_policy(self, workload: WorkloadSpec) -> Policy:
+        """Choose the policy this system would run ``workload`` with."""
+
+    @abc.abstractmethod
+    def make_schedule(self, policy: Policy) -> PipelineSchedule:
+        """Instantiate the decode schedule used for ``policy``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def performance_model(self, workload: WorkloadSpec) -> PerformanceModel:
+        """The analytical model used for prefill and sanity estimates."""
+        return PerformanceModel(
+            model=self.model,
+            hardware=self.hardware,
+            workload=workload,
+            efficiency=self.efficiency,
+            padded=self.padded,
+        )
+
+    def memory_model(self, workload: WorkloadSpec) -> MemoryModel:
+        """The memory-constraint model for this system's padding setting."""
+        return MemoryModel(
+            model=self.model,
+            hardware=self.hardware,
+            workload=workload,
+            padded=self.padded,
+        )
+
+    def effective_prompt_len(self, workload: WorkloadSpec) -> int:
+        """Prompt length charged per request under this system's padding."""
+        return workload.effective_prompt_len(self.padded)
+
+    # ------------------------------------------------------------------
+    # End-to-end run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: WorkloadSpec,
+        policy: Policy | None = None,
+        simulate: bool = True,
+    ) -> SystemResult:
+        """Run ``workload`` end-to-end and return throughput.
+
+        ``simulate=True`` (the default) obtains the decode time from the
+        discrete-event simulation of this system's schedule; ``False`` falls
+        back to the analytical performance model, which is faster and useful
+        for wide parameter sweeps.
+        """
+        chosen = policy or self.select_policy(workload)
+        self.memory_model(workload).check(chosen)
+        performance = self.performance_model(workload)
+        prefill = performance.prefill_time(chosen)
+        prompt = self.effective_prompt_len(workload)
+
+        step_timing: StepTiming | None = None
+        if simulate:
+            schedule = self.make_schedule(chosen)
+            decode = schedule.decode_time(
+                chosen,
+                start_context=prompt,
+                generation_len=workload.generation_len,
+                num_samples=self.decode_samples,
+            )
+            mid_context = prompt + max(1, workload.generation_len // 2)
+            step_timing = schedule.step_timing(chosen, mid_context)
+        else:
+            decode = performance.decode_time(chosen)
+
+        tokens = chosen.batch_size * workload.generation_len
+        return SystemResult(
+            system=self.name,
+            model=self.model.name,
+            hardware=self.hardware.name,
+            workload=workload.name,
+            policy=chosen,
+            prefill_time=prefill,
+            decode_time=decode,
+            tokens_generated=tokens,
+            padded=self.padded,
+            step_timing=step_timing,
+        )

@@ -1,0 +1,74 @@
+"""DeepSpeed ZeRO-Inference baseline.
+
+ZeRO-Inference pins the model weights in CPU memory and streams them to the
+GPU layer by layer.  It does not micro-batch (the whole batch is one kernel
+launch) and keeps the KV cache in GPU memory, so its batch size — and hence
+the amortisation of the enormous weight traffic — is capped by GPU memory.
+That is why DeepSpeed's throughput in the paper is weight-transfer bound at
+small batch sizes (Table 4 reports ``N/μ = 1`` with batch sizes around 100).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import Policy
+from repro.schedules.base import PipelineSchedule
+from repro.schedules.deepspeed import DeepSpeedSchedule
+from repro.systems.base import OffloadingSystem
+from repro.utils.errors import InfeasiblePolicyError
+from repro.workloads.spec import WorkloadSpec
+
+
+class DeepSpeedZeroSystem(OffloadingSystem):
+    """DeepSpeed ZeRO-Inference-style layer streaming."""
+
+    name = "deepspeed"
+    padded = True
+
+    def select_policy(self, workload: WorkloadSpec) -> Policy:
+        """Largest whole-batch policy whose GPU-resident KV cache still fits."""
+        memory = self.memory_model(workload)
+
+        def feasible(batch_size: int) -> bool:
+            policy = Policy(
+                batch_size=batch_size,
+                micro_batch_size=batch_size,
+                attention_on_gpu=True,
+                ffn_on_gpu=True,
+                weights_gpu_ratio=0.0,
+                kv_cache_gpu_ratio=1.0,
+            )
+            return memory.is_feasible(policy)
+
+        if not feasible(1):
+            raise InfeasiblePolicyError(
+                f"DeepSpeed cannot fit a single request of {workload.name} "
+                f"on {self.hardware.name}"
+            )
+        low, high = 1, 2
+        while high <= workload.num_requests and feasible(high):
+            low, high = high, high * 2
+        high = min(high, workload.num_requests)
+        # Binary search the largest feasible batch in (low, high].
+        while low < high:
+            mid = (low + high + 1) // 2
+            if feasible(mid):
+                low = mid
+            else:
+                high = mid - 1
+        return Policy(
+            batch_size=low,
+            micro_batch_size=low,
+            attention_on_gpu=True,
+            ffn_on_gpu=True,
+            weights_gpu_ratio=0.0,
+            kv_cache_gpu_ratio=1.0,
+        )
+
+    def make_schedule(self, policy: Policy) -> PipelineSchedule:
+        """The layer-streaming schedule with whole-batch kernels."""
+        return DeepSpeedSchedule(
+            self.model,
+            self.hardware,
+            efficiency=self.efficiency,
+            max_sim_layers=self.max_sim_layers,
+        )

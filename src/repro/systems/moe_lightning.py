@@ -1,0 +1,61 @@
+"""MoE-Lightning: HRM-driven policy search + CGOPipe execution.
+
+``padded=False`` (the default) is the full system with variable-length
+request batching (Algorithm 2); ``padded=True`` is MoE-Lightning(p), the
+variant that pads every request to the batch maximum so it can be compared
+like-for-like against FlexGen.
+
+The policy optimizer searches both attention placements; in the paper's
+memory-constrained settings it always lands on CPU attention + GPU FFN, in
+which case decode runs under CGOPipe.  If a hardware configuration makes GPU
+attention preferable (§6.3), the system falls back to the S4-style schedule,
+exactly as the paper prescribes ("when A_g = 1, MoE-Lightning adopts S4").
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import PolicyOptimizer
+from repro.core.policy import Policy
+from repro.schedules.base import PipelineSchedule
+from repro.schedules.cgopipe import CGOPipeSchedule
+from repro.schedules.flexgen import FlexGenSchedule
+from repro.systems.base import OffloadingSystem
+from repro.workloads.spec import WorkloadSpec
+
+
+class MoELightningSystem(OffloadingSystem):
+    """The paper's system (CGOPipe + HRM policy optimizer)."""
+
+    name = "moe-lightning"
+
+    def __init__(self, *args, padded: bool = False, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.padded = padded
+        if padded:
+            self.name = "moe-lightning(p)"
+
+    def optimizer(self, workload: WorkloadSpec) -> PolicyOptimizer:
+        """The HRM-based policy optimizer configured for this system."""
+        return PolicyOptimizer(
+            model=self.model,
+            hardware=self.hardware,
+            workload=workload,
+            efficiency=self.efficiency,
+            padded=self.padded,
+            allow_cpu_attention=True,
+            allow_gpu_attention=True,
+        )
+
+    def select_policy(self, workload: WorkloadSpec) -> Policy:
+        """Search the full policy space with the HRM performance model."""
+        return self.optimizer(workload).search().policy
+
+    def make_schedule(self, policy: Policy) -> PipelineSchedule:
+        """CGOPipe for CPU attention, the S4 schedule for GPU attention."""
+        schedule_cls = FlexGenSchedule if policy.attention_on_gpu else CGOPipeSchedule
+        return schedule_cls(
+            self.model,
+            self.hardware,
+            efficiency=self.efficiency,
+            max_sim_layers=self.max_sim_layers,
+        )

@@ -1,0 +1,43 @@
+"""Shared utilities: units, errors, validation and text rendering helpers."""
+
+from repro.utils.errors import (
+    ConfigurationError,
+    InfeasiblePolicyError,
+    ReproError,
+    SimulationError,
+)
+from repro.utils.units import (
+    GB,
+    GIGA,
+    KB,
+    MB,
+    TERA,
+    bytes_to_gib,
+    bytes_to_mib,
+    format_bytes,
+    format_flops,
+    format_seconds,
+    format_throughput,
+    gib,
+    mib,
+)
+
+__all__ = [
+    "GB",
+    "GIGA",
+    "KB",
+    "MB",
+    "TERA",
+    "ReproError",
+    "ConfigurationError",
+    "InfeasiblePolicyError",
+    "SimulationError",
+    "bytes_to_gib",
+    "bytes_to_mib",
+    "format_bytes",
+    "format_flops",
+    "format_seconds",
+    "format_throughput",
+    "gib",
+    "mib",
+]

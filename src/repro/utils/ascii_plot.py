@@ -1,0 +1,95 @@
+"""Minimal ASCII rendering of series data for terminal-friendly "figures".
+
+The benchmark harnesses regenerate the paper's figures as *data series*
+(lists of (x, y) points).  For quick eyeballing without matplotlib, this
+module renders a log-log or linear scatter of those series on a character
+grid.  It is intentionally simple; the numeric series themselves are the
+primary artefact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Series:
+    """A named sequence of (x, y) points to plot."""
+
+    name: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: xs ({len(self.xs)}) and ys "
+                f"({len(self.ys)}) must have the same length"
+            )
+
+
+@dataclass
+class AsciiPlot:
+    """Collects series and renders them onto a character grid."""
+
+    width: int = 72
+    height: int = 20
+    log_x: bool = False
+    log_y: bool = False
+    title: str = ""
+    series: list[Series] = field(default_factory=list)
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float], marker: str = "*"
+    ) -> None:
+        """Register a series; markers identify series in the legend."""
+        self.series.append(Series(name=name, xs=list(xs), ys=list(ys), marker=marker))
+
+    def _transform(self, value: float, log: bool) -> float:
+        if log:
+            return math.log10(max(value, 1e-300))
+        return value
+
+    def render(self) -> str:
+        """Render all registered series onto the grid and return the text."""
+        points: list[tuple[float, float, str]] = []
+        for series in self.series:
+            for x, y in zip(series.xs, series.ys):
+                if x is None or y is None:
+                    continue
+                if (self.log_x and x <= 0) or (self.log_y and y <= 0):
+                    continue
+                points.append(
+                    (
+                        self._transform(float(x), self.log_x),
+                        self._transform(float(y), self.log_y),
+                        series.marker,
+                    )
+                )
+        if not points:
+            return f"{self.title}\n(no points)"
+
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        x_span = (x_max - x_min) or 1.0
+        y_span = (y_max - y_min) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for x, y, marker in points:
+            col = int(round((x - x_min) / x_span * (self.width - 1)))
+            row = int(round((y - y_min) / y_span * (self.height - 1)))
+            grid[self.height - 1 - row][col] = marker
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.extend("|" + "".join(row) for row in grid)
+        lines.append("+" + "-" * self.width)
+        legend = "  ".join(f"{s.marker}={s.name}" for s in self.series)
+        lines.append(legend)
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harnesses print paper-style tables to stdout (and to
+``EXPERIMENTS.md``).  This module provides a dependency-free fixed-width
+table renderer plus a tiny helper for aligning numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object, precision: int = 2) -> str:
+    """Render a single table cell.
+
+    Floats are rounded to ``precision`` decimal places; everything else uses
+    ``str``.  ``None`` renders as an em-dash, matching how the paper marks
+    missing baselines.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have the same length as ``headers``.
+    precision:
+        Number of decimals used for float cells.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(str(h)) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    str_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    header_line = "| " + " | ".join(str(h) for h in headers) + " |"
+    divider = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in str_rows]
+    return "\n".join([header_line, divider, *body])

@@ -1,0 +1,84 @@
+"""Unit constants and human-readable formatting helpers.
+
+The performance model works internally in base SI units: bytes, FLOPs,
+seconds, bytes/second and FLOPs/second.  These helpers keep conversions in
+one place so hardware specs can be written naturally (``24 * GB``,
+``242 * TERA``) and reports can render values the way the paper does
+(GB, GFLOPS/s, tokens/s).
+"""
+
+from __future__ import annotations
+
+# Binary-ish decimal units.  The paper (and GPU marketing) uses decimal
+# gigabytes for memory sizes and bandwidths, so we follow that convention.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Prefixes for FLOP counts / rates.
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+
+# Binary units, used only when talking about "GiB of GPU memory" explicitly.
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def gib(value: float) -> float:
+    """Convert a value expressed in GiB into bytes."""
+    return float(value) * GIB
+
+
+def mib(value: float) -> float:
+    """Convert a value expressed in MiB into bytes."""
+    return float(value) * MIB
+
+
+def bytes_to_gib(num_bytes: float) -> float:
+    """Convert bytes to GiB."""
+    return float(num_bytes) / GIB
+
+
+def bytes_to_mib(num_bytes: float) -> float:
+    """Convert bytes to MiB."""
+    return float(num_bytes) / MIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with an adaptive unit (B, KB, MB, GB, TB)."""
+    value = float(num_bytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(value) >= unit:
+            return f"{value / unit:.2f} {name}"
+    return f"{value:.0f} B"
+
+
+def format_flops(flops: float) -> str:
+    """Render a FLOP count with an adaptive unit (FLOP, GFLOP, TFLOP)."""
+    value = float(flops)
+    if abs(value) >= TERA:
+        return f"{value / TERA:.2f} TFLOP"
+    if abs(value) >= GIGA:
+        return f"{value / GIGA:.2f} GFLOP"
+    if abs(value) >= MEGA:
+        return f"{value / MEGA:.2f} MFLOP"
+    return f"{value:.0f} FLOP"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit (s, ms, us)."""
+    value = float(seconds)
+    if abs(value) >= 1.0:
+        return f"{value:.3f} s"
+    if abs(value) >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def format_throughput(tokens_per_second: float) -> str:
+    """Render a generation throughput the way the paper reports it."""
+    return f"{tokens_per_second:.2f} tokens/s"

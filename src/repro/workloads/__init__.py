@@ -1,0 +1,43 @@
+"""Workloads: request datatypes, synthetic generators and batching.
+
+Encodes the "Workload Configurations, W" block of Table 1 (average prompt
+length ``s`` and generation length ``n``), the three evaluation workloads of
+Table 3 (MTBench, HELM synthetic reasoning, HELM summarization) as synthetic
+prompt-length distributions, and the request-batching procedure of
+Algorithm 2 used to form balanced micro-batches from variable-length
+requests.
+"""
+
+from repro.workloads.request import Batch, MicroBatch, Request
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.generators import (
+    WORKLOAD_REGISTRY,
+    generate_requests,
+    get_workload,
+    list_workloads,
+    mtbench,
+    register_workload,
+    summarization,
+    synthetic_reasoning,
+    uniform_workload,
+)
+from repro.workloads.batching import BatchingResult, batch_requests, pad_requests
+
+__all__ = [
+    "Batch",
+    "MicroBatch",
+    "Request",
+    "WorkloadSpec",
+    "WORKLOAD_REGISTRY",
+    "generate_requests",
+    "get_workload",
+    "list_workloads",
+    "mtbench",
+    "register_workload",
+    "summarization",
+    "synthetic_reasoning",
+    "uniform_workload",
+    "BatchingResult",
+    "batch_requests",
+    "pad_requests",
+]

@@ -1,0 +1,147 @@
+"""Request batching (paper Algorithm 2) and request padding.
+
+Algorithm 2 assigns variable-length requests to ``n_ub`` micro-batches so
+that token counts are balanced: requests are sorted by descending prompt
+length and each is placed into the micro-batch with the fewest prompt
+tokens, unless doing so would overflow the per-micro-batch KV-cache budget
+(in which case the request is aborted to the next batch).  A micro-batch
+that reaches the target size ``ubs`` is sealed and removed from the open
+partitions.
+
+``pad_requests`` implements the padding behaviour of FlexGen and
+MoE-Lightning(p): every request in a batch is padded to the batch's maximum
+prompt length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.validation import require_non_negative, require_positive_int
+from repro.workloads.request import Batch, MicroBatch, Request
+
+
+@dataclass
+class BatchingResult:
+    """Output of :func:`batch_requests`.
+
+    ``micro_batches`` are the sealed micro-batches (plus any non-empty open
+    partitions flushed at the end); ``aborted`` holds requests that could not
+    fit the cache budget and should be carried to the next batch, in the
+    order they were rejected.
+    """
+
+    micro_batches: list[MicroBatch] = field(default_factory=list)
+    aborted: list[Request] = field(default_factory=list)
+
+    @property
+    def batch(self) -> Batch:
+        """The accepted micro-batches wrapped as a :class:`Batch`."""
+        return Batch(micro_batches=self.micro_batches)
+
+    @property
+    def num_accepted(self) -> int:
+        """Number of requests placed into micro-batches."""
+        return sum(mb.size for mb in self.micro_batches)
+
+
+def batch_requests(
+    requests: Sequence[Request],
+    num_micro_batches: int,
+    micro_batch_size: int,
+    generation_len: int,
+    cache_size_tokens: float = float("inf"),
+) -> BatchingResult:
+    """Partition ``requests`` into balanced micro-batches (Algorithm 2).
+
+    Parameters
+    ----------
+    requests:
+        The request queue for this batch.
+    num_micro_batches:
+        ``n_ub`` — number of micro-batches to fill.
+    micro_batch_size:
+        ``ubs`` — maximum number of requests per micro-batch.
+    generation_len:
+        ``gen_len`` — tokens that will be generated per request; counted
+        against the cache budget because the KV cache grows during decode.
+    cache_size_tokens:
+        ``cache_size`` — maximum KV-cache tokens a micro-batch may occupy at
+        the end of generation.  Defaults to unlimited.
+    """
+    require_positive_int("num_micro_batches", num_micro_batches)
+    require_positive_int("micro_batch_size", micro_batch_size)
+    require_positive_int("generation_len", generation_len)
+    require_non_negative("cache_size_tokens", cache_size_tokens)
+
+    partitions: list[list[Request]] = [[] for _ in range(num_micro_batches)]
+    partition_sums: list[int] = [0 for _ in range(num_micro_batches)]
+    sealed: list[MicroBatch] = []
+    aborted: list[Request] = []
+
+    queue = sorted(requests, key=lambda req: req.input_len, reverse=True)
+    for request in queue:
+        if not partitions:
+            aborted.append(request)
+            continue
+        idx = min(range(len(partitions)), key=lambda i: partition_sums[i])
+        projected_prompt_tokens = partition_sums[idx] + request.input_len
+        projected_cache = projected_prompt_tokens + (
+            1 + len(partitions[idx])
+        ) * generation_len
+        if projected_cache > cache_size_tokens:
+            aborted.append(request)
+            continue
+        partitions[idx].append(request)
+        partition_sums[idx] += request.input_len
+        if len(partitions[idx]) == micro_batch_size:
+            sealed.append(
+                MicroBatch(requests=partitions[idx], micro_batch_id=len(sealed))
+            )
+            partitions.pop(idx)
+            partition_sums.pop(idx)
+
+    for leftover in partitions:
+        if leftover:
+            sealed.append(MicroBatch(requests=leftover, micro_batch_id=len(sealed)))
+
+    return BatchingResult(micro_batches=sealed, aborted=aborted)
+
+
+def pad_requests(requests: Sequence[Request], pad_to: int | None = None) -> list[Request]:
+    """Pad every request to ``pad_to`` (default: the longest prompt present).
+
+    This models FlexGen's requirement that all requests in a batch share a
+    prompt length, and MoE-Lightning(p)'s padded variant used for
+    like-for-like comparisons.
+    """
+    if not requests:
+        return []
+    target = pad_to if pad_to is not None else max(req.input_len for req in requests)
+    return [req.padded_to(max(target, req.input_len)) for req in requests]
+
+
+def balance_report(result: BatchingResult) -> dict[str, float]:
+    """Summary statistics about how balanced the produced micro-batches are."""
+    token_counts = [mb.total_input_tokens for mb in result.micro_batches]
+    sizes = [mb.size for mb in result.micro_batches]
+    if not token_counts:
+        return {
+            "num_micro_batches": 0,
+            "min_tokens": 0,
+            "max_tokens": 0,
+            "imbalance": 0.0,
+            "min_size": 0,
+            "max_size": 0,
+        }
+    max_tokens = max(token_counts)
+    min_tokens = min(token_counts)
+    return {
+        "num_micro_batches": len(token_counts),
+        "min_tokens": min_tokens,
+        "max_tokens": max_tokens,
+        "imbalance": (max_tokens - min_tokens) / max(max_tokens, 1),
+        "min_size": min(sizes),
+        "max_size": max(sizes),
+    }

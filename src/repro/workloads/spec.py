@@ -1,0 +1,89 @@
+"""Workload specification used by the performance model and the optimizer.
+
+The paper's performance model takes the workload as an *average* prompt
+length ``s`` and a generation length ``n`` (Table 1).  The specification here
+also carries the maximum prompt length (needed by padding-based baselines,
+which pad every request in a batch to the maximum) and the number of
+requests available, so end-to-end harnesses can materialise a request list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A batch-inference workload.
+
+    Attributes
+    ----------
+    name:
+        Workload identifier (e.g. ``"mtbench"``).
+    avg_prompt_len:
+        Average prompt length ``s`` in tokens.
+    max_prompt_len:
+        Maximum prompt length; padding-based systems pad to this value.
+    generation_len:
+        Number of tokens to generate per request ``n``.
+    num_requests:
+        Number of requests available (the paper replicates MTBench "into
+        thousands of questions"); harnesses may draw fewer.
+    """
+
+    name: str
+    avg_prompt_len: int
+    max_prompt_len: int
+    generation_len: int
+    num_requests: int = 1000
+
+    def __post_init__(self) -> None:
+        require_positive_int("avg_prompt_len", self.avg_prompt_len)
+        require_positive_int("max_prompt_len", self.max_prompt_len)
+        require_positive_int("generation_len", self.generation_len)
+        require_positive_int("num_requests", self.num_requests)
+        if self.max_prompt_len < self.avg_prompt_len:
+            raise ConfigurationError(
+                f"max_prompt_len ({self.max_prompt_len}) must be >= "
+                f"avg_prompt_len ({self.avg_prompt_len})"
+            )
+
+    @property
+    def avg_total_len(self) -> int:
+        """Average final sequence length (prompt + generated tokens)."""
+        return self.avg_prompt_len + self.generation_len
+
+    @property
+    def padded_total_len(self) -> int:
+        """Final sequence length when every request is padded to the max."""
+        return self.max_prompt_len + self.generation_len
+
+    def effective_prompt_len(self, padded: bool) -> int:
+        """Prompt length the performance model should use.
+
+        Padding-based systems (FlexGen, MoE-Lightning(p)) pay for the maximum
+        prompt length on every request; systems with variable-length batching
+        pay only for the average.
+        """
+        return self.max_prompt_len if padded else self.avg_prompt_len
+
+    def with_generation_len(self, generation_len: int) -> "WorkloadSpec":
+        """Copy of this workload with a different generation length."""
+        require_positive_int("generation_len", generation_len)
+        return replace(self, generation_len=generation_len)
+
+    def with_num_requests(self, num_requests: int) -> "WorkloadSpec":
+        """Copy of this workload with a different request count."""
+        require_positive_int("num_requests", num_requests)
+        return replace(self, num_requests=num_requests)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used by reports."""
+        return (
+            f"{self.name}: avg prompt {self.avg_prompt_len}, max prompt "
+            f"{self.max_prompt_len}, gen len {self.generation_len}, "
+            f"{self.num_requests} requests"
+        )

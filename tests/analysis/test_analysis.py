@@ -1,0 +1,106 @@
+"""Tests for the analysis helpers (HRM case studies, bottlenecks, scaling)."""
+
+import pytest
+
+from repro.analysis import (
+    attention_case_study,
+    classify_policy,
+    compare_schedules,
+    ffn_case_study,
+    sweep_batch_size,
+    tensor_parallel_scaling,
+)
+from repro.core.policy import Policy
+from repro.workloads import mtbench
+
+
+def test_attention_case_study_prefers_cpu(mixtral, l4_node):
+    """Fig. 4: fp16 and int4 GQA decode attention sit below P1 on the L4."""
+    study = attention_case_study(mixtral, l4_node, context_len=512)
+    assert study.prefer_cpu["float16"]
+    assert study.prefer_cpu["int4"]
+    assert study.intensities["int4"] > study.intensities["float16"]
+    for dtype in ("float16", "int4"):
+        assert study.intensities[dtype] < study.p1_intensity[dtype]
+    rows = study.as_rows()
+    assert len(rows) == 2 and {"kv_dtype", "prefer_cpu"} <= set(rows[0])
+
+
+def test_ffn_case_study_turning_points_and_saturation(mixtral, l4_node):
+    """Fig. 5: performance climbs along the interconnect roof and saturates."""
+    study = ffn_case_study(mixtral, l4_node, micro_batch_size=128)
+    assert study.p1_intensity < study.p2_intensity
+    assert study.attainable == sorted(study.attainable)
+    assert study.bottlenecks[0] == "interconnect"
+    assert study.bottlenecks[-1] != "interconnect"
+    assert study.balance_batch_size is not None
+    assert study.attainable[-1] <= study.kernel_performance * 1.001
+
+
+def test_ffn_case_study_smaller_micro_batch_lowers_ceiling(mixtral, l4_node):
+    large = ffn_case_study(mixtral, l4_node, micro_batch_size=128)
+    small = ffn_case_study(mixtral, l4_node, micro_batch_size=16)
+    assert small.kernel_performance < large.kernel_performance
+
+
+def test_classify_policy_reports_bottleneck(mixtral, t4_node):
+    workload = mtbench(generation_len=64)
+    policy = Policy(
+        batch_size=512, micro_batch_size=64, attention_on_gpu=False,
+        ffn_on_gpu=True, weights_gpu_ratio=0.05,
+    )
+    report = classify_policy(mixtral, t4_node, workload, policy, padded=True)
+    assert report.pipeline_bottleneck in ("htod", "gpu", "cpu", "dtoh")
+    assert 0 <= report.gpu_memory_utilization
+    assert report.capacity_bound in ("gpu", "cpu", "gpu+cpu", "none")
+    assert report.throughput > 0
+
+
+def test_sweep_batch_size_shows_cpu_memory_fill(mixtral, t4_node):
+    workload = mtbench(generation_len=64)
+    base = Policy(batch_size=64, micro_batch_size=64, attention_on_gpu=False)
+    reports = sweep_batch_size(
+        mixtral, t4_node, workload, base, batch_sizes=[64, 512, 2048], padded=True
+    )
+    utils = [r.cpu_memory_utilization for r in reports]
+    assert utils == sorted(utils)
+    assert reports[-1].throughput > reports[0].throughput
+
+
+def test_compare_schedules_orders_cgopipe_first(mixtral, t4_node):
+    policy = Policy(
+        batch_size=480, micro_batch_size=96, attention_on_gpu=False,
+        ffn_on_gpu=True, weights_gpu_ratio=0.05,
+    )
+    results = compare_schedules(
+        mixtral, t4_node, policy, context_len=400, max_sim_layers=3
+    )
+    assert [r.schedule for r in results] == [
+        "cgopipe", "fastdecode", "flexgen_cpu", "flexgen",
+    ]
+    for result in results:
+        assert result.step_time > 0
+        assert result.gantt  # ASCII rendering produced
+        assert set(result.as_row()) >= {"schedule", "step_time_ms", "gpu_util"}
+
+
+def test_tensor_parallel_scaling_improves_for_padded_mixtral_8x22b(
+    mixtral_8x22b, multi_t4_node
+):
+    """Fig. 7 S6 vs S7: adding GPUs raises MoE-Lightning(p)'s throughput.
+
+    The gain is driven by the larger resident-weight fraction the extra GPU
+    memory allows; the paper observes a super-linear factor on its testbed,
+    while the PCIe-bound analytical substrate reproduces the direction with a
+    smaller factor (documented in EXPERIMENTS.md).
+    """
+    base = multi_t4_node.with_tensor_parallel(1)
+    workload = mtbench(generation_len=64)
+    points = tensor_parallel_scaling(
+        mixtral_8x22b, base, workload, tp_sizes=(2, 4), padded=True,
+        max_sim_layers=3, simulate=False,
+    )
+    assert [p.tp_size for p in points] == [2, 4]
+    speedup = points[1].speedup_over(points[0])
+    assert speedup > 1.05
+    assert points[1].weights_gpu_ratio > points[0].weights_gpu_ratio

@@ -1,0 +1,104 @@
+"""Tests for the Hierarchical Roofline Model (Eqs. 4-11)."""
+
+import pytest
+
+from repro.core.hrm import (
+    HierarchicalRoofline,
+    MemoryLevel,
+    balance_point_intensity,
+    turning_point_p1,
+    turning_point_p2,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, TERA
+
+
+@pytest.fixture
+def gpu_level():
+    return MemoryLevel(name="gpu", peak_flops=242 * TERA, peak_bandwidth=300 * GB, capacity_bytes=24 * GB)
+
+
+@pytest.fixture
+def cpu_level():
+    return MemoryLevel(name="cpu", peak_flops=1.3 * TERA, peak_bandwidth=100 * GB, capacity_bytes=192 * GB)
+
+
+@pytest.fixture
+def hrm(gpu_level, cpu_level):
+    return HierarchicalRoofline(gpu=gpu_level, cpu=cpu_level, cross_bandwidth=32 * GB)
+
+
+def test_from_hardware_matches_manual_construction(l4_node, hrm):
+    from_hw = HierarchicalRoofline.from_hardware(l4_node)
+    assert from_hw.gpu.peak_flops == hrm.gpu.peak_flops
+    assert from_hw.cpu.peak_bandwidth == hrm.cpu.peak_bandwidth
+    assert from_hw.cross_bandwidth == hrm.cross_bandwidth
+
+
+def test_attainable_is_min_of_three_roofs(hrm):
+    roofs = hrm.roofs_on_gpu(gpu_intensity=10.0, cpu_intensity=5.0)
+    assert roofs.attainable == pytest.approx(
+        min(roofs.compute_roof, roofs.local_memory_roof, roofs.cross_memory_roof)
+    )
+    # At this point the interconnect (32 GB/s * 5) binds.
+    assert roofs.bottleneck == "interconnect"
+    assert roofs.attainable == pytest.approx(32 * GB * 5.0)
+
+
+def test_cpu_execution_reduces_to_classic_roofline(hrm):
+    # Eq. 8: min(P_peak, B * I).
+    assert hrm.attainable_on_cpu(1.0) == pytest.approx(100 * GB)
+    assert hrm.attainable_on_cpu(1e6) == pytest.approx(1.3 * TERA)
+
+
+def test_turning_point_p1_definition(cpu_level):
+    # Eq. 9 with a memory-bound CPU-side computation.
+    intensity = 4.0
+    p1 = turning_point_p1(cpu_level, cross_bandwidth=32 * GB, intensity_at_lower=intensity)
+    assert p1 == pytest.approx(min(1.3 * TERA, 100 * GB * intensity) / (32 * GB))
+
+
+def test_turning_point_p2_definition(gpu_level):
+    intensity = 32.0
+    p2 = turning_point_p2(gpu_level, cross_bandwidth=32 * GB, intensity_at_upper=intensity)
+    assert p2 == pytest.approx(min(242 * TERA, 300 * GB * intensity) / (32 * GB))
+
+
+def test_balance_point_equalises_roofs(gpu_level):
+    gpu_intensity = 32.0
+    balance = balance_point_intensity(gpu_level, 32 * GB, gpu_intensity)
+    assert 300 * GB * gpu_intensity == pytest.approx(32 * GB * balance)
+
+
+def test_p1_below_p2_for_l4_case_study(hrm):
+    """In the Fig. 5 case study P1 sits left of P2."""
+    gpu_intensity = 32.0  # MoE FFN at mu = 128 (roughly)
+    cpu_intensity = 8.0
+    assert hrm.p1(cpu_intensity) < hrm.p2(gpu_intensity)
+
+
+def test_prefer_cpu_for_low_intensity_attention(hrm):
+    """Fig. 4: fp16 GQA decode attention (I ~ 4) should stay on the CPU."""
+    assert hrm.prefer_cpu(gpu_intensity=4.0, cpu_intensity=4.0)
+
+
+def test_prefer_gpu_for_high_intensity(hrm):
+    assert not hrm.prefer_cpu(gpu_intensity=1000.0, cpu_intensity=1000.0)
+
+
+def test_sweep_cross_intensity_monotone_until_balance(hrm):
+    sweep = hrm.sweep_cross_intensity(32.0, [1, 10, 100, 1000, 10000])
+    assert all(b >= a - 1e-9 for a, b in zip(sweep, sweep[1:]))
+    # Saturation: the last two points are equal (hit the GPU-side roof).
+    assert sweep[-1] == pytest.approx(sweep[-2])
+
+
+def test_classify_gpu_execution_names_bottleneck(hrm):
+    assert hrm.classify_gpu_execution(32.0, 1.0) == "interconnect"
+    assert hrm.classify_gpu_execution(32.0, 1e9) == "local_memory"
+    assert hrm.classify_gpu_execution(1e9, 1e9) == "compute"
+
+
+def test_hrm_rejects_inverted_hierarchy(gpu_level, cpu_level):
+    with pytest.raises(ConfigurationError):
+        HierarchicalRoofline(gpu=cpu_level, cpu=gpu_level, cross_bandwidth=32 * GB)

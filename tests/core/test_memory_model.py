@@ -1,0 +1,103 @@
+"""Tests for the policy memory-constraint model."""
+
+import pytest
+
+from repro.core.memory_model import MemoryModel
+from repro.core.policy import Policy
+from repro.models.memory import model_weight_bytes
+from repro.utils.errors import InfeasiblePolicyError
+
+
+@pytest.fixture
+def memory_model(mixtral, t4_node, mtbench_workload):
+    return MemoryModel(model=mixtral, hardware=t4_node, workload=mtbench_workload, padded=True)
+
+
+def test_usable_memory_applies_reserve(memory_model, t4_node):
+    assert memory_model.usable_gpu_memory < t4_node.gpu_memory
+    assert memory_model.usable_cpu_memory < t4_node.cpu_memory
+
+
+def test_mixtral_does_not_fit_on_t4_gpu_alone(memory_model):
+    """The premise of the paper: the model is far larger than GPU memory."""
+    policy = Policy(batch_size=32, micro_batch_size=32, weights_gpu_ratio=1.0)
+    usage = memory_model.usage(policy)
+    assert not usage.gpu_fits
+    assert usage.gpu.weights > memory_model.usable_gpu_memory
+
+
+def test_streaming_policy_fits(memory_model):
+    policy = Policy(batch_size=256, micro_batch_size=32, weights_gpu_ratio=0.0)
+    usage = memory_model.usage(policy)
+    assert usage.gpu_fits
+    assert usage.cpu_fits
+    assert usage.feasible
+
+
+def test_kv_cache_charged_to_cpu_for_cpu_attention(memory_model):
+    policy = Policy(batch_size=512, micro_batch_size=32, attention_on_gpu=False)
+    usage = memory_model.usage(policy)
+    assert usage.gpu.kv_cache == 0.0
+    assert usage.cpu.kv_cache > 0.0
+    assert usage.cpu.kv_cache == pytest.approx(memory_model.kv_cache_total_bytes(policy))
+
+
+def test_kv_cache_split_follows_ratio(memory_model):
+    policy = Policy(
+        batch_size=512, micro_batch_size=32, attention_on_gpu=True, kv_cache_gpu_ratio=0.25
+    )
+    usage = memory_model.usage(policy)
+    total = memory_model.kv_cache_total_bytes(policy)
+    assert usage.gpu.kv_cache == pytest.approx(0.25 * total)
+    assert usage.cpu.kv_cache == pytest.approx(0.75 * total)
+
+
+def test_double_buffer_workspace_scales_with_streamed_fraction(memory_model):
+    full_stream = Policy(batch_size=64, micro_batch_size=32, weights_gpu_ratio=0.0)
+    half_stream = Policy(batch_size=64, micro_batch_size=32, weights_gpu_ratio=0.5)
+    assert memory_model.gpu_usage(full_stream).workspace == pytest.approx(
+        2 * memory_model.gpu_usage(half_stream).workspace
+    )
+
+
+def test_padding_increases_cpu_kv_footprint(mixtral, t4_node, mtbench_workload):
+    policy = Policy(batch_size=512, micro_batch_size=32)
+    padded = MemoryModel(mixtral, t4_node, mtbench_workload, padded=True)
+    unpadded = MemoryModel(mixtral, t4_node, mtbench_workload, padded=False)
+    # (418 + 128) / (77 + 128) = 2.66x more KV bytes per request when padding.
+    assert padded.kv_cache_total_bytes(policy) > 2.5 * unpadded.kv_cache_total_bytes(policy)
+
+
+def test_check_raises_for_infeasible_policy(memory_model, mtbench_workload):
+    huge = Policy(batch_size=mtbench_workload.num_requests, micro_batch_size=64)
+    if not memory_model.is_feasible(huge):
+        with pytest.raises(InfeasiblePolicyError):
+            memory_model.check(huge)
+
+
+def test_max_weights_gpu_ratio_is_feasible_bound(memory_model):
+    policy = Policy(batch_size=256, micro_batch_size=32)
+    ratio = memory_model.max_weights_gpu_ratio(policy)
+    assert 0.0 <= ratio <= 1.0
+    assert memory_model.is_feasible(policy.with_weights_gpu_ratio(ratio))
+    if ratio < 0.97:
+        slightly_more = min(1.0, ratio + 0.03)
+        assert not memory_model.gpu_usage(
+            policy.with_weights_gpu_ratio(slightly_more)
+        ).fits_within(memory_model.usable_gpu_memory)
+
+
+def test_max_batch_size_respects_cpu_memory(memory_model, mixtral):
+    policy = Policy(batch_size=64, micro_batch_size=64)
+    max_batch = memory_model.max_batch_size(policy)
+    assert max_batch > 64
+    at_bound = policy.with_batch_size(max_batch)
+    assert memory_model.cpu_usage(at_bound).total <= memory_model.usable_cpu_memory
+    over = policy.with_batch_size(int(max_batch * 1.2))
+    assert memory_model.cpu_usage(over).total > memory_model.usable_cpu_memory
+
+
+def test_weights_dominate_cpu_footprint(memory_model, mixtral):
+    policy = Policy(batch_size=64, micro_batch_size=64, weights_gpu_ratio=0.0)
+    usage = memory_model.cpu_usage(policy)
+    assert usage.weights == pytest.approx(model_weight_bytes(mixtral))

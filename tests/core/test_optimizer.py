@@ -1,0 +1,122 @@
+"""Tests for the policy optimizer (§4.2)."""
+
+import pytest
+
+from repro.core.optimizer import PolicyOptimizer, _power_of_two_grid
+from repro.core.policy import Policy
+from repro.utils.errors import InfeasiblePolicyError
+from repro.workloads import mtbench
+
+
+@pytest.fixture
+def optimizer(mixtral, t4_node, mtbench_workload):
+    return PolicyOptimizer(
+        model=mixtral, hardware=t4_node, workload=mtbench_workload, padded=True
+    )
+
+
+def test_power_of_two_grid_includes_bounds():
+    assert _power_of_two_grid(1, 10) == [1, 2, 4, 8, 10]
+    assert _power_of_two_grid(3, 3) == [3]
+    assert _power_of_two_grid(5, 4) == []
+
+
+def test_search_returns_feasible_policy(optimizer):
+    result = optimizer.search()
+    assert optimizer.memory_model.is_feasible(result.policy)
+    assert result.throughput > 0
+    assert result.feasible_candidates > 0
+    assert result.candidates_evaluated >= result.feasible_candidates
+
+
+def test_paper_main_setting_selects_cpu_attention_gpu_ffn(optimizer):
+    """§4.2: 'For our major setting, we always get A_g = 0 and F_g = 1'."""
+    policy = optimizer.search().policy
+    assert not policy.attention_on_gpu
+    assert policy.ffn_on_gpu
+
+
+def test_selected_policy_beats_naive_policies(optimizer):
+    best = optimizer.search()
+    naive_small = optimizer.evaluate(
+        Policy(batch_size=32, micro_batch_size=32, weights_gpu_ratio=0.0)
+    )
+    assert best.throughput > naive_small.throughput
+
+
+def test_best_of_explicit_candidates(optimizer):
+    candidates = [
+        Policy(batch_size=64, micro_batch_size=32),
+        Policy(batch_size=512, micro_batch_size=64),
+    ]
+    result = optimizer.best_of(candidates)
+    assert result.policy in candidates
+    assert result.policy.batch_size == 512
+
+
+def test_best_of_all_infeasible_raises(optimizer):
+    with pytest.raises(InfeasiblePolicyError):
+        optimizer.best_of([Policy(batch_size=9000, micro_batch_size=64, weights_gpu_ratio=1.0)])
+
+
+def test_attention_restriction_is_respected(mixtral, t4_node, mtbench_workload):
+    gpu_only = PolicyOptimizer(
+        model=mixtral, hardware=t4_node, workload=mtbench_workload,
+        padded=True, allow_cpu_attention=False,
+    )
+    assert gpu_only.search().policy.attention_on_gpu
+    cpu_only = PolicyOptimizer(
+        model=mixtral, hardware=t4_node, workload=mtbench_workload,
+        padded=True, allow_gpu_attention=False,
+    )
+    assert not cpu_only.search().policy.attention_on_gpu
+
+
+def test_disallowing_both_attention_placements_raises(mixtral, t4_node, mtbench_workload):
+    with pytest.raises(InfeasiblePolicyError):
+        PolicyOptimizer(
+            model=mixtral, hardware=t4_node, workload=mtbench_workload,
+            allow_cpu_attention=False, allow_gpu_attention=False,
+        )
+
+
+def test_max_batch_size_cap_is_respected(mixtral, t4_node, mtbench_workload):
+    capped = PolicyOptimizer(
+        model=mixtral, hardware=t4_node, workload=mtbench_workload,
+        padded=True, max_batch_size=128,
+    )
+    assert capped.search().policy.batch_size <= 128
+
+
+def test_micro_batch_cap_is_respected(mixtral, t4_node, mtbench_workload):
+    capped = PolicyOptimizer(
+        model=mixtral, hardware=t4_node, workload=mtbench_workload,
+        padded=True, max_micro_batch_size=16,
+    )
+    assert capped.search().policy.micro_batch_size <= 16
+
+
+def test_more_cpu_memory_never_hurts(mixtral, t4_node):
+    """Fig. 1: throughput is non-decreasing in CPU memory."""
+    workload = mtbench(generation_len=64)
+    small = PolicyOptimizer(
+        model=mixtral, hardware=t4_node.with_cpu_memory(120e9),
+        workload=workload, padded=True,
+    ).search()
+    large = PolicyOptimizer(
+        model=mixtral, hardware=t4_node.with_cpu_memory(320e9),
+        workload=workload, padded=True,
+    ).search()
+    assert large.throughput >= small.throughput * 0.999
+    assert large.policy.batch_size >= small.policy.batch_size
+
+
+def test_unconstrained_gpu_keeps_weights_resident(mixtral, mtbench_workload):
+    """With 2x A100-80G the whole model fits; the optimizer should not stream."""
+    from repro.experiments.hardware_sweep import base_a100_hardware
+
+    optimizer = PolicyOptimizer(
+        model=mixtral, hardware=base_a100_hardware(), workload=mtbench_workload,
+    )
+    policy = optimizer.search().policy
+    assert policy.weights_gpu_ratio > 0.9

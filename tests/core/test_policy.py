@@ -1,0 +1,74 @@
+"""Tests for the Policy dataclass."""
+
+import pytest
+
+from repro.core.policy import Placement, Policy
+from repro.utils.errors import ConfigurationError
+
+
+def test_policy_tuple_matches_paper_order():
+    policy = Policy(
+        batch_size=504,
+        micro_batch_size=36,
+        attention_on_gpu=False,
+        ffn_on_gpu=True,
+        weights_gpu_ratio=0.1,
+        kv_cache_gpu_ratio=0.0,
+    )
+    assert policy.as_tuple() == (504, 36, 0, 1, 0.1, 0.0)
+
+
+def test_num_micro_batches_rounds_up():
+    assert Policy(batch_size=100, micro_batch_size=32).num_micro_batches == 4
+    assert Policy(batch_size=96, micro_batch_size=32).num_micro_batches == 3
+
+
+def test_placements():
+    policy = Policy(batch_size=8, micro_batch_size=8, attention_on_gpu=False, ffn_on_gpu=True)
+    assert policy.attention_placement is Placement.CPU
+    assert policy.ffn_placement is Placement.GPU
+
+
+def test_ratios_complement():
+    policy = Policy(
+        batch_size=8, micro_batch_size=8, attention_on_gpu=True,
+        weights_gpu_ratio=0.3, kv_cache_gpu_ratio=0.25,
+    )
+    assert policy.weights_cpu_ratio == pytest.approx(0.7)
+    assert policy.kv_cache_cpu_ratio == pytest.approx(0.75)
+    assert policy.streams_weights
+
+
+def test_fully_resident_weights_do_not_stream():
+    policy = Policy(batch_size=8, micro_batch_size=8, weights_gpu_ratio=1.0)
+    assert not policy.streams_weights
+
+
+def test_micro_batch_cannot_exceed_batch():
+    with pytest.raises(ConfigurationError):
+        Policy(batch_size=8, micro_batch_size=16)
+
+
+def test_cpu_attention_requires_cpu_kv_cache():
+    with pytest.raises(ConfigurationError):
+        Policy(batch_size=8, micro_batch_size=8, attention_on_gpu=False, kv_cache_gpu_ratio=0.5)
+
+
+def test_with_batch_size_clamps_micro_batch():
+    policy = Policy(batch_size=64, micro_batch_size=32)
+    smaller = policy.with_batch_size(16)
+    assert smaller.batch_size == 16
+    assert smaller.micro_batch_size == 16
+
+
+def test_with_ratio_modifiers():
+    policy = Policy(batch_size=8, micro_batch_size=4, attention_on_gpu=True)
+    assert policy.with_weights_gpu_ratio(0.5).weights_gpu_ratio == 0.5
+    assert policy.with_kv_cache_gpu_ratio(0.5).kv_cache_gpu_ratio == 0.5
+    with pytest.raises(ConfigurationError):
+        policy.with_weights_gpu_ratio(1.5)
+
+
+def test_describe_contains_key_fields():
+    text = Policy(batch_size=504, micro_batch_size=36).describe()
+    assert "N=504" in text and "mu=36" in text and "CPU" in text

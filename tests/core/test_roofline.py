@@ -1,0 +1,60 @@
+"""Tests for the classical Roofline Model."""
+
+import pytest
+
+from repro.core.roofline import RooflineModel
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def roofline():
+    return RooflineModel(peak_flops=100e12, peak_bandwidth=1e12)
+
+
+def test_critical_intensity(roofline):
+    assert roofline.critical_intensity == pytest.approx(100.0)
+
+
+def test_memory_bound_region(roofline):
+    point = roofline.classify(10.0)
+    assert point.is_memory_bound
+    assert point.performance == pytest.approx(10e12)
+
+
+def test_compute_bound_region(roofline):
+    point = roofline.classify(1000.0)
+    assert point.is_compute_bound
+    assert point.performance == pytest.approx(100e12)
+
+
+def test_attainable_never_exceeds_either_roof(roofline):
+    for intensity in (0.1, 1, 10, 100, 1000, 1e6):
+        attainable = roofline.attainable(intensity)
+        assert attainable <= roofline.compute_roof() + 1e-6
+        assert attainable <= roofline.memory_roof(intensity) + 1e-6
+
+
+def test_attainable_at_critical_intensity_equals_peak(roofline):
+    assert roofline.attainable(roofline.critical_intensity) == pytest.approx(100e12)
+
+
+def test_time_for_is_max_of_compute_and_memory(roofline):
+    # 1e12 FLOPs at 100 TFLOPs/s = 10 ms; 1e11 bytes at 1 TB/s = 100 ms.
+    assert roofline.time_for(1e12, 1e11) == pytest.approx(0.1)
+    assert roofline.time_for(1e13, 1e9) == pytest.approx(0.1)
+
+
+def test_time_for_rejects_negative_inputs(roofline):
+    with pytest.raises(ValueError):
+        roofline.time_for(-1, 0)
+
+
+def test_sweep_returns_point_per_intensity(roofline):
+    points = roofline.sweep([1.0, 10.0, 1000.0])
+    assert len(points) == 3
+    assert points[0].is_memory_bound and points[-1].is_compute_bound
+
+
+def test_invalid_hardware_rejected():
+    with pytest.raises(ConfigurationError):
+        RooflineModel(peak_flops=0, peak_bandwidth=1)

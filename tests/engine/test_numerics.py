@@ -1,0 +1,122 @@
+"""Tests for the numerical building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.engine.numerics import (
+    gqa_attention_decode,
+    gqa_attention_prefill,
+    rms_norm,
+    rotary_embedding,
+    silu,
+    softmax,
+    top_k_routing,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def test_softmax_rows_sum_to_one(rng):
+    logits = rng.normal(size=(5, 17))
+    probs = softmax(logits)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+    assert np.all(probs >= 0)
+
+
+def test_softmax_is_shift_invariant(rng):
+    logits = rng.normal(size=(3, 9))
+    assert np.allclose(softmax(logits), softmax(logits + 1000.0))
+
+
+def test_rms_norm_unit_scale(rng):
+    x = rng.normal(size=(4, 16))
+    weight = np.ones(16)
+    normed = rms_norm(x, weight)
+    rms = np.sqrt(np.mean(np.square(normed), axis=-1))
+    assert np.allclose(rms, 1.0, atol=1e-3)
+
+
+def test_silu_known_values():
+    assert silu(np.array([0.0]))[0] == pytest.approx(0.0)
+    assert silu(np.array([100.0]))[0] == pytest.approx(100.0, rel=1e-6)
+    assert silu(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_rotary_embedding_preserves_norm(rng):
+    x = rng.normal(size=(2, 5, 4, 8))
+    positions = np.broadcast_to(np.arange(5), (2, 5))
+    rotated = rotary_embedding(x, positions)
+    assert np.allclose(
+        np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1)
+    )
+
+
+def test_rotary_embedding_position_zero_is_identity(rng):
+    x = rng.normal(size=(1, 1, 2, 8))
+    positions = np.zeros((1, 1))
+    assert np.allclose(rotary_embedding(x, positions), x)
+
+
+def test_rotary_embedding_rejects_odd_head_dim(rng):
+    with pytest.raises(ConfigurationError):
+        rotary_embedding(rng.normal(size=(1, 1, 2, 7)), np.zeros((1, 1)))
+
+
+def test_prefill_attention_is_causal(rng):
+    """Changing a future token must not affect earlier positions' outputs."""
+    batch, seq, n_q, n_kv, dim = 1, 6, 4, 2, 8
+    q = rng.normal(size=(batch, seq, n_q, dim))
+    k = rng.normal(size=(batch, seq, n_kv, dim))
+    v = rng.normal(size=(batch, seq, n_kv, dim))
+    base = gqa_attention_prefill(q, k, v)
+    k2, v2 = k.copy(), v.copy()
+    k2[:, -1], v2[:, -1] = rng.normal(size=(n_kv, dim)), rng.normal(size=(n_kv, dim))
+    changed = gqa_attention_prefill(q, k2, v2)
+    assert np.allclose(base[:, :-1], changed[:, :-1])
+    assert not np.allclose(base[:, -1], changed[:, -1])
+
+
+def test_decode_attention_matches_prefill_last_position(rng):
+    """Decoding the last token over the cache equals the prefill output there."""
+    batch, seq, n_q, n_kv, dim = 2, 5, 4, 2, 8
+    q = rng.normal(size=(batch, seq, n_q, dim))
+    k = rng.normal(size=(batch, seq, n_kv, dim))
+    v = rng.normal(size=(batch, seq, n_kv, dim))
+    prefill = gqa_attention_prefill(q, k, v)
+    decode = gqa_attention_decode(
+        q[:, -1], k, v, context_lens=np.full(batch, seq)
+    )
+    assert np.allclose(decode, prefill[:, -1], atol=1e-10)
+
+
+def test_decode_attention_masks_unused_slots(rng):
+    batch, ctx, n_q, n_kv, dim = 1, 8, 4, 2, 8
+    q = rng.normal(size=(batch, n_q, dim))
+    k = rng.normal(size=(batch, ctx, n_kv, dim))
+    v = rng.normal(size=(batch, ctx, n_kv, dim))
+    short = gqa_attention_decode(q, k, v, context_lens=np.array([4]))
+    k2, v2 = k.copy(), v.copy()
+    k2[:, 5:], v2[:, 5:] = 99.0, 99.0  # garbage beyond the context length
+    short_again = gqa_attention_decode(q, k2, v2, context_lens=np.array([4]))
+    assert np.allclose(short, short_again)
+
+
+def test_attention_rejects_bad_head_grouping(rng):
+    q = rng.normal(size=(1, 3, 8))
+    k = rng.normal(size=(1, 4, 2, 8))
+    with pytest.raises(ConfigurationError):
+        gqa_attention_decode(rng.normal(size=(1, 3, 8)), k, k)
+
+
+def test_top_k_routing_selects_largest_logits():
+    logits = np.array([[0.1, 5.0, -1.0, 3.0]])
+    indices, weights = top_k_routing(logits, top_k=2)
+    assert set(indices[0]) == {1, 3}
+    assert weights[0].sum() == pytest.approx(1.0)
+    assert weights[0][list(indices[0]).index(1)] > weights[0][list(indices[0]).index(3)]
+
+
+def test_top_k_routing_rejects_bad_k():
+    with pytest.raises(ConfigurationError):
+        top_k_routing(np.zeros((1, 4)), top_k=0)
+    with pytest.raises(ConfigurationError):
+        top_k_routing(np.zeros((1, 4)), top_k=5)

@@ -1,0 +1,141 @@
+"""Tests for the experiment harnesses (scaled-down parameterisations)."""
+
+import pytest
+
+from repro.experiments import (
+    render_rows,
+    rows_to_markdown,
+    run_cpu_memory_sweep,
+    run_helm_experiment,
+    run_kernel_latency_ablation,
+    run_mtbench_experiment,
+    run_policy_ablation,
+    run_schedule_comparison,
+    run_tp_scaling,
+)
+from repro.experiments.ablation_kernels import crossover_points
+from repro.experiments.e2e import speedup_summary
+from repro.experiments.pipeline_diagram import comparison_rows
+from repro.experiments.throughput_vs_cpumem import cpu_memory_to_match, memory_to_reach
+from repro.experiments.tp_scaling import scaling_factors
+
+
+@pytest.fixture(scope="module")
+def mtbench_rows():
+    return run_mtbench_experiment(
+        settings=("S1",), generation_lengths=(32, 128), max_sim_layers=2,
+        include_unpadded=True,
+    )
+
+
+def test_mtbench_rows_cover_all_systems(mtbench_rows):
+    systems = {row["system"] for row in mtbench_rows}
+    assert {"flexgen", "flexgen(c)", "deepspeed", "moe-lightning(p)", "moe-lightning"} <= systems
+    lengths = {row["generation_len"] for row in mtbench_rows}
+    assert lengths == {32, 128}
+
+
+def test_mtbench_moe_lightning_wins_every_cell(mtbench_rows):
+    """Fig. 7: MoE-Lightning(p) outperforms all baselines in every setting."""
+    summary = speedup_summary(mtbench_rows)
+    assert summary, "expected at least one summarised cell"
+    for cell in summary:
+        assert cell["padded_speedup"] > 1.0
+        assert cell["unpadded_speedup"] > cell["padded_speedup"]
+
+
+def test_helm_experiment_runs_and_moe_lightning_wins():
+    rows = run_helm_experiment(
+        settings=("S1",), workloads=("synthetic_reasoning",), max_sim_layers=2
+    )
+    by_system = {row["system"]: row for row in rows if row["throughput"]}
+    assert by_system["moe-lightning(p)"]["throughput"] > by_system["flexgen"]["throughput"]
+    assert by_system["moe-lightning(p)"]["throughput"] > by_system["deepspeed"]["throughput"]
+
+
+def test_policy_ablation_ordering():
+    """Table 5: their policy < our policy < our policy + larger N < MoE-Lightning."""
+    rows = run_policy_ablation(max_sim_layers=2)
+    throughputs = [row["throughput"] for row in rows]
+    assert throughputs[1] > throughputs[0]
+    assert throughputs[2] >= throughputs[1] * 0.98
+    assert throughputs[3] > throughputs[1]
+    assert rows[0]["speedup_vs_flexgen"] == pytest.approx(1.0)
+
+
+def test_kernel_latency_ablation_shapes():
+    rows = run_kernel_latency_ablation(
+        micro_batch_sizes=(32, 256), context_lengths=(128, 2048)
+    )
+    assert len(rows) == 4
+    for row in rows:
+        assert row["kv_transfer_s"] > row["cpu_attention_s"]
+    crossings = crossover_points(rows)
+    assert any(c["crossover_context_len"] is not None for c in crossings)
+
+
+def test_schedule_comparison_has_cgopipe_fastest():
+    results = run_schedule_comparison(max_sim_layers=3)
+    rows = comparison_rows(results)
+    cgopipe = next(r for r in rows if r["schedule"] == "cgopipe")
+    assert cgopipe["slowdown_vs_cgopipe"] == pytest.approx(1.0)
+    for row in rows:
+        if row["schedule"] != "cgopipe":
+            assert row["slowdown_vs_cgopipe"] > 1.0
+
+
+def test_cpu_memory_sweep_dominance_and_memory_saving():
+    rows = run_cpu_memory_sweep(
+        cpu_memory_gb=(128, 160, 192, 256, 320), max_sim_layers=2, simulate=True,
+    )
+    # Curve dominance at every CPU-memory point (the Fig. 1 ordering).
+    by_memory: dict[float, dict[str, float]] = {}
+    for row in rows:
+        if row["throughput"] is not None:
+            by_memory.setdefault(row["cpu_memory_gb"], {})[row["system"]] = row["throughput"]
+    for memory_gb, group in by_memory.items():
+        if {"moe-lightning", "flexgen w/ their policy"} <= set(group):
+            assert group["moe-lightning"] > group["flexgen w/ their policy"]
+        if {"moe-lightning", "flexgen w/ our policy"} <= set(group):
+            assert group["moe-lightning"] >= group["flexgen w/ our policy"]
+    # MoE-Lightning matches FlexGen's best throughput with much less DRAM.
+    # Paper headline: the saturated FlexGen throughput is matched by
+    # MoE-Lightning with 2-3x less CPU memory.
+    saving = cpu_memory_to_match(rows)
+    assert saving["cpu_memory_saving"] is not None
+    assert saving["cpu_memory_saving"] >= 2.0
+    # Throughput is non-decreasing in CPU memory for MoE-Lightning.
+    lightning_rows = [
+        r for r in rows if r["system"] == "moe-lightning" and r["throughput"]
+    ]
+    throughputs = [r["throughput"] for r in sorted(lightning_rows, key=lambda r: r["cpu_memory_gb"])]
+    assert all(b >= a * 0.99 for a, b in zip(throughputs, throughputs[1:]))
+
+
+def test_tp_scaling_dbrx_improves_with_more_gpus():
+    """Fig. 8: DBRX throughput improves from 2xT4 to 4xT4.
+
+    The paper reports 2.1-2.8x; our PCIe-bound cost model reproduces the
+    direction (and the larger resident-weight fraction that drives it) with a
+    smaller factor — see EXPERIMENTS.md for the discussion.
+    """
+    rows = run_tp_scaling(
+        settings=("S8", "S9"), generation_lengths=(64,), max_sim_layers=2,
+        simulate=False,
+    )
+    factors = scaling_factors(rows)
+    assert factors
+    assert all(1.05 < f["scaling_factor"] < 4.5 for f in factors)
+    by_setting = {row["setting"]: row for row in rows if row["throughput"]}
+    assert (
+        by_setting["S9"]["weights_gpu_ratio"] > by_setting["S8"]["weights_gpu_ratio"]
+    )
+
+
+def test_render_rows_and_markdown():
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": None}]
+    text = render_rows(rows, title="demo")
+    assert "demo" in text and "2.50" in text
+    markdown = rows_to_markdown(rows)
+    assert markdown.startswith("| a | b |")
+    assert render_rows([], title="empty") == "empty: (no rows)"

@@ -1,0 +1,44 @@
+"""Tests for the Table 2/3 setting and workload encodings."""
+
+import pytest
+
+from repro.experiments import EVALUATION_SETTINGS, get_setting, list_settings
+from repro.utils.errors import ConfigurationError
+
+
+def test_paper_settings_present():
+    assert list_settings() == ["S1", "S2", "S6", "S7", "S8", "S9"]
+
+
+def test_s1_matches_table_2():
+    setting = get_setting("S1")
+    assert setting.model_name == "mixtral-8x7b"
+    assert setting.hardware_name == "1xT4"
+    assert setting.model.num_layers == 32
+    assert setting.hardware.tp_size == 1
+
+
+def test_s7_is_mixtral_8x22b_on_four_t4s():
+    setting = get_setting("s7")
+    assert setting.model_name == "mixtral-8x22b"
+    assert setting.hardware.tp_size == 4
+    assert setting.hardware.cpu_memory == pytest.approx(416e9)
+
+
+def test_s8_s9_are_dbrx():
+    assert get_setting("S8").model_name == "dbrx"
+    assert get_setting("S9").hardware_name == "4xT4"
+
+
+def test_setting_workload_helper():
+    workload = get_setting("S1").workload("mtbench", generation_len=256)
+    assert workload.generation_len == 256
+
+
+def test_unknown_setting_raises():
+    with pytest.raises(ConfigurationError):
+        get_setting("S3")
+
+
+def test_settings_descriptions_non_empty():
+    assert all(setting.description for setting in EVALUATION_SETTINGS.values())

@@ -1,0 +1,63 @@
+"""Tests for the hardware registry and the paper's device numbers."""
+
+import pytest
+
+from repro.hardware import get_gpu, get_hardware, list_hardware
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, TERA
+
+
+def test_registry_contains_paper_nodes():
+    names = list_hardware()
+    for expected in ("1xt4", "1xl4", "2xt4", "4xt4"):
+        assert expected in names
+
+
+def test_l4_matches_paper_figure_3():
+    """Fig. 3 gives the L4 instance: 24 GB / 300 GB/s / 242 TFLOPS GPU,
+    192 GB / 100 GB/s / 1.3 TFLOPS CPU, 32 GB/s link."""
+    node = get_hardware("1xL4")
+    assert node.gpu_memory == 24 * GB
+    assert node.gpu_bandwidth == 300 * GB
+    assert node.gpu_flops == 242 * TERA
+    assert node.cpu_memory == 192 * GB
+    assert node.cpu_bandwidth == 100 * GB
+    assert node.cpu_flops == pytest.approx(1.3 * TERA)
+    assert node.cpu_gpu_bandwidth == 32 * GB
+
+
+def test_t4_node_matches_table_2():
+    node = get_hardware("1xT4")
+    assert node.gpu_memory == 16 * GB
+    assert node.cpu_memory == 192 * GB
+
+
+def test_multi_t4_nodes_use_bigger_host():
+    node = get_hardware("4xT4")
+    assert node.tp_size == 4
+    assert node.gpu_memory == 64 * GB
+    assert node.cpu_memory == 416 * GB
+
+
+def test_get_gpu_by_name():
+    assert get_gpu("t4").memory_bytes == 16 * GB
+    assert get_gpu("a100-80g").memory_bytes == 80 * GB
+
+
+def test_unknown_hardware_raises():
+    with pytest.raises(ConfigurationError):
+        get_hardware("tpu-v5")
+    with pytest.raises(ConfigurationError):
+        get_gpu("h100")
+
+
+def test_lookup_is_case_insensitive():
+    assert get_hardware("1xt4").name == get_hardware("1xT4").name
+
+
+def test_hrm_peak_ordering_assumption():
+    """The HRM assumes the GPU level dominates the CPU level (footnote 1)."""
+    for name in list_hardware():
+        node = get_hardware(name)
+        assert node.gpu_flops >= node.cpu_flops
+        assert node.gpu_bandwidth >= node.cpu_bandwidth

@@ -1,0 +1,78 @@
+"""Tests for hardware specifications and tensor-parallel composition."""
+
+import pytest
+
+from repro.hardware.spec import CPUSpec, GPUSpec, HardwareSpec, InterconnectSpec
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, TERA
+
+
+def make_node(tp_size=1):
+    gpu = GPUSpec(name="gpu", memory_bytes=16 * GB, memory_bandwidth=300 * GB, peak_flops=65 * TERA)
+    cpu = CPUSpec(name="cpu", memory_bytes=192 * GB, memory_bandwidth=100 * GB, peak_flops=1.3 * TERA)
+    link = InterconnectSpec(name="pcie", bandwidth=12 * GB)
+    return HardwareSpec(name="node", gpu=gpu, cpu=cpu, interconnect=link, tp_size=tp_size)
+
+
+def test_table1_symbols_single_gpu():
+    node = make_node()
+    assert node.gpu_memory == 16 * GB
+    assert node.cpu_memory == 192 * GB
+    assert node.gpu_bandwidth == 300 * GB
+    assert node.cpu_bandwidth == 100 * GB
+    assert node.cpu_gpu_bandwidth == 12 * GB
+    assert node.gpu_flops == 65 * TERA
+    assert node.cpu_flops == 1.3 * TERA
+
+
+def test_tensor_parallel_scales_gpu_but_not_cpu_or_link():
+    node = make_node().with_tensor_parallel(4)
+    assert node.tp_size == 4
+    assert node.gpu_memory == 64 * GB
+    assert node.gpu_bandwidth == 1200 * GB
+    assert node.gpu_flops == 260 * TERA
+    # Shared within the node (paper §4.3 / §5.3).
+    assert node.cpu_memory == 192 * GB
+    assert node.cpu_gpu_bandwidth == 12 * GB
+
+
+def test_with_cpu_memory_returns_modified_copy():
+    node = make_node()
+    bigger = node.with_cpu_memory(384 * GB)
+    assert bigger.cpu_memory == 384 * GB
+    assert node.cpu_memory == 192 * GB  # original untouched
+
+
+def test_with_interconnect_bandwidth():
+    node = make_node().with_interconnect_bandwidth(32 * GB)
+    assert node.cpu_gpu_bandwidth == 32 * GB
+
+
+def test_with_cpu_scaling_multiplies_cpu_resources():
+    node = make_node().with_cpu_scaling(2.0)
+    assert node.cpu_bandwidth == 200 * GB
+    assert node.cpu_flops == pytest.approx(2.6 * TERA)
+    assert node.cpu_memory == 384 * GB
+
+
+def test_describe_mentions_gpu_and_cpu():
+    text = make_node().describe()
+    assert "gpu" in text and "cpu" in text
+
+
+@pytest.mark.parametrize("field", ["memory_bytes", "memory_bandwidth", "peak_flops"])
+def test_gpu_spec_rejects_non_positive(field):
+    params = dict(name="g", memory_bytes=1.0, memory_bandwidth=1.0, peak_flops=1.0)
+    params[field] = 0
+    with pytest.raises(ConfigurationError):
+        GPUSpec(**params)
+
+
+def test_interconnect_rejects_negative_latency():
+    with pytest.raises(ConfigurationError):
+        InterconnectSpec(name="pcie", bandwidth=1.0, latency=-1.0)
+
+
+def test_tp_size_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        make_node().with_tensor_parallel(0)

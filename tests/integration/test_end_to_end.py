@@ -1,0 +1,101 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Policy
+from repro.engine import (
+    MoETransformer,
+    MoEWeights,
+    PipelinedExecutor,
+    ReferenceExecutor,
+    ToyTokenizer,
+    outputs_equivalent,
+)
+from repro.experiments.settings import get_setting
+from repro.runtime.memory_manager import MemoryPool
+from repro.runtime.kv_cache import KVCacheManager
+from repro.systems import MoELightningSystem
+from repro.workloads import generate_requests, mtbench
+from repro.workloads.batching import batch_requests, pad_requests
+
+
+def test_workload_to_batching_to_policy_pipeline(mixtral, t4_node):
+    """Requests sampled from MTBench flow through Algorithm 2 into micro-batches
+    that respect the policy the optimizer selects."""
+    workload = mtbench(generation_len=64, num_requests=512)
+    system = MoELightningSystem(mixtral, t4_node, padded=False, max_sim_layers=2)
+    policy = system.select_policy(workload)
+    requests = generate_requests(workload, count=min(512, policy.batch_size), seed=3)
+    result = batch_requests(
+        requests,
+        num_micro_batches=policy.num_micro_batches,
+        micro_batch_size=policy.micro_batch_size,
+        generation_len=workload.generation_len,
+    )
+    assert result.num_accepted == len(requests)
+    assert all(mb.size <= policy.micro_batch_size for mb in result.micro_batches)
+
+
+def test_padded_requests_match_flexgen_assumption(mixtral):
+    workload = mtbench(generation_len=32, num_requests=64)
+    requests = generate_requests(workload, seed=1)
+    padded = pad_requests(requests)
+    longest = max(r.input_len for r in requests)
+    assert all(r.effective_input_len == longest for r in padded)
+
+
+def test_kv_cache_manager_supports_full_batch(tiny_model):
+    """The paged KV cache can hold every sequence of a small batch and frees
+    cleanly afterwards."""
+    pool = MemoryPool(name="cpu", capacity_bytes=512e6, page_bytes=256e3)
+    manager = KVCacheManager(tiny_model, pool)
+    workload = mtbench(generation_len=8, num_requests=32)
+    requests = generate_requests(workload, seed=0)
+    for request in requests:
+        assert manager.can_admit(request.input_len, request.generation_len)
+        manager.register_sequence(request.request_id, request.input_len)
+    assert manager.total_tokens == sum(r.input_len for r in requests)
+    manager.release_all()
+    assert pool.used_pages == 0
+
+
+def test_tokenizer_engine_round_trip(tiny_model):
+    """Text -> tokens -> generation -> decode, with pipelined == reference."""
+    tokenizer = ToyTokenizer(vocab_size=tiny_model.vocab_size)
+    prompts_text = [
+        "reproduce the MoE Lightning paper",
+        "high throughput inference on memory constrained GPUs",
+        "pipeline schedules overlap compute and transfers",
+        "the roofline model bounds attainable performance",
+    ]
+    token_lists = tokenizer.encode_batch(prompts_text, pad_to=6)
+    prompts = np.array(token_lists)
+    weights = MoEWeights.initialize(tiny_model, seed=9)
+    model = MoETransformer(weights)
+    reference = ReferenceExecutor(model).generate(prompts, generation_len=5)
+    policy = Policy(batch_size=4, micro_batch_size=2, attention_on_gpu=False)
+    pipelined = PipelinedExecutor(model, policy).generate(prompts, generation_len=5)
+    assert outputs_equivalent(reference, pipelined)
+    decoded = tokenizer.decode(list(reference.generated_tokens[:, 0]))
+    assert len(decoded.split()) == 5
+
+
+def test_system_result_rows_feed_report_rendering(mixtral, t4_node):
+    from repro.experiments import render_rows
+
+    workload = mtbench(generation_len=32)
+    result = MoELightningSystem(mixtral, t4_node, padded=True, max_sim_layers=2).run(workload)
+    table = render_rows([result.as_row()], title="single run")
+    assert "moe-lightning(p)" in table
+    assert "single run" in table
+
+
+@pytest.mark.parametrize("setting_name", ["S1", "S2", "S6", "S7", "S8", "S9"])
+def test_every_paper_setting_produces_a_feasible_policy(setting_name):
+    """The optimizer finds a feasible policy for every Table 2 setting."""
+    setting = get_setting(setting_name)
+    workload = setting.workload("mtbench", generation_len=64)
+    system = MoELightningSystem(setting.model, setting.hardware, padded=True, max_sim_layers=2)
+    policy = system.select_policy(workload)
+    assert system.memory_model(workload).is_feasible(policy)

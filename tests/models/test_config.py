@@ -1,0 +1,100 @@
+"""Tests for ModelConfig and its derived quantities."""
+
+import pytest
+
+from repro.models.config import Attention, DataType, MLPKind, ModelConfig
+from repro.utils.errors import ConfigurationError
+
+
+def make_config(**overrides):
+    params = dict(
+        name="test",
+        num_layers=4,
+        hidden_size=64,
+        intermediate_size=128,
+        num_query_heads=8,
+        num_kv_heads=2,
+        num_experts=4,
+        top_k=2,
+        vocab_size=256,
+    )
+    params.update(overrides)
+    return ModelConfig(**params)
+
+
+def test_head_dimensions():
+    config = make_config()
+    assert config.head_dim == 8
+    assert config.kv_dim == 16
+    assert config.gqa_group_size == 4
+
+
+def test_is_moe_flag():
+    assert make_config().is_moe
+    assert not make_config(num_experts=1, top_k=1).is_moe
+
+
+def test_dtype_from_label_round_trip():
+    assert DataType.from_label("float16") is DataType.FLOAT16
+    assert DataType.from_label("int4").num_bytes == 0.5
+    with pytest.raises(ConfigurationError):
+        DataType.from_label("float8")
+
+
+def test_kv_cache_dtype_defaults_to_weight_dtype():
+    config = make_config(dtype=DataType.FLOAT16)
+    assert config.kv_cache_dtype is DataType.FLOAT16
+    quantized = make_config(dtype=DataType.FLOAT16, kv_dtype=DataType.INT4)
+    assert quantized.kv_cache_dtype is DataType.INT4
+
+
+def test_ffn_matrices_per_expert_depends_on_mlp_kind():
+    assert make_config(mlp=MLPKind.GATED).ffn_matrices_per_expert == 3
+    assert make_config(mlp=MLPKind.STANDARD).ffn_matrices_per_expert == 2
+
+
+def test_param_counts_are_consistent():
+    config = make_config()
+    per_layer = config.params_per_layer()
+    assert per_layer == (
+        config.attention_params_per_layer()
+        + config.ffn_params_per_layer()
+        + 2 * config.hidden_size
+    )
+    total = config.total_params()
+    assert total == config.num_layers * per_layer + config.embedding_params() + config.hidden_size
+
+
+def test_active_params_less_than_total_for_moe():
+    config = make_config()
+    assert config.active_params_per_token() < config.total_params()
+
+
+def test_active_params_equal_total_for_dense():
+    config = make_config(num_experts=1, top_k=1)
+    assert config.active_params_per_token() == config.total_params()
+
+
+def test_describe_mentions_name_and_experts():
+    text = make_config().describe()
+    assert "test" in text
+    assert "experts=4" in text
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"num_layers": 0},
+        {"hidden_size": -1},
+        {"num_query_heads": 6, "num_kv_heads": 4},  # kv must divide q
+        {"hidden_size": 65},  # heads must divide hidden
+        {"top_k": 5},  # top_k > experts
+    ],
+)
+def test_invalid_configs_rejected(overrides):
+    with pytest.raises(ConfigurationError):
+        make_config(**overrides)
+
+
+def test_attention_default_is_gqa():
+    assert make_config().attention is Attention.GROUPED_QUERY

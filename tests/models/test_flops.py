@@ -1,0 +1,127 @@
+"""Tests for the per-operator FLOP/byte accounting."""
+
+import pytest
+
+from repro.models import flops
+from repro.models.config import DataType
+from repro.utils.errors import ConfigurationError
+
+
+def test_operator_cost_total_bytes_and_intensity():
+    cost = flops.OperatorCost(
+        name="x", flops=100.0, weight_bytes=10.0, activation_bytes=5.0, kv_bytes=5.0
+    )
+    assert cost.total_bytes == 20.0
+    assert cost.operational_intensity == pytest.approx(5.0)
+    assert cost.intensity_excluding_weights() == pytest.approx(10.0)
+
+
+def test_operator_cost_combine_and_scale():
+    a = flops.OperatorCost(name="a", flops=1.0, weight_bytes=2.0)
+    b = flops.OperatorCost(name="b", flops=3.0, activation_bytes=4.0)
+    combined = a.combine(b)
+    assert combined.flops == 4.0
+    assert combined.weight_bytes == 2.0
+    assert combined.activation_bytes == 4.0
+    scaled = combined.scaled(2.0)
+    assert scaled.flops == 8.0
+
+
+def test_operator_cost_rejects_negative_components():
+    with pytest.raises(ConfigurationError):
+        flops.OperatorCost(name="bad", flops=-1.0)
+
+
+def test_qkv_projection_flops_scale_with_tokens(mixtral):
+    one = flops.qkv_proj_cost(mixtral, 1)
+    many = flops.qkv_proj_cost(mixtral, 64)
+    assert many.flops == pytest.approx(64 * one.flops)
+    # Weight bytes are independent of the token count.
+    assert many.weight_bytes == one.weight_bytes
+
+
+def test_attention_decode_intensity_independent_of_batch(mixtral):
+    small = flops.attention_decode_cost(mixtral, batch=1, context_len=512)
+    large = flops.attention_decode_cost(mixtral, batch=128, context_len=512)
+    assert small.operational_intensity == pytest.approx(
+        large.operational_intensity, rel=1e-6
+    )
+
+
+def test_attention_decode_kv_bytes_scale_with_context(mixtral):
+    short = flops.attention_decode_cost(mixtral, batch=8, context_len=128)
+    long = flops.attention_decode_cost(mixtral, batch=8, context_len=1024)
+    assert long.kv_bytes == pytest.approx(8 * short.kv_bytes)
+
+
+def test_gqa_reduces_kv_bytes_but_not_flops(mixtral):
+    """GQA keeps query-head FLOPs but shrinks the KV cache traffic."""
+    cost = flops.attention_decode_cost(mixtral, batch=1, context_len=512)
+    ratio = mixtral.num_query_heads / mixtral.num_kv_heads
+    # Intensity is roughly (2 * flops per q head) / (kv bytes per kv head).
+    assert ratio == 4
+    assert cost.operational_intensity > 1.0
+
+
+def test_int4_kv_cache_raises_attention_intensity(mixtral):
+    from dataclasses import replace
+
+    quantized = replace(mixtral, kv_dtype=DataType.INT4)
+    base = flops.attention_decode_cost(mixtral, 1, 512).operational_intensity
+    quant = flops.attention_decode_cost(quantized, 1, 512).operational_intensity
+    assert quant > 2 * base
+
+
+def test_ffn_cost_flops_scale_with_top_k(mixtral):
+    cost = flops.ffn_cost(mixtral, tokens=64)
+    expected = 2.0 * 64 * mixtral.top_k * mixtral.expert_params()
+    assert cost.flops >= expected  # router adds a little on top
+    assert cost.flops < expected * 1.01
+
+
+def test_ffn_weight_bytes_saturate_at_all_experts(mixtral):
+    small = flops.ffn_cost(mixtral, tokens=1)
+    large = flops.ffn_cost(mixtral, tokens=4096)
+    all_experts = (
+        mixtral.num_experts * mixtral.expert_params() * mixtral.dtype.num_bytes
+    )
+    assert small.weight_bytes < all_experts
+    assert large.weight_bytes <= all_experts * 1.01
+    assert large.weight_bytes > 0.99 * all_experts
+
+
+def test_ffn_intensity_grows_with_batch(mixtral):
+    small = flops.ffn_cost(mixtral, tokens=32)
+    large = flops.ffn_cost(mixtral, tokens=1024)
+    assert large.operational_intensity > small.operational_intensity
+
+
+def test_explicit_experts_touched_controls_weight_bytes(mixtral):
+    cost = flops.ffn_cost(mixtral, tokens=8, experts_touched=2)
+    expected = 2 * mixtral.expert_params() * mixtral.dtype.num_bytes
+    assert cost.weight_bytes == pytest.approx(expected, rel=0.01)
+
+
+def test_prefill_attention_flops_quadratic_in_prompt(mixtral):
+    short = flops.attention_prefill_cost(mixtral, batch=1, prompt_len=128)
+    long = flops.attention_prefill_cost(mixtral, batch=1, prompt_len=256)
+    assert long.flops / short.flops == pytest.approx(4.0, rel=0.05)
+
+
+def test_layer_decode_cost_has_expected_tasks(mixtral):
+    parts = flops.layer_decode_cost(mixtral, batch=32, context_len=256)
+    assert set(parts) == {"pre_attn", "attention", "post_attn"}
+    assert parts["post_attn"].flops > parts["pre_attn"].flops
+
+
+def test_lm_head_cost_scales_with_vocab(mixtral):
+    cost = flops.lm_head_cost(mixtral, tokens=4)
+    assert cost.flops == pytest.approx(
+        2.0 * 4 * mixtral.hidden_size * mixtral.vocab_size
+    )
+
+
+@pytest.mark.parametrize("tokens", [0, -1])
+def test_costs_reject_non_positive_tokens(mixtral, tokens):
+    with pytest.raises(ConfigurationError):
+        flops.qkv_proj_cost(mixtral, tokens)

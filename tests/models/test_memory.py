@@ -1,0 +1,69 @@
+"""Tests for weight/KV/activation memory accounting."""
+
+import pytest
+
+from repro.models import memory
+from repro.utils.errors import ConfigurationError
+
+
+def test_model_weight_bytes_matches_param_count(mixtral):
+    assert memory.model_weight_bytes(mixtral) == pytest.approx(
+        mixtral.total_params() * mixtral.dtype.num_bytes
+    )
+    # Mixtral 8x7B in fp16 is roughly 87-94 GB.
+    assert 85e9 < memory.model_weight_bytes(mixtral) < 97e9
+
+
+def test_layer_weight_split_adds_up(mixtral):
+    total = memory.layer_weight_bytes(mixtral)
+    attention = memory.attention_weight_bytes(mixtral)
+    ffn = memory.ffn_weight_bytes(mixtral)
+    norms = 2 * mixtral.hidden_size * mixtral.dtype.num_bytes
+    assert total == pytest.approx(attention + ffn + norms)
+    assert ffn > 10 * attention  # experts dominate a MoE layer
+
+
+def test_kv_cache_bytes_per_token(mixtral):
+    per_layer = memory.kv_cache_bytes_per_token_per_layer(mixtral)
+    assert per_layer == pytest.approx(2 * mixtral.kv_dim * mixtral.dtype.num_bytes)
+    assert memory.kv_cache_bytes_per_token(mixtral) == pytest.approx(
+        per_layer * mixtral.num_layers
+    )
+
+
+def test_activation_bytes_scale_with_tokens(mixtral):
+    assert memory.activation_bytes(mixtral, 128) == pytest.approx(
+        2 * memory.activation_bytes(mixtral, 64), rel=1e-6
+    )
+
+
+def test_activation_bytes_rejects_zero_tokens(mixtral):
+    with pytest.raises(ConfigurationError):
+        memory.activation_bytes(mixtral, 0)
+
+
+def test_memory_footprint_total_and_fits():
+    footprint = memory.MemoryFootprint(
+        weights=10.0, kv_cache=5.0, activations=2.0, workspace=3.0
+    )
+    assert footprint.total == 20.0
+    assert footprint.fits_within(20.0)
+    assert not footprint.fits_within(19.9)
+
+
+def test_memory_footprint_combine_adds_categories():
+    a = memory.MemoryFootprint(weights=1.0, kv_cache=2.0)
+    b = memory.MemoryFootprint(activations=3.0, workspace=4.0)
+    combined = a.combine(b)
+    assert combined.total == 10.0
+    assert combined.as_dict()["total"] == 10.0
+
+
+def test_memory_footprint_rejects_negative_values():
+    with pytest.raises(ConfigurationError):
+        memory.MemoryFootprint(weights=-1.0)
+
+
+def test_embedding_weight_bytes_untied(mixtral):
+    expected = 2 * mixtral.vocab_size * mixtral.hidden_size * mixtral.dtype.num_bytes
+    assert memory.embedding_weight_bytes(mixtral) == pytest.approx(expected)

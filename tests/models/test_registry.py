@@ -1,0 +1,64 @@
+"""Tests for the model registry and the paper's model configurations."""
+
+import pytest
+
+from repro.models import get_model, list_models, register_model
+from repro.models.registry import MODEL_REGISTRY
+from repro.utils.errors import ConfigurationError
+
+
+def test_registry_contains_paper_models():
+    names = list_models()
+    for expected in ("mixtral-8x7b", "mixtral-8x22b", "dbrx", "tiny-moe"):
+        assert expected in names
+
+
+def test_get_model_is_case_insensitive():
+    assert get_model("Mixtral-8x7B").name == "mixtral-8x7b"
+
+
+def test_get_model_unknown_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown model"):
+        get_model("gpt-5")
+
+
+def test_register_model_rejects_duplicates():
+    with pytest.raises(ConfigurationError):
+        register_model("mixtral-8x7b", MODEL_REGISTRY["mixtral-8x7b"])
+
+
+def test_mixtral_8x7b_matches_public_architecture(mixtral):
+    assert mixtral.num_layers == 32
+    assert mixtral.hidden_size == 4096
+    assert mixtral.intermediate_size == 14336
+    assert mixtral.num_query_heads == 32
+    assert mixtral.num_kv_heads == 8
+    assert mixtral.num_experts == 8
+    assert mixtral.top_k == 2
+    # ~46-47B total parameters, ~12-13B active per token.
+    assert 45e9 < mixtral.total_params() < 48e9
+    assert 12e9 < mixtral.active_params_per_token() < 14e9
+
+
+def test_mixtral_8x22b_total_params(mixtral_8x22b):
+    assert 135e9 < mixtral_8x22b.total_params() < 145e9
+    assert mixtral_8x22b.num_layers == 56
+
+
+def test_dbrx_matches_published_shape(dbrx):
+    assert dbrx.num_experts == 16
+    assert dbrx.top_k == 4
+    assert 125e9 < dbrx.total_params() < 140e9
+
+
+def test_tiny_moe_is_actually_tiny(tiny_model):
+    assert tiny_model.total_params() < 1e6
+    assert tiny_model.is_moe
+
+
+def test_expert_ffn_memory_dominates_mixtral_8x22b(mixtral_8x22b):
+    """The paper notes >256 GB for the expert FFN weights of Mixtral 8x22B."""
+    from repro.models.memory import ffn_weight_bytes
+
+    expert_bytes = ffn_weight_bytes(mixtral_8x22b) * mixtral_8x22b.num_layers
+    assert expert_bytes > 250e9

@@ -1,0 +1,86 @@
+"""Property-based tests for request batching (Algorithm 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.batching import batch_requests, pad_requests
+from repro.workloads.request import Request
+
+request_lists = st.lists(
+    st.integers(min_value=1, max_value=2048), min_size=0, max_size=60
+).map(lambda lengths: [Request(input_len=length, generation_len=16) for length in lengths])
+
+
+@given(
+    requests=request_lists,
+    num_micro_batches=st.integers(min_value=1, max_value=8),
+    micro_batch_size=st.integers(min_value=1, max_value=16),
+    cache_size=st.integers(min_value=64, max_value=100_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_request_lost_duplicated_or_invented(
+    requests, num_micro_batches, micro_batch_size, cache_size
+):
+    result = batch_requests(
+        requests,
+        num_micro_batches=num_micro_batches,
+        micro_batch_size=micro_batch_size,
+        generation_len=16,
+        cache_size_tokens=cache_size,
+    )
+    placed = [r.request_id for mb in result.micro_batches for r in mb]
+    aborted = [r.request_id for r in result.aborted]
+    assert sorted(placed + aborted) == sorted(r.request_id for r in requests)
+    assert len(set(placed)) == len(placed)
+
+
+@given(
+    requests=request_lists,
+    num_micro_batches=st.integers(min_value=1, max_value=8),
+    micro_batch_size=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_micro_batch_size_limit_respected(requests, num_micro_batches, micro_batch_size):
+    result = batch_requests(
+        requests,
+        num_micro_batches=num_micro_batches,
+        micro_batch_size=micro_batch_size,
+        generation_len=16,
+    )
+    assert all(mb.size <= micro_batch_size for mb in result.micro_batches)
+    # Without a cache limit nothing is aborted.
+    assert not result.aborted or len(result.micro_batches) >= num_micro_batches
+
+
+@given(
+    requests=request_lists,
+    num_micro_batches=st.integers(min_value=1, max_value=6),
+    micro_batch_size=st.integers(min_value=1, max_value=12),
+    cache_size=st.integers(min_value=32, max_value=50_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_budget_respected_at_end_of_generation(
+    requests, num_micro_batches, micro_batch_size, cache_size
+):
+    generation_len = 16
+    result = batch_requests(
+        requests,
+        num_micro_batches=num_micro_batches,
+        micro_batch_size=micro_batch_size,
+        generation_len=generation_len,
+        cache_size_tokens=cache_size,
+    )
+    for micro_batch in result.micro_batches:
+        final_tokens = sum(r.input_len + generation_len for r in micro_batch)
+        assert final_tokens <= max(cache_size, micro_batch.max_input_len + generation_len)
+
+
+@given(requests=request_lists, pad_to=st.integers(min_value=1, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_padding_never_shrinks_and_reaches_target(requests, pad_to):
+    padded = pad_requests(requests, pad_to=pad_to)
+    assert len(padded) == len(requests)
+    for before, after in zip(requests, padded):
+        assert after.effective_input_len >= before.input_len
+        assert after.effective_input_len >= min(pad_to, before.input_len)
+        assert after.input_len == before.input_len

@@ -1,0 +1,77 @@
+"""Property-based tests for the roofline / HRM algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hrm import HierarchicalRoofline, MemoryLevel
+from repro.core.roofline import RooflineModel
+
+positive = st.floats(min_value=1e6, max_value=1e15, allow_nan=False, allow_infinity=False)
+intensity = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(peak_flops=positive, peak_bandwidth=positive, value=intensity)
+@settings(max_examples=100, deadline=None)
+def test_roofline_attainable_never_exceeds_roofs(peak_flops, peak_bandwidth, value):
+    roofline = RooflineModel(peak_flops=peak_flops, peak_bandwidth=peak_bandwidth)
+    attainable = roofline.attainable(value)
+    assert attainable <= peak_flops * (1 + 1e-12)
+    assert attainable <= peak_bandwidth * value * (1 + 1e-12)
+
+
+@given(peak_flops=positive, peak_bandwidth=positive, a=intensity, b=intensity)
+@settings(max_examples=100, deadline=None)
+def test_roofline_attainable_monotone_in_intensity(peak_flops, peak_bandwidth, a, b):
+    roofline = RooflineModel(peak_flops=peak_flops, peak_bandwidth=peak_bandwidth)
+    low, high = min(a, b), max(a, b)
+    assert roofline.attainable(low) <= roofline.attainable(high) * (1 + 1e-12)
+
+
+@st.composite
+def hierarchies(draw):
+    gpu_flops = draw(st.floats(min_value=1e12, max_value=1e15))
+    cpu_flops = draw(st.floats(min_value=1e9, max_value=gpu_flops))
+    gpu_bandwidth = draw(st.floats(min_value=1e11, max_value=1e13))
+    cpu_bandwidth = draw(st.floats(min_value=1e9, max_value=gpu_bandwidth))
+    cross = draw(st.floats(min_value=1e8, max_value=cpu_bandwidth))
+    gpu = MemoryLevel("gpu", gpu_flops, gpu_bandwidth, 1e10)
+    cpu = MemoryLevel("cpu", cpu_flops, cpu_bandwidth, 1e11)
+    return HierarchicalRoofline(gpu=gpu, cpu=cpu, cross_bandwidth=cross)
+
+
+@given(hrm=hierarchies(), gpu_intensity=intensity, cpu_intensity=intensity)
+@settings(max_examples=100, deadline=None)
+def test_hrm_attainable_is_min_of_roofs(hrm, gpu_intensity, cpu_intensity):
+    roofs = hrm.roofs_on_gpu(gpu_intensity, cpu_intensity)
+    assert roofs.attainable <= roofs.compute_roof
+    assert roofs.attainable <= roofs.local_memory_roof
+    assert roofs.attainable <= roofs.cross_memory_roof
+    assert roofs.bottleneck in ("compute", "local_memory", "interconnect")
+
+
+@given(hrm=hierarchies(), gpu_intensity=intensity, cpu_intensity=intensity)
+@settings(max_examples=100, deadline=None)
+def test_hrm_gpu_execution_never_beats_unconstrained_gpu(hrm, gpu_intensity, cpu_intensity):
+    """Adding the interconnect roof can only lower attainable performance."""
+    constrained = hrm.attainable_on_gpu(gpu_intensity, cpu_intensity)
+    unconstrained = hrm.gpu.roofline.attainable(gpu_intensity)
+    assert constrained <= unconstrained * (1 + 1e-12)
+
+
+@given(hrm=hierarchies(), cpu_intensity=intensity)
+@settings(max_examples=100, deadline=None)
+def test_hrm_turning_points_ordering(hrm, cpu_intensity):
+    """P1 never exceeds P2 for the same cross-level intensity (footnote 1:
+    the lower level is no faster than the upper level)."""
+    p1 = hrm.p1(cpu_intensity)
+    p2 = hrm.p2(cpu_intensity)
+    assert p1 <= p2 * (1 + 1e-9)
+
+
+@given(hrm=hierarchies(), gpu_intensity=intensity)
+@settings(max_examples=100, deadline=None)
+def test_balance_point_equalises_the_two_memory_roofs(hrm, gpu_intensity):
+    balance = hrm.balance_point(gpu_intensity)
+    local = hrm.gpu.peak_bandwidth * gpu_intensity
+    cross = hrm.cross_bandwidth * balance
+    assert abs(local - cross) <= 1e-6 * max(local, cross)

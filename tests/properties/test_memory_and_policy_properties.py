@@ -1,0 +1,91 @@
+"""Property-based tests for the memory model and policy invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory_model import MemoryModel
+from repro.core.policy import Policy
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.workloads import mtbench
+
+MODEL = get_model("mixtral-8x7b")
+HARDWARE = get_hardware("1xT4")
+WORKLOAD = mtbench(generation_len=64)
+MEMORY = MemoryModel(model=MODEL, hardware=HARDWARE, workload=WORKLOAD, padded=True)
+
+
+@st.composite
+def policies(draw):
+    micro_batch = draw(st.integers(min_value=1, max_value=256))
+    multiplier = draw(st.integers(min_value=1, max_value=64))
+    gpu_attention = draw(st.booleans())
+    kv_ratio = draw(st.floats(min_value=0.0, max_value=1.0)) if gpu_attention else 0.0
+    return Policy(
+        batch_size=micro_batch * multiplier,
+        micro_batch_size=micro_batch,
+        attention_on_gpu=gpu_attention,
+        ffn_on_gpu=True,
+        weights_gpu_ratio=draw(st.floats(min_value=0.0, max_value=1.0)),
+        kv_cache_gpu_ratio=kv_ratio,
+    )
+
+
+@given(policy=policies())
+@settings(max_examples=80, deadline=None)
+def test_footprints_are_non_negative_and_additive(policy):
+    usage = MEMORY.usage(policy)
+    for footprint in (usage.gpu, usage.cpu):
+        assert footprint.weights >= 0
+        assert footprint.kv_cache >= 0
+        assert footprint.total >= footprint.weights
+
+
+@given(policy=policies())
+@settings(max_examples=80, deadline=None)
+def test_total_kv_cache_split_is_conserved(policy):
+    usage = MEMORY.usage(policy)
+    total_kv = MEMORY.kv_cache_total_bytes(policy)
+    assert abs((usage.gpu.kv_cache + usage.cpu.kv_cache) - total_kv) <= 1e-6 * total_kv
+
+
+@given(policy=policies())
+@settings(max_examples=80, deadline=None)
+def test_gpu_footprint_monotone_in_weights_ratio(policy):
+    if policy.weights_gpu_ratio > 0.9:
+        smaller = policy.with_weights_gpu_ratio(policy.weights_gpu_ratio - 0.1)
+        larger = policy
+    else:
+        smaller = policy
+        larger = policy.with_weights_gpu_ratio(policy.weights_gpu_ratio + 0.1)
+    assert MEMORY.gpu_usage(larger).weights >= MEMORY.gpu_usage(smaller).weights
+    assert MEMORY.cpu_usage(larger).weights <= MEMORY.cpu_usage(smaller).weights
+
+
+@given(policy=policies(), extra=st.integers(min_value=1, max_value=512))
+@settings(max_examples=80, deadline=None)
+def test_cpu_footprint_monotone_in_batch_size(policy, extra):
+    bigger = policy.with_batch_size(policy.batch_size + extra)
+    assert MEMORY.cpu_usage(bigger).total >= MEMORY.cpu_usage(policy).total
+
+
+@given(policy=policies())
+@settings(max_examples=80, deadline=None)
+def test_max_weights_ratio_is_feasible_on_gpu(policy):
+    ratio = MEMORY.max_weights_gpu_ratio(policy)
+    assert 0.0 <= ratio <= 1.0
+    # The bound is only meaningful when the policy fits at all with no
+    # resident weights (otherwise activations/workspace alone overflow).
+    assume(
+        MEMORY.gpu_usage(policy.with_weights_gpu_ratio(0.0)).total
+        <= MEMORY.usable_gpu_memory
+    )
+    bounded = policy.with_weights_gpu_ratio(ratio)
+    assert MEMORY.gpu_usage(bounded).total <= MEMORY.usable_gpu_memory * (1 + 1e-9)
+
+
+@given(policy=policies())
+@settings(max_examples=80, deadline=None)
+def test_num_micro_batches_covers_batch(policy):
+    assert policy.num_micro_batches * policy.micro_batch_size >= policy.batch_size
+    assert (policy.num_micro_batches - 1) * policy.micro_batch_size < policy.batch_size

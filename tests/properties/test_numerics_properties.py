@@ -1,0 +1,97 @@
+"""Property-based tests for the functional engine's numerical kernels."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.engine.numerics import (
+    gqa_attention_decode,
+    rms_norm,
+    softmax,
+    top_k_routing,
+)
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@given(
+    logits=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(2, 32)),
+        elements=finite_floats,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_softmax_is_a_probability_distribution(logits):
+    probs = softmax(logits)
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+@given(
+    x=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 64)),
+        elements=finite_floats,
+    ),
+    scale=st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_rms_norm_is_scale_invariant(x, scale):
+    """RMSNorm output is invariant to positive rescaling of its input.
+
+    The input is shifted away from zero so the numerical-stability epsilon
+    inside the norm stays negligible relative to the signal.
+    """
+    shifted = x + 1.0
+    assume(np.all(np.sqrt(np.mean(np.square(shifted), axis=-1)) > 1e-2))
+    weight = np.ones(x.shape[-1])
+    base = rms_norm(shifted, weight)
+    scaled = rms_norm(shifted * scale, weight)
+    assert np.allclose(base, scaled, rtol=1e-3, atol=1e-3)
+
+
+@given(
+    logits=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 16), st.integers(2, 16)),
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_top_k_routing_weights_normalised_and_indices_valid(logits, data):
+    top_k = data.draw(st.integers(min_value=1, max_value=logits.shape[1]))
+    indices, weights = top_k_routing(logits, top_k)
+    assert indices.shape == (logits.shape[0], top_k)
+    assert np.all(indices >= 0) and np.all(indices < logits.shape[1])
+    assert np.allclose(weights.sum(axis=-1), 1.0)
+    # Selected logits are at least as large as every non-selected logit.
+    for row in range(logits.shape[0]):
+        selected = set(indices[row].tolist())
+        others = [v for i, v in enumerate(logits[row]) if i not in selected]
+        if others:
+            assert logits[row, indices[row]].min() >= max(others) - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    batch=st.integers(min_value=1, max_value=4),
+    context=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_decode_attention_output_is_convex_combination_of_values(seed, batch, context):
+    """Attention outputs lie within the per-head min/max of the cached values."""
+    rng = np.random.default_rng(seed)
+    n_q, n_kv, dim = 4, 2, 8
+    q = rng.normal(size=(batch, n_q, dim))
+    k = rng.normal(size=(batch, context, n_kv, dim))
+    v = rng.normal(size=(batch, context, n_kv, dim))
+    out = gqa_attention_decode(q, k, v, context_lens=np.full(batch, context))
+    group = n_q // n_kv
+    v_full = np.repeat(v, group, axis=-2)  # (batch, ctx, n_q, dim)
+    upper = v_full.max(axis=1)
+    lower = v_full.min(axis=1)
+    assert np.all(out <= upper + 1e-9)
+    assert np.all(out >= lower - 1e-9)

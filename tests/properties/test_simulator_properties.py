@@ -1,0 +1,85 @@
+"""Property-based tests for the discrete-event simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.resources import ResourceKind
+from repro.runtime.simulator import Simulator
+from repro.runtime.tasks import TaskGraph, TaskKind
+
+RESOURCES = list(ResourceKind)
+
+
+@st.composite
+def task_graphs(draw):
+    """Random DAGs with forward-only dependencies."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    graph = TaskGraph()
+    for index in range(count):
+        resource = draw(st.sampled_from(RESOURCES))
+        duration = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        num_deps = draw(st.integers(min_value=0, max_value=min(3, index)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=index - 1),
+                min_size=num_deps,
+                max_size=num_deps,
+                unique=True,
+            )
+        ) if index else []
+        graph.add(TaskKind.OTHER, resource, duration, deps=deps)
+    return graph
+
+
+@given(graph=task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_all_tasks_complete_exactly_once(graph):
+    result = Simulator().run(graph)
+    assert len(result.trace) == len(graph)
+    assert set(result.completion_times) == {task.task_id for task in graph}
+
+
+@given(graph=task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_causality_dependencies_finish_before_dependents_start(graph):
+    result = Simulator().run(graph)
+    start = {event.task_id: event.start for event in result.trace}
+    end = {event.task_id: event.end for event in result.trace}
+    for task in graph:
+        for dep in task.deps:
+            assert end[dep] <= start[task.task_id] + 1e-9
+
+
+@given(graph=task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_exclusive_resources_never_overlap(graph):
+    result = Simulator().run(graph)
+    result.trace.verify_exclusive()
+
+
+@given(graph=task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_makespan_bounds(graph):
+    """Makespan is at least the busiest channel's work and the longest chain,
+    and at most the serial sum of all durations."""
+    result = Simulator().run(graph)
+    total = sum(task.duration for task in graph)
+    busiest = max(graph.total_work(resource) for resource in RESOURCES)
+    assert result.makespan <= total + 1e-9
+    assert result.makespan >= busiest - 1e-9
+    # Longest dependency chain lower bound.
+    chain: dict[int, float] = {}
+    for task in graph:
+        chain[task.task_id] = task.duration + max(
+            (chain[dep] for dep in task.deps), default=0.0
+        )
+    assert result.makespan >= max(chain.values()) - 1e-9
+
+
+@given(graph=task_graphs())
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic(graph):
+    first = Simulator().run(graph)
+    second = Simulator().run(graph)
+    assert first.makespan == second.makespan
+    assert first.completion_times == second.completion_times

@@ -1,0 +1,84 @@
+"""Tests for the task-duration cost model."""
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.runtime.costs import TaskCostModel
+
+
+@pytest.fixture
+def costs(mixtral, l4_node):
+    return TaskCostModel(model=mixtral, hardware=l4_node)
+
+
+def test_rates_are_derated(costs, l4_node):
+    assert costs.gpu_flops < l4_node.gpu_flops
+    assert costs.interconnect_bandwidth < l4_node.cpu_gpu_bandwidth
+
+
+def test_transfer_time_includes_launch_latency(costs, l4_node):
+    assert costs.transfer_time(0) == 0.0
+    tiny = costs.transfer_time(1)
+    assert tiny >= l4_node.interconnect.latency
+
+
+def test_cpu_attention_faster_than_kv_transfer(costs):
+    """Fig. 9 headline: reading KV from DRAM beats shipping it over PCIe."""
+    for context in (128, 512, 2048):
+        assert costs.kv_transfer(64, context) > 2 * costs.cpu_attention(64, context)
+
+
+def test_moe_ffn_latency_flat_in_micro_batch(costs):
+    """Fig. 9: the decode FFN is weight-bound, so latency barely moves with μ."""
+    small = costs.post_attention(32)
+    large = costs.post_attention(256)
+    assert large / small < 1.2
+
+
+def test_cpu_attention_scales_with_context_and_batch(costs):
+    assert costs.cpu_attention(64, 2048) > 10 * costs.cpu_attention(64, 128)
+    assert costs.cpu_attention(256, 512) > 3 * costs.cpu_attention(32, 512)
+
+
+def test_cpu_attention_overtakes_ffn_at_large_mu_and_context(costs):
+    """Fig. 9: CPU attention eventually becomes the per-layer bottleneck."""
+    assert costs.cpu_attention(32, 128) < costs.post_attention(32)
+    assert costs.cpu_attention(256, 2048) > costs.post_attention(256)
+
+
+def test_weight_page_transfer_is_layer_transfer_divided_by_pages(costs):
+    policy = Policy(batch_size=256, micro_batch_size=64, weights_gpu_ratio=0.0)
+    page = costs.weight_page_transfer(policy)
+    layer = costs.weight_layer_transfer(policy)
+    assert layer / page == pytest.approx(policy.num_micro_batches, rel=0.05)
+
+
+def test_streamed_bytes_zero_when_fully_resident(costs):
+    policy = Policy(batch_size=64, micro_batch_size=64, weights_gpu_ratio=1.0)
+    assert costs.streamed_layer_bytes(policy) == 0.0
+    assert costs.weight_layer_transfer(policy) == 0.0
+
+
+def test_cpu_ffn_slower_than_gpu_ffn(costs):
+    assert costs.cpu_ffn(64) > costs.post_attention(64)
+
+
+def test_qkv_offload_and_hidden_load_are_small(costs):
+    policy = Policy(batch_size=256, micro_batch_size=64, weights_gpu_ratio=0.0)
+    assert costs.qkv_offload(64) < 0.01 * costs.weight_layer_transfer(policy)
+    assert costs.hidden_load(64) < costs.qkv_offload(64)
+
+
+def test_prefill_layer_time_scales_with_prompt(costs):
+    assert costs.prefill_layer(8, 1024) > 3 * costs.prefill_layer(8, 256)
+
+
+def test_kv_transfer_respects_cpu_ratio(costs):
+    full = costs.kv_transfer(64, 512, cpu_ratio=1.0)
+    half = costs.kv_transfer(64, 512, cpu_ratio=0.5)
+    assert half < full
+    assert half > 0.4 * full
+
+
+def test_sample_cost_scales_with_batch(costs):
+    assert costs.sample(2048) > costs.sample(64)

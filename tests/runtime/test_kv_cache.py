@@ -1,0 +1,84 @@
+"""Tests for the paged KV-cache manager."""
+
+import pytest
+
+from repro.runtime.kv_cache import KVCacheManager
+from repro.runtime.memory_manager import MemoryPool
+from repro.utils.errors import MemoryManagerError
+
+
+@pytest.fixture
+def cpu_pool():
+    return MemoryPool(name="cpu", capacity_bytes=64e6, page_bytes=64e3)
+
+
+@pytest.fixture
+def gpu_pool():
+    return MemoryPool(name="gpu", capacity_bytes=16e6, page_bytes=64e3)
+
+
+def test_bytes_per_token_matches_memory_model(tiny_model, cpu_pool):
+    from repro.models.memory import kv_cache_bytes_per_token
+
+    manager = KVCacheManager(tiny_model, cpu_pool)
+    assert manager.bytes_per_token() == pytest.approx(kv_cache_bytes_per_token(tiny_model))
+
+
+def test_register_and_grow_sequence(tiny_model, cpu_pool):
+    manager = KVCacheManager(tiny_model, cpu_pool)
+    manager.register_sequence(0, prompt_tokens=100)
+    assert manager.total_tokens == 100
+    manager.append_tokens(0, 10)
+    assert manager.total_tokens == 110
+    assert manager.cpu_bytes > 0
+    assert manager.gpu_bytes == 0
+
+
+def test_gpu_ratio_splits_allocation(tiny_model, cpu_pool, gpu_pool):
+    manager = KVCacheManager(tiny_model, cpu_pool, gpu_pool=gpu_pool, gpu_ratio=0.5)
+    manager.register_sequence(0, prompt_tokens=200)
+    assert manager.gpu_bytes > 0
+    assert manager.cpu_bytes > 0
+    # Pages are rounded up, so the split is approximate.
+    assert manager.gpu_bytes == pytest.approx(manager.cpu_bytes, rel=0.2)
+
+
+def test_gpu_ratio_without_pool_rejected(tiny_model, cpu_pool):
+    with pytest.raises(MemoryManagerError):
+        KVCacheManager(tiny_model, cpu_pool, gpu_ratio=0.5)
+
+
+def test_duplicate_sequence_rejected(tiny_model, cpu_pool):
+    manager = KVCacheManager(tiny_model, cpu_pool)
+    manager.register_sequence(0, prompt_tokens=10)
+    with pytest.raises(MemoryManagerError):
+        manager.register_sequence(0, prompt_tokens=10)
+
+
+def test_release_sequence_frees_pool(tiny_model, cpu_pool):
+    manager = KVCacheManager(tiny_model, cpu_pool)
+    manager.register_sequence(0, prompt_tokens=500)
+    used = cpu_pool.used_pages
+    assert used > 0
+    manager.release_sequence(0)
+    assert cpu_pool.used_pages == 0
+    with pytest.raises(MemoryManagerError):
+        manager.release_sequence(0)
+
+
+def test_release_all(tiny_model, cpu_pool):
+    manager = KVCacheManager(tiny_model, cpu_pool)
+    for sequence_id in range(5):
+        manager.register_sequence(sequence_id, prompt_tokens=50)
+    manager.release_all()
+    assert manager.total_tokens == 0
+    assert cpu_pool.used_pages == 0
+
+
+def test_can_admit_respects_capacity(tiny_model):
+    small_pool = MemoryPool(name="cpu", capacity_bytes=256e3, page_bytes=16e3)
+    manager = KVCacheManager(tiny_model, small_pool)
+    per_token = manager.bytes_per_token()
+    capacity_tokens = int(small_pool.capacity_bytes / per_token)
+    assert manager.can_admit(prompt_tokens=capacity_tokens // 2, generation_len=0)
+    assert not manager.can_admit(prompt_tokens=capacity_tokens * 2, generation_len=0)

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.runtime.resources import ResourceKind
+from repro.runtime.simulator import Simulator
+from repro.runtime.tasks import TaskGraph, TaskKind
+from repro.utils.errors import ScheduleError
+
+
+def build_graph(entries):
+    """entries: list of (kind, resource, duration, deps-as-indices)."""
+    graph = TaskGraph()
+    tasks = []
+    for kind, resource, duration, deps in entries:
+        task = graph.add(kind, resource, duration, deps=[tasks[d].task_id for d in deps])
+        tasks.append(task)
+    return graph, tasks
+
+
+def test_single_task_runs_immediately():
+    graph, _ = build_graph([(TaskKind.OTHER, ResourceKind.GPU, 2.0, [])])
+    result = Simulator().run(graph)
+    assert result.makespan == pytest.approx(2.0)
+    assert result.utilization(ResourceKind.GPU) == pytest.approx(1.0)
+
+
+def test_independent_tasks_on_different_resources_overlap():
+    graph, _ = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.GPU, 3.0, []),
+            (TaskKind.OTHER, ResourceKind.HTOD, 3.0, []),
+        ]
+    )
+    result = Simulator().run(graph)
+    assert result.makespan == pytest.approx(3.0)
+
+
+def test_same_resource_serialises_in_submission_order():
+    graph, tasks = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.GPU, 1.0, []),
+            (TaskKind.OTHER, ResourceKind.GPU, 2.0, []),
+        ]
+    )
+    result = Simulator().run(graph)
+    assert result.makespan == pytest.approx(3.0)
+    first = [e for e in result.trace if e.task_id == tasks[0].task_id][0]
+    second = [e for e in result.trace if e.task_id == tasks[1].task_id][0]
+    assert first.end <= second.start
+
+
+def test_dependencies_are_respected():
+    graph, tasks = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.HTOD, 5.0, []),
+            (TaskKind.OTHER, ResourceKind.GPU, 1.0, [0]),
+        ]
+    )
+    result = Simulator().run(graph)
+    assert result.completion_times[tasks[1].task_id] == pytest.approx(6.0)
+
+
+def test_diamond_dependency_critical_path():
+    graph, tasks = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.GPU, 1.0, []),      # a
+            (TaskKind.OTHER, ResourceKind.HTOD, 4.0, [0]),    # b
+            (TaskKind.OTHER, ResourceKind.CPU, 2.0, [0]),     # c
+            (TaskKind.OTHER, ResourceKind.GPU, 1.0, [1, 2]),  # d
+        ]
+    )
+    result = Simulator().run(graph)
+    assert result.makespan == pytest.approx(6.0)
+
+
+def test_zero_duration_tasks_are_ordered_but_free():
+    graph, tasks = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.GPU, 0.0, []),
+            (TaskKind.OTHER, ResourceKind.GPU, 1.0, [0]),
+        ]
+    )
+    result = Simulator().run(graph)
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_ready_fifo_order_among_contending_tasks():
+    """Two ready tasks on one resource run in submission order."""
+    graph, tasks = build_graph(
+        [
+            (TaskKind.OTHER, ResourceKind.HTOD, 1.0, []),
+            (TaskKind.OTHER, ResourceKind.HTOD, 1.0, []),
+            (TaskKind.OTHER, ResourceKind.HTOD, 1.0, []),
+        ]
+    )
+    result = Simulator().run(graph)
+    order = [e.task_id for e in result.trace.events_on(ResourceKind.HTOD)]
+    assert order == [t.task_id for t in tasks]
+
+
+def test_empty_graph_has_zero_makespan():
+    result = Simulator().run(TaskGraph())
+    assert result.makespan == 0.0
+    assert len(result.trace) == 0
+
+
+def test_trace_has_no_overlaps_on_exclusive_resources():
+    entries = []
+    for index in range(20):
+        deps = [index - 1] if index % 3 == 0 and index > 0 else []
+        resource = list(ResourceKind)[index % 4]
+        entries.append((TaskKind.OTHER, resource, 0.5 + (index % 5) * 0.1, deps))
+    graph, _ = build_graph(entries)
+    result = Simulator().run(graph)
+    result.trace.verify_exclusive()  # raises on overlap
+    assert len(result.trace) == 20
+
+
+def test_forward_dependency_validation():
+    graph = TaskGraph()
+    with pytest.raises(ScheduleError):
+        graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0, deps=[5])
+
+
+def test_utilization_report_contains_all_channels():
+    graph, _ = build_graph([(TaskKind.OTHER, ResourceKind.GPU, 1.0, [])])
+    report = Simulator().run(graph).utilization_report()
+    for key in ("gpu", "cpu", "htod", "dtoh", "makespan"):
+        assert key in report

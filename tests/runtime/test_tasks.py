@@ -1,0 +1,72 @@
+"""Tests for tasks and task graphs."""
+
+import pytest
+
+from repro.runtime.resources import Resource, ResourceKind, default_resources
+from repro.runtime.tasks import Task, TaskGraph, TaskKind
+from repro.utils.errors import ConfigurationError, ScheduleError
+
+
+def test_default_resources_cover_all_channels():
+    resources = default_resources()
+    assert set(resources) == set(ResourceKind)
+    assert all(resource.slots == 1 for resource in resources.values())
+
+
+def test_resource_rejects_zero_slots():
+    with pytest.raises(ConfigurationError):
+        Resource(ResourceKind.GPU, slots=0)
+
+
+def test_task_label_defaults_to_kind_layer_mb():
+    task = Task(task_id=0, kind=TaskKind.POST_ATTENTION, resource=ResourceKind.GPU,
+                duration=1.0, layer=3, micro_batch=2)
+    assert task.label == "post_attn[L3,mb2]"
+
+
+def test_task_rejects_negative_duration():
+    with pytest.raises(ConfigurationError):
+        Task(task_id=0, kind=TaskKind.OTHER, resource=ResourceKind.GPU, duration=-1.0)
+
+
+def test_graph_add_assigns_sequential_ids():
+    graph = TaskGraph()
+    first = graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0)
+    second = graph.add(TaskKind.OTHER, ResourceKind.CPU, 1.0, deps=[first.task_id])
+    assert [first.task_id, second.task_id] == [0, 1]
+    assert graph.get(1).deps == [0]
+    assert len(graph) == 2
+
+
+def test_graph_none_deps_are_ignored():
+    graph = TaskGraph()
+    task = graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0, deps=[None])
+    assert task.deps == []
+
+
+def test_graph_unknown_dep_rejected():
+    graph = TaskGraph()
+    with pytest.raises(ScheduleError):
+        graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0, deps=[3])
+
+
+def test_graph_get_unknown_id_rejected():
+    with pytest.raises(ScheduleError):
+        TaskGraph().get(0)
+
+
+def test_tasks_on_and_total_work():
+    graph = TaskGraph()
+    graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0)
+    graph.add(TaskKind.OTHER, ResourceKind.GPU, 2.0)
+    graph.add(TaskKind.OTHER, ResourceKind.HTOD, 4.0)
+    assert len(graph.tasks_on(ResourceKind.GPU)) == 2
+    assert graph.total_work(ResourceKind.GPU) == pytest.approx(3.0)
+    assert graph.total_work(ResourceKind.DTOH) == 0.0
+
+
+def test_validate_passes_for_well_formed_graph():
+    graph = TaskGraph()
+    a = graph.add(TaskKind.OTHER, ResourceKind.GPU, 1.0)
+    graph.add(TaskKind.OTHER, ResourceKind.CPU, 1.0, deps=[a.task_id])
+    graph.validate()

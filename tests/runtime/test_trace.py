@@ -1,0 +1,86 @@
+"""Tests for traces: utilisation, bubbles, windows and Gantt rendering."""
+
+import pytest
+
+from repro.runtime.resources import ResourceKind
+from repro.runtime.tasks import TaskKind
+from repro.runtime.trace import Trace, TraceEvent
+from repro.utils.errors import SimulationError
+
+
+def event(task_id, resource, start, end, kind=TaskKind.OTHER):
+    return TraceEvent(task_id=task_id, kind=kind, resource=resource, start=start, end=end)
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.add(event(0, ResourceKind.GPU, 0.0, 1.0, TaskKind.PRE_ATTENTION))
+    t.add(event(1, ResourceKind.GPU, 2.0, 3.0, TaskKind.POST_ATTENTION))
+    t.add(event(2, ResourceKind.HTOD, 0.0, 3.0, TaskKind.WEIGHT_TRANSFER))
+    t.add(event(3, ResourceKind.CPU, 1.0, 2.0, TaskKind.CPU_ATTENTION))
+    return t
+
+
+def test_makespan_and_busy_time(trace):
+    assert trace.makespan == 3.0
+    assert trace.busy_time(ResourceKind.GPU) == pytest.approx(2.0)
+    assert trace.utilization(ResourceKind.GPU) == pytest.approx(2.0 / 3.0)
+    assert trace.utilization(ResourceKind.HTOD) == pytest.approx(1.0)
+
+
+def test_bubbles_detected_between_events(trace):
+    gaps = trace.bubbles(ResourceKind.GPU)
+    assert gaps == [(1.0, 2.0)]
+    assert trace.bubble_time(ResourceKind.GPU) == pytest.approx(1.0)
+    assert trace.bubble_fraction(ResourceKind.GPU) == pytest.approx(1.0 / 3.0)
+
+
+def test_no_bubbles_on_fully_busy_channel(trace):
+    assert trace.bubbles(ResourceKind.HTOD) == []
+    assert trace.bubble_fraction(ResourceKind.DTOH) == 0.0
+
+
+def test_events_of_kind(trace):
+    assert len(trace.events_of(TaskKind.WEIGHT_TRANSFER)) == 1
+
+
+def test_window_clips_events(trace):
+    window = trace.window(0.5, 2.5)
+    assert window.makespan == 2.5
+    gpu_events = window.events_on(ResourceKind.GPU)
+    assert gpu_events[0].start == 0.5 and gpu_events[0].end == 1.0
+    with pytest.raises(SimulationError):
+        trace.window(2.0, 1.0)
+
+
+def test_verify_exclusive_detects_overlap():
+    bad = Trace()
+    bad.add(event(0, ResourceKind.GPU, 0.0, 2.0))
+    bad.add(event(1, ResourceKind.GPU, 1.0, 3.0))
+    with pytest.raises(SimulationError):
+        bad.verify_exclusive()
+
+
+def test_event_rejects_negative_span():
+    with pytest.raises(SimulationError):
+        event(0, ResourceKind.GPU, 2.0, 1.0)
+
+
+def test_gantt_renders_one_row_per_channel(trace):
+    art = trace.gantt(width=40)
+    lines = art.splitlines()
+    assert len(lines) == len(list(ResourceKind))
+    gpu_line = next(line for line in lines if line.strip().startswith("gpu"))
+    assert "A" in gpu_line and "C" in gpu_line
+    htod_line = next(line for line in lines if line.strip().startswith("htod"))
+    assert "W" in htod_line
+
+
+def test_gantt_empty_trace():
+    assert "(empty trace)" in Trace().gantt()
+
+
+def test_utilization_report_keys(trace):
+    report = trace.utilization_report()
+    assert set(report) == {"gpu", "cpu", "htod", "dtoh", "makespan"}

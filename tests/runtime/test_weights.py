@@ -1,0 +1,94 @@
+"""Tests for the paged weight manager (Appendix A.1)."""
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.models.memory import attention_weight_bytes, layer_weight_bytes
+from repro.runtime.memory_manager import MemoryPool
+from repro.runtime.weights import PagedWeightManager
+from repro.utils.errors import MemoryManagerError
+
+
+@pytest.fixture
+def policy():
+    return Policy(batch_size=256, micro_batch_size=64, weights_gpu_ratio=0.25)
+
+
+@pytest.fixture
+def manager(tiny_model, policy):
+    streamed = policy.weights_cpu_ratio * layer_weight_bytes(tiny_model)
+    pool = MemoryPool(name="gpu", capacity_bytes=streamed * 8, page_bytes=streamed / 16)
+    return PagedWeightManager(model=tiny_model, policy=policy, gpu_pool=pool)
+
+
+def test_streamed_bytes_follow_policy_ratio(tiny_model, policy, manager):
+    expected = 0.75 * layer_weight_bytes(tiny_model)
+    assert manager.streamed_bytes_per_layer() == pytest.approx(expected)
+
+
+def test_cpu_ffn_policy_streams_only_attention_weights(tiny_model):
+    policy = Policy(
+        batch_size=64, micro_batch_size=32, ffn_on_gpu=False, weights_gpu_ratio=0.0,
+    )
+    streamed = layer_weight_bytes(tiny_model)
+    pool = MemoryPool(name="gpu", capacity_bytes=streamed * 8, page_bytes=streamed / 64)
+    manager = PagedWeightManager(model=tiny_model, policy=policy, gpu_pool=pool)
+    assert manager.streamed_bytes_per_layer() == pytest.approx(
+        attention_weight_bytes(tiny_model)
+    )
+
+
+def test_pages_per_layer_equals_micro_batches(manager, policy):
+    pages = manager.pages_for_layer(0)
+    assert len(pages) == policy.num_micro_batches
+    total = sum(page.num_bytes for page in pages)
+    assert total == pytest.approx(manager.streamed_bytes_per_layer())
+
+
+def test_double_buffer_rotation(manager):
+    manager.begin_prefetch(0)
+    manager.advance_layer()
+    assert manager.resident_layer == 0
+    manager.begin_prefetch(1)
+    assert manager.incoming_layer == 1
+    manager.advance_layer()
+    assert manager.resident_layer == 1
+    assert manager.incoming_layer is None
+
+
+def test_conflicting_prefetch_rejected(manager):
+    manager.begin_prefetch(0)
+    with pytest.raises(MemoryManagerError):
+        manager.begin_prefetch(1)
+
+
+def test_advance_without_prefetch_rejected(manager):
+    with pytest.raises(MemoryManagerError):
+        manager.advance_layer()
+
+
+def test_release_returns_pages_to_pool(tiny_model, policy):
+    streamed = policy.weights_cpu_ratio * layer_weight_bytes(tiny_model)
+    pool = MemoryPool(name="gpu", capacity_bytes=streamed * 8, page_bytes=streamed / 16)
+    manager = PagedWeightManager(model=tiny_model, policy=policy, gpu_pool=pool)
+    used_before_release = pool.used_pages
+    assert used_before_release > 0
+    manager.release()
+    assert pool.used_pages == 0
+
+
+def test_resident_bytes_total(tiny_model, policy, manager):
+    expected = 0.25 * layer_weight_bytes(tiny_model) * tiny_model.num_layers
+    assert manager.resident_bytes_total() == pytest.approx(expected)
+
+
+def test_fully_resident_policy_needs_no_buffers(tiny_model):
+    policy = Policy(batch_size=64, micro_batch_size=32, weights_gpu_ratio=1.0)
+    pool = MemoryPool(name="gpu", capacity_bytes=1e9, page_bytes=1e6)
+    manager = PagedWeightManager(model=tiny_model, policy=policy, gpu_pool=pool)
+    assert manager.streamed_bytes_per_layer() == 0.0
+    assert pool.used_pages == 0
+
+
+def test_describe_mentions_pages(manager):
+    assert "pages/layer" in manager.describe()

@@ -1,0 +1,39 @@
+"""Tests for the ASCII plot helper."""
+
+import pytest
+
+from repro.utils.ascii_plot import AsciiPlot, Series
+
+
+def test_series_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        Series(name="bad", xs=[1, 2], ys=[1])
+
+
+def test_render_places_markers_for_each_series():
+    plot = AsciiPlot(width=40, height=10, title="demo")
+    plot.add_series("a", [1, 2, 3], [1, 2, 3], marker="a")
+    plot.add_series("b", [1, 2, 3], [3, 2, 1], marker="b")
+    text = plot.render()
+    assert "demo" in text
+    assert "a=a" in text and "b=b" in text
+    assert "a" in text and "b" in text
+
+
+def test_render_log_axes_skip_non_positive_points():
+    plot = AsciiPlot(width=20, height=5, log_x=True, log_y=True)
+    plot.add_series("s", [0, 10, 100], [0, 10, 100], marker="s")
+    text = plot.render()
+    assert "s=s" in text
+
+
+def test_render_empty_plot():
+    plot = AsciiPlot(title="empty")
+    assert "no points" in plot.render()
+
+
+def test_render_single_point_does_not_divide_by_zero():
+    plot = AsciiPlot(width=10, height=4)
+    plot.add_series("one", [5], [7], marker="x")
+    text = plot.render()
+    assert "x" in text

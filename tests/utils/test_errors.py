@@ -1,0 +1,25 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.InfeasiblePolicyError,
+        errors.SimulationError,
+        errors.ScheduleError,
+        errors.MemoryManagerError,
+    ],
+)
+def test_all_exceptions_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)

@@ -1,0 +1,51 @@
+"""Tests for the text/markdown table renderers."""
+
+import pytest
+
+from repro.utils.tables import format_cell, render_markdown_table, render_table
+
+
+def test_format_cell_rounds_floats():
+    assert format_cell(3.14159, precision=2) == "3.14"
+    assert format_cell(3.14159, precision=4) == "3.1416"
+
+
+def test_format_cell_renders_none_as_dash():
+    assert format_cell(None) == "-"
+
+
+def test_format_cell_renders_booleans_as_words():
+    assert format_cell(True) == "yes"
+    assert format_cell(False) == "no"
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(
+        ["system", "throughput"],
+        [["flexgen", 9.5], ["moe-lightning", 30.1]],
+        title="Fig 7",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Fig 7"
+    assert "system" in lines[2]
+    assert "moe-lightning" in lines[-1]
+    # All data lines share the same width.
+    assert len(lines[-1]) == len(lines[-2])
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_markdown_table_structure():
+    text = render_markdown_table(["a", "b"], [[1, 2.5]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.50 |"
+
+
+def test_render_table_empty_rows_is_ok():
+    text = render_table(["a"], [])
+    assert "a" in text

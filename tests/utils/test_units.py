@@ -1,0 +1,53 @@
+"""Tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_decimal_constants_are_powers_of_ten():
+    assert units.KB == 10**3
+    assert units.MB == 10**6
+    assert units.GB == 10**9
+    assert units.TB == 10**12
+    assert units.TERA == 10**12
+
+
+def test_binary_constants_are_powers_of_two():
+    assert units.KIB == 2**10
+    assert units.MIB == 2**20
+    assert units.GIB == 2**30
+
+
+def test_gib_and_mib_round_trip():
+    assert units.bytes_to_gib(units.gib(3.5)) == pytest.approx(3.5)
+    assert units.bytes_to_mib(units.mib(7)) == pytest.approx(7.0)
+
+
+def test_format_bytes_picks_adaptive_units():
+    assert units.format_bytes(512) == "512 B"
+    assert units.format_bytes(2_500) == "2.50 KB"
+    assert units.format_bytes(3_000_000) == "3.00 MB"
+    assert units.format_bytes(16 * units.GB) == "16.00 GB"
+    assert units.format_bytes(1.2 * units.TB) == "1.20 TB"
+
+
+def test_format_flops_picks_adaptive_units():
+    assert units.format_flops(500) == "500 FLOP"
+    assert units.format_flops(2.5 * units.MEGA) == "2.50 MFLOP"
+    assert units.format_flops(3 * units.GIGA) == "3.00 GFLOP"
+    assert units.format_flops(1.5 * units.TERA) == "1.50 TFLOP"
+
+
+def test_format_seconds_picks_adaptive_units():
+    assert units.format_seconds(2.0) == "2.000 s"
+    assert units.format_seconds(0.005) == "5.000 ms"
+    assert units.format_seconds(25e-6) == "25.0 us"
+
+
+def test_format_throughput_matches_paper_style():
+    assert units.format_throughput(30.119) == "30.12 tokens/s"
+
+
+def test_format_bytes_handles_negative_values():
+    assert units.format_bytes(-2 * units.GB) == "-2.00 GB"

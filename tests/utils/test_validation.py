@@ -1,0 +1,65 @@
+"""Tests for the validation helpers."""
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.utils import validation
+
+
+def test_require_positive_accepts_and_returns_value():
+    assert validation.require_positive("x", 3.5) == 3.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5, None])
+def test_require_positive_rejects_non_positive(value):
+    with pytest.raises(ConfigurationError, match="x"):
+        validation.require_positive("x", value)
+
+
+def test_require_non_negative_accepts_zero():
+    assert validation.require_non_negative("x", 0) == 0
+
+
+def test_require_non_negative_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        validation.require_non_negative("x", -1e-9)
+
+
+def test_require_positive_int_accepts_int():
+    assert validation.require_positive_int("n", 7) == 7
+
+
+@pytest.mark.parametrize("value", [0, -3, 1.5, True, "4"])
+def test_require_positive_int_rejects_non_positive_or_non_int(value):
+    with pytest.raises(ConfigurationError):
+        validation.require_positive_int("n", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_require_fraction_accepts_unit_interval(value):
+    assert validation.require_fraction("f", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, None])
+def test_require_fraction_rejects_out_of_range(value):
+    with pytest.raises(ConfigurationError):
+        validation.require_fraction("f", value)
+
+
+def test_require_in_accepts_member():
+    assert validation.require_in("mode", "a", ("a", "b")) == "a"
+
+
+def test_require_in_rejects_non_member():
+    with pytest.raises(ConfigurationError, match="mode"):
+        validation.require_in("mode", "c", ("a", "b"))
+
+
+def test_require_divides_accepts_exact_division():
+    validation.require_divides("heads", 8, 32)
+
+
+@pytest.mark.parametrize(("divisor", "dividend"), [(3, 32), (0, 8), (-2, 8)])
+def test_require_divides_rejects_inexact_division(divisor, dividend):
+    with pytest.raises(ConfigurationError):
+        validation.require_divides("heads", divisor, dividend)

@@ -1,0 +1,122 @@
+"""Tests for request batching (Algorithm 2) and padding."""
+
+import pytest
+
+from repro.workloads.batching import balance_report, batch_requests, pad_requests
+from repro.workloads.request import Request
+
+
+def make_requests(lengths, generation_len=8):
+    return [Request(input_len=length, generation_len=generation_len) for length in lengths]
+
+
+def test_all_requests_placed_without_cache_limit():
+    requests = make_requests([10, 20, 30, 40, 50, 60])
+    result = batch_requests(
+        requests, num_micro_batches=2, micro_batch_size=3, generation_len=8
+    )
+    assert result.num_accepted == 6
+    assert not result.aborted
+    assert result.batch.num_requests == 6
+
+
+def test_balanced_token_distribution():
+    """Longest-first into the emptiest partition keeps token counts close."""
+    requests = make_requests([100, 90, 80, 10, 10, 10])
+    result = batch_requests(
+        requests, num_micro_batches=2, micro_batch_size=3, generation_len=1
+    )
+    report = balance_report(result)
+    assert report["num_micro_batches"] == 2
+    assert report["imbalance"] < 0.35
+
+
+def test_micro_batches_sealed_at_target_size():
+    requests = make_requests([5] * 8)
+    result = batch_requests(
+        requests, num_micro_batches=2, micro_batch_size=4, generation_len=1
+    )
+    assert all(mb.size <= 4 for mb in result.micro_batches)
+    assert result.num_accepted == 8
+
+
+def test_cache_limit_aborts_requests():
+    requests = make_requests([100, 100, 100], generation_len=10)
+    result = batch_requests(
+        requests,
+        num_micro_batches=1,
+        micro_batch_size=3,
+        generation_len=10,
+        cache_size_tokens=150,
+    )
+    assert result.num_accepted == 1
+    assert len(result.aborted) == 2
+
+
+def test_cache_limit_counts_generation_tokens():
+    """A request whose prompt fits but whose generated tokens would not is aborted."""
+    requests = make_requests([100], generation_len=100)
+    result = batch_requests(
+        requests,
+        num_micro_batches=1,
+        micro_batch_size=1,
+        generation_len=100,
+        cache_size_tokens=150,
+    )
+    assert result.num_accepted == 0
+    assert len(result.aborted) == 1
+
+
+def test_no_request_lost_or_duplicated():
+    requests = make_requests(list(range(1, 42)))
+    result = batch_requests(
+        requests, num_micro_batches=4, micro_batch_size=5, generation_len=2,
+        cache_size_tokens=120,
+    )
+    placed_ids = [r.request_id for mb in result.micro_batches for r in mb]
+    aborted_ids = [r.request_id for r in result.aborted]
+    all_ids = sorted(placed_ids + aborted_ids)
+    assert all_ids == sorted(r.request_id for r in requests)
+    assert len(set(placed_ids)) == len(placed_ids)
+
+
+def test_pad_requests_to_batch_maximum():
+    requests = make_requests([10, 20, 30])
+    padded = pad_requests(requests)
+    assert all(r.effective_input_len == 30 for r in padded)
+    assert [r.input_len for r in padded] == [10, 20, 30]
+
+
+def test_pad_requests_explicit_target():
+    requests = make_requests([10, 20])
+    padded = pad_requests(requests, pad_to=64)
+    assert all(r.effective_input_len == 64 for r in padded)
+
+
+def test_pad_requests_never_truncates():
+    requests = make_requests([100])
+    padded = pad_requests(requests, pad_to=10)
+    assert padded[0].effective_input_len == 100
+
+
+def test_pad_requests_empty_list():
+    assert pad_requests([]) == []
+
+
+def test_balance_report_empty_result():
+    result = batch_requests(
+        [], num_micro_batches=2, micro_batch_size=2, generation_len=1
+    )
+    report = balance_report(result)
+    assert report["num_micro_batches"] == 0
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_invalid_parameters_rejected(bad):
+    from repro.utils.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        batch_requests(
+            make_requests([1]), num_micro_batches=bad, micro_batch_size=1,
+            generation_len=1,
+        )

@@ -1,0 +1,75 @@
+"""Tests for the synthetic workload generators (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.workloads import get_workload, list_workloads, mtbench, summarization, synthetic_reasoning
+from repro.workloads.generators import generate_requests, uniform_workload
+
+
+def test_registry_lists_paper_workloads():
+    names = list_workloads()
+    for expected in ("mtbench", "synthetic_reasoning", "summarization"):
+        assert expected in names
+
+
+def test_table3_statistics():
+    assert mtbench().avg_prompt_len == 77
+    assert mtbench().max_prompt_len == 418
+    assert synthetic_reasoning().avg_prompt_len == 242
+    assert synthetic_reasoning().max_prompt_len == 256
+    assert synthetic_reasoning().generation_len == 50
+    assert summarization().avg_prompt_len == 1693
+    assert summarization().max_prompt_len == 1984
+    assert summarization().generation_len == 64
+
+
+def test_get_workload_passes_kwargs():
+    workload = get_workload("mtbench", generation_len=256)
+    assert workload.generation_len == 256
+
+
+def test_get_workload_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        get_workload("wikitext")
+
+
+def test_uniform_workload_constant_length():
+    workload = uniform_workload(prompt_len=512, generation_len=32)
+    assert workload.avg_prompt_len == workload.max_prompt_len == 512
+
+
+def test_generate_requests_is_deterministic():
+    spec = mtbench(num_requests=200)
+    first = generate_requests(spec, seed=7)
+    second = generate_requests(spec, seed=7)
+    assert [r.input_len for r in first] == [r.input_len for r in second]
+
+
+def test_generate_requests_respects_bounds_and_mean():
+    spec = mtbench(num_requests=2000)
+    requests = generate_requests(spec, seed=0)
+    lengths = np.array([r.input_len for r in requests])
+    assert lengths.max() == spec.max_prompt_len
+    assert lengths.min() >= 1
+    assert abs(lengths.mean() - spec.avg_prompt_len) < 0.35 * spec.avg_prompt_len
+
+
+def test_generate_requests_tight_distribution_for_helm():
+    spec = synthetic_reasoning(num_requests=500)
+    requests = generate_requests(spec, seed=0)
+    lengths = np.array([r.input_len for r in requests])
+    assert lengths.max() <= spec.max_prompt_len
+    assert abs(lengths.mean() - spec.avg_prompt_len) < 0.2 * spec.avg_prompt_len
+
+
+def test_generate_requests_count_override():
+    spec = mtbench(num_requests=1000)
+    assert len(generate_requests(spec, count=17)) == 17
+
+
+def test_generation_length_attached_to_requests():
+    spec = mtbench(generation_len=64, num_requests=10)
+    requests = generate_requests(spec)
+    assert all(r.generation_len == 64 for r in requests)

@@ -1,0 +1,48 @@
+"""Tests for WorkloadSpec."""
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_spec(**overrides):
+    params = dict(
+        name="wl", avg_prompt_len=100, max_prompt_len=400, generation_len=32,
+        num_requests=100,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def test_average_and_padded_lengths():
+    spec = make_spec()
+    assert spec.avg_total_len == 132
+    assert spec.padded_total_len == 432
+
+
+def test_effective_prompt_len_depends_on_padding():
+    spec = make_spec()
+    assert spec.effective_prompt_len(padded=False) == 100
+    assert spec.effective_prompt_len(padded=True) == 400
+
+
+def test_with_generation_len_copies():
+    spec = make_spec()
+    longer = spec.with_generation_len(256)
+    assert longer.generation_len == 256
+    assert spec.generation_len == 32
+
+
+def test_with_num_requests_copies():
+    assert make_spec().with_num_requests(5).num_requests == 5
+
+
+def test_max_prompt_must_cover_average():
+    with pytest.raises(ConfigurationError):
+        make_spec(avg_prompt_len=500)
+
+
+def test_describe_mentions_lengths():
+    text = make_spec().describe()
+    assert "100" in text and "400" in text and "32" in text
