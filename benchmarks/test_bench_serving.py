@@ -1,0 +1,43 @@
+"""Online serving: Poisson load sweep (throughput vs. tail latency).
+
+Not a paper artifact — the paper evaluates static batches.  This benchmark
+exercises the serving subsystem the way the figures exercise the offline
+harness: a reduced sweep whose rows are printed beneath the timing.
+"""
+
+import pytest
+
+from repro.experiments import run_serving_sweep
+from repro.experiments.serving_sweep import SWEEP_COLUMNS
+
+
+@pytest.mark.paper_artifact("Serving sweep (beyond-paper)")
+def test_bench_serving_sweep(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_serving_sweep,
+        kwargs={
+            "load_factors": (0.5, 2.0, 8.0),
+            "system_names": ("moe-lightning", "flexgen"),
+            "num_requests": 32,
+            "generation_len": 16,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        columns=list(SWEEP_COLUMNS),
+        title="Serving sweep: MTBench @ S1, Poisson arrivals, FCFS scheduling",
+    )
+    assert len(rows) == 6  # 3 rates x 2 systems
+    for system in ("moe-lightning", "flexgen"):
+        points = [row for row in rows if row["system"] == system]
+        # Offered load is absorbed or shed, never silently lost.
+        for row in points:
+            assert row["completed"] + row["rejected"] == row["offered"]
+        # Queueing delay grows with offered load (weakly, tail metric).
+        ttfts = [row["ttft_p99"] for row in points]
+        assert ttfts[-1] >= ttfts[0]
+        # SLO attainment does not improve when load octuples.
+        assert points[-1]["goodput_fraction"] <= points[0]["goodput_fraction"] + 1e-9

@@ -1,6 +1,49 @@
-"""Setuptools entry point (kept for legacy editable installs without the
-``wheel`` package; all metadata lives in pyproject.toml)."""
+"""Package metadata and console entry points for the reproduction."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="moe-lightning-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
+        "inference on memory-constrained GPUs, plus an online "
+        "continuous-batching serving simulator"
+    ),
+    long_description=(
+        "Analytical (HRM) performance models, a discrete-event pipeline "
+        "simulator, the CGOPipe/FlexGen/DeepSpeed schedule family, policy "
+        "optimization, the paper's experiment harnesses, and an online "
+        "serving subsystem (arrival processes, admission control, "
+        "continuous batching, SLO metrics) layered on top."
+    ),
+    author="paper-repo-growth",
+    license="Apache-2.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.experiments.serving_sweep:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -15,6 +15,8 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.throughput_vs_cpumem` — Fig. 1 (throughput vs.
   CPU memory).
 * :mod:`repro.experiments.tp_scaling` — Fig. 8 (tensor-parallel scaling).
+* :mod:`repro.experiments.serving_sweep` — online continuous-batching load
+  sweep (throughput vs. tail latency / SLO-goodput; not a paper artifact).
 * :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
   regeneration.
 """
@@ -32,6 +34,7 @@ from repro.experiments.hardware_sweep import run_hardware_sweep
 from repro.experiments.pipeline_diagram import run_schedule_comparison
 from repro.experiments.throughput_vs_cpumem import run_cpu_memory_sweep
 from repro.experiments.tp_scaling import run_tp_scaling
+from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
 from repro.experiments.report import render_rows, rows_to_markdown
 
 __all__ = [
@@ -47,6 +50,8 @@ __all__ = [
     "run_schedule_comparison",
     "run_cpu_memory_sweep",
     "run_tp_scaling",
+    "offline_capacity",
+    "run_serving_sweep",
     "render_rows",
     "rows_to_markdown",
 ]

@@ -1,0 +1,226 @@
+"""Online-serving load sweep: throughput versus tail latency under load.
+
+The paper's evaluation compares systems on static batches; this experiment
+compares them *online*: a Poisson (or bursty Gamma, or deterministic)
+request stream is swept across arrival rates expressed as multiples of the
+reference system's offline capacity, and every (system, rate) point reports
+TTFT / TPOT p50/p99, end-to-end p99, token throughput and SLO-goodput.
+
+All systems at a sweep point see the same absolute arrival rate, the same
+request bodies (the arrival seed fixes both prompt lengths and timestamps)
+and the same SLO (anchored to the first system's unloaded latencies), so
+the resulting throughput-vs-p99-latency curves are directly comparable.
+Runs are fully deterministic under a fixed ``seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    DeterministicProcess,
+    GammaProcess,
+    PoissonProcess,
+)
+from repro.serving.metrics import SLO
+from repro.serving.server import ServingSystem, default_slo
+from repro.systems import DeepSpeedZeroSystem, FlexGenSystem, MoELightningSystem
+from repro.systems.base import OffloadingSystem
+from repro.utils.errors import ConfigurationError
+from repro.workloads import get_workload
+
+#: Factories for the serving backends the sweep can compare.
+SERVING_SYSTEMS: dict[str, Callable[..., OffloadingSystem]] = {
+    "moe-lightning": lambda model, hardware: MoELightningSystem(model, hardware),
+    "moe-lightning(p)": lambda model, hardware: MoELightningSystem(
+        model, hardware, padded=True
+    ),
+    "flexgen": lambda model, hardware: FlexGenSystem(model, hardware),
+    "flexgen(c)": lambda model, hardware: FlexGenSystem(
+        model, hardware, cpu_attention=True
+    ),
+    "deepspeed": lambda model, hardware: DeepSpeedZeroSystem(model, hardware),
+}
+
+#: Arrival-process factories keyed by name; each takes the absolute rate.
+ARRIVAL_PROCESSES: dict[str, Callable[[float], ArrivalProcess]] = {
+    "poisson": PoissonProcess,
+    "gamma": lambda rate: GammaProcess(rate, cv=3.0),
+    "deterministic": DeterministicProcess,
+}
+
+
+def offline_capacity(backend: OffloadingSystem, workload, policy) -> float:
+    """Requests per second the backend sustains on a static batch."""
+    estimate = backend.performance_model(workload).estimate(policy)
+    if estimate.total_time <= 0:
+        return 0.0
+    return policy.batch_size / estimate.total_time
+
+
+def run_serving_sweep(
+    load_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    system_names: Sequence[str] = ("moe-lightning", "flexgen"),
+    model_name: str = "mixtral-8x7b",
+    hardware_name: str = "1xT4",
+    workload_name: str = "mtbench",
+    generation_len: int = 16,
+    num_requests: int = 48,
+    scheduling: str = "fcfs",
+    arrival: str = "poisson",
+    seed: int = 0,
+    slo: SLO | None = None,
+    use_simulator: bool = False,
+) -> list[dict[str, object]]:
+    """Sweep arrival rates across serving systems; one row per point.
+
+    Rates are ``load_factor`` multiples of the *first* system's offline
+    capacity so every system is measured at identical absolute load.  The
+    shared SLO defaults to the first system's unloaded latencies (see
+    :func:`repro.serving.server.default_slo`).
+    """
+    if not load_factors:
+        raise ConfigurationError("load_factors must not be empty")
+    if arrival not in ARRIVAL_PROCESSES:
+        known = ", ".join(sorted(ARRIVAL_PROCESSES))
+        raise ConfigurationError(f"unknown arrival process {arrival!r}; known: {known}")
+    unknown = [name for name in system_names if name not in SERVING_SYSTEMS]
+    if unknown:
+        known = ", ".join(sorted(SERVING_SYSTEMS))
+        raise ConfigurationError(f"unknown systems {unknown}; known: {known}")
+
+    model = get_model(model_name)
+    hardware = get_hardware(hardware_name)
+    workload = get_workload(
+        workload_name, generation_len=generation_len, num_requests=num_requests
+    )
+
+    backends = [SERVING_SYSTEMS[name](model, hardware) for name in system_names]
+    policies = [backend.select_policy(workload) for backend in backends]
+    shared_slo = slo or default_slo(backends[0], workload, policies[0])
+    reference_rate = offline_capacity(backends[0], workload, policies[0])
+    # One ServingSystem per backend across all rate points: run() holds no
+    # cross-run state, and reusing the instance keeps its step-time memo
+    # caches warm (the dominant cost with use_simulator=True).
+    servers = [
+        ServingSystem(
+            backend,
+            workload,
+            policy=policy,
+            scheduling=scheduling,
+            slo=shared_slo,
+            use_simulator=use_simulator,
+        )
+        for backend, policy in zip(backends, policies)
+    ]
+
+    rows: list[dict[str, object]] = []
+    for load_factor in load_factors:
+        rate = load_factor * reference_rate
+        process = ARRIVAL_PROCESSES[arrival](rate)
+        for serving in servers:
+            result = serving.run(process, count=num_requests, seed=seed)
+            row: dict[str, object] = {
+                "load_factor": load_factor,
+                "rate_rps": rate,
+                "arrival": arrival,
+                "scheduling": scheduling,
+            }
+            row.update(result.as_row())
+            row["slo_ttft"] = shared_slo.ttft
+            row["slo_tpot"] = shared_slo.tpot
+            rows.append(row)
+    return rows
+
+
+#: Columns for the printed throughput-vs-tail-latency table.
+SWEEP_COLUMNS: tuple[str, ...] = (
+    "system",
+    "load_factor",
+    "rate_rps",
+    "completed",
+    "rejected",
+    "token_throughput",
+    "ttft_p50",
+    "ttft_p99",
+    "tpot_p50",
+    "tpot_p99",
+    "e2e_p99",
+    "goodput",
+    "goodput_fraction",
+)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """Console entry point (installed as ``repro-serve``)."""
+    from repro.experiments.report import render_rows
+
+    parser = argparse.ArgumentParser(
+        description="Online continuous-batching load sweep across serving systems."
+    )
+    parser.add_argument(
+        "--systems",
+        nargs="+",
+        default=["moe-lightning", "flexgen"],
+        choices=sorted(SERVING_SYSTEMS),
+    )
+    parser.add_argument(
+        "--load-factors",
+        nargs="+",
+        type=float,
+        default=[0.25, 0.5, 1.0, 2.0, 4.0],
+        help="arrival rates as multiples of the first system's offline capacity",
+    )
+    parser.add_argument("--model", default="mixtral-8x7b")
+    parser.add_argument("--hardware", default="1xT4")
+    parser.add_argument("--workload", default="mtbench")
+    parser.add_argument("--generation-len", type=int, default=16)
+    parser.add_argument("--num-requests", type=int, default=48)
+    parser.add_argument(
+        "--scheduling",
+        default="fcfs",
+        choices=("fcfs", "prefill-first", "decode-first"),
+    )
+    parser.add_argument(
+        "--arrival", default="poisson", choices=sorted(ARRIVAL_PROCESSES)
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help="sample step times from the discrete-event schedule simulator",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_serving_sweep(
+        load_factors=args.load_factors,
+        system_names=args.systems,
+        model_name=args.model,
+        hardware_name=args.hardware,
+        workload_name=args.workload,
+        generation_len=args.generation_len,
+        num_requests=args.num_requests,
+        scheduling=args.scheduling,
+        arrival=args.arrival,
+        seed=args.seed,
+        use_simulator=args.simulate,
+    )
+    print(
+        render_rows(
+            rows,
+            columns=list(SWEEP_COLUMNS),
+            title=(
+                f"Serving sweep: {args.workload} @ {args.model} / {args.hardware} "
+                f"({args.arrival} arrivals, {args.scheduling} scheduling, "
+                f"seed {args.seed})"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

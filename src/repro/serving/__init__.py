@@ -1,0 +1,73 @@
+"""Online serving: continuous batching over the offloading systems.
+
+The offline harness (:mod:`repro.systems`) evaluates each system on one
+static, pre-formed batch — the regime of the paper's throughput evaluation.
+This package adds the *online* half implied by the paper's batching
+machinery: requests arriving over simulated time, iteration-level
+continuous re-batching with Algorithm 2, memory-aware admission control
+backed by the paged KV cache, and per-request latency / SLO-goodput
+metrics, so MoE-Lightning and the baselines become comparable under load.
+
+* :mod:`repro.serving.arrivals` — Poisson / Gamma-burst / deterministic /
+  replay arrival processes over the Table 3 prompt-length samplers.
+* :mod:`repro.serving.queue` — request lifecycle plus the bounded waiting
+  queue (FCFS or shortest-job-first ordering).
+* :mod:`repro.serving.admission` — KV-cache and CPU/GPU-memory gated
+  admission via the paged allocator and the analytical memory model.
+* :mod:`repro.serving.scheduler` — iteration-level scheduler with FCFS,
+  prefill-prioritising and decode-prioritising policies.
+* :mod:`repro.serving.metrics` — TTFT / TPOT / E2E percentiles and
+  SLO-goodput.
+* :mod:`repro.serving.server` — the :class:`ServingSystem` facade driving
+  any offloading backend through a simulated wall clock.
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    DeterministicProcess,
+    GammaProcess,
+    PoissonProcess,
+    ReplayProcess,
+    TimedRequest,
+)
+from repro.serving.metrics import SLO, ServingReport, percentile, summarize
+from repro.serving.queue import RequestQueue, RequestState, ServingRequest
+from repro.serving.scheduler import (
+    SCHEDULING_POLICIES,
+    ContinuousBatchingScheduler,
+    SchedulerAction,
+)
+from repro.serving.server import (
+    EngineStep,
+    EngineStepModel,
+    ServingResult,
+    ServingSystem,
+    default_slo,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ArrivalProcess",
+    "DeterministicProcess",
+    "GammaProcess",
+    "PoissonProcess",
+    "ReplayProcess",
+    "TimedRequest",
+    "SLO",
+    "ServingReport",
+    "percentile",
+    "summarize",
+    "RequestQueue",
+    "RequestState",
+    "ServingRequest",
+    "SCHEDULING_POLICIES",
+    "ContinuousBatchingScheduler",
+    "SchedulerAction",
+    "EngineStep",
+    "EngineStepModel",
+    "ServingResult",
+    "ServingSystem",
+    "default_slo",
+]

@@ -1,0 +1,179 @@
+"""Admission control: memory-aware gating of requests into the batch.
+
+Before a queued request joins the running batch, the controller checks that
+its KV cache — at its *end-of-generation* size, the same conservative
+accounting Algorithm 2 applies inside a batch — fits the CPU and GPU
+budgets left over after weights, activations and transfer workspace.  The
+budgets come from the analytical :class:`~repro.core.memory_model.MemoryModel`
+and the page-level accounting from
+:class:`~repro.runtime.kv_cache.KVCacheManager`, so the online system
+respects exactly the constraints the offline policy optimizer was solved
+under.
+
+Admission also caps the number of live sequences at the policy's batch
+size ``N``: the engine never holds more requests than the policy the
+schedules and kernels were sized for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.memory_model import MemoryModel
+from repro.core.policy import Policy
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.memory import kv_cache_bytes_per_token_per_layer
+from repro.runtime.kv_cache import KVCacheManager
+from repro.runtime.memory_manager import MemoryPool
+from repro.serving.queue import ServingRequest
+from repro.utils.errors import MemoryManagerError
+from repro.utils.validation import require_positive_int
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""
+
+
+class AdmissionController:
+    """Gates requests on KV-cache capacity and live-sequence slots.
+
+    The CPU/GPU KV budgets are the memory capacities usable by the policy
+    minus its non-KV footprint (weights, activations, workspace) as
+    projected by the memory model; explicit ``*_kv_budget_bytes`` overrides
+    let tests pin exact boundaries.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        hardware: HardwareSpec,
+        workload: WorkloadSpec,
+        policy: Policy,
+        padded: bool = False,
+        max_live_requests: int | None = None,
+        block_tokens: int = 16,
+        cpu_kv_budget_bytes: float | None = None,
+        gpu_kv_budget_bytes: float | None = None,
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.max_live_requests = (
+            max_live_requests if max_live_requests is not None else policy.batch_size
+        )
+        require_positive_int("max_live_requests", self.max_live_requests)
+
+        memory_model = MemoryModel(
+            model=model, hardware=hardware, workload=workload, padded=padded
+        )
+        if cpu_kv_budget_bytes is None:
+            cpu_usage = memory_model.cpu_usage(policy)
+            cpu_kv_budget_bytes = memory_model.usable_cpu_memory - (
+                cpu_usage.total - cpu_usage.kv_cache
+            )
+        if gpu_kv_budget_bytes is None:
+            gpu_usage = memory_model.gpu_usage(policy)
+            gpu_kv_budget_bytes = memory_model.usable_gpu_memory - (
+                gpu_usage.total - gpu_usage.kv_cache
+            )
+
+        page_bytes = (
+            block_tokens
+            * model.num_layers
+            * kv_cache_bytes_per_token_per_layer(model)
+        )
+        if cpu_kv_budget_bytes < page_bytes:
+            raise MemoryManagerError(
+                f"policy {policy.describe()} leaves no CPU memory for the KV "
+                f"cache ({cpu_kv_budget_bytes / 1e9:.2f} GB budget)"
+            )
+        cpu_pool = MemoryPool("serving-kv-cpu", cpu_kv_budget_bytes, page_bytes)
+        gpu_pool = None
+        if policy.kv_cache_gpu_ratio > 0:
+            if gpu_kv_budget_bytes < page_bytes:
+                raise MemoryManagerError(
+                    f"policy {policy.describe()} keeps KV on the GPU but leaves "
+                    f"no GPU memory for it "
+                    f"({gpu_kv_budget_bytes / 1e9:.2f} GB budget)"
+                )
+            gpu_pool = MemoryPool("serving-kv-gpu", gpu_kv_budget_bytes, page_bytes)
+        self.kv_cache = KVCacheManager(
+            model=model,
+            cpu_pool=cpu_pool,
+            gpu_pool=gpu_pool,
+            gpu_ratio=policy.kv_cache_gpu_ratio,
+            block_tokens=block_tokens,
+        )
+
+        self.admitted_count = 0
+        self.rejected_kv_count = 0
+        self.rejected_slots_count = 0
+
+    # ------------------------------------------------------------------
+    # Checks and reservations
+    # ------------------------------------------------------------------
+    @property
+    def live_requests(self) -> int:
+        """Number of sequences currently holding KV reservations."""
+        return len(self.kv_cache.sequences)
+
+    def check(self, serving_request: ServingRequest) -> AdmissionDecision:
+        """Whether the request could be admitted right now (no side effects)."""
+        if self.live_requests >= self.max_live_requests:
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"batch full ({self.max_live_requests} live requests)",
+            )
+        request = serving_request.request
+        if not self.kv_cache.can_admit(
+            request.effective_input_len, request.generation_len
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason="KV cache budget exhausted at end-of-generation size",
+            )
+        return AdmissionDecision(admitted=True)
+
+    def admit(self, serving_request: ServingRequest) -> AdmissionDecision:
+        """Check and, on success, reserve the request's full KV footprint.
+
+        The reservation covers prompt plus every token that will be
+        generated, so a request admitted now can never be evicted mid-decode
+        by a later admission — the same guarantee Algorithm 2's cache-budget
+        check gives within a batch.
+        """
+        decision = self.check(serving_request)
+        if not decision.admitted:
+            if "KV cache" in decision.reason:
+                self.rejected_kv_count += 1
+            else:
+                self.rejected_slots_count += 1
+            return decision
+        request = serving_request.request
+        self.kv_cache.register_sequence(
+            serving_request.request_id,
+            request.effective_input_len + request.generation_len,
+        )
+        self.admitted_count += 1
+        return decision
+
+    def release(self, serving_request: ServingRequest) -> None:
+        """Free a finished request's KV reservation."""
+        self.kv_cache.release_sequence(serving_request.request_id)
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of each KV pool currently reserved."""
+        cpu_pool = self.kv_cache.cpu_pool
+        report = {
+            "kv_cpu": cpu_pool.used_pages / max(cpu_pool.num_pages, 1),
+            "live_requests": float(self.live_requests),
+        }
+        if self.kv_cache.gpu_pool is not None:
+            gpu_pool = self.kv_cache.gpu_pool
+            report["kv_gpu"] = gpu_pool.used_pages / max(gpu_pool.num_pages, 1)
+        return report

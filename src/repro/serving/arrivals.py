@@ -1,0 +1,163 @@
+"""Arrival processes: timestamped request streams for online serving.
+
+The offline harness feeds each system one static, pre-formed batch; online
+serving replaces that with a *stream* of requests arriving over simulated
+wall-clock time.  An :class:`ArrivalProcess` wraps the prompt-length
+samplers of :mod:`repro.workloads.generators` and attaches arrival
+timestamps drawn from a point process:
+
+* :class:`PoissonProcess` — memoryless arrivals (exponential gaps), the
+  standard open-loop load model;
+* :class:`GammaProcess` — gamma-distributed gaps whose coefficient of
+  variation controls burstiness (cv > 1 is burstier than Poisson, cv < 1
+  smoother);
+* :class:`DeterministicProcess` — evenly spaced arrivals (cv = 0);
+* :class:`ReplayProcess` — replays an explicit timestamp trace.
+
+Every process is fully determined by its parameters plus the ``seed``
+passed to :meth:`ArrivalProcess.generate`, so serving experiments are
+reproducible run-to-run.  Request bodies and arrival gaps use independent
+seeded streams: changing the arrival process never changes *which*
+requests are issued, only *when*.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive, require_positive_int
+from repro.workloads.generators import generate_requests
+from repro.workloads.request import Request
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """A request paired with the simulated wall-clock time it arrives at."""
+
+    request: Request
+    arrival_time: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ConfigurationError(
+                f"arrival_time must be >= 0, got {self.arrival_time}"
+            )
+
+
+class ArrivalProcess(abc.ABC):
+    """Base class: draws inter-arrival gaps for a request stream."""
+
+    #: Registry / report name; subclasses override.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` sorted, non-negative arrival timestamps."""
+
+    def generate(
+        self,
+        spec: WorkloadSpec,
+        count: int | None = None,
+        seed: int = 0,
+    ) -> list[TimedRequest]:
+        """Materialise a timestamped request stream for ``spec``.
+
+        Prompt lengths come from :func:`generate_requests` seeded with
+        ``seed``; arrival gaps use an independent stream derived from the
+        same seed, so two processes at the same seed issue identical
+        requests on different timelines.
+        """
+        count = count if count is not None else spec.num_requests
+        require_positive_int("count", count)
+        requests = generate_requests(spec, count=count, seed=seed)
+        times = self.arrival_times(count, np.random.default_rng([seed, 0xA221]))
+        if len(times) != count:
+            raise ConfigurationError(
+                f"{self.name}: expected {count} arrival times, got {len(times)}"
+            )
+        return [
+            TimedRequest(request=request, arrival_time=float(time))
+            for request, time in zip(requests, times)
+        ]
+
+
+class PoissonProcess(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate`` requests per second."""
+
+    name = "poisson"
+
+    def __init__(self, rate: float) -> None:
+        require_positive("rate", rate)
+        self.rate = float(rate)
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(scale=1.0 / self.rate, size=count)
+        return np.cumsum(gaps)
+
+
+class GammaProcess(ArrivalProcess):
+    """Gamma-renewal arrivals: ``rate`` requests/s with burstiness ``cv``.
+
+    The coefficient of variation ``cv`` of the inter-arrival gap controls
+    clustering: ``cv = 1`` recovers Poisson, ``cv > 1`` produces bursts
+    separated by lulls (the regime production traces such as Azure LLM
+    inference exhibit), ``cv < 1`` approaches a metronome.
+    """
+
+    name = "gamma"
+
+    def __init__(self, rate: float, cv: float = 2.0) -> None:
+        require_positive("rate", rate)
+        require_positive("cv", cv)
+        self.rate = float(rate)
+        self.cv = float(cv)
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        shape = 1.0 / (self.cv**2)
+        scale = 1.0 / (self.rate * shape)
+        gaps = rng.gamma(shape=shape, scale=scale, size=count)
+        return np.cumsum(gaps)
+
+
+class DeterministicProcess(ArrivalProcess):
+    """Evenly spaced arrivals at exactly ``rate`` requests per second."""
+
+    name = "deterministic"
+
+    def __init__(self, rate: float) -> None:
+        require_positive("rate", rate)
+        self.rate = float(rate)
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        gap = 1.0 / self.rate
+        return gap * np.arange(1, count + 1, dtype=float)
+
+
+class ReplayProcess(ArrivalProcess):
+    """Replays an explicit, pre-recorded arrival-timestamp trace."""
+
+    name = "replay"
+
+    def __init__(self, timestamps: Sequence[float]) -> None:
+        if not timestamps:
+            raise ConfigurationError("replay trace must contain at least one timestamp")
+        ordered = [float(t) for t in timestamps]
+        if any(t < 0 for t in ordered):
+            raise ConfigurationError("replay timestamps must be non-negative")
+        if any(b < a for a, b in zip(ordered, ordered[1:])):
+            raise ConfigurationError("replay timestamps must be non-decreasing")
+        self.timestamps = ordered
+
+    def arrival_times(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count > len(self.timestamps):
+            raise ConfigurationError(
+                f"replay trace has {len(self.timestamps)} timestamps but "
+                f"{count} requests were asked for"
+            )
+        return np.asarray(self.timestamps[:count], dtype=float)

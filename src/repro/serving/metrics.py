@@ -1,0 +1,163 @@
+"""Per-request latency metrics, percentiles and SLO-goodput.
+
+Online serving is judged on latency *distributions*, not the single batch
+throughput number of the offline harness:
+
+* **TTFT** — time to first token (arrival to end of prefill), the metric
+  interactive users feel;
+* **TPOT** — time per output token over the decode phase, the streaming
+  smoothness metric;
+* **E2E latency** — arrival to final token;
+* **SLO-goodput** — completed requests per second that met *both* the TTFT
+  and TPOT SLOs: the quantity a capacity planner actually provisions for,
+  since tokens delivered late count for nothing.
+
+Percentiles use linear interpolation (numpy's default) so reports are
+deterministic and comparable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.serving.queue import RequestState, ServingRequest
+from repro.utils.validation import require_positive
+
+#: Percentiles reported for each latency metric.
+REPORT_PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A latency service-level objective, in simulated seconds."""
+
+    ttft: float
+    tpot: float
+
+    def __post_init__(self) -> None:
+        require_positive("ttft", self.ttft)
+        require_positive("tpot", self.tpot)
+
+    def is_met(self, serving_request: ServingRequest) -> bool:
+        """Whether a finished request met both latency targets."""
+        ttft = serving_request.ttft
+        tpot = serving_request.tpot
+        if ttft is None or tpot is None:
+            return False
+        return ttft <= self.ttft and tpot <= self.tpot
+
+    def scaled(self, factor: float) -> "SLO":
+        """A copy with both targets multiplied by ``factor``."""
+        require_positive("factor", factor)
+        return SLO(ttft=self.ttft * factor, tpot=self.tpot * factor)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate metrics for one serving run."""
+
+    num_offered: int
+    num_completed: int
+    num_rejected: int
+    makespan: float
+    tokens_generated: int
+    ttft: dict[int, float]
+    tpot: dict[int, float]
+    e2e: dict[int, float]
+    mean_ttft: float
+    mean_tpot: float
+    slo_met: int
+    goodput: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of offered requests that completed."""
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_completed / self.num_offered
+
+    @property
+    def token_throughput(self) -> float:
+        """Generated tokens per second over the whole run."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.tokens_generated / self.makespan
+
+    @property
+    def request_throughput(self) -> float:
+        """Completed requests per second over the whole run."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.num_completed / self.makespan
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of *offered* requests that completed within the SLO.
+
+        Rejected and SLO-violating requests both count against this, so it
+        is the end-user success probability under the offered load.
+        """
+        if self.num_offered == 0:
+            return 0.0
+        return self.slo_met / self.num_offered
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for the table renderer."""
+        return {
+            "offered": self.num_offered,
+            "completed": self.num_completed,
+            "rejected": self.num_rejected,
+            "makespan_s": self.makespan,
+            "token_throughput": self.token_throughput,
+            "ttft_p50": self.ttft[50],
+            "ttft_p99": self.ttft[99],
+            "tpot_p50": self.tpot[50],
+            "tpot_p99": self.tpot[99],
+            "e2e_p50": self.e2e[50],
+            "e2e_p99": self.e2e[99],
+            "slo_met": self.slo_met,
+            "goodput": self.goodput,
+            "goodput_fraction": self.goodput_fraction,
+        }
+
+
+def summarize(
+    requests: Iterable[ServingRequest],
+    makespan: float,
+    slo: SLO,
+) -> ServingReport:
+    """Aggregate per-request records into a :class:`ServingReport`."""
+    requests = list(requests)
+    finished = [sr for sr in requests if sr.state is RequestState.FINISHED]
+    rejected = [sr for sr in requests if sr.state is RequestState.REJECTED]
+
+    ttfts = [sr.ttft for sr in finished if sr.ttft is not None]
+    tpots = [sr.tpot for sr in finished if sr.tpot is not None]
+    e2es = [sr.e2e_latency for sr in finished if sr.e2e_latency is not None]
+    slo_met = sum(1 for sr in finished if slo.is_met(sr))
+    tokens = sum(sr.tokens_decoded for sr in finished)
+
+    return ServingReport(
+        num_offered=len(requests),
+        num_completed=len(finished),
+        num_rejected=len(rejected),
+        makespan=makespan,
+        tokens_generated=tokens,
+        ttft={q: percentile(ttfts, q) for q in REPORT_PERCENTILES},
+        tpot={q: percentile(tpots, q) for q in REPORT_PERCENTILES},
+        e2e={q: percentile(e2es, q) for q in REPORT_PERCENTILES},
+        mean_ttft=float(np.mean(ttfts)) if ttfts else 0.0,
+        mean_tpot=float(np.mean(tpots)) if tpots else 0.0,
+        slo_met=slo_met,
+        goodput=slo_met / makespan if makespan > 0 else 0.0,
+    )

@@ -1,0 +1,186 @@
+"""Request lifecycle state and the waiting queue of the serving system.
+
+A :class:`ServingRequest` tracks one request from arrival to completion and
+records the timestamps the latency metrics are computed from.  The
+:class:`RequestQueue` holds admitted-but-not-yet-prefilled requests with a
+bounded depth (arrivals that find the queue full are dropped, which is what
+bounds tail latency under overload) and a pluggable ordering:
+
+* ``"fcfs"`` — strict arrival order;
+* ``"sjf"`` — shortest prompt first (cheapest prefill first, a classic
+  latency-versus-fairness trade).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+from repro.workloads.request import Request
+
+
+class RequestState(enum.Enum):
+    """Where a request is in its serving lifecycle."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ServingRequest:
+    """One request's serving lifecycle and timestamps.
+
+    ``tokens_decoded`` counts generated tokens; prefill emits the first
+    token, so a request finishes after ``generation_len - 1`` further decode
+    steps.  All times are simulated seconds since the stream started.
+    """
+
+    request: Request
+    arrival_time: float
+    state: RequestState = RequestState.QUEUED
+    admit_time: float | None = None
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    tokens_decoded: int = 0
+    reject_reason: str | None = None
+
+    @property
+    def request_id(self) -> int:
+        """The underlying request's id (also the KV-cache sequence id)."""
+        return self.request.request_id
+
+    @property
+    def context_len(self) -> int:
+        """Current KV context length: prompt plus decoded tokens."""
+        return self.request.effective_input_len + self.tokens_decoded
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether every requested token has been generated."""
+        return self.tokens_decoded >= self.request.generation_len
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    def mark_running(self, now: float) -> None:
+        """Admit the request into the running batch (prefill about to start)."""
+        self.state = RequestState.RUNNING
+        self.admit_time = now
+
+    def mark_first_token(self, now: float) -> None:
+        """Record the end of prefill, which emits the first token."""
+        self.first_token_time = now
+        self.tokens_decoded = 1
+
+    def mark_finished(self, now: float) -> None:
+        """Record completion."""
+        self.state = RequestState.FINISHED
+        self.finish_time = now
+
+    def mark_rejected(self, now: float, reason: str) -> None:
+        """Record a drop (queue overflow or admission-control rejection)."""
+        self.state = RequestState.REJECTED
+        self.finish_time = now
+        self.reject_reason = reason
+
+    # ------------------------------------------------------------------
+    # Latency metrics
+    # ------------------------------------------------------------------
+    @property
+    def ttft(self) -> float | None:
+        """Time to first token: arrival to end of the prefill step."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float | None:
+        """Time per output token over the decode phase (None until finished)."""
+        if self.finish_time is None or self.first_token_time is None:
+            return None
+        if self.state is not RequestState.FINISHED:
+            return None
+        decode_tokens = self.request.generation_len - 1
+        if decode_tokens <= 0:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / decode_tokens
+
+    @property
+    def e2e_latency(self) -> float | None:
+        """Arrival to completion (None until finished)."""
+        if self.finish_time is None or self.state is not RequestState.FINISHED:
+            return None
+        return self.finish_time - self.arrival_time
+
+
+#: Queue orderings: name -> sort key over a ServingRequest.
+QUEUE_ORDERINGS = {
+    "fcfs": lambda sr: (sr.arrival_time,),
+    "sjf": lambda sr: (sr.request.effective_input_len, sr.arrival_time),
+}
+
+
+class RequestQueue:
+    """Bounded waiting queue with a pluggable priority ordering."""
+
+    def __init__(self, ordering: str = "fcfs", max_depth: int | None = None) -> None:
+        if ordering not in QUEUE_ORDERINGS:
+            known = ", ".join(sorted(QUEUE_ORDERINGS))
+            raise ConfigurationError(
+                f"unknown queue ordering {ordering!r}; known: {known}"
+            )
+        if max_depth is not None:
+            require_positive_int("max_depth", max_depth)
+        self.ordering = ordering
+        self.max_depth = max_depth
+        self._key = QUEUE_ORDERINGS[ordering]
+        self._tiebreak = itertools.count()
+        self._heap: list[tuple[tuple, int, ServingRequest]] = []
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a new arrival would overflow the queue."""
+        return self.max_depth is not None and len(self._heap) >= self.max_depth
+
+    def push(self, serving_request: ServingRequest) -> bool:
+        """Enqueue a request; returns False (a drop) when the queue is full."""
+        if self.is_full:
+            return False
+        heapq.heappush(
+            self._heap,
+            (self._key(serving_request), next(self._tiebreak), serving_request),
+        )
+        return True
+
+    def peek(self) -> ServingRequest | None:
+        """The next request to be served, without removing it."""
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> ServingRequest:
+        """Remove and return the next request to be served."""
+        if not self._heap:
+            raise ConfigurationError("pop from an empty request queue")
+        return heapq.heappop(self._heap)[2]
+
+    def requeue(self, serving_request: ServingRequest) -> None:
+        """Return a popped request to the queue (e.g. admission deferred it).
+
+        Re-pushes under the same ordering key; the fresh tiebreak only
+        matters for exact ties, which FCFS arrival times never produce.
+        """
+        heapq.heappush(
+            self._heap,
+            (self._key(serving_request), next(self._tiebreak), serving_request),
+        )
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

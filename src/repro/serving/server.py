@@ -1,0 +1,374 @@
+"""The online serving facade: any offloading system under live load.
+
+:class:`ServingSystem` wraps an existing :mod:`repro.systems` backend
+(MoE-Lightning, FlexGen, DeepSpeed — anything implementing
+:class:`~repro.systems.base.OffloadingSystem`) and drives it through a
+simulated wall clock fed by an arrival process.  Each engine iteration the
+continuous-batching scheduler picks prefill, decode or idle; the step's
+duration comes from the backend's own cost machinery, so the three systems
+become comparable *under load* with the same models that rank them on
+static batches:
+
+* the default :class:`EngineStepModel` evaluates the backend's analytical
+  HRM performance model per step (fast enough for load sweeps over
+  thousands of steps);
+* ``use_simulator=True`` instead samples step times from the backend's
+  discrete-event pipeline schedule (CGOPipe / S3 / S4), memoised over
+  (batch-size, context) buckets, trading speed for schedule-level fidelity.
+
+Determinism: given the same backend, policy, arrival process and seed, a
+run reproduces identical per-request timestamps and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.policy import Policy
+from repro.serving.admission import AdmissionController
+from repro.serving.arrivals import ArrivalProcess, TimedRequest
+from repro.serving.metrics import SLO, ServingReport, summarize
+from repro.serving.queue import RequestQueue, ServingRequest
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.systems.base import OffloadingSystem
+from repro.utils.errors import SimulationError
+from repro.utils.validation import require_positive, require_positive_int
+from repro.workloads.spec import WorkloadSpec
+
+
+class EngineStepModel:
+    """Memoised per-step latency oracle for one backend + policy.
+
+    Prefill chunks are costed on a workload spec rebuilt from the chunk's
+    actual prompt lengths (so padded backends pay the chunk maximum, exactly
+    as they would pad); decode steps are costed at the running set's size
+    and mean context length, bucketed so the memo table stays small.
+    """
+
+    def __init__(
+        self,
+        backend: OffloadingSystem,
+        workload: WorkloadSpec,
+        policy: Policy,
+        use_simulator: bool = False,
+        ctx_bucket: int = 32,
+    ) -> None:
+        require_positive_int("ctx_bucket", ctx_bucket)
+        self.backend = backend
+        self.workload = workload
+        self.policy = policy
+        self.use_simulator = use_simulator
+        self.ctx_bucket = ctx_bucket
+        self._decode_cache: dict[tuple[int, int], float] = {}
+        self._prefill_cache: dict[tuple[int, int, int], float] = {}
+        self._performance = backend.performance_model(workload)
+
+    def _bucket_ctx(self, context_len: float) -> int:
+        buckets = max(1, round(context_len / self.ctx_bucket))
+        return buckets * self.ctx_bucket
+
+    def _sized_policy(self, num_requests: int) -> Policy:
+        return self.policy.with_batch_size(num_requests)
+
+    def decode_step_time(self, num_running: int, mean_context: float) -> float:
+        """Latency of one decode iteration over ``num_running`` requests."""
+        require_positive_int("num_running", num_running)
+        require_positive("mean_context", mean_context)
+        ctx = self._bucket_ctx(mean_context)
+        if self.use_simulator:
+            # Bucket the batch size to whole micro-batches so the schedule
+            # simulator runs once per (shape, context) rather than per step.
+            mu = min(self.policy.micro_batch_size, num_running)
+            batch = min(self.policy.batch_size, -(-num_running // mu) * mu)
+        else:
+            batch = num_running
+        key = (batch, ctx)
+        if key not in self._decode_cache:
+            sized = self._sized_policy(batch)
+            if self.use_simulator:
+                schedule = self.backend.make_schedule(sized)
+                step_time = schedule.step_timing(sized, ctx).step_time
+            else:
+                step_time = self._performance.decode_step_latency(sized, ctx)
+            self._decode_cache[key] = step_time
+        return self._decode_cache[key]
+
+    def prefill_time(self, chunk: list[ServingRequest]) -> float:
+        """Latency of prefilling ``chunk`` (which also emits its first tokens)."""
+        if not chunk:
+            raise SimulationError("cannot cost an empty prefill chunk")
+        lengths = [sr.request.effective_input_len for sr in chunk]
+        # Cost at the bucketed lengths that form the memo key (as the decode
+        # path does), so a chunk's charge never depends on which chunk
+        # populated the cache slot first.
+        avg = self._bucket_ctx(sum(lengths) / len(lengths))
+        longest = max(self._bucket_ctx(max(lengths)), avg)
+        key = (len(chunk), avg, longest)
+        if key not in self._prefill_cache:
+            chunk_spec = replace(
+                self.workload, avg_prompt_len=avg, max_prompt_len=longest
+            )
+            performance = self.backend.performance_model(chunk_spec)
+            sized = self._sized_policy(len(chunk))
+            self._prefill_cache[key] = performance.prefill_time(sized)
+        return self._prefill_cache[key]
+
+
+def default_slo(
+    backend: OffloadingSystem,
+    workload: WorkloadSpec,
+    policy: Policy,
+    ttft_factor: float = 5.0,
+    tpot_factor: float = 2.5,
+) -> SLO:
+    """An SLO anchored to the backend's *unloaded* latencies.
+
+    TTFT target: ``ttft_factor`` times the prefill latency of one full
+    micro-batch (headroom for queueing); TPOT target: ``tpot_factor`` times
+    the mid-generation decode step latency at the policy's full batch size.
+    The TPOT headroom must absorb the prefill interruptions a decoding
+    request sees from later arrivals (each one a full weight-streaming
+    pass on offloading systems), so the SLO binds under load rather than in
+    the unloaded regime.  Compare systems under a *shared* SLO by computing
+    it once from a reference backend and passing it to every
+    :class:`ServingSystem`.
+    """
+    performance = backend.performance_model(workload)
+    prefill_ref = performance.prefill_time(
+        policy.with_batch_size(policy.micro_batch_size)
+    )
+    mid_context = workload.effective_prompt_len(backend.padded) + max(
+        1, workload.generation_len // 2
+    )
+    decode_ref = performance.decode_step_latency(policy, mid_context)
+    return SLO(ttft=ttft_factor * prefill_ref, tpot=tpot_factor * decode_ref)
+
+
+@dataclass(frozen=True)
+class EngineStep:
+    """One engine iteration in the serving timeline."""
+
+    kind: str
+    start: float
+    duration: float
+    num_requests: int
+    num_micro_batches: int
+
+    @property
+    def end(self) -> float:
+        """Completion time of the iteration."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything one serving run produced."""
+
+    system: str
+    workload: str
+    scheduling: str
+    policy: Policy
+    slo: SLO
+    requests: list[ServingRequest]
+    steps: list[EngineStep]
+    makespan: float
+    report: ServingReport
+    admission_stats: dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for the table renderer."""
+        row: dict[str, object] = {
+            "system": self.system,
+            "workload": self.workload,
+            "scheduling": self.scheduling,
+            "batch_size": self.policy.batch_size,
+            "micro_batch_size": self.policy.micro_batch_size,
+        }
+        row.update(self.report.as_row())
+        return row
+
+
+class ServingSystem:
+    """Continuous-batching serving simulator over an offloading backend."""
+
+    def __init__(
+        self,
+        backend: OffloadingSystem,
+        workload: WorkloadSpec,
+        policy: Policy | None = None,
+        scheduling: str = "fcfs",
+        queue_ordering: str = "fcfs",
+        max_queue_depth: int | None = None,
+        slo: SLO | None = None,
+        use_simulator: bool = False,
+        ctx_bucket: int = 32,
+        block_tokens: int = 16,
+    ) -> None:
+        self.backend = backend
+        self.workload = workload
+        self.policy = policy or backend.select_policy(workload)
+        self.scheduling = scheduling
+        self.queue_ordering = queue_ordering
+        self.max_queue_depth = max_queue_depth
+        self.slo = slo or default_slo(backend, workload, self.policy)
+        self.block_tokens = block_tokens
+        self.step_model = EngineStepModel(
+            backend,
+            workload,
+            self.policy,
+            use_simulator=use_simulator,
+            ctx_bucket=ctx_bucket,
+        )
+
+    def _as_served(self, request):
+        """Apply the backend's padding discipline to an arriving request.
+
+        Padding-based systems (FlexGen, MoE-Lightning(p)) store and compute
+        over the workload's maximum prompt length for every request, so the
+        padded length must drive KV admission and decode context — exactly
+        as the offline memory/performance models charge it.
+        """
+        if not self.backend.padded:
+            return request
+        return request.padded_to(
+            max(self.workload.max_prompt_len, request.input_len)
+        )
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None = None,
+        seed: int = 0,
+    ) -> ServingResult:
+        """Serve a request stream to completion and return the result.
+
+        ``arrivals`` is either an :class:`ArrivalProcess` (materialised with
+        ``count`` and ``seed``) or an explicit pre-built stream.
+        """
+        if isinstance(arrivals, ArrivalProcess):
+            stream = arrivals.generate(self.workload, count=count, seed=seed)
+        else:
+            stream = sorted(arrivals, key=lambda timed: timed.arrival_time)
+        records = [
+            ServingRequest(
+                request=self._as_served(timed.request),
+                arrival_time=timed.arrival_time,
+            )
+            for timed in stream
+        ]
+
+        admission = AdmissionController(
+            model=self.backend.model,
+            hardware=self.backend.hardware,
+            workload=self.workload,
+            policy=self.policy,
+            padded=self.backend.padded,
+            block_tokens=self.block_tokens,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            policy=self.policy, admission=admission, scheduling=self.scheduling
+        )
+        queue = RequestQueue(
+            ordering=self.queue_ordering, max_depth=self.max_queue_depth
+        )
+
+        running: list[ServingRequest] = []
+        steps: list[EngineStep] = []
+        dropped_queue_full = 0
+        now = 0.0
+        next_arrival = 0
+
+        while next_arrival < len(records) or queue or running:
+            # Ingest every arrival up to the current simulated time.
+            while (
+                next_arrival < len(records)
+                and records[next_arrival].arrival_time <= now
+            ):
+                serving_request = records[next_arrival]
+                next_arrival += 1
+                if not queue.push(serving_request):
+                    serving_request.mark_rejected(
+                        serving_request.arrival_time, "queue full"
+                    )
+                    dropped_queue_full += 1
+
+            action = scheduler.next_action(len(running), queue)
+            for oversized in action.rejected:
+                oversized.mark_rejected(
+                    now, oversized.reject_reason or "oversized request"
+                )
+
+            if action.kind == "idle":
+                if next_arrival < len(records):
+                    now = max(now, records[next_arrival].arrival_time)
+                    continue
+                if queue or running:
+                    raise SimulationError(
+                        "serving loop stalled with work outstanding"
+                    )
+                break
+
+            if action.kind == "prefill":
+                for serving_request in action.chunk:
+                    serving_request.mark_running(now)
+                duration = self.step_model.prefill_time(action.chunk)
+                start, now = now, now + duration
+                for serving_request in action.chunk:
+                    serving_request.mark_first_token(now)
+                    running.append(serving_request)
+                num_requests = len(action.chunk)
+                mu = min(self.policy.micro_batch_size, num_requests)
+                num_micro_batches = -(-num_requests // mu)
+            else:  # decode
+                batch = scheduler.form_micro_batches(running)
+                binding_context = scheduler.binding_context_len(batch, running)
+                duration = self.step_model.decode_step_time(
+                    len(running), binding_context
+                )
+                start, now = now, now + duration
+                for serving_request in running:
+                    serving_request.tokens_decoded += 1
+                num_requests = len(running)
+                num_micro_batches = batch.num_micro_batches
+
+            steps.append(
+                EngineStep(
+                    kind=action.kind,
+                    start=start,
+                    duration=duration,
+                    num_requests=num_requests,
+                    num_micro_batches=num_micro_batches,
+                )
+            )
+
+            # Retire finished requests and free their KV reservations.
+            still_running: list[ServingRequest] = []
+            for serving_request in running:
+                if serving_request.is_finished:
+                    serving_request.mark_finished(now)
+                    admission.release(serving_request)
+                else:
+                    still_running.append(serving_request)
+            running = still_running
+
+        report = summarize(records, makespan=now, slo=self.slo)
+        return ServingResult(
+            system=self.backend.name,
+            workload=self.workload.name,
+            scheduling=self.scheduling,
+            policy=self.policy,
+            slo=self.slo,
+            requests=records,
+            steps=steps,
+            makespan=now,
+            report=report,
+            admission_stats={
+                "admitted": admission.admitted_count,
+                "rejected_kv": admission.rejected_kv_count,
+                "rejected_slots": admission.rejected_slots_count,
+                "dropped_queue_full": dropped_queue_full,
+            },
+        )

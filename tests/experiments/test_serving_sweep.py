@@ -1,0 +1,71 @@
+"""The serving load-sweep experiment: shape, metrics, determinism."""
+
+import pytest
+
+from repro.experiments import offline_capacity, run_serving_sweep
+from repro.experiments.serving_sweep import SWEEP_COLUMNS
+from repro.systems import MoELightningSystem
+from repro.utils.errors import ConfigurationError
+from repro.workloads import mtbench
+
+SWEEP_KWARGS = dict(
+    load_factors=(0.5, 2.0, 8.0),
+    system_names=("moe-lightning", "flexgen"),
+    num_requests=24,
+    generation_len=8,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_serving_sweep(**SWEEP_KWARGS)
+
+
+def test_sweep_covers_rates_by_systems(rows):
+    assert len(rows) == 6  # 3 arrival rates x 2 systems
+    assert {row["system"] for row in rows} == {"moe-lightning", "flexgen"}
+    assert len({row["rate_rps"] for row in rows}) == 3
+
+
+def test_sweep_reports_required_metrics(rows):
+    for row in rows:
+        for column in SWEEP_COLUMNS:
+            assert column in row
+        for metric in ("ttft_p50", "ttft_p99", "tpot_p50", "tpot_p99"):
+            assert row[metric] > 0
+        assert 0.0 <= row["goodput_fraction"] <= 1.0
+        assert row["goodput"] >= 0.0
+
+
+def test_systems_share_rates_and_slo(rows):
+    """Each sweep point measures both systems at identical absolute load."""
+    by_factor = {}
+    for row in rows:
+        by_factor.setdefault(row["load_factor"], []).append(row)
+    for points in by_factor.values():
+        assert len({row["rate_rps"] for row in points}) == 1
+        assert len({row["slo_ttft"] for row in points}) == 1
+        assert len({row["slo_tpot"] for row in points}) == 1
+
+
+def test_sweep_is_deterministic(rows):
+    again = run_serving_sweep(**SWEEP_KWARGS)
+    assert again == rows
+
+
+def test_offline_capacity_positive(mixtral, t4_node):
+    workload = mtbench(generation_len=8, num_requests=24)
+    backend = MoELightningSystem(mixtral, t4_node)
+    policy = backend.select_policy(workload)
+    assert offline_capacity(backend, workload, policy) > 0
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigurationError):
+        run_serving_sweep(system_names=("vllm",))
+
+
+def test_unknown_arrival_rejected():
+    with pytest.raises(ConfigurationError):
+        run_serving_sweep(arrival="weibull")

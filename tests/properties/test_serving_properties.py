@@ -1,0 +1,92 @@
+"""Property-based tests for the online serving subsystem.
+
+The central property: SLO-goodput *fraction* is monotonically
+non-increasing in the offered arrival rate.  Scaling the arrival rate up
+(same request bodies, compressed timestamps) can only increase queueing, so
+the fraction of requests served within the (queueing-bound) SLO can only
+fall.  The SLO used here keeps TPOT loose on purpose: TPOT under FCFS is
+not monotone in load — low-rate trickles interrupt a lone decoder with
+unamortised single-request prefills, a real continuous-batching artefact —
+while the TTFT/queueing component is.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.serving import (
+    GammaProcess,
+    PoissonProcess,
+    ServingSystem,
+    SLO,
+    default_slo,
+)
+from repro.systems import MoELightningSystem
+from repro.workloads import mtbench
+
+WORKLOAD = mtbench(generation_len=16, num_requests=64)
+BACKEND = MoELightningSystem(get_model("mixtral-8x7b"), get_hardware("1xT4"))
+POLICY = BACKEND.select_policy(WORKLOAD)
+_BASE_SLO = default_slo(BACKEND, WORKLOAD, POLICY)
+#: Queueing-bound SLO: tight TTFT, TPOT loose enough to never bind.
+QUEUEING_SLO = SLO(ttft=_BASE_SLO.ttft, tpot=_BASE_SLO.tpot * 50)
+
+RATES = (0.05, 0.2, 0.8, 3.2, 12.8)
+
+
+def goodput_fraction(rate: float, seed: int, **kwargs) -> float:
+    serving = ServingSystem(
+        BACKEND, WORKLOAD, policy=POLICY, slo=QUEUEING_SLO, **kwargs
+    )
+    result = serving.run(PoissonProcess(rate), count=32, seed=seed)
+    return result.report.goodput_fraction
+
+
+@given(seed=st.integers(min_value=0, max_value=255))
+@settings(max_examples=8, deadline=None, derandomize=True)
+def test_goodput_non_increasing_in_arrival_rate(seed):
+    fractions = [goodput_fraction(rate, seed) for rate in RATES]
+    for lighter, heavier in zip(fractions, fractions[1:]):
+        assert heavier <= lighter + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=255))
+@settings(max_examples=4, deadline=None, derandomize=True)
+def test_goodput_non_increasing_with_bounded_queue(seed):
+    """Monotonicity also holds when overload is shed at a bounded queue."""
+    fractions = [
+        goodput_fraction(rate, seed, max_queue_depth=8) for rate in RATES
+    ]
+    for lighter, heavier in zip(fractions, fractions[1:]):
+        assert heavier <= lighter + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=255),
+    rate=st.floats(min_value=0.05, max_value=20.0),
+    depth=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=12, deadline=None, derandomize=True)
+def test_every_offered_request_is_resolved(seed, rate, depth):
+    """Conservation: offered = completed + rejected, whatever the load."""
+    serving = ServingSystem(
+        BACKEND, WORKLOAD, policy=POLICY, slo=QUEUEING_SLO, max_queue_depth=depth
+    )
+    result = serving.run(PoissonProcess(rate), count=24, seed=seed)
+    report = result.report
+    assert report.num_completed + report.num_rejected == report.num_offered
+    assert report.num_offered == 24
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=255),
+    rate=st.floats(min_value=0.01, max_value=100.0),
+    cv=st.floats(min_value=0.25, max_value=8.0),
+)
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_arrival_streams_are_sorted_and_non_negative(seed, rate, cv):
+    stream = GammaProcess(rate, cv=cv).generate(WORKLOAD, count=32, seed=seed)
+    times = [timed.arrival_time for timed in stream]
+    assert all(t >= 0 for t in times)
+    assert times == sorted(times)

@@ -1,0 +1,105 @@
+"""Arrival-process tests: determinism, rates, burstiness, replay."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    DeterministicProcess,
+    GammaProcess,
+    PoissonProcess,
+    ReplayProcess,
+)
+from repro.utils.errors import ConfigurationError
+from repro.workloads import mtbench
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return mtbench(generation_len=16, num_requests=512)
+
+
+def as_tuples(stream):
+    return [
+        (t.request.input_len, t.request.generation_len, t.arrival_time)
+        for t in stream
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, spec):
+        a = PoissonProcess(rate=2.0).generate(spec, count=128, seed=42)
+        b = PoissonProcess(rate=2.0).generate(spec, count=128, seed=42)
+        assert as_tuples(a) == as_tuples(b)
+
+    def test_different_seed_different_times(self, spec):
+        a = PoissonProcess(rate=2.0).generate(spec, count=128, seed=1)
+        b = PoissonProcess(rate=2.0).generate(spec, count=128, seed=2)
+        assert [t.arrival_time for t in a] != [t.arrival_time for t in b]
+
+    def test_processes_share_request_bodies_at_same_seed(self, spec):
+        """Changing the arrival process changes when, not what, arrives."""
+        poisson = PoissonProcess(rate=2.0).generate(spec, count=64, seed=7)
+        gamma = GammaProcess(rate=2.0, cv=3.0).generate(spec, count=64, seed=7)
+        uniform = DeterministicProcess(rate=2.0).generate(spec, count=64, seed=7)
+        lengths = [t.request.input_len for t in poisson]
+        assert [t.request.input_len for t in gamma] == lengths
+        assert [t.request.input_len for t in uniform] == lengths
+
+
+class TestRates:
+    def test_poisson_mean_rate(self, spec):
+        stream = PoissonProcess(rate=4.0).generate(spec, count=512, seed=0)
+        times = np.array([t.arrival_time for t in stream])
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(0.25, rel=0.15)
+
+    def test_gamma_mean_rate_and_burstiness(self, spec):
+        stream = GammaProcess(rate=4.0, cv=3.0).generate(spec, count=512, seed=0)
+        times = np.array([t.arrival_time for t in stream])
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert gaps.mean() == pytest.approx(0.25, rel=0.2)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.5  # markedly burstier than Poisson (cv = 1)
+
+    def test_deterministic_exact_spacing(self, spec):
+        stream = DeterministicProcess(rate=2.0).generate(spec, count=8, seed=0)
+        times = [t.arrival_time for t in stream]
+        assert times == pytest.approx([0.5 * i for i in range(1, 9)])
+
+    def test_times_sorted_and_non_negative(self, spec):
+        for process in (
+            PoissonProcess(rate=1.0),
+            GammaProcess(rate=1.0, cv=2.0),
+            DeterministicProcess(rate=1.0),
+        ):
+            stream = process.generate(spec, count=64, seed=3)
+            times = [t.arrival_time for t in stream]
+            assert all(t >= 0 for t in times)
+            assert times == sorted(times)
+
+
+class TestReplay:
+    def test_replays_exact_timestamps(self, spec):
+        trace = [0.0, 0.5, 0.5, 2.25]
+        stream = ReplayProcess(trace).generate(spec, count=4, seed=0)
+        assert [t.arrival_time for t in stream] == trace
+
+    def test_trace_shorter_than_count_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            ReplayProcess([0.0, 1.0]).generate(spec, count=3, seed=0)
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayProcess([1.0, 0.5])
+
+    def test_negative_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayProcess([-1.0, 0.5])
+
+
+def test_invalid_rates_rejected():
+    for process_cls in (PoissonProcess, DeterministicProcess):
+        with pytest.raises(Exception):
+            process_cls(rate=0.0)
+    with pytest.raises(Exception):
+        GammaProcess(rate=1.0, cv=0.0)

@@ -1,0 +1,160 @@
+"""End-to-end serving runs: lifecycle, determinism, scheduling policies."""
+
+import pytest
+
+from repro.serving import (
+    DeterministicProcess,
+    PoissonProcess,
+    RequestState,
+    ServingSystem,
+    TimedRequest,
+    default_slo,
+)
+from repro.systems import FlexGenSystem, MoELightningSystem
+from repro.workloads import Request, mtbench
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mtbench(generation_len=8, num_requests=32)
+
+
+@pytest.fixture(scope="module")
+def backend(mixtral, t4_node):
+    return MoELightningSystem(mixtral, t4_node)
+
+
+@pytest.fixture(scope="module")
+def policy(backend, workload):
+    return backend.select_policy(workload)
+
+
+@pytest.fixture(scope="module")
+def slo(backend, workload, policy):
+    return default_slo(backend, workload, policy)
+
+
+class TestEndToEnd:
+    def test_low_load_completes_everything(self, backend, workload, policy, slo):
+        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        result = serving.run(PoissonProcess(rate=0.2), count=16, seed=0)
+        assert result.report.num_offered == 16
+        assert result.report.num_completed == 16
+        assert result.report.num_rejected == 0
+        assert all(r.state is RequestState.FINISHED for r in result.requests)
+        assert result.report.ttft[99] > 0
+        assert result.report.tpot[99] > 0
+        assert result.makespan >= max(r.finish_time for r in result.requests)
+
+    def test_timestamps_are_causally_ordered(self, backend, workload, policy, slo):
+        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        result = serving.run(PoissonProcess(rate=0.5), count=16, seed=1)
+        for serving_request in result.requests:
+            assert serving_request.admit_time >= serving_request.arrival_time
+            assert serving_request.first_token_time > serving_request.admit_time
+            assert serving_request.finish_time >= serving_request.first_token_time
+
+    def test_engine_steps_tile_the_timeline(self, backend, workload, policy, slo):
+        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        result = serving.run(PoissonProcess(rate=0.5), count=16, seed=2)
+        steps = result.steps
+        assert steps, "a non-empty run must execute engine steps"
+        assert {step.kind for step in steps} == {"prefill", "decode"}
+        for earlier, later in zip(steps, steps[1:]):
+            # The engine is a single pipeline: steps never overlap.
+            assert later.start >= earlier.end - 1e-9
+
+    def test_tokens_accounted(self, backend, workload, policy, slo):
+        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        result = serving.run(PoissonProcess(rate=0.5), count=12, seed=3)
+        expected = sum(r.request.generation_len for r in result.requests)
+        assert result.report.tokens_generated == expected
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_metrics(self, backend, workload, policy, slo):
+        runs = [
+            ServingSystem(backend, workload, policy=policy, slo=slo)
+            .run(PoissonProcess(rate=1.0), count=24, seed=99)
+            for _ in range(2)
+        ]
+        assert runs[0].as_row() == runs[1].as_row()
+        times_a = [(r.first_token_time, r.finish_time) for r in runs[0].requests]
+        times_b = [(r.first_token_time, r.finish_time) for r in runs[1].requests]
+        assert times_a == times_b
+
+
+class TestSchedulingPolicies:
+    @pytest.fixture(scope="class")
+    def results(self, backend, workload, policy, slo):
+        out = {}
+        for scheduling in ("fcfs", "prefill-first", "decode-first"):
+            serving = ServingSystem(
+                backend, workload, policy=policy, scheduling=scheduling, slo=slo
+            )
+            out[scheduling] = serving.run(PoissonProcess(rate=1.0), count=32, seed=5)
+        return out
+
+    def test_prefill_first_minimises_ttft(self, results):
+        ttft = {name: res.report.ttft[50] for name, res in results.items()}
+        assert ttft["prefill-first"] <= ttft["fcfs"] <= ttft["decode-first"]
+
+    def test_decode_first_minimises_tpot(self, results):
+        tpot = {name: res.report.tpot[99] for name, res in results.items()}
+        assert tpot["decode-first"] <= tpot["fcfs"]
+        assert tpot["decode-first"] <= tpot["prefill-first"]
+
+    def test_all_policies_complete_all_requests(self, results):
+        for result in results.values():
+            assert result.report.num_completed == result.report.num_offered
+
+
+class TestOverloadShedding:
+    def test_bounded_queue_drops_under_overload(self, backend, workload, policy, slo):
+        serving = ServingSystem(
+            backend, workload, policy=policy, slo=slo, max_queue_depth=4
+        )
+        result = serving.run(PoissonProcess(rate=50.0), count=32, seed=6)
+        report = result.report
+        assert report.num_rejected > 0
+        assert report.num_completed + report.num_rejected == report.num_offered
+        dropped = [r for r in result.requests if r.state is RequestState.REJECTED]
+        assert all(r.reject_reason == "queue full" for r in dropped)
+        assert result.admission_stats["dropped_queue_full"] == len(dropped)
+
+    def test_oversized_request_rejected_not_wedged(
+        self, backend, workload, policy, slo
+    ):
+        """A request that can never fit is dropped and the stream continues."""
+        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        stream = [
+            TimedRequest(Request(input_len=8, generation_len=8), 0.5),
+            TimedRequest(Request(input_len=50_000_000, generation_len=8), 1.0),
+            TimedRequest(Request(input_len=8, generation_len=8), 1.5),
+        ]
+        result = serving.run(stream)
+        states = [r.state for r in result.requests]
+        assert states.count(RequestState.FINISHED) == 2
+        assert states.count(RequestState.REJECTED) == 1
+        oversized = next(
+            r for r in result.requests if r.state is RequestState.REJECTED
+        )
+        assert oversized.request.input_len == 50_000_000
+        assert result.admission_stats["rejected_kv"] == 1
+
+
+class TestBackends:
+    def test_flexgen_backend_serves(self, mixtral, t4_node, workload, slo):
+        flexgen = FlexGenSystem(mixtral, t4_node)
+        serving = ServingSystem(flexgen, workload, slo=slo)
+        result = serving.run(DeterministicProcess(rate=0.5), count=8, seed=0)
+        assert result.system == "flexgen"
+        assert result.report.num_completed == 8
+
+    def test_simulator_mode_runs(self, backend, workload, policy, slo):
+        serving = ServingSystem(
+            backend, workload, policy=policy, slo=slo, use_simulator=True
+        )
+        result = serving.run(DeterministicProcess(rate=0.5), count=6, seed=0)
+        assert result.report.num_completed == 6
+        assert result.report.tpot[50] > 0
