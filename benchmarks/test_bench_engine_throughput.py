@@ -55,7 +55,6 @@ def test_functional_engine_decode_step(benchmark):
     rng = np.random.default_rng(0)
     prompts = rng.integers(0, config.vocab_size, size=(8, 16))
     result = executor.generate(prompts, generation_len=2)
-    from repro.engine.kv_state import KVCacheState
 
     def step():
         kv = result.kv_state.copy()

@@ -2,13 +2,23 @@
 
 Not a paper artifact — the paper evaluates static batches.  This benchmark
 exercises the serving subsystem the way the figures exercise the offline
-harness: a reduced sweep whose rows are printed beneath the timing.
+harness: a reduced sweep whose rows are printed beneath the timing, and —
+unlike the figure benchmarks — also written to ``BENCH_serving.json``
+(throughput, TTFT/TPOT p50/p99, SLO-goodput) so CI can track the serving
+trajectory as a machine-readable artifact.  Set ``BENCH_SERVING_JSON`` to
+redirect the artifact path.
 """
+
+import os
 
 import pytest
 
-from repro.experiments import run_serving_sweep
+from repro.experiments import run_serving_sweep, run_shard_scaling
+from repro.experiments.bench_output import write_bench_serving_json
 from repro.experiments.serving_sweep import SWEEP_COLUMNS
+from repro.experiments.shard_scaling import SHARD_SCALING_COLUMNS
+
+BENCH_JSON = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
 
 
 @pytest.mark.paper_artifact("Serving sweep (beyond-paper)")
@@ -30,6 +40,24 @@ def test_bench_serving_sweep(benchmark, print_rows):
         columns=list(SWEEP_COLUMNS),
         title="Serving sweep: MTBench @ S1, Poisson arrivals, FCFS scheduling",
     )
+    document = write_bench_serving_json(
+        BENCH_JSON,
+        rows,
+        meta={
+            "source": "benchmarks/test_bench_serving.py",
+            "model": "mixtral-8x7b",
+            "hardware": "1xT4",
+            "workload": "mtbench",
+            "generation_len": 16,
+            "num_requests": 32,
+            "seed": 0,
+        },
+    )
+    assert set(document["summary"]) == {"moe-lightning", "flexgen"}
+    for metrics in document["summary"].values():
+        assert metrics["token_throughput"] > 0
+        assert metrics["ttft_p99"] >= metrics["ttft_p50"] > 0
+        assert metrics["tpot_p99"] >= metrics["tpot_p50"] > 0
     assert len(rows) == 6  # 3 rates x 2 systems
     for system in ("moe-lightning", "flexgen"):
         points = [row for row in rows if row["system"] == system]
@@ -41,3 +69,34 @@ def test_bench_serving_sweep(benchmark, print_rows):
         assert ttfts[-1] >= ttfts[0]
         # SLO attainment does not improve when load octuples.
         assert points[-1]["goodput_fraction"] <= points[0]["goodput_fraction"] + 1e-9
+
+
+@pytest.mark.paper_artifact("Shard scaling (beyond-paper)")
+def test_bench_shard_scaling(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_shard_scaling,
+        kwargs={
+            "shard_counts": (1, 2, 4),
+            "router": "least-loaded",
+            "num_requests": 32,
+            "generation_len": 8,
+            "load_factor": 4.0,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        columns=list(SHARD_SCALING_COLUMNS),
+        title="Shard scaling: MTBench @ S1 x{1,2,4}, least-loaded routing",
+    )
+    assert [row["num_shards"] for row in rows] == [1, 2, 4]
+    throughputs = [row["token_throughput"] for row in rows]
+    # More shards absorb the saturating stream strictly faster.
+    assert throughputs[1] > throughputs[0]
+    assert throughputs[2] > throughputs[1]
+    # Tail TTFT shrinks as queues drain across shards.
+    assert rows[-1]["ttft_p99"] < rows[0]["ttft_p99"]
+    for row in rows:
+        assert 0.0 < row["shard_util_min"] <= 1.0

@@ -8,17 +8,29 @@ drives them through the online serving subsystem:
 2. compare the three continuous-batching scheduling policies (FCFS,
    prefill-prioritising, decode-prioritising) at a fixed load,
 3. show what a bursty (Gamma, cv=3) arrival pattern does to tail latency
-   relative to smooth Poisson traffic at the same average rate.
+   relative to smooth Poisson traffic at the same average rate,
+4. scale the same stream across 1/2/4 data-parallel shards behind a
+   least-loaded router (the `repro-serve --shards N` mode).
 
-Everything is deterministic under the fixed seed.  Run with:
+Everything is deterministic under the fixed seed, and the headline sweep
+is also written to ``BENCH_serving.json`` (throughput, TTFT/TPOT
+percentiles, SLO-goodput) for trend tooling.  Run with:
 
     python examples/serving_demo.py        (or `repro-serve` once installed)
 """
 
 from __future__ import annotations
 
-from repro.experiments import render_rows, run_serving_sweep
+import os
+
+from repro.experiments import (
+    render_rows,
+    run_serving_sweep,
+    run_shard_scaling,
+    write_bench_serving_json,
+)
 from repro.experiments.serving_sweep import SWEEP_COLUMNS, offline_capacity
+from repro.experiments.shard_scaling import SHARD_SCALING_COLUMNS
 from repro.hardware import get_hardware
 from repro.models import get_model
 from repro.serving import GammaProcess, PoissonProcess, ServingSystem, default_slo
@@ -29,9 +41,10 @@ from repro.workloads import mtbench
 SEED = 0
 NUM_REQUESTS = 48
 GENERATION_LEN = 16
+BENCH_JSON = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
 
 
-def load_sweep() -> None:
+def load_sweep() -> list[dict[str, object]]:
     """Poisson load sweep across both systems (the headline curves)."""
     rows = run_serving_sweep(
         load_factors=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
@@ -62,6 +75,7 @@ def load_sweep() -> None:
         )
     print()
     print(plot.render())
+    return rows
 
 
 def scheduling_comparison() -> None:
@@ -124,10 +138,45 @@ def burstiness_comparison() -> None:
     )
 
 
+def shard_scaling() -> None:
+    """One stream, 1/2/4 shards behind a least-loaded router."""
+    rows = run_shard_scaling(
+        shard_counts=(1, 2, 4),
+        router="least-loaded",
+        generation_len=GENERATION_LEN,
+        num_requests=NUM_REQUESTS,
+        load_factor=4.0,
+        seed=SEED,
+    )
+    print()
+    print(
+        render_rows(
+            rows,
+            columns=list(SHARD_SCALING_COLUMNS),
+            title="Shard scaling at 4x single-shard load (least-loaded routing)",
+        )
+    )
+
+
 def main() -> None:
-    load_sweep()
+    rows = load_sweep()
     scheduling_comparison()
     burstiness_comparison()
+    shard_scaling()
+    write_bench_serving_json(
+        BENCH_JSON,
+        rows,
+        meta={
+            "source": "examples/serving_demo.py",
+            "model": "mixtral-8x7b",
+            "hardware": "1xT4",
+            "workload": "mtbench",
+            "generation_len": GENERATION_LEN,
+            "num_requests": NUM_REQUESTS,
+            "seed": SEED,
+        },
+    )
+    print(f"\nwrote {BENCH_JSON}")
 
 
 if __name__ == "__main__":

@@ -4,18 +4,20 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.1.0",
+    version="0.2.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
-        "continuous-batching serving simulator"
+        "continuous-batching serving simulator with multi-GPU sharding"
     ),
     long_description=(
         "Analytical (HRM) performance models, a discrete-event pipeline "
         "simulator, the CGOPipe/FlexGen/DeepSpeed schedule family, policy "
-        "optimization, the paper's experiment harnesses, and an online "
+        "optimization, the paper's experiment harnesses, an online "
         "serving subsystem (arrival processes, admission control, "
-        "continuous batching, SLO metrics) layered on top."
+        "continuous batching, SLO metrics), and a cluster layer "
+        "(tensor/expert partition plans, partitioned roofline models, "
+        "sharded serving with routing and chunked prefill) layered on top."
     ),
     author="paper-repo-growth",
     license="Apache-2.0",

@@ -1,0 +1,34 @@
+"""Cluster abstraction: devices, inter-GPU links and partition plans.
+
+This package is the seam between the single-node models of
+:mod:`repro.core` / :mod:`repro.hardware` and every multi-GPU story —
+tensor/expert-parallel execution (:class:`PartitionPlan` +
+the partitioned core models) and data-parallel sharded serving
+(:class:`ClusterSpec` + :class:`~repro.serving.sharded.ShardedServingSystem`).
+
+* :mod:`repro.cluster.spec` — :class:`GPULinkSpec` (NVLink / PCIe-P2P /
+  Ethernet) and :class:`ClusterSpec` (N devices + link, shared-host or
+  scale-out).
+* :mod:`repro.cluster.partition` — :class:`PartitionPlan` splitting a
+  model's weights, KV cache and FLOPs across shards and pricing the
+  resulting collectives.
+"""
+
+from repro.cluster.partition import CollectiveTraffic, PartitionPlan
+from repro.cluster.spec import (
+    ClusterSpec,
+    GPULinkSpec,
+    ethernet_100g,
+    nvlink,
+    pcie_peer_link,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "CollectiveTraffic",
+    "GPULinkSpec",
+    "PartitionPlan",
+    "ethernet_100g",
+    "nvlink",
+    "pcie_peer_link",
+]

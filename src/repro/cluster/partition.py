@@ -1,0 +1,219 @@
+"""Tensor/expert-parallel partitioning of a model over a cluster.
+
+A :class:`PartitionPlan` fixes how one :class:`~repro.models.config.ModelConfig`
+is split across the devices of a :class:`~repro.cluster.spec.ClusterSpec`:
+
+* **attention** (and its KV cache) is head-parallel across *all*
+  ``num_shards`` devices — the standard Megatron column/row split of the
+  Q/K/V/O projections;
+* **expert FFNs** combine tensor slicing within each expert (``tp_size``)
+  with whole-expert placement across expert-parallel groups (``ep_size``),
+  the DeepSpeed-MoE arrangement, so every device holds exactly
+  ``1/num_shards`` of the expert bytes;
+* **embeddings / LM head** are vocab-parallel across all devices.
+
+Every per-shard byte and FLOP quantity is therefore the unsharded total
+divided by ``num_shards`` — an invariant the property tests pin down: shard
+footprints must sum back to the unsharded model exactly.
+
+What parallelism *costs* is communication, and the plan models it on the
+cluster's device link: a ring all-reduce of the layer's activations after
+the attention output projection and after the FFN (each moving
+``2 (g-1)/g`` of the tensor bytes per device), plus dispatch/combine
+all-to-alls when experts are distributed (``top_k (e-1)/e`` of the hidden
+bytes each way).  The partitioned performance model folds these volumes
+into the HRM roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.policy import Policy
+from repro.models.config import ModelConfig
+from repro.models.memory import (
+    attention_weight_bytes,
+    embedding_weight_bytes,
+    ffn_weight_bytes,
+    kv_cache_bytes_per_token,
+    model_weight_bytes,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class CollectiveTraffic:
+    """Per-device link traffic of one layer's collectives (one step).
+
+    ``bytes_on_link`` already includes the ring / all-to-all volume factors,
+    so time on the link is simply ``bytes_on_link / link_bandwidth`` plus
+    ``launches`` times the link latency.
+    """
+
+    bytes_on_link: float
+    launches: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan requires no communication (single shard)."""
+        return self.bytes_on_link <= 0.0 and self.launches == 0
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How a model's weights, KV cache and FLOPs split across devices.
+
+    ``tp_size`` is the tensor-slicing degree inside each expert;
+    ``ep_size`` the number of expert-parallel groups.  Their product must
+    equal the cluster's device count.  Attention is always head-parallel
+    across all devices.
+    """
+
+    cluster: ClusterSpec
+    tp_size: int
+    ep_size: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive_int("tp_size", self.tp_size)
+        require_positive_int("ep_size", self.ep_size)
+        if self.tp_size * self.ep_size != self.cluster.num_devices:
+            raise ConfigurationError(
+                f"tp_size ({self.tp_size}) x ep_size ({self.ep_size}) must "
+                f"equal the cluster's num_devices ({self.cluster.num_devices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Shape checks
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Total number of model shards (= cluster devices)."""
+        return self.cluster.num_devices
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the model is not actually split (one shard)."""
+        return self.num_shards == 1
+
+    def validate_model(self, model: ModelConfig) -> None:
+        """Raise when ``model`` cannot be split evenly by this plan."""
+        shards = self.num_shards
+        if shards == 1:
+            return
+        if model.num_kv_heads % shards != 0:
+            raise ConfigurationError(
+                f"{model.name}: num_kv_heads ({model.num_kv_heads}) must be "
+                f"divisible by the shard count ({shards}) for head-parallel "
+                f"attention"
+            )
+        if model.intermediate_size % self.tp_size != 0:
+            raise ConfigurationError(
+                f"{model.name}: intermediate_size ({model.intermediate_size}) "
+                f"must be divisible by tp_size ({self.tp_size})"
+            )
+        if model.num_experts % self.ep_size != 0:
+            raise ConfigurationError(
+                f"{model.name}: num_experts ({model.num_experts}) must be "
+                f"divisible by ep_size ({self.ep_size})"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-shard byte / FLOP accounting
+    # ------------------------------------------------------------------
+    @property
+    def shard_fraction(self) -> float:
+        """Fraction of weights, KV bytes and FLOPs each shard carries."""
+        return 1.0 / self.num_shards
+
+    def shard_weight_bytes(self, model: ModelConfig) -> float:
+        """Parameter bytes resident on one shard."""
+        return model_weight_bytes(model) * self.shard_fraction
+
+    def shard_attention_weight_bytes(self, model: ModelConfig) -> float:
+        """One shard's slice of a layer's attention weights."""
+        return attention_weight_bytes(model) * self.shard_fraction
+
+    def shard_ffn_weight_bytes(self, model: ModelConfig) -> float:
+        """One shard's slice of a layer's expert (FFN) weights."""
+        return ffn_weight_bytes(model) * self.shard_fraction
+
+    def shard_embedding_weight_bytes(self, model: ModelConfig) -> float:
+        """One shard's vocab-parallel slice of the embeddings / LM head."""
+        return embedding_weight_bytes(model) * self.shard_fraction
+
+    def shard_kv_bytes_per_token(self, model: ModelConfig) -> float:
+        """KV-cache bytes one token adds on one shard (head-parallel split)."""
+        return kv_cache_bytes_per_token(model) * self.shard_fraction
+
+    def shard_activation_bytes(self, model: ModelConfig, tokens: int) -> float:
+        """Peak activation bytes on one shard for ``tokens`` tokens.
+
+        Hidden states (input + residual) are replicated on every shard;
+        the QKV projections and expert intermediates are sharded.
+        """
+        require_positive_int("tokens", tokens)
+        dtype_bytes = model.dtype.num_bytes
+        hidden = 2.0 * tokens * model.hidden_size
+        qkv = tokens * (model.hidden_size + 2 * model.kv_dim) * self.shard_fraction
+        ffn = (
+            tokens
+            * model.top_k
+            * 2
+            * model.intermediate_size
+            * self.shard_fraction
+        )
+        return (hidden + qkv + ffn) * dtype_bytes
+
+    # ------------------------------------------------------------------
+    # Collective communication volumes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ring_allreduce_bytes(tensor_bytes: float, group: int) -> float:
+        """Per-device link traffic of a ring all-reduce over ``group``."""
+        if group <= 1:
+            return 0.0
+        return 2.0 * (group - 1) / group * tensor_bytes
+
+    def layer_collective_traffic(
+        self, model: ModelConfig, policy: Policy, tokens: int
+    ) -> CollectiveTraffic:
+        """Link traffic of one layer's collectives over ``tokens`` tokens.
+
+        One all-reduce after the (sharded) attention output projection,
+        plus — when the FFN runs on the GPU — either a second all-reduce
+        (pure tensor parallelism) or dispatch/combine all-to-alls across
+        expert groups with an all-reduce inside each group.  CPU-side
+        placements involve the shared host, not the device link, so they
+        add nothing here.
+        """
+        if self.is_trivial:
+            return CollectiveTraffic(bytes_on_link=0.0, launches=0)
+        hidden_bytes = float(tokens) * model.hidden_size * model.dtype.num_bytes
+        traffic = self._ring_allreduce_bytes(hidden_bytes, self.num_shards)
+        launches = 2
+        if policy.ffn_on_gpu:
+            if self.ep_size > 1:
+                remote = (self.ep_size - 1) / self.ep_size
+                alltoall = model.top_k * remote * hidden_bytes
+                traffic += 2.0 * alltoall  # dispatch + combine
+                launches += 2
+                if self.tp_size > 1:
+                    traffic += self._ring_allreduce_bytes(
+                        hidden_bytes, self.tp_size
+                    )
+                    launches += 2
+            else:
+                traffic += self._ring_allreduce_bytes(
+                    hidden_bytes, self.num_shards
+                )
+                launches += 2
+        return CollectiveTraffic(bytes_on_link=traffic, launches=launches)
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports."""
+        return (
+            f"{self.num_shards} shards (tp={self.tp_size}, ep={self.ep_size}) "
+            f"over {self.cluster.link.name}"
+        )

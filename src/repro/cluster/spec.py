@@ -1,0 +1,224 @@
+"""Cluster specification: N accelerator devices plus the link between them.
+
+A :class:`ClusterSpec` names the devices an execution spans and the GPU-to-GPU
+interconnect collectives run over, generalising the single-node
+:class:`~repro.hardware.spec.HardwareSpec` in two directions:
+
+* **tensor/expert parallelism** — ``num_devices`` GPUs inside one box share
+  the CPU host and the PCIe root complex (``host_shared=True``, the paper's
+  2xT4 / 4xT4 settings) and split one model via a
+  :class:`~repro.cluster.partition.PartitionPlan`;
+* **scale-out serving** — ``num_devices`` identical nodes, each with its own
+  host (``host_shared=False``), serve as data-parallel shards behind a
+  :class:`~repro.serving.router.ShardRouter`.
+
+A 1-device cluster is the degenerate case every existing single-GPU code
+path maps onto; :meth:`ClusterSpec.single` builds it from a plain
+:class:`HardwareSpec` so callers that never think about clusters keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.spec import HardwareSpec
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class GPULinkSpec:
+    """The device-to-device link collectives run over (NVLink / PCIe P2P).
+
+    ``bandwidth`` is bytes/s per direction *per device*: ring collectives
+    keep every device's link busy simultaneously, so collective time is the
+    per-device traffic divided by this number.  ``latency`` is charged per
+    collective launch.
+    """
+
+    name: str
+    bandwidth: float  # bytes / second, per direction per device
+    latency: float = 5e-6  # seconds per collective launch
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth", self.bandwidth)
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+
+
+def nvlink() -> GPULinkSpec:
+    """NVLink 3.0-class link (A100 boards): ~300 GB/s per direction."""
+    return GPULinkSpec(name="NVLink", bandwidth=300 * GB)
+
+
+def pcie_peer_link() -> GPULinkSpec:
+    """PCIe peer-to-peer path between GPUs that lack NVLink (T4/L4 hosts)."""
+    return GPULinkSpec(name="PCIe-P2P", bandwidth=12 * GB, latency=10e-6)
+
+
+def ethernet_100g() -> GPULinkSpec:
+    """100 GbE between scale-out nodes: ~12.5 GB/s with higher launch cost."""
+    return GPULinkSpec(name="100GbE", bandwidth=12.5 * GB, latency=50e-6)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``num_devices`` devices, the node each one lives in, and their link.
+
+    ``node`` describes what a *single* device sees (exactly one GPU, so
+    ``node.tp_size`` must be 1).  ``host_shared`` declares whether all
+    devices sit in one box sharing that node's CPU and PCIe (tensor-parallel
+    settings) or each device brings its own full node (scale-out serving).
+    """
+
+    name: str
+    node: HardwareSpec
+    num_devices: int = 1
+    link: GPULinkSpec = field(default_factory=pcie_peer_link)
+    host_shared: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive_int("num_devices", self.num_devices)
+        if self.node.tp_size != 1:
+            raise ConfigurationError(
+                f"cluster node must hold exactly one GPU (tp_size=1), got "
+                f"tp_size={self.node.tp_size}; use ClusterSpec.from_hardware() "
+                f"to split an aggregate node into devices"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, hardware: HardwareSpec) -> "ClusterSpec":
+        """The trivial 1-device cluster every single-GPU caller lives on.
+
+        A multi-GPU aggregate node (``tp_size > 1``) is split into its
+        devices, so ``single`` on any registry entry gives the equivalent
+        cluster view.
+        """
+        if hardware.tp_size > 1:
+            return cls.from_hardware(hardware)
+        return cls(name=hardware.name, node=hardware, num_devices=1)
+
+    @classmethod
+    def from_hardware(
+        cls, hardware: HardwareSpec, link: GPULinkSpec | None = None
+    ) -> "ClusterSpec":
+        """Split an aggregate ``tp_size``-GPU node into a shared-host cluster.
+
+        This is the bridge from the Table 2 registry entries (``2xT4``,
+        ``4xT4``) onto the cluster layer: same devices, same shared host,
+        but with the inter-GPU link — and therefore collective costs — made
+        explicit.
+        """
+        node = replace(
+            hardware,
+            tp_size=1,
+            name=f"{hardware.gpu.name}+{hardware.cpu.name}",
+        )
+        return cls(
+            name=hardware.name,
+            node=node,
+            num_devices=hardware.tp_size,
+            link=link or pcie_peer_link(),
+            host_shared=True,
+        )
+
+    @classmethod
+    def scale_out(
+        cls,
+        node: HardwareSpec,
+        num_devices: int,
+        link: GPULinkSpec | None = None,
+        name: str | None = None,
+    ) -> "ClusterSpec":
+        """``num_devices`` identical full nodes behind a network link.
+
+        Each device keeps its node's whole CPU host and PCIe link, which is
+        the right model for data-parallel serving shards.
+        """
+        return cls(
+            name=name or f"{num_devices}x[{node.name}]",
+            node=node,
+            num_devices=num_devices,
+            link=link or ethernet_100g(),
+            host_shared=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True for a 1-device cluster (the backward-compatible default)."""
+        return self.num_devices == 1
+
+    def aggregate_hardware(self) -> HardwareSpec:
+        """The whole cluster as one :class:`HardwareSpec` (Table 1 symbols).
+
+        For a shared host this is exactly the registry's aggregate node —
+        GPU capacity/bandwidth/FLOPs multiplied by ``num_devices``, CPU and
+        PCIe shared.  For scale-out clusters the hosts aggregate too.
+        """
+        if self.is_trivial:
+            return self.node
+        name = f"{self.num_devices}x{self.node.gpu.name}+{self.node.cpu.name}"
+        if self.host_shared:
+            return replace(self.node, name=name, tp_size=self.num_devices)
+        cpu = replace(
+            self.node.cpu,
+            memory_bytes=self.node.cpu.memory_bytes * self.num_devices,
+            memory_bandwidth=self.node.cpu.memory_bandwidth * self.num_devices,
+            peak_flops=self.node.cpu.peak_flops * self.num_devices,
+            cores=self.node.cpu.cores * self.num_devices,
+        )
+        interconnect = replace(
+            self.node.interconnect,
+            bandwidth=self.node.interconnect.bandwidth * self.num_devices,
+        )
+        return replace(
+            self.node,
+            name=name,
+            cpu=cpu,
+            interconnect=interconnect,
+            tp_size=self.num_devices,
+        )
+
+    def shard_hardware(self) -> HardwareSpec:
+        """The node one data-parallel shard sees.
+
+        Scale-out shards own their whole node; shards of a shared host split
+        its CPU memory/bandwidth/compute and its PCIe bandwidth evenly.
+        """
+        if self.is_trivial or not self.host_shared:
+            return self.node
+        share = 1.0 / self.num_devices
+        cpu = replace(
+            self.node.cpu,
+            memory_bytes=self.node.cpu.memory_bytes * share,
+            memory_bandwidth=self.node.cpu.memory_bandwidth * share,
+            peak_flops=self.node.cpu.peak_flops * share,
+            cores=max(1, self.node.cpu.cores // self.num_devices),
+        )
+        interconnect = replace(
+            self.node.interconnect,
+            bandwidth=self.node.interconnect.bandwidth * share,
+        )
+        return replace(
+            self.node,
+            name=f"{self.node.name}/shard",
+            cpu=cpu,
+            interconnect=interconnect,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports."""
+        sharing = "shared host" if self.host_shared else "one host per device"
+        return (
+            f"{self.name}: {self.num_devices}x {self.node.gpu.name} over "
+            f"{self.link.name} ({self.link.bandwidth / 1e9:.0f} GB/s/dev, "
+            f"{sharing})"
+        )

@@ -27,9 +27,14 @@ from repro.core.hrm import (
     turning_point_p2,
 )
 from repro.core.policy import Placement, Policy
-from repro.core.memory_model import MemoryModel, PolicyMemoryUsage
+from repro.core.memory_model import (
+    MemoryModel,
+    PartitionedMemoryModel,
+    PolicyMemoryUsage,
+)
 from repro.core.performance_model import (
     LatencyBreakdown,
+    PartitionedPerformanceModel,
     PerformanceModel,
     ThroughputEstimate,
 )
@@ -47,8 +52,10 @@ __all__ = [
     "Placement",
     "Policy",
     "MemoryModel",
+    "PartitionedMemoryModel",
     "PolicyMemoryUsage",
     "LatencyBreakdown",
+    "PartitionedPerformanceModel",
     "PerformanceModel",
     "ThroughputEstimate",
     "OptimizerResult",

@@ -23,6 +23,7 @@ CPU memory holds
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.policy import Policy
 from repro.hardware.spec import HardwareSpec
@@ -32,14 +33,16 @@ from repro.models.memory import (
     activation_bytes,
     attention_weight_bytes,
     embedding_weight_bytes,
-    ffn_weight_bytes,
     kv_cache_bytes_per_token,
     layer_weight_bytes,
     model_weight_bytes,
 )
-from repro.utils.errors import InfeasiblePolicyError
+from repro.utils.errors import ConfigurationError, InfeasiblePolicyError
 from repro.utils.validation import require_fraction
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.cluster.partition import PartitionPlan
 
 
 @dataclass(frozen=True)
@@ -243,3 +246,86 @@ class MemoryModel:
         if headroom <= 0:
             return 0
         return int(headroom / per_request)
+
+
+@dataclass(frozen=True)
+class PartitionedMemoryModel(MemoryModel):
+    """Per-shard memory constraints for a partitioned model.
+
+    The aggregate model judges the whole footprint against the whole
+    cluster's GPU memory; partitioned execution must instead fit every
+    *shard* on its *device*.  Weights, KV cache and the streamed-weight
+    double buffer divide evenly across shards (the
+    :class:`~repro.cluster.partition.PartitionPlan` invariant), while
+    activations keep their replicated hidden states, so the per-shard
+    footprint is strictly more than ``1/num_shards`` of the aggregate —
+    exactly the difference that makes a nearly-full aggregate fit overflow
+    a device.
+
+    The CPU side is inherited unchanged: shards of one box share the host,
+    so host memory is charged once for the whole batch.  ``hardware`` must
+    be the cluster's aggregate view (as for the partitioned performance
+    model); per-device capacity comes from the plan's cluster node.
+    """
+
+    plan: "PartitionPlan | None" = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.plan is None:
+            raise ConfigurationError(
+                "PartitionedMemoryModel requires a PartitionPlan"
+            )
+        self.plan.validate_model(self.model)
+
+    # ------------------------------------------------------------------
+    # Per-device capacity
+    # ------------------------------------------------------------------
+    @property
+    def usable_gpu_memory(self) -> float:
+        """One device's GPU bytes available to the policy after the reserve."""
+        return self.plan.cluster.node.gpu_memory * (1.0 - self.reserve_fraction)
+
+    # ------------------------------------------------------------------
+    # Per-shard footprints
+    # ------------------------------------------------------------------
+    def _shard_activation_peak(self, policy: Policy) -> float:
+        """Peak per-shard activation bytes across prefill and decode."""
+        decode_tokens = policy.micro_batch_size
+        prefill_tokens = policy.micro_batch_size * self.prompt_len()
+        return max(
+            self.plan.shard_activation_bytes(self.model, decode_tokens),
+            self.plan.shard_activation_bytes(self.model, prefill_tokens),
+        )
+
+    def gpu_usage(self, policy: Policy) -> MemoryFootprint:
+        """Projected footprint of ``policy`` on *one* shard's device."""
+        fraction = self.plan.shard_fraction
+        total_weights = model_weight_bytes(self.model)
+        resident_weights = policy.weights_gpu_ratio * total_weights * fraction
+        resident_weights += (
+            policy.weights_cpu_ratio
+            * embedding_weight_bytes(self.model)
+            * fraction
+        )
+        double_buffer = 2.0 * self.streamed_layer_bytes(policy) * fraction
+        kv_on_gpu = (
+            policy.kv_cache_gpu_ratio
+            * self.kv_cache_total_bytes(policy)
+            * fraction
+        )
+        return MemoryFootprint(
+            weights=resident_weights,
+            kv_cache=kv_on_gpu,
+            activations=self._shard_activation_peak(policy),
+            workspace=double_buffer,
+        )
+
+    def max_weights_gpu_ratio(self, policy: Policy) -> float:
+        """Largest ``r_w`` whose per-shard weight slice still fits."""
+        shard_weights = self.plan.shard_weight_bytes(self.model)
+        base = self.gpu_usage(policy.with_weights_gpu_ratio(0.0))
+        headroom = self.usable_gpu_memory - base.total
+        if headroom <= 0 or shard_weights <= 0:
+            return 0.0
+        return min(1.0, max(0.0, headroom / shard_weights))

@@ -18,11 +18,12 @@ analytical inner steps finds the same optima in milliseconds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.core.memory_model import MemoryModel
+from repro.core.memory_model import MemoryModel, PartitionedMemoryModel
 from repro.core.performance_model import (
     EfficiencyModel,
+    PartitionedPerformanceModel,
     PerformanceModel,
     ThroughputEstimate,
 )
@@ -31,6 +32,9 @@ from repro.hardware.spec import HardwareSpec
 from repro.models.config import ModelConfig
 from repro.utils.errors import InfeasiblePolicyError
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.cluster.partition import PartitionPlan
 
 
 def _power_of_two_grid(minimum: int, maximum: int) -> list[int]:
@@ -98,6 +102,7 @@ class PolicyOptimizer:
     max_micro_batch_size: int | None = None
     max_batch_size: int | None = None
     ratio_steps: int = 5
+    partition: "PartitionPlan | None" = None
 
     def __post_init__(self) -> None:
         if not (self.allow_cpu_attention or self.allow_gpu_attention):
@@ -110,7 +115,21 @@ class PolicyOptimizer:
     # ------------------------------------------------------------------
     @property
     def performance_model(self) -> PerformanceModel:
-        """The analytical model used to score candidates."""
+        """The analytical model used to score candidates.
+
+        With a :class:`~repro.cluster.partition.PartitionPlan` the search is
+        scored by the partitioned model, so collective-communication costs
+        shape the chosen policy exactly as they shape the reported runs.
+        """
+        if self.partition is not None and not self.partition.is_trivial:
+            return PartitionedPerformanceModel(
+                model=self.model,
+                hardware=self.hardware,
+                workload=self.workload,
+                efficiency=self.efficiency,
+                padded=self.padded,
+                plan=self.partition,
+            )
         return PerformanceModel(
             model=self.model,
             hardware=self.hardware,
@@ -121,7 +140,19 @@ class PolicyOptimizer:
 
     @property
     def memory_model(self) -> MemoryModel:
-        """The memory-constraint model used to prune candidates."""
+        """The memory-constraint model used to prune candidates.
+
+        Partitioned searches prune on per-shard (per-device) fit, matching
+        the constraint the end-to-end run enforces.
+        """
+        if self.partition is not None and not self.partition.is_trivial:
+            return PartitionedMemoryModel(
+                model=self.model,
+                hardware=self.hardware,
+                workload=self.workload,
+                padded=self.padded,
+                plan=self.partition,
+            )
         return MemoryModel(
             model=self.model,
             hardware=self.hardware,

@@ -25,6 +25,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.memory_model import MemoryModel
 from repro.core.policy import Policy
@@ -40,8 +41,12 @@ from repro.models.flops import (
     qkv_proj_cost,
 )
 from repro.models.memory import kv_cache_bytes_per_token_per_layer
+from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_fraction, require_positive, require_positive_int
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.cluster.partition import PartitionPlan
 
 
 @dataclass(frozen=True)
@@ -317,6 +322,15 @@ class PerformanceModel:
             dtoh_transfers += n_ub
         comm_dtoh = self._transfer_time(dtoh_bytes, dtoh_transfers)
 
+        # --- Tensor/expert-parallel collectives (partitioned models) ----
+        # Collectives serialise with the GPU stream, so they extend t_gpu
+        # rather than forming a fifth pipelined resource.  The base model
+        # runs on one shard and contributes exactly zero here.
+        t_collective = self._collective_decode_time(policy)
+        if t_collective > 0.0:
+            t_gpu += t_collective
+            components["gpu_collective"] = t_collective
+
         return LatencyBreakdown(
             comm_htod=comm_htod,
             comm_dtoh=comm_dtoh,
@@ -324,6 +338,17 @@ class PerformanceModel:
             t_gpu=t_gpu,
             components=components,
         )
+
+    # ------------------------------------------------------------------
+    # Collective-communication hooks (overridden by the partitioned model)
+    # ------------------------------------------------------------------
+    def _collective_decode_time(self, policy: Policy) -> float:
+        """Per-layer collective time of one decode step (0 on one shard)."""
+        return 0.0
+
+    def _collective_prefill_time(self, policy: Policy) -> float:
+        """Per-layer collective time of the whole-batch prefill (0 base)."""
+        return 0.0
 
     def decode_step_latency(self, policy: Policy, context_len: int) -> float:
         """Latency of one full decode step (all layers plus the LM head)."""
@@ -383,6 +408,9 @@ class PerformanceModel:
             pre.total_bytes + attn.total_bytes + o_proj.total_bytes + ffn.total_bytes
         )
         gpu_time = n_ub * self._gpu_task_time(flops, local_bytes)
+        t_collective = self._collective_prefill_time(policy)
+        if t_collective > 0.0:
+            gpu_time += t_collective
 
         memory = self.memory_model
         weight_time = self._transfer_time(memory.streamed_layer_bytes(policy), 1)
@@ -422,3 +450,80 @@ class PerformanceModel:
         """Like :meth:`estimate` but first enforces the memory constraints."""
         self.memory_model.check(policy)
         return self.estimate(policy)
+
+
+@dataclass(frozen=True)
+class PartitionedPerformanceModel(PerformanceModel):
+    """HRM model for a model partitioned across a cluster's devices.
+
+    The aggregate roofline terms are inherited unchanged — ``hardware``
+    must be the cluster's :meth:`~repro.cluster.spec.ClusterSpec.aggregate_hardware`
+    view, under which per-shard compute at one device's rate equals the
+    aggregate computation at the aggregate rate, and the shared host/PCIe
+    terms are identical.  What partitioning *adds* is the collective
+    traffic of the :class:`~repro.cluster.partition.PartitionPlan`, priced
+    on the cluster's device link (derated by the shared interconnect
+    efficiency) and folded into the GPU stream time of every layer.
+    """
+
+    plan: "PartitionPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if self.plan is None:
+            raise ConfigurationError(
+                "PartitionedPerformanceModel requires a PartitionPlan"
+            )
+        self.plan.validate_model(self.model)
+
+    # ------------------------------------------------------------------
+    # Link rates and collective times
+    # ------------------------------------------------------------------
+    @property
+    def link_bandwidth(self) -> float:
+        """Derated device-to-device link bandwidth (per direction/device)."""
+        return self.plan.cluster.link.bandwidth * self.efficiency.interconnect
+
+    @property
+    def memory_model(self) -> MemoryModel:
+        """The matching per-shard memory-constraint model."""
+        from repro.core.memory_model import PartitionedMemoryModel
+
+        return PartitionedMemoryModel(
+            model=self.model,
+            hardware=self.hardware,
+            workload=self.workload,
+            padded=self.padded,
+            plan=self.plan,
+        )
+
+    def _collective_time(self, traffic) -> float:
+        """Wall time of one layer's collectives on the device link."""
+        if traffic.is_empty:
+            return 0.0
+        return (
+            traffic.bytes_on_link / self.link_bandwidth
+            + traffic.launches * self.plan.cluster.link.latency
+        )
+
+    def _collective_decode_time(self, policy: Policy) -> float:
+        """Per-layer collective time for one decode step of the batch."""
+        traffic = self.plan.layer_collective_traffic(
+            self.model, policy, policy.batch_size
+        )
+        return self._collective_time(traffic)
+
+    def _collective_prefill_time(self, policy: Policy) -> float:
+        """Per-layer collective time for prefilling the whole batch."""
+        traffic = self.plan.layer_collective_traffic(
+            self.model, policy, policy.batch_size * self.prompt_len()
+        )
+        return self._collective_time(traffic)
+
+    def collective_decode_step_time(self, policy: Policy) -> float:
+        """All-layer collective time of one decode step.
+
+        The discrete-event schedule simulators are single-node and know
+        nothing about collectives; end-to-end system runs add this on top
+        of each simulated decode step.
+        """
+        return self.model.num_layers * self._collective_decode_time(policy)

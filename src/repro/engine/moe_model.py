@@ -25,7 +25,7 @@ from repro.engine.numerics import (
     softmax,
     top_k_routing,
 )
-from repro.engine.weights_init import LayerWeights, MoEWeights
+from repro.engine.weights_init import MoEWeights
 from repro.models.config import ModelConfig
 from repro.utils.errors import ConfigurationError, SimulationError
 

@@ -17,6 +17,11 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.tp_scaling` — Fig. 8 (tensor-parallel scaling).
 * :mod:`repro.experiments.serving_sweep` — online continuous-batching load
   sweep (throughput vs. tail latency / SLO-goodput; not a paper artifact).
+* :mod:`repro.experiments.shard_scaling` — sharded-serving scaling sweep
+  (throughput and tails vs. data-parallel shard count; not a paper
+  artifact).
+* :mod:`repro.experiments.bench_output` — machine-readable ``BENCH_*.json``
+  artifacts for CI trend tracking.
 * :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
   regeneration.
 """
@@ -35,6 +40,8 @@ from repro.experiments.pipeline_diagram import run_schedule_comparison
 from repro.experiments.throughput_vs_cpumem import run_cpu_memory_sweep
 from repro.experiments.tp_scaling import run_tp_scaling
 from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
+from repro.experiments.shard_scaling import run_shard_scaling
+from repro.experiments.bench_output import serving_summary, write_bench_serving_json
 from repro.experiments.report import render_rows, rows_to_markdown
 
 __all__ = [
@@ -52,6 +59,9 @@ __all__ = [
     "run_tp_scaling",
     "offline_capacity",
     "run_serving_sweep",
+    "run_shard_scaling",
+    "serving_summary",
+    "write_bench_serving_json",
     "render_rows",
     "rows_to_markdown",
 ]

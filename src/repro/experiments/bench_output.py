@@ -1,0 +1,100 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+The bench suite and the examples print human tables; CI and trend tooling
+need stable JSON.  This module owns the schema so every emitter (the
+``repro-serve`` CLI, ``examples/serving_demo.py`` and
+``benchmarks/test_bench_serving.py``) writes the same shape:
+
+```json
+{
+  "benchmark": "serving",
+  "schema_version": 1,
+  "meta": {...},                      # workload / hardware / sweep knobs
+  "summary": {                        # one entry per system, measured at
+    "moe-lightning": {                # the load factor closest to 1.0
+      "token_throughput": ..., "ttft_p50": ..., "ttft_p99": ...,
+      "tpot_p50": ..., "tpot_p99": ..., "goodput": ...,
+      "goodput_fraction": ...
+    }
+  },
+  "rows": [...]                       # every sweep row, verbatim
+}
+```
+
+Only JSON-serialisable row values survive (numbers, strings, bools); the
+writer drops anything else rather than failing mid-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Metrics copied from a sweep row into the per-system summary.
+SUMMARY_METRICS: tuple[str, ...] = (
+    "token_throughput",
+    "ttft_p50",
+    "ttft_p99",
+    "tpot_p50",
+    "tpot_p99",
+    "goodput",
+    "goodput_fraction",
+)
+
+
+def _jsonable(value: object) -> bool:
+    return isinstance(value, (int, float, str, bool)) or value is None
+
+
+def _clean_row(row: Mapping[str, object]) -> dict[str, object]:
+    return {key: value for key, value in row.items() if _jsonable(value)}
+
+
+def serving_summary(
+    rows: Sequence[Mapping[str, object]],
+) -> dict[str, dict[str, object]]:
+    """Per-system headline metrics of one sweep.
+
+    Load sweeps (rows that differ in ``load_factor``) summarise at the
+    factor closest to 1.0 — the point provisioned capacity is judged at.
+    Shard-scaling sweeps (rows that differ in ``num_shards``) summarise at
+    the highest shard count — the configuration the sweep argues for.
+    """
+    by_system: dict[str, list[Mapping[str, object]]] = {}
+    for row in rows:
+        system = str(row.get("system", "unknown"))
+        by_system.setdefault(system, []).append(row)
+
+    summary: dict[str, dict[str, object]] = {}
+    for system, points in by_system.items():
+        shard_counts = {int(row.get("num_shards", 1)) for row in points}
+        if len(shard_counts) > 1:
+            chosen = max(points, key=lambda row: int(row.get("num_shards", 1)))
+        else:
+            chosen = min(
+                points,
+                key=lambda row: abs(float(row.get("load_factor", 1.0)) - 1.0),
+            )
+        summary[system] = {
+            metric: chosen[metric] for metric in SUMMARY_METRICS if metric in chosen
+        }
+    return summary
+
+
+def write_bench_serving_json(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    meta: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Write the serving benchmark artifact; returns the written document."""
+    document: dict[str, object] = {
+        "benchmark": "serving",
+        "schema_version": 1,
+        "meta": _clean_row(meta or {}),
+        "summary": serving_summary(rows),
+        "rows": [_clean_row(row) for row in rows],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

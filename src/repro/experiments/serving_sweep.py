@@ -27,6 +27,7 @@ from repro.serving.arrivals import (
     PoissonProcess,
 )
 from repro.serving.metrics import SLO
+from repro.serving.scheduler import SCHEDULING_POLICIES
 from repro.serving.server import ServingSystem, default_slo
 from repro.systems import DeepSpeedZeroSystem, FlexGenSystem, MoELightningSystem
 from repro.systems.base import OffloadingSystem
@@ -75,6 +76,7 @@ def run_serving_sweep(
     seed: int = 0,
     slo: SLO | None = None,
     use_simulator: bool = False,
+    chunk_prefill_tokens: int | None = None,
 ) -> list[dict[str, object]]:
     """Sweep arrival rates across serving systems; one row per point.
 
@@ -114,6 +116,7 @@ def run_serving_sweep(
             scheduling=scheduling,
             slo=shared_slo,
             use_simulator=use_simulator,
+            chunk_prefill_tokens=chunk_prefill_tokens,
         )
         for backend, policy in zip(backends, policies)
     ]
@@ -155,12 +158,13 @@ SWEEP_COLUMNS: tuple[str, ...] = (
 )
 
 
-def main(argv: Sequence[str] | None = None) -> None:
-    """Console entry point (installed as ``repro-serve``)."""
-    from repro.experiments.report import render_rows
-
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Online continuous-batching load sweep across serving systems."
+        prog="repro-serve",
+        description=(
+            "Online continuous-batching load sweep across serving systems; "
+            "with --shards N, a sharded throughput-vs-shards sweep instead."
+        ),
     )
     parser.add_argument(
         "--systems",
@@ -172,8 +176,13 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--load-factors",
         nargs="+",
         type=float,
-        default=[0.25, 0.5, 1.0, 2.0, 4.0],
-        help="arrival rates as multiples of the first system's offline capacity",
+        default=None,
+        help=(
+            "arrival rates as multiples of the first system's offline "
+            "capacity (default: 0.25 0.5 1 2 4); sharded mode uses the "
+            "single --load-factor instead, or max(--load-factors) if only "
+            "those are given"
+        ),
     )
     parser.add_argument("--model", default="mixtral-8x7b")
     parser.add_argument("--hardware", default="1xT4")
@@ -181,12 +190,18 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser.add_argument("--generation-len", type=int, default=16)
     parser.add_argument("--num-requests", type=int, default=48)
     parser.add_argument(
+        "--policy",
         "--scheduling",
+        dest="scheduling",
         default="fcfs",
-        choices=("fcfs", "prefill-first", "decode-first"),
+        metavar="POLICY",
+        help="scheduling policy: fcfs, prefill-first or decode-first",
     )
     parser.add_argument(
-        "--arrival", default="poisson", choices=sorted(ARRIVAL_PROCESSES)
+        "--arrival",
+        default="poisson",
+        metavar="PROCESS",
+        help="arrival process: poisson, gamma or deterministic",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -194,33 +209,163 @@ def main(argv: Sequence[str] | None = None) -> None:
         action="store_true",
         help="sample step times from the discrete-event schedule simulator",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "serve with data-parallel shards: sweeps 1..N shard counts over "
+            "one identical request stream (first listed system only)"
+        ),
+    )
+    parser.add_argument(
+        "--router",
+        default="round-robin",
+        metavar="POLICY",
+        help="shard router: round-robin, least-loaded or session-affinity",
+    )
+    parser.add_argument(
+        "--chunk-prefill",
+        type=int,
+        default=0,
+        metavar="TOKENS",
+        help="chunked-prefill token budget per engine step (0 disables)",
+    )
+    parser.add_argument(
+        "--load-factor",
+        type=float,
+        default=None,
+        help=(
+            "sharded mode: arrival rate as a multiple of one shard's "
+            "capacity (default 4.0)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the sweep as a machine-readable BENCH_serving.json",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point (installed as ``repro-serve``).
+
+    Returns a process exit status: 0 on success, 2 on invalid
+    configuration (unknown policy/arrival/model/... values), so scripts and
+    CI can rely on the exit code instead of scraping tracebacks.
+    """
+    import sys
+
+    from repro.experiments.bench_output import write_bench_serving_json
+    from repro.experiments.report import render_rows
+    from repro.experiments.shard_scaling import (
+        SHARD_SCALING_COLUMNS,
+        run_shard_scaling,
+        shard_counts_up_to,
+    )
+    from repro.utils.errors import ReproError
+
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    rows = run_serving_sweep(
-        load_factors=args.load_factors,
-        system_names=args.systems,
-        model_name=args.model,
-        hardware_name=args.hardware,
-        workload_name=args.workload,
-        generation_len=args.generation_len,
-        num_requests=args.num_requests,
-        scheduling=args.scheduling,
-        arrival=args.arrival,
-        seed=args.seed,
-        use_simulator=args.simulate,
-    )
-    print(
-        render_rows(
-            rows,
-            columns=list(SWEEP_COLUMNS),
-            title=(
+    try:
+        if args.chunk_prefill < 0:
+            raise ConfigurationError(
+                f"--chunk-prefill must be >= 0 (0 disables), got "
+                f"{args.chunk_prefill}"
+            )
+        chunk_prefill = args.chunk_prefill if args.chunk_prefill > 0 else None
+        if args.scheduling not in SCHEDULING_POLICIES:
+            known = ", ".join(SCHEDULING_POLICIES)
+            raise ConfigurationError(
+                f"unknown scheduling policy {args.scheduling!r}; known: {known}"
+            )
+        if args.arrival not in ARRIVAL_PROCESSES:
+            known = ", ".join(sorted(ARRIVAL_PROCESSES))
+            raise ConfigurationError(
+                f"unknown arrival process {args.arrival!r}; known: {known}"
+            )
+        if args.shards < 1:
+            raise ConfigurationError(f"--shards must be >= 1, got {args.shards}")
+
+        meta = {
+            "model": args.model,
+            "hardware": args.hardware,
+            "workload": args.workload,
+            "generation_len": args.generation_len,
+            "num_requests": args.num_requests,
+            "scheduling": args.scheduling,
+            "arrival": args.arrival,
+            "seed": args.seed,
+            "shards": args.shards,
+            "router": args.router,
+            "chunk_prefill": args.chunk_prefill,
+        }
+        if args.shards > 1:
+            # Sharded mode sweeps shard counts at one load point: take it
+            # from --load-factor, falling back to the strongest requested
+            # --load-factors rate rather than silently dropping them.
+            if args.load_factor is not None:
+                load_factor = args.load_factor
+            elif args.load_factors:
+                load_factor = max(args.load_factors)
+            else:
+                load_factor = 4.0
+            rows = run_shard_scaling(
+                shard_counts=shard_counts_up_to(args.shards),
+                router=args.router,
+                system_name=args.systems[0],
+                model_name=args.model,
+                hardware_name=args.hardware,
+                workload_name=args.workload,
+                generation_len=args.generation_len,
+                num_requests=args.num_requests,
+                load_factor=load_factor,
+                scheduling=args.scheduling,
+                arrival=args.arrival,
+                chunk_prefill_tokens=chunk_prefill,
+                seed=args.seed,
+                use_simulator=args.simulate,
+            )
+            columns = list(SHARD_SCALING_COLUMNS)
+            title = (
+                f"Shard scaling: {args.workload} @ {args.model} / "
+                f"{args.hardware} x{args.shards} ({args.router} routing, "
+                f"{load_factor:g}x single-shard load, seed {args.seed})"
+            )
+        else:
+            rows = run_serving_sweep(
+                load_factors=args.load_factors or (0.25, 0.5, 1.0, 2.0, 4.0),
+                system_names=args.systems,
+                model_name=args.model,
+                hardware_name=args.hardware,
+                workload_name=args.workload,
+                generation_len=args.generation_len,
+                num_requests=args.num_requests,
+                scheduling=args.scheduling,
+                arrival=args.arrival,
+                seed=args.seed,
+                use_simulator=args.simulate,
+                chunk_prefill_tokens=chunk_prefill,
+            )
+            columns = list(SWEEP_COLUMNS)
+            title = (
                 f"Serving sweep: {args.workload} @ {args.model} / {args.hardware} "
                 f"({args.arrival} arrivals, {args.scheduling} scheduling, "
                 f"seed {args.seed})"
-            ),
-        )
-    )
+            )
+    except ReproError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_rows(rows, columns=columns, title=title))
+    if args.json:
+        write_bench_serving_json(args.json, rows, meta=meta)
+        print(f"wrote {args.json}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,17 +1,24 @@
 """Tensor-parallel scaling experiments (paper Fig. 8 and the S6/S7 columns
-of Fig. 7).
+of Fig. 7), on the cluster layer.
 
 Fig. 8 runs DBRX with all MoE-Lightning optimisations enabled (variable
 length batching, CGOPipe, HRM) on 2x and 4x T4 nodes across MTBench
 generation lengths; the expected shape is a 2.1-2.8x throughput gain from
 doubling the GPU count for DBRX, and super-linear (>2x) scaling for the
 padded Mixtral 8x22B comparison of Fig. 7.
+
+Each setting's aggregate node is split into an explicit
+:class:`~repro.cluster.spec.ClusterSpec` (its T4 devices over a PCIe
+peer-to-peer link), so — unlike the original aggregate-capacity shortcut —
+the run pays per-shard memory fit and all-reduce traffic on the HRM
+roofline, and the policy search sees both.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.cluster import ClusterSpec, GPULinkSpec
 from repro.core.performance_model import EfficiencyModel
 from repro.experiments.settings import get_setting
 from repro.systems import MoELightningSystem
@@ -25,14 +32,20 @@ def run_tp_scaling(
     efficiency: EfficiencyModel | None = None,
     max_sim_layers: int | None = 6,
     simulate: bool = True,
+    link: GPULinkSpec | None = None,
 ) -> list[dict[str, object]]:
-    """Reproduce Fig. 8: MoE-Lightning throughput on 2xT4 vs. 4xT4."""
+    """Reproduce Fig. 8: MoE-Lightning throughput on 2xT4 vs. 4xT4.
+
+    ``link`` overrides the inter-GPU link (PCIe peer-to-peer by default)
+    for what-if sweeps, e.g. how much an NVLink-class link would buy.
+    """
     rows: list[dict[str, object]] = []
     for setting_name in settings:
         setting = get_setting(setting_name)
+        cluster = ClusterSpec.from_hardware(setting.hardware, link=link)
         system = MoELightningSystem(
             setting.model,
-            setting.hardware,
+            cluster=cluster,
             padded=padded,
             efficiency=efficiency,
             max_sim_layers=max_sim_layers,
@@ -46,6 +59,8 @@ def run_tp_scaling(
                         "setting": setting_name,
                         "hardware": setting.hardware_name,
                         "model": setting.model_name,
+                        "num_shards": result.num_shards,
+                        "link": cluster.link.name,
                         "generation_len": generation_len,
                         "throughput": result.generation_throughput,
                         "batch_size": result.policy.batch_size,
@@ -60,6 +75,8 @@ def run_tp_scaling(
                         "setting": setting_name,
                         "hardware": setting.hardware_name,
                         "model": setting.model_name,
+                        "num_shards": cluster.num_devices,
+                        "link": cluster.link.name,
                         "generation_len": generation_len,
                         "throughput": None,
                         "error": str(exc),

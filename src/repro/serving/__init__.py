@@ -18,8 +18,15 @@ metrics, so MoE-Lightning and the baselines become comparable under load.
   prefill-prioritising and decode-prioritising policies.
 * :mod:`repro.serving.metrics` — TTFT / TPOT / E2E percentiles and
   SLO-goodput.
-* :mod:`repro.serving.server` — the :class:`ServingSystem` facade driving
-  any offloading backend through a simulated wall clock.
+* :mod:`repro.serving.server` — the per-shard :class:`EngineCore` state
+  machine and the :class:`ServingSystem` facade driving any offloading
+  backend through a simulated wall clock.
+* :mod:`repro.serving.router` — the :class:`ShardRouter`
+  (round-robin / least-loaded / session-affinity) in front of per-shard
+  queues.
+* :mod:`repro.serving.sharded` — :class:`ShardedServingSystem`, N
+  data-parallel engines on a :class:`~repro.cluster.spec.ClusterSpec`
+  with per-shard utilization reporting.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionDecision
@@ -38,12 +45,19 @@ from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     SchedulerAction,
 )
+from repro.serving.router import ROUTER_POLICIES, ShardRouter
 from repro.serving.server import (
+    EngineCore,
     EngineStep,
     EngineStepModel,
     ServingResult,
     ServingSystem,
     default_slo,
+)
+from repro.serving.sharded import (
+    ShardStats,
+    ShardedServingResult,
+    ShardedServingSystem,
 )
 
 __all__ = [
@@ -65,9 +79,15 @@ __all__ = [
     "SCHEDULING_POLICIES",
     "ContinuousBatchingScheduler",
     "SchedulerAction",
+    "EngineCore",
     "EngineStep",
     "EngineStepModel",
+    "ROUTER_POLICIES",
     "ServingResult",
     "ServingSystem",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedServingResult",
+    "ShardedServingSystem",
     "default_slo",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive_int
@@ -48,7 +48,9 @@ class ServingRequest:
     first_token_time: float | None = None
     finish_time: float | None = None
     tokens_decoded: int = 0
+    tokens_prefilled: int = 0
     reject_reason: str | None = None
+    shard_id: int | None = None
 
     @property
     def request_id(self) -> int:
@@ -65,6 +67,16 @@ class ServingRequest:
         """Whether every requested token has been generated."""
         return self.tokens_decoded >= self.request.generation_len
 
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt tokens not yet prefilled (drives chunked prefill)."""
+        return self.request.effective_input_len - self.tokens_prefilled
+
+    @property
+    def is_prefill_complete(self) -> bool:
+        """Whether the whole prompt has been processed."""
+        return self.prefill_remaining <= 0
+
     # ------------------------------------------------------------------
     # Lifecycle transitions
     # ------------------------------------------------------------------
@@ -77,6 +89,7 @@ class ServingRequest:
         """Record the end of prefill, which emits the first token."""
         self.first_token_time = now
         self.tokens_decoded = 1
+        self.tokens_prefilled = self.request.effective_input_len
 
     def mark_finished(self, now: float) -> None:
         """Record completion."""

@@ -1,0 +1,73 @@
+"""Shard router: assigns arriving requests to per-shard queues.
+
+Data-parallel serving runs one engine (an :class:`~repro.serving.server.EngineCore`)
+per shard, each with its own queue, admission controller and KV cache.  The
+router is the only component that sees every arrival, and its policy decides
+how evenly — and how cache-affinely — load spreads:
+
+* ``"round-robin"`` — cycle through shards; oblivious but perfectly fair in
+  request count;
+* ``"least-loaded"`` — send each arrival to the shard with the fewest
+  outstanding requests (queued + prefilling + running), the classic
+  join-the-shortest-queue policy that absorbs bursts best;
+* ``"session-affinity"`` — hash the request's session key so a session's
+  requests always land on the same shard (the prerequisite for per-shard
+  prefix/KV reuse), falling back to the request id for sessionless traffic.
+
+Routing is deterministic: the same arrival stream and shard loads produce
+the same assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serving.queue import ServingRequest
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+ROUTER_POLICIES: tuple[str, ...] = (
+    "round-robin",
+    "least-loaded",
+    "session-affinity",
+)
+
+#: Knuth's multiplicative constant: spreads consecutive session keys across
+#: shards instead of striping them (which would alias with round-robin).
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 2**32
+
+
+class ShardRouter:
+    """Deterministic request-to-shard assignment under a routing policy."""
+
+    def __init__(self, num_shards: int, policy: str = "round-robin") -> None:
+        require_positive_int("num_shards", num_shards)
+        if policy not in ROUTER_POLICIES:
+            known = ", ".join(ROUTER_POLICIES)
+            raise ConfigurationError(
+                f"unknown router policy {policy!r}; known: {known}"
+            )
+        self.num_shards = num_shards
+        self.policy = policy
+        self._next = 0
+        self.assignments = [0] * num_shards
+
+    def route(
+        self, serving_request: ServingRequest, loads: Sequence[int]
+    ) -> int:
+        """Pick the shard for one arrival given current per-shard loads."""
+        if len(loads) != self.num_shards:
+            raise ConfigurationError(
+                f"expected {self.num_shards} shard loads, got {len(loads)}"
+            )
+        if self.policy == "round-robin":
+            shard = self._next % self.num_shards
+            self._next += 1
+        elif self.policy == "least-loaded":
+            shard = min(range(self.num_shards), key=lambda s: (loads[s], s))
+        else:  # session-affinity
+            key = serving_request.request.session_key
+            shard = (key * _HASH_MULTIPLIER % _HASH_MODULUS) % self.num_shards
+        self.assignments[shard] += 1
+        return shard

@@ -22,16 +22,26 @@ Three scheduling policies trade TTFT against TPOT:
   next decode step (minimises TTFT, interrupts decode the most);
 * ``"decode-first"`` — only prefill when the running set has drained below
   one micro-batch (protects TPOT, lets the queue grow).
+
+Orthogonally, ``chunk_tokens`` enables **chunked prefill**: at most that
+many prompt tokens are processed per engine step, long prompts are split
+across several steps, and — whenever requests are decoding — the chunk
+rides along with the decode iteration as a ``"mixed"`` step instead of
+interrupting it.  The mixed step piggybacks the chunk's prompt compute on
+the decode step's weight-streaming pass (the same layer weights serve
+both), so long prefills stop inflating TPOT on loaded shards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.policy import Policy
 from repro.serving.admission import AdmissionController
 from repro.serving.queue import RequestQueue, ServingRequest
 from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
 from repro.workloads.batching import batch_requests
 from repro.workloads.request import Batch
 
@@ -44,8 +54,9 @@ class SchedulerAction:
 
     ``kind`` is ``"prefill"`` (run the chunk's prefill; the chunk has
     already passed admission and holds its KV reservations), ``"decode"``
-    (one decode iteration over the running set) or ``"idle"`` (nothing
-    runnable; advance the clock to the next arrival).
+    (one decode iteration over the running set), ``"mixed"`` (chunked
+    prefill only: one decode iteration carrying a prompt chunk) or
+    ``"idle"`` (nothing runnable; advance the clock to the next arrival).
     """
 
     kind: str
@@ -54,22 +65,30 @@ class SchedulerAction:
 
 
 class ContinuousBatchingScheduler:
-    """Decides, per engine iteration, between prefill, decode and idle."""
+    """Decides, per engine iteration, between prefill, decode and idle.
+
+    ``chunk_tokens`` caps the prompt tokens one prefill step may process
+    (chunked prefill); ``None`` keeps whole-prompt prefills.
+    """
 
     def __init__(
         self,
         policy: Policy,
         admission: AdmissionController,
         scheduling: str = "fcfs",
+        chunk_tokens: int | None = None,
     ) -> None:
         if scheduling not in SCHEDULING_POLICIES:
             known = ", ".join(SCHEDULING_POLICIES)
             raise ConfigurationError(
                 f"unknown scheduling policy {scheduling!r}; known: {known}"
             )
+        if chunk_tokens is not None:
+            require_positive_int("chunk_tokens", chunk_tokens)
         self.policy = policy
         self.admission = admission
         self.scheduling = scheduling
+        self.chunk_tokens = chunk_tokens
 
     # ------------------------------------------------------------------
     # Per-iteration decision
@@ -93,24 +112,43 @@ class ContinuousBatchingScheduler:
             return num_running < self.policy.micro_batch_size
         return True
 
-    def next_action(self, num_running: int, queue: RequestQueue) -> SchedulerAction:
+    def next_action(
+        self,
+        num_running: int,
+        queue: RequestQueue,
+        prefilling: Sequence[ServingRequest] = (),
+    ) -> SchedulerAction:
         """Pick the engine's next step and pop/admit the prefill chunk.
 
         Requests returned in ``chunk`` hold KV reservations; requests in
         ``rejected`` can never run (their end-of-generation KV footprint
         exceeds the budget even on an empty engine) and must be dropped by
-        the caller.
+        the caller.  ``prefilling`` carries the engine's partially-prefilled
+        requests under chunked prefill; they re-enter the next prefill chunk
+        ahead of new admissions.
         """
         rejected: list[ServingRequest] = []
-        chunk: list[ServingRequest] = []
-        if self._wants_prefill(num_running, queue):
-            limit = self._prefill_chunk_limit(num_running)
-            while queue and len(chunk) < limit:
+        chunk: list[ServingRequest] = list(prefilling)
+        occupied = num_running + len(chunk)
+        if self._wants_prefill(occupied, queue):
+            limit = self._prefill_chunk_limit(occupied)
+            budget = None
+            if self.chunk_tokens is not None:
+                budget = self.chunk_tokens - sum(
+                    sr.prefill_remaining for sr in chunk
+                )
+            admitted = 0
+            while queue and admitted < limit:
+                if budget is not None and budget <= 0 and chunk:
+                    break
                 decision = self.admission.check(queue.peek())
                 if decision.admitted:
                     candidate = queue.pop()
                     self.admission.admit(candidate)
                     chunk.append(candidate)
+                    admitted += 1
+                    if budget is not None:
+                        budget -= candidate.request.effective_input_len
                     continue
                 if self.admission.live_requests == 0 and not chunk:
                     # Even an empty engine cannot hold this request: it is
@@ -125,6 +163,11 @@ class ContinuousBatchingScheduler:
                 # Head-of-line request must wait for capacity to free up.
                 break
         if chunk:
+            if self.chunk_tokens is not None and num_running > 0:
+                # Chunked prefill rides the decode iteration: the chunk's
+                # prompt compute overlaps the step's weight-streaming pass
+                # instead of stalling every decoding request.
+                return SchedulerAction(kind="mixed", chunk=chunk, rejected=rejected)
             return SchedulerAction(kind="prefill", chunk=chunk, rejected=rejected)
         if num_running > 0:
             return SchedulerAction(kind="decode", rejected=rejected)

@@ -28,7 +28,7 @@ from repro.core.policy import Policy
 from repro.serving.admission import AdmissionController
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
 from repro.serving.metrics import SLO, ServingReport, summarize
-from repro.serving.queue import RequestQueue, ServingRequest
+from repro.serving.queue import RequestQueue, RequestState, ServingRequest
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.systems.base import OffloadingSystem
 from repro.utils.errors import SimulationError
@@ -103,13 +103,28 @@ class EngineStepModel:
         # populated the cache slot first.
         avg = self._bucket_ctx(sum(lengths) / len(lengths))
         longest = max(self._bucket_ctx(max(lengths)), avg)
-        key = (len(chunk), avg, longest)
+        return self._prefill_time_at(len(chunk), avg, longest)
+
+    def chunked_prefill_time(self, num_requests: int, tokens: int) -> float:
+        """Latency of one chunked-prefill step processing ``tokens`` tokens.
+
+        The chunk is costed as ``num_requests`` rows of the chunk's mean
+        token count — the same bucketed memoisation as whole-prompt
+        prefills, so a token budget maps to a bounded, stable step time.
+        """
+        require_positive_int("num_requests", num_requests)
+        require_positive_int("tokens", tokens)
+        avg = self._bucket_ctx(tokens / num_requests)
+        return self._prefill_time_at(num_requests, avg, avg)
+
+    def _prefill_time_at(self, num_requests: int, avg: int, longest: int) -> float:
+        key = (num_requests, avg, longest)
         if key not in self._prefill_cache:
             chunk_spec = replace(
                 self.workload, avg_prompt_len=avg, max_prompt_len=longest
             )
             performance = self.backend.performance_model(chunk_spec)
-            sized = self._sized_policy(len(chunk))
+            sized = self._sized_policy(num_requests)
             self._prefill_cache[key] = performance.prefill_time(sized)
         return self._prefill_cache[key]
 
@@ -160,6 +175,250 @@ class EngineStep:
         return self.start + self.duration
 
 
+class EngineCore:
+    """One engine's continuous-batching state machine (a single shard).
+
+    :class:`ServingSystem` drives exactly one core; the sharded serving
+    system drives one per shard and multiplexes the arrival stream between
+    them.  The core owns its shard's queue, admission controller, scheduler
+    and running/prefilling sets, and advances its own simulated clock one
+    engine step at a time.
+    """
+
+    def __init__(
+        self,
+        backend: OffloadingSystem,
+        workload: WorkloadSpec,
+        policy: Policy,
+        step_model: EngineStepModel,
+        scheduling: str = "fcfs",
+        queue_ordering: str = "fcfs",
+        max_queue_depth: int | None = None,
+        block_tokens: int = 16,
+        chunk_prefill_tokens: int | None = None,
+        shard_id: int | None = None,
+    ) -> None:
+        self.policy = policy
+        self.step_model = step_model
+        self.chunk_prefill_tokens = chunk_prefill_tokens
+        self.shard_id = shard_id
+        self.admission = AdmissionController(
+            model=backend.model,
+            hardware=backend.hardware,
+            workload=workload,
+            policy=policy,
+            padded=backend.padded,
+            block_tokens=block_tokens,
+        )
+        self.scheduler = ContinuousBatchingScheduler(
+            policy=policy,
+            admission=self.admission,
+            scheduling=scheduling,
+            chunk_tokens=chunk_prefill_tokens,
+        )
+        self.queue = RequestQueue(ordering=queue_ordering, max_depth=max_queue_depth)
+        self.running: list[ServingRequest] = []
+        self.prefilling: list[ServingRequest] = []
+        self.steps: list[EngineStep] = []
+        self.now = 0.0
+        self.dropped_queue_full = 0
+
+    # ------------------------------------------------------------------
+    # External interface (arrival ingestion and clock control)
+    # ------------------------------------------------------------------
+    def offer(self, serving_request: ServingRequest) -> bool:
+        """Ingest one arrival; returns False when the full queue drops it."""
+        if self.shard_id is not None:
+            serving_request.shard_id = self.shard_id
+        if not self.has_work():
+            # An idle engine's clock catches up to the arrival; a busy one
+            # leaves the request to wait for the current step to finish.
+            self.now = max(self.now, serving_request.arrival_time)
+        if not self.queue.push(serving_request):
+            serving_request.mark_rejected(
+                serving_request.arrival_time, "queue full"
+            )
+            self.dropped_queue_full += 1
+            return False
+        return True
+
+    def has_work(self) -> bool:
+        """Whether any request is queued, prefilling or decoding here."""
+        return bool(self.queue) or bool(self.running) or bool(self.prefilling)
+
+    def load(self) -> int:
+        """Outstanding requests on this shard (routing signal)."""
+        return len(self.queue) + len(self.running) + len(self.prefilling)
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated time this engine spent executing steps."""
+        return sum(step.duration for step in self.steps)
+
+    def advance_to(self, time: float) -> None:
+        """Run engine steps until the clock reaches ``time`` or work runs out."""
+        while self.now < time and self.has_work():
+            if self.run_step() == "idle":
+                break
+
+    def drain(self) -> None:
+        """Run the engine until every outstanding request retires."""
+        while self.has_work():
+            if self.run_step() == "idle":
+                raise SimulationError(
+                    "serving engine stalled with work outstanding"
+                )
+
+    # ------------------------------------------------------------------
+    # One engine iteration
+    # ------------------------------------------------------------------
+    def run_step(self) -> str:
+        """Execute the scheduler's next action; returns the action kind."""
+        action = self.scheduler.next_action(
+            len(self.running), self.queue, self.prefilling
+        )
+        for oversized in action.rejected:
+            oversized.mark_rejected(
+                self.now, oversized.reject_reason or "oversized request"
+            )
+        if action.kind == "idle":
+            return "idle"
+        start = self.now
+        if action.kind == "prefill":
+            num_requests, num_micro_batches, duration = self._execute_prefill(
+                action.chunk
+            )
+        elif action.kind == "mixed":
+            num_requests, num_micro_batches, duration = self._execute_mixed(
+                action.chunk
+            )
+        else:
+            num_requests, num_micro_batches, duration = self._execute_decode()
+        self.steps.append(
+            EngineStep(
+                kind=action.kind,
+                start=start,
+                duration=duration,
+                num_requests=num_requests,
+                num_micro_batches=num_micro_batches,
+            )
+        )
+        self._retire_finished()
+        return action.kind
+
+    def _execute_prefill(
+        self, chunk: list[ServingRequest]
+    ) -> tuple[int, int, float]:
+        if self.chunk_prefill_tokens is None:
+            for serving_request in chunk:
+                serving_request.mark_running(self.now)
+            duration = self.step_model.prefill_time(chunk)
+            self.now += duration
+            for serving_request in chunk:
+                serving_request.mark_first_token(self.now)
+                self.running.append(serving_request)
+            num_requests = len(chunk)
+            mu = min(self.policy.micro_batch_size, num_requests)
+            return num_requests, -(-num_requests // mu), duration
+
+        # Chunked prefill with nothing decoding: a standalone chunk step.
+        num_worked, tokens_processed = self._consume_chunk_budget(chunk)
+        duration = self.step_model.chunked_prefill_time(
+            max(1, num_worked), max(1, tokens_processed)
+        )
+        self.now += duration
+        self._finish_chunk(chunk)
+        mu = min(self.policy.micro_batch_size, max(1, num_worked))
+        return num_worked, -(-max(1, num_worked) // mu), duration
+
+    def _execute_mixed(self, chunk: list[ServingRequest]) -> tuple[int, int, float]:
+        """One decode iteration carrying a chunked-prefill token budget.
+
+        The chunk's prompt compute shares the step's layer-by-layer weight
+        stream with the decode pass (what the GPU would otherwise idle
+        through on weight-transfer-bound steps), so the step lasts as long
+        as the *slower* of the two halves rather than their sum.
+        """
+        batch = self.scheduler.form_micro_batches(self.running)
+        binding_context = self.scheduler.binding_context_len(batch, self.running)
+        decode_time = self.step_model.decode_step_time(
+            len(self.running), binding_context
+        )
+        num_worked, tokens_processed = self._consume_chunk_budget(chunk)
+        chunk_time = self.step_model.chunked_prefill_time(
+            max(1, num_worked), max(1, tokens_processed)
+        )
+        duration = max(decode_time, chunk_time)
+        self.now += duration
+        for serving_request in self.running:
+            serving_request.tokens_decoded += 1
+        self._finish_chunk(chunk)
+        num_requests = len(self.running) + num_worked
+        return num_requests, batch.num_micro_batches, duration
+
+    def _consume_chunk_budget(
+        self, chunk: list[ServingRequest]
+    ) -> tuple[int, int]:
+        """Spend the chunk token budget across the chunk's prompts."""
+        budget = self.chunk_prefill_tokens
+        tokens_processed = 0
+        num_worked = 0
+        for serving_request in chunk:
+            if budget <= 0:
+                break
+            if serving_request.state is RequestState.QUEUED:
+                serving_request.mark_running(self.now)
+            take = min(serving_request.prefill_remaining, budget)
+            if take <= 0:
+                continue
+            serving_request.tokens_prefilled += take
+            budget -= take
+            tokens_processed += take
+            num_worked += 1
+        return num_worked, tokens_processed
+
+    def _finish_chunk(self, chunk: list[ServingRequest]) -> None:
+        """Retire completed prompts into the running set; keep the rest."""
+        still_prefilling: list[ServingRequest] = []
+        for serving_request in chunk:
+            if serving_request.is_prefill_complete:
+                serving_request.mark_first_token(self.now)
+                self.running.append(serving_request)
+            else:
+                still_prefilling.append(serving_request)
+        self.prefilling = still_prefilling
+
+    def _execute_decode(self) -> tuple[int, int, float]:
+        batch = self.scheduler.form_micro_batches(self.running)
+        binding_context = self.scheduler.binding_context_len(batch, self.running)
+        duration = self.step_model.decode_step_time(
+            len(self.running), binding_context
+        )
+        self.now += duration
+        for serving_request in self.running:
+            serving_request.tokens_decoded += 1
+        return len(self.running), batch.num_micro_batches, duration
+
+    def _retire_finished(self) -> None:
+        still_running: list[ServingRequest] = []
+        for serving_request in self.running:
+            if serving_request.is_finished:
+                serving_request.mark_finished(self.now)
+                self.admission.release(serving_request)
+            else:
+                still_running.append(serving_request)
+        self.running = still_running
+
+    def admission_stats(self) -> dict[str, int]:
+        """Drop/admit counters in the report's canonical key order."""
+        return {
+            "admitted": self.admission.admitted_count,
+            "rejected_kv": self.admission.rejected_kv_count,
+            "rejected_slots": self.admission.rejected_slots_count,
+            "dropped_queue_full": self.dropped_queue_full,
+        }
+
+
 @dataclass(frozen=True)
 class ServingResult:
     """Everything one serving run produced."""
@@ -203,6 +462,7 @@ class ServingSystem:
         use_simulator: bool = False,
         ctx_bucket: int = 32,
         block_tokens: int = 16,
+        chunk_prefill_tokens: int | None = None,
     ) -> None:
         self.backend = backend
         self.workload = workload
@@ -212,6 +472,7 @@ class ServingSystem:
         self.max_queue_depth = max_queue_depth
         self.slo = slo or default_slo(backend, workload, self.policy)
         self.block_tokens = block_tokens
+        self.chunk_prefill_tokens = chunk_prefill_tokens
         self.step_model = EngineStepModel(
             backend,
             workload,
@@ -260,101 +521,40 @@ class ServingSystem:
             for timed in stream
         ]
 
-        admission = AdmissionController(
-            model=self.backend.model,
-            hardware=self.backend.hardware,
+        core = EngineCore(
+            backend=self.backend,
             workload=self.workload,
             policy=self.policy,
-            padded=self.backend.padded,
+            step_model=self.step_model,
+            scheduling=self.scheduling,
+            queue_ordering=self.queue_ordering,
+            max_queue_depth=self.max_queue_depth,
             block_tokens=self.block_tokens,
+            chunk_prefill_tokens=self.chunk_prefill_tokens,
         )
-        scheduler = ContinuousBatchingScheduler(
-            policy=self.policy, admission=admission, scheduling=self.scheduling
-        )
-        queue = RequestQueue(
-            ordering=self.queue_ordering, max_depth=self.max_queue_depth
-        )
-
-        running: list[ServingRequest] = []
-        steps: list[EngineStep] = []
-        dropped_queue_full = 0
-        now = 0.0
         next_arrival = 0
-
-        while next_arrival < len(records) or queue or running:
+        while next_arrival < len(records) or core.has_work():
             # Ingest every arrival up to the current simulated time.
             while (
                 next_arrival < len(records)
-                and records[next_arrival].arrival_time <= now
+                and records[next_arrival].arrival_time <= core.now
             ):
-                serving_request = records[next_arrival]
+                core.offer(records[next_arrival])
                 next_arrival += 1
-                if not queue.push(serving_request):
-                    serving_request.mark_rejected(
-                        serving_request.arrival_time, "queue full"
-                    )
-                    dropped_queue_full += 1
 
-            action = scheduler.next_action(len(running), queue)
-            for oversized in action.rejected:
-                oversized.mark_rejected(
-                    now, oversized.reject_reason or "oversized request"
-                )
-
-            if action.kind == "idle":
+            if core.run_step() == "idle":
                 if next_arrival < len(records):
-                    now = max(now, records[next_arrival].arrival_time)
+                    core.now = max(
+                        core.now, records[next_arrival].arrival_time
+                    )
                     continue
-                if queue or running:
+                if core.has_work():
                     raise SimulationError(
                         "serving loop stalled with work outstanding"
                     )
                 break
 
-            if action.kind == "prefill":
-                for serving_request in action.chunk:
-                    serving_request.mark_running(now)
-                duration = self.step_model.prefill_time(action.chunk)
-                start, now = now, now + duration
-                for serving_request in action.chunk:
-                    serving_request.mark_first_token(now)
-                    running.append(serving_request)
-                num_requests = len(action.chunk)
-                mu = min(self.policy.micro_batch_size, num_requests)
-                num_micro_batches = -(-num_requests // mu)
-            else:  # decode
-                batch = scheduler.form_micro_batches(running)
-                binding_context = scheduler.binding_context_len(batch, running)
-                duration = self.step_model.decode_step_time(
-                    len(running), binding_context
-                )
-                start, now = now, now + duration
-                for serving_request in running:
-                    serving_request.tokens_decoded += 1
-                num_requests = len(running)
-                num_micro_batches = batch.num_micro_batches
-
-            steps.append(
-                EngineStep(
-                    kind=action.kind,
-                    start=start,
-                    duration=duration,
-                    num_requests=num_requests,
-                    num_micro_batches=num_micro_batches,
-                )
-            )
-
-            # Retire finished requests and free their KV reservations.
-            still_running: list[ServingRequest] = []
-            for serving_request in running:
-                if serving_request.is_finished:
-                    serving_request.mark_finished(now)
-                    admission.release(serving_request)
-                else:
-                    still_running.append(serving_request)
-            running = still_running
-
-        report = summarize(records, makespan=now, slo=self.slo)
+        report = summarize(records, makespan=core.now, slo=self.slo)
         return ServingResult(
             system=self.backend.name,
             workload=self.workload.name,
@@ -362,13 +562,8 @@ class ServingSystem:
             policy=self.policy,
             slo=self.slo,
             requests=records,
-            steps=steps,
-            makespan=now,
+            steps=core.steps,
+            makespan=core.now,
             report=report,
-            admission_stats={
-                "admitted": admission.admitted_count,
-                "rejected_kv": admission.rejected_kv_count,
-                "rejected_slots": admission.rejected_slots_count,
-                "dropped_queue_full": dropped_queue_full,
-            },
+            admission_stats=core.admission_stats(),
         )

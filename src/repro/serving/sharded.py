@@ -1,0 +1,266 @@
+"""Sharded online serving: N data-parallel engines behind a router.
+
+:class:`ShardedServingSystem` is the scale-out counterpart of
+:class:`~repro.serving.server.ServingSystem`: ``num_shards`` replicas of one
+offloading backend — each an independent :class:`~repro.serving.server.EngineCore`
+with its own queue, admission controller and KV cache — serve a single
+arrival stream split by a :class:`~repro.serving.router.ShardRouter`.
+
+The simulation multiplexes the shard clocks: before each arrival is routed,
+every shard's engine runs forward to the arrival time, so load-aware
+routing observes exactly the queue depths a real router would.  Shards
+correspond to the devices of a :class:`~repro.cluster.spec.ClusterSpec`
+(scale-out semantics: each shard owns its node), and the result reports
+per-shard utilization alongside the aggregate latency/goodput metrics, so
+imbalance — the router's failure mode — is directly visible.
+
+Determinism matches the single-engine system: same backend, arrival
+process, router policy and seed give identical per-request timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.policy import Policy
+from repro.serving.arrivals import ArrivalProcess, TimedRequest
+from repro.serving.metrics import SLO, ServingReport, summarize
+from repro.serving.queue import RequestState, ServingRequest
+from repro.serving.router import ShardRouter
+from repro.serving.server import EngineCore, EngineStepModel, default_slo
+from repro.systems.base import OffloadingSystem
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's share of a sharded serving run."""
+
+    shard_id: int
+    offered: int
+    completed: int
+    rejected: int
+    tokens_generated: int
+    busy_time: float
+    utilization: float
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for the table renderer."""
+        return {
+            "shard": self.shard_id,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "tokens": self.tokens_generated,
+            "busy_s": self.busy_time,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class ShardedServingResult:
+    """Aggregate and per-shard outcome of one sharded serving run."""
+
+    system: str
+    workload: str
+    scheduling: str
+    router: str
+    num_shards: int
+    policy: Policy
+    slo: SLO
+    requests: list[ServingRequest]
+    makespan: float
+    report: ServingReport
+    shard_stats: list[ShardStats]
+    admission_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shard_utilizations(self) -> list[float]:
+        """Per-shard busy fractions over the run's makespan."""
+        return [stats.utilization for stats in self.shard_stats]
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary for the table renderer."""
+        utils = self.shard_utilizations
+        row: dict[str, object] = {
+            "system": self.system,
+            "workload": self.workload,
+            "scheduling": self.scheduling,
+            "router": self.router,
+            "num_shards": self.num_shards,
+            "batch_size": self.policy.batch_size,
+        }
+        row.update(self.report.as_row())
+        row["shard_util_mean"] = sum(utils) / len(utils) if utils else 0.0
+        row["shard_util_min"] = min(utils) if utils else 0.0
+        row["shard_util"] = "/".join(f"{u:.2f}" for u in utils)
+        return row
+
+
+class ShardedServingSystem:
+    """Round-robin / least-loaded / session-affinity serving over N shards."""
+
+    def __init__(
+        self,
+        backend: OffloadingSystem,
+        workload,
+        num_shards: int | None = None,
+        cluster: ClusterSpec | None = None,
+        router: str = "round-robin",
+        policy: Policy | None = None,
+        scheduling: str = "fcfs",
+        queue_ordering: str = "fcfs",
+        max_queue_depth: int | None = None,
+        slo: SLO | None = None,
+        use_simulator: bool = False,
+        ctx_bucket: int = 32,
+        block_tokens: int = 16,
+        chunk_prefill_tokens: int | None = None,
+    ) -> None:
+        if num_shards is None:
+            if cluster is None:
+                raise ConfigurationError(
+                    "either num_shards or a cluster must be provided"
+                )
+            num_shards = cluster.num_devices
+        elif cluster is not None and cluster.num_devices != num_shards:
+            raise ConfigurationError(
+                f"num_shards ({num_shards}) does not match the cluster's "
+                f"device count ({cluster.num_devices})"
+            )
+        require_positive_int("num_shards", num_shards)
+        self.backend = backend
+        self.workload = workload
+        self.num_shards = num_shards
+        if cluster is None and backend.hardware.tp_size == 1:
+            # Describe the default deployment: one backend node per shard.
+            # Multi-GPU backend nodes stay cluster-less here — each shard is
+            # simply a replica of that aggregate node.
+            cluster = ClusterSpec.scale_out(backend.hardware, num_shards)
+        self.cluster = cluster
+        self.router_policy = router
+        self.policy = policy or backend.select_policy(workload)
+        self.scheduling = scheduling
+        self.queue_ordering = queue_ordering
+        self.max_queue_depth = max_queue_depth
+        self.slo = slo or default_slo(backend, workload, self.policy)
+        self.block_tokens = block_tokens
+        self.chunk_prefill_tokens = chunk_prefill_tokens
+        # One step model shared by every shard: the replicas are identical,
+        # so the (batch, context) -> latency memo is shard-agnostic.
+        self.step_model = EngineStepModel(
+            backend,
+            workload,
+            self.policy,
+            use_simulator=use_simulator,
+            ctx_bucket=ctx_bucket,
+        )
+        # Validate the router policy eagerly so configuration errors
+        # surface at construction, not mid-run.
+        ShardRouter(num_shards, router)
+
+    def _as_served(self, request):
+        """Apply the backend's padding discipline (as the single engine does)."""
+        if not self.backend.padded:
+            return request
+        return request.padded_to(
+            max(self.workload.max_prompt_len, request.input_len)
+        )
+
+    def _make_cores(self) -> list[EngineCore]:
+        return [
+            EngineCore(
+                backend=self.backend,
+                workload=self.workload,
+                policy=self.policy,
+                step_model=self.step_model,
+                scheduling=self.scheduling,
+                queue_ordering=self.queue_ordering,
+                max_queue_depth=self.max_queue_depth,
+                block_tokens=self.block_tokens,
+                chunk_prefill_tokens=self.chunk_prefill_tokens,
+                shard_id=shard_id,
+            )
+            for shard_id in range(self.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # The sharded serving loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None = None,
+        seed: int = 0,
+    ) -> ShardedServingResult:
+        """Serve one request stream across every shard to completion."""
+        if isinstance(arrivals, ArrivalProcess):
+            stream = arrivals.generate(self.workload, count=count, seed=seed)
+        else:
+            stream = sorted(arrivals, key=lambda timed: timed.arrival_time)
+        records = [
+            ServingRequest(
+                request=self._as_served(timed.request),
+                arrival_time=timed.arrival_time,
+            )
+            for timed in stream
+        ]
+
+        router = ShardRouter(self.num_shards, self.router_policy)
+        cores = self._make_cores()
+        for serving_request in records:
+            # Every shard catches up to the arrival instant first, so the
+            # router's load signal is the true outstanding count at that
+            # time — exactly what a live load balancer would see.
+            for core in cores:
+                core.advance_to(serving_request.arrival_time)
+            loads = [core.load() for core in cores]
+            shard = router.route(serving_request, loads)
+            cores[shard].offer(serving_request)
+        for core in cores:
+            core.drain()
+
+        makespan = max((core.now for core in cores), default=0.0)
+        report = summarize(records, makespan=makespan, slo=self.slo)
+        shard_stats = []
+        for core in cores:
+            assigned = [sr for sr in records if sr.shard_id == core.shard_id]
+            finished = [
+                sr for sr in assigned if sr.state is RequestState.FINISHED
+            ]
+            rejected = [
+                sr for sr in assigned if sr.state is RequestState.REJECTED
+            ]
+            shard_stats.append(
+                ShardStats(
+                    shard_id=core.shard_id,
+                    offered=len(assigned),
+                    completed=len(finished),
+                    rejected=len(rejected),
+                    tokens_generated=sum(sr.tokens_decoded for sr in finished),
+                    busy_time=core.busy_time,
+                    utilization=(
+                        core.busy_time / makespan if makespan > 0 else 0.0
+                    ),
+                )
+            )
+        totals: dict[str, int] = {}
+        for core in cores:
+            for key, value in core.admission_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return ShardedServingResult(
+            system=self.backend.name,
+            workload=self.workload.name,
+            scheduling=self.scheduling,
+            router=self.router_policy,
+            num_shards=self.num_shards,
+            policy=self.policy,
+            slo=self.slo,
+            requests=records,
+            makespan=makespan,
+            report=report,
+            shard_stats=shard_stats,
+            admission_stats=totals,
+        )

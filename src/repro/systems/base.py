@@ -5,12 +5,19 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-from repro.core.memory_model import MemoryModel
-from repro.core.performance_model import EfficiencyModel, PerformanceModel
+from repro.cluster.partition import PartitionPlan
+from repro.cluster.spec import ClusterSpec
+from repro.core.memory_model import MemoryModel, PartitionedMemoryModel
+from repro.core.performance_model import (
+    EfficiencyModel,
+    PartitionedPerformanceModel,
+    PerformanceModel,
+)
 from repro.core.policy import Policy
 from repro.hardware.spec import HardwareSpec
 from repro.models.config import ModelConfig
 from repro.schedules.base import PipelineSchedule, StepTiming
+from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive_int
 from repro.workloads.spec import WorkloadSpec
 
@@ -29,6 +36,7 @@ class SystemResult:
     tokens_generated: int
     padded: bool
     step_timing: StepTiming | None = None
+    num_shards: int = 1
 
     @property
     def total_time(self) -> float:
@@ -56,6 +64,7 @@ class SystemResult:
             "model": self.model,
             "hardware": self.hardware,
             "workload": self.workload,
+            "num_shards": self.num_shards,
             "throughput": self.generation_throughput,
             "decode_throughput": self.decode_throughput,
             "prefill_time": self.prefill_time,
@@ -79,17 +88,54 @@ class OffloadingSystem(abc.ABC):
     def __init__(
         self,
         model: ModelConfig,
-        hardware: HardwareSpec,
+        hardware: HardwareSpec | None = None,
         efficiency: EfficiencyModel | None = None,
         max_sim_layers: int | None = 8,
         decode_samples: int = 3,
+        cluster: ClusterSpec | None = None,
+        partition: PartitionPlan | None = None,
     ) -> None:
+        """Build a system on one node or on a cluster of devices.
+
+        The single-``hardware`` form is unchanged and remains the default.
+        Passing a ``cluster`` instead switches the system onto the
+        shard-aware path: ``hardware`` defaults to the cluster's aggregate
+        view, ``partition`` to full tensor parallelism across the devices,
+        and the memory / performance models to their partitioned variants.
+        A 1-device cluster is exactly equivalent to passing its node as
+        ``hardware``.
+        """
         require_positive_int("decode_samples", decode_samples)
+        if partition is not None:
+            if cluster is not None and partition.cluster != cluster:
+                raise ConfigurationError(
+                    "partition.cluster does not match the cluster argument"
+                )
+            cluster = partition.cluster
+        elif cluster is not None and not cluster.is_trivial:
+            partition = PartitionPlan(cluster=cluster, tp_size=cluster.num_devices)
+        if hardware is None:
+            if cluster is None:
+                raise ConfigurationError(
+                    "either hardware or cluster must be provided"
+                )
+            hardware = cluster.aggregate_hardware()
+        if partition is not None and partition.is_trivial:
+            partition = None
+        if partition is not None:
+            partition.validate_model(model)
         self.model = model
         self.hardware = hardware
+        self.cluster = cluster
+        self.partition = partition
         self.efficiency = efficiency or EfficiencyModel()
         self.max_sim_layers = max_sim_layers
         self.decode_samples = decode_samples
+
+    @property
+    def num_shards(self) -> int:
+        """Number of model shards this system executes across."""
+        return self.partition.num_shards if self.partition is not None else 1
 
     # ------------------------------------------------------------------
     # Subclass responsibilities
@@ -106,7 +152,20 @@ class OffloadingSystem(abc.ABC):
     # Shared helpers
     # ------------------------------------------------------------------
     def performance_model(self, workload: WorkloadSpec) -> PerformanceModel:
-        """The analytical model used for prefill and sanity estimates."""
+        """The analytical model used for prefill and sanity estimates.
+
+        Partitioned systems get the cluster-aware variant, which adds the
+        partition plan's collective-communication costs to the roofline.
+        """
+        if self.partition is not None:
+            return PartitionedPerformanceModel(
+                model=self.model,
+                hardware=self.hardware,
+                workload=workload,
+                efficiency=self.efficiency,
+                padded=self.padded,
+                plan=self.partition,
+            )
         return PerformanceModel(
             model=self.model,
             hardware=self.hardware,
@@ -116,7 +175,19 @@ class OffloadingSystem(abc.ABC):
         )
 
     def memory_model(self, workload: WorkloadSpec) -> MemoryModel:
-        """The memory-constraint model for this system's padding setting."""
+        """The memory-constraint model for this system's padding setting.
+
+        Partitioned systems are checked per shard against per-device
+        capacity rather than in aggregate.
+        """
+        if self.partition is not None:
+            return PartitionedMemoryModel(
+                model=self.model,
+                hardware=self.hardware,
+                workload=workload,
+                padded=self.padded,
+                plan=self.partition,
+            )
         return MemoryModel(
             model=self.model,
             hardware=self.hardware,
@@ -161,6 +232,13 @@ class OffloadingSystem(abc.ABC):
             )
             mid_context = prompt + max(1, workload.generation_len // 2)
             step_timing = schedule.step_timing(chosen, mid_context)
+            if isinstance(performance, PartitionedPerformanceModel):
+                # The schedule simulators are single-node; charge the
+                # partition plan's per-step collectives on top.
+                decode += (
+                    performance.collective_decode_step_time(chosen)
+                    * workload.generation_len
+                )
         else:
             decode = performance.decode_time(chosen)
 
@@ -176,4 +254,5 @@ class OffloadingSystem(abc.ABC):
             tokens_generated=tokens,
             padded=self.padded,
             step_timing=step_timing,
+            num_shards=self.num_shards,
         )

@@ -30,7 +30,6 @@ from repro.core.optimizer import PolicyOptimizer
 from repro.core.policy import Policy
 from repro.models.memory import (
     activation_bytes,
-    kv_cache_bytes_per_token,
     model_weight_bytes,
 )
 from repro.schedules.base import PipelineSchedule
@@ -78,9 +77,13 @@ class FlexGenSystem(OffloadingSystem):
         many layers active at once and multiplying the peak CPU memory used
         by in-flight activations and KV working sets (§5.3).  The weights are
         still stored once, so only the headroom above the weights is divided.
+
+        A cluster-built system keeps the partitioned (per-device) model from
+        the base class: an explicit partition plan supersedes the aggregate
+        pipeline-parallel approximation.
         """
         base = super().memory_model(workload)
-        if self.hardware.tp_size <= 1:
+        if self.partition is not None or self.hardware.tp_size <= 1:
             return base
         weights = model_weight_bytes(self.model)
         headroom = max(0.0, self.hardware.cpu_memory - weights)
@@ -149,6 +152,7 @@ class FlexGenSystem(OffloadingSystem):
             padded=True,
             allow_cpu_attention=self.cpu_attention,
             allow_gpu_attention=not self.cpu_attention,
+            partition=self.partition,
         )
         return optimizer.search().policy
 

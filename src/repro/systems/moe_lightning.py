@@ -35,7 +35,12 @@ class MoELightningSystem(OffloadingSystem):
             self.name = "moe-lightning(p)"
 
     def optimizer(self, workload: WorkloadSpec) -> PolicyOptimizer:
-        """The HRM-based policy optimizer configured for this system."""
+        """The HRM-based policy optimizer configured for this system.
+
+        On a cluster, the partition plan flows into the optimizer so the
+        search prunes on per-shard memory fit and scores candidates with
+        collective costs included.
+        """
         return PolicyOptimizer(
             model=self.model,
             hardware=self.hardware,
@@ -44,6 +49,7 @@ class MoELightningSystem(OffloadingSystem):
             padded=self.padded,
             allow_cpu_attention=True,
             allow_gpu_attention=True,
+            partition=self.partition,
         )
 
     def select_policy(self, workload: WorkloadSpec) -> Policy:

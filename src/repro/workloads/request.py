@@ -32,6 +32,7 @@ class Request:
     generation_len: int
     request_id: int = field(default_factory=lambda: next(_request_counter))
     padded_len: int | None = None
+    session_id: int | None = None
 
     def __post_init__(self) -> None:
         require_positive_int("input_len", self.input_len)
@@ -41,6 +42,11 @@ class Request:
                 f"padded_len ({self.padded_len}) must be >= input_len "
                 f"({self.input_len})"
             )
+
+    @property
+    def session_key(self) -> int:
+        """Stable key for session-affinity routing (request id fallback)."""
+        return self.session_id if self.session_id is not None else self.request_id
 
     @property
     def effective_input_len(self) -> int:
@@ -63,6 +69,7 @@ class Request:
             generation_len=self.generation_len,
             request_id=self.request_id,
             padded_len=length,
+            session_id=self.session_id,
         )
 
 

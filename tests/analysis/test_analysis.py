@@ -1,6 +1,5 @@
 """Tests for the analysis helpers (HRM case studies, bottlenecks, scaling)."""
 
-import pytest
 
 from repro.analysis import (
     attention_case_study,

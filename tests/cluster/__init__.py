@@ -1,0 +1,1 @@
+"""Tests for the cluster abstraction (specs and partition plans)."""

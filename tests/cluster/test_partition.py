@@ -1,0 +1,101 @@
+"""PartitionPlan: shape validation, byte accounting, collective traffic."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, PartitionPlan
+from repro.core.policy import Policy
+from repro.models.memory import kv_cache_bytes_per_token, model_weight_bytes
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def cluster4(multi_t4_node):
+    return ClusterSpec.from_hardware(multi_t4_node)
+
+
+def test_degrees_must_cover_devices(cluster4):
+    with pytest.raises(ConfigurationError):
+        PartitionPlan(cluster=cluster4, tp_size=3)
+    plan = PartitionPlan(cluster=cluster4, tp_size=2, ep_size=2)
+    assert plan.num_shards == 4
+
+
+def test_validate_model_checks_divisibility(cluster4, mixtral):
+    PartitionPlan(cluster=cluster4, tp_size=4).validate_model(mixtral)
+    with pytest.raises(ConfigurationError):
+        # Mixtral has 8 experts; 3 expert-parallel groups cannot split them
+        # (a 3-device cluster is needed to even build the plan).
+        PartitionPlan(
+            cluster=ClusterSpec.from_hardware(
+                multi_node_with(cluster4.node, 3)
+            ),
+            tp_size=1,
+            ep_size=3,
+        ).validate_model(mixtral)
+
+
+def multi_node_with(node, count):
+    from dataclasses import replace
+
+    return replace(node, tp_size=count, name=f"{count}x{node.gpu.name}")
+
+
+def test_shard_bytes_divide_evenly(cluster4, dbrx):
+    plan = PartitionPlan(cluster=cluster4, tp_size=4)
+    assert plan.shard_weight_bytes(dbrx) == model_weight_bytes(dbrx) / 4
+    assert plan.shard_kv_bytes_per_token(dbrx) == (
+        kv_cache_bytes_per_token(dbrx) / 4
+    )
+
+
+def test_shard_activations_keep_replicated_hidden(cluster4, mixtral):
+    from repro.models.memory import activation_bytes
+
+    plan = PartitionPlan(cluster=cluster4, tp_size=4)
+    per_shard = plan.shard_activation_bytes(mixtral, 64)
+    unsharded = activation_bytes(mixtral, 64)
+    hidden = 2 * 64 * mixtral.hidden_size * mixtral.dtype.num_bytes
+    # The hidden states are replicated on every shard, so a shard holds
+    # strictly more than a quarter of the unsharded activations — but the
+    # sharded projections keep it strictly below the whole.
+    assert unsharded / 4 < per_shard < unsharded
+    assert per_shard == pytest.approx(hidden + (unsharded - hidden) / 4)
+
+
+def test_trivial_plan_moves_no_bytes(t4_node, mixtral):
+    plan = PartitionPlan(cluster=ClusterSpec.single(t4_node), tp_size=1)
+    policy = Policy(batch_size=8, micro_batch_size=8)
+    traffic = plan.layer_collective_traffic(mixtral, policy, tokens=8)
+    assert traffic.is_empty
+
+
+def test_tensor_parallel_traffic_two_allreduces(cluster4, mixtral):
+    plan = PartitionPlan(cluster=cluster4, tp_size=4)
+    policy = Policy(batch_size=16, micro_batch_size=16, ffn_on_gpu=True)
+    traffic = plan.layer_collective_traffic(mixtral, policy, tokens=16)
+    hidden_bytes = 16 * mixtral.hidden_size * mixtral.dtype.num_bytes
+    ring = 2.0 * 3 / 4 * hidden_bytes
+    assert traffic.bytes_on_link == pytest.approx(2 * ring)
+    assert traffic.launches == 4
+
+
+def test_cpu_ffn_skips_ffn_collective(cluster4, mixtral):
+    plan = PartitionPlan(cluster=cluster4, tp_size=4)
+    gpu_ffn = Policy(batch_size=16, micro_batch_size=16, ffn_on_gpu=True)
+    cpu_ffn = Policy(batch_size=16, micro_batch_size=16, ffn_on_gpu=False)
+    assert plan.layer_collective_traffic(
+        mixtral, cpu_ffn, tokens=16
+    ).bytes_on_link < plan.layer_collective_traffic(
+        mixtral, gpu_ffn, tokens=16
+    ).bytes_on_link
+
+
+def test_expert_parallel_adds_alltoall(cluster4, mixtral):
+    tensor_only = PartitionPlan(cluster=cluster4, tp_size=4)
+    expert = PartitionPlan(cluster=cluster4, tp_size=2, ep_size=2)
+    policy = Policy(batch_size=16, micro_batch_size=16, ffn_on_gpu=True)
+    t_traffic = tensor_only.layer_collective_traffic(mixtral, policy, 16)
+    e_traffic = expert.layer_collective_traffic(mixtral, policy, 16)
+    # Mixtral routes top-2: dispatch+combine all-to-alls dominate the saved
+    # all-reduce, so expert parallelism moves more bytes here.
+    assert e_traffic.bytes_on_link > t_traffic.bytes_on_link

@@ -1,0 +1,72 @@
+"""ClusterSpec: construction, aggregate/shard views, validation."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, GPULinkSpec, nvlink, pcie_peer_link
+from repro.hardware import get_hardware
+from repro.utils.errors import ConfigurationError
+
+
+def test_single_is_trivial(t4_node):
+    cluster = ClusterSpec.single(t4_node)
+    assert cluster.is_trivial
+    assert cluster.num_devices == 1
+    assert cluster.node == t4_node
+    assert cluster.aggregate_hardware() == t4_node
+
+
+def test_single_splits_aggregate_nodes(multi_t4_node):
+    cluster = ClusterSpec.single(multi_t4_node)
+    assert cluster.num_devices == multi_t4_node.tp_size == 4
+    assert cluster.node.tp_size == 1
+
+
+def test_from_hardware_round_trips_table1_symbols(multi_t4_node):
+    cluster = ClusterSpec.from_hardware(multi_t4_node)
+    aggregate = cluster.aggregate_hardware()
+    assert aggregate.gpu_memory == multi_t4_node.gpu_memory
+    assert aggregate.gpu_bandwidth == multi_t4_node.gpu_bandwidth
+    assert aggregate.gpu_flops == multi_t4_node.gpu_flops
+    assert aggregate.cpu_memory == multi_t4_node.cpu_memory
+    assert aggregate.cpu_gpu_bandwidth == multi_t4_node.cpu_gpu_bandwidth
+    assert aggregate.name == multi_t4_node.name
+
+
+def test_node_must_hold_one_gpu(multi_t4_node):
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(name="bad", node=multi_t4_node, num_devices=2)
+
+
+def test_shared_host_shard_splits_host_resources(multi_t4_node):
+    cluster = ClusterSpec.from_hardware(multi_t4_node)
+    shard = cluster.shard_hardware()
+    assert shard.gpu_memory == cluster.node.gpu.memory_bytes
+    assert shard.cpu_memory == pytest.approx(multi_t4_node.cpu_memory / 4)
+    assert shard.cpu_gpu_bandwidth == pytest.approx(
+        multi_t4_node.cpu_gpu_bandwidth / 4
+    )
+
+
+def test_scale_out_shard_owns_whole_node(t4_node):
+    cluster = ClusterSpec.scale_out(t4_node, 4)
+    assert not cluster.host_shared
+    assert cluster.shard_hardware() == t4_node
+    aggregate = cluster.aggregate_hardware()
+    assert aggregate.cpu_memory == pytest.approx(4 * t4_node.cpu_memory)
+    assert aggregate.cpu_gpu_bandwidth == pytest.approx(
+        4 * t4_node.cpu_gpu_bandwidth
+    )
+
+
+def test_links_validate():
+    assert nvlink().bandwidth > pcie_peer_link().bandwidth
+    with pytest.raises(ConfigurationError):
+        GPULinkSpec(name="zero", bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        GPULinkSpec(name="negative-latency", bandwidth=1e9, latency=-1.0)
+
+
+def test_describe_mentions_link_and_count():
+    cluster = ClusterSpec.from_hardware(get_hardware("2xT4"))
+    text = cluster.describe()
+    assert "2x" in text and "PCIe-P2P" in text

@@ -16,7 +16,7 @@ from repro.experiments import (
 from repro.experiments.ablation_kernels import crossover_points
 from repro.experiments.e2e import speedup_summary
 from repro.experiments.pipeline_diagram import comparison_rows
-from repro.experiments.throughput_vs_cpumem import cpu_memory_to_match, memory_to_reach
+from repro.experiments.throughput_vs_cpumem import cpu_memory_to_match
 from repro.experiments.tp_scaling import scaling_factors
 
 

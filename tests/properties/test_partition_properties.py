@@ -1,0 +1,138 @@
+"""Partition invariants: shard quantities must sum back to the whole model.
+
+The cluster layer's accounting promise is conservation: splitting a model
+across N devices relocates bytes and FLOPs but never creates or destroys
+them.  These property tests pin that invariant across models, shard counts
+and tp/ep factorings, plus the degenerate guarantee that a 1-shard plan
+changes nothing at all.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, PartitionPlan
+from repro.core.memory_model import MemoryModel, PartitionedMemoryModel
+from repro.core.performance_model import (
+    PartitionedPerformanceModel,
+    PerformanceModel,
+)
+from repro.core.policy import Policy
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.models.memory import (
+    attention_weight_bytes,
+    embedding_weight_bytes,
+    ffn_weight_bytes,
+    kv_cache_bytes_per_token,
+    model_weight_bytes,
+)
+from repro.workloads import mtbench
+
+MODELS = ("mixtral-8x7b", "mixtral-8x22b", "dbrx")
+#: Power-of-two shard counts keep byte division exact in floating point.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def make_plan(num_shards: int, tp_size: int | None = None) -> PartitionPlan:
+    from dataclasses import replace
+
+    node = get_hardware("1xT4")
+    aggregate = replace(node, tp_size=num_shards, name=f"{num_shards}xT4")
+    cluster = ClusterSpec.from_hardware(aggregate)
+    tp = tp_size if tp_size is not None else num_shards
+    return PartitionPlan(cluster=cluster, tp_size=tp, ep_size=num_shards // tp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model_name=st.sampled_from(MODELS),
+    num_shards=st.sampled_from(SHARD_COUNTS),
+)
+def test_shard_weight_and_kv_bytes_sum_to_totals(model_name, num_shards):
+    model = get_model(model_name)
+    plan = make_plan(num_shards)
+    assert plan.shard_weight_bytes(model) * num_shards == pytest.approx(
+        model_weight_bytes(model), rel=1e-12
+    )
+    assert plan.shard_kv_bytes_per_token(model) * num_shards == pytest.approx(
+        kv_cache_bytes_per_token(model), rel=1e-12
+    )
+    assert plan.shard_attention_weight_bytes(model) * num_shards == pytest.approx(
+        attention_weight_bytes(model), rel=1e-12
+    )
+    assert plan.shard_ffn_weight_bytes(model) * num_shards == pytest.approx(
+        ffn_weight_bytes(model), rel=1e-12
+    )
+    assert plan.shard_embedding_weight_bytes(model) * num_shards == pytest.approx(
+        embedding_weight_bytes(model), rel=1e-12
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    model_name=st.sampled_from(MODELS),
+    tp_size=st.sampled_from((1, 2, 4)),
+)
+def test_tp_ep_factoring_does_not_change_shard_bytes(model_name, tp_size):
+    """Byte conservation is independent of the tp/ep split of the devices."""
+    model = get_model(model_name)
+    num_shards = 4
+    plan = make_plan(num_shards, tp_size=tp_size)
+    pure_tp = make_plan(num_shards)
+    assert plan.shard_weight_bytes(model) == pure_tp.shard_weight_bytes(model)
+    assert plan.shard_kv_bytes_per_token(model) == pure_tp.shard_kv_bytes_per_token(
+        model
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    model_name=st.sampled_from(MODELS),
+    batch_size=st.integers(min_value=1, max_value=128),
+)
+def test_one_shard_partitioned_models_match_base(model_name, batch_size):
+    """A 1-shard plan reproduces the unpartitioned models exactly."""
+    model = get_model(model_name)
+    node = get_hardware("1xT4")
+    plan = PartitionPlan(cluster=ClusterSpec.single(node), tp_size=1)
+    workload = mtbench(generation_len=16, num_requests=batch_size)
+    policy = Policy(batch_size=batch_size, micro_batch_size=min(batch_size, 8))
+
+    base_memory = MemoryModel(model=model, hardware=node, workload=workload)
+    part_memory = PartitionedMemoryModel(
+        model=model, hardware=node, workload=workload, plan=plan
+    )
+    assert part_memory.usable_gpu_memory == base_memory.usable_gpu_memory
+    assert part_memory.gpu_usage(policy) == base_memory.gpu_usage(policy)
+    assert part_memory.cpu_usage(policy) == base_memory.cpu_usage(policy)
+
+    base_perf = PerformanceModel(model=model, hardware=node, workload=workload)
+    part_perf = PartitionedPerformanceModel(
+        model=model, hardware=node, workload=workload, plan=plan
+    )
+    context = workload.avg_prompt_len + 8
+    assert part_perf.decode_step_latency(policy, context) == base_perf.decode_step_latency(
+        policy, context
+    )
+    assert part_perf.prefill_time(policy) == base_perf.prefill_time(policy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    model_name=st.sampled_from(MODELS),
+    num_shards=st.sampled_from((2, 4)),
+    tokens=st.integers(min_value=1, max_value=4096),
+)
+def test_collective_traffic_scales_linearly_in_tokens(
+    model_name, num_shards, tokens
+):
+    model = get_model(model_name)
+    plan = make_plan(num_shards)
+    policy = Policy(batch_size=max(1, tokens), micro_batch_size=1)
+    one = plan.layer_collective_traffic(model, policy, 1)
+    many = plan.layer_collective_traffic(model, policy, tokens)
+    assert many.bytes_on_link == pytest.approx(
+        one.bytes_on_link * tokens, rel=1e-9
+    )
+    assert many.launches == one.launches

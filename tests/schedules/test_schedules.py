@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.policy import Policy
-from repro.runtime.resources import ResourceKind
 from repro.runtime.tasks import TaskKind
 from repro.schedules import (
     SCHEDULE_REGISTRY,

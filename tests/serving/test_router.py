@@ -1,0 +1,76 @@
+"""ShardRouter policies: fairness, load sensitivity, affinity, determinism."""
+
+import pytest
+
+from repro.serving.queue import ServingRequest
+from repro.serving.router import ROUTER_POLICIES, ShardRouter
+from repro.utils.errors import ConfigurationError
+from repro.workloads.request import Request
+
+
+def make_request(request_id: int, session_id: int | None = None) -> ServingRequest:
+    return ServingRequest(
+        request=Request(
+            input_len=32,
+            generation_len=8,
+            request_id=request_id,
+            session_id=session_id,
+        ),
+        arrival_time=float(request_id),
+    )
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardRouter(4, "random")
+
+
+def test_load_vector_must_match_shards():
+    router = ShardRouter(4, "least-loaded")
+    with pytest.raises(ConfigurationError):
+        router.route(make_request(0), [0, 0])
+
+
+def test_round_robin_cycles_evenly():
+    router = ShardRouter(3, "round-robin")
+    shards = [router.route(make_request(i), [0, 0, 0]) for i in range(9)]
+    assert shards == [0, 1, 2] * 3
+    assert router.assignments == [3, 3, 3]
+
+
+def test_least_loaded_tracks_load_vector():
+    router = ShardRouter(3, "least-loaded")
+    assert router.route(make_request(0), [5, 2, 7]) == 1
+    assert router.route(make_request(1), [5, 9, 0]) == 2
+    # Ties break toward the lowest shard id, deterministically.
+    assert router.route(make_request(2), [4, 4, 4]) == 0
+
+
+def test_session_affinity_is_sticky():
+    router = ShardRouter(4, "session-affinity")
+    loads = [0, 0, 0, 0]
+    first = [router.route(make_request(i, session_id=77), loads) for i in range(5)]
+    assert len(set(first)) == 1  # one session, one shard
+    other = router.route(make_request(9, session_id=1234), loads)
+    assert 0 <= other < 4
+
+
+def test_session_affinity_spreads_sessions():
+    router = ShardRouter(4, "session-affinity")
+    loads = [0, 0, 0, 0]
+    shards = {
+        router.route(make_request(i, session_id=i), loads) for i in range(64)
+    }
+    assert len(shards) == 4  # consecutive sessions cover every shard
+
+
+def test_sessionless_traffic_falls_back_to_request_id():
+    router = ShardRouter(2, "session-affinity")
+    loads = [0, 0]
+    a = router.route(make_request(10), loads)
+    again = ShardRouter(2, "session-affinity").route(make_request(10), loads)
+    assert a == again  # deterministic across router instances
+
+
+def test_policy_roster_is_stable():
+    assert ROUTER_POLICIES == ("round-robin", "least-loaded", "session-affinity")

@@ -1,0 +1,79 @@
+"""1-shard clusters must reproduce single-node SystemResults bit-for-bit.
+
+The cluster refactor's backward-compatibility contract: a system built on a
+trivial (1-device) ClusterSpec follows exactly the same code path — same
+models, same policy search, same schedule — as one built on the plain
+HardwareSpec, so every existing single-GPU experiment result is unchanged.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, PartitionPlan
+from repro.systems import (
+    DeepSpeedZeroSystem,
+    FlexGenSystem,
+    MoELightningSystem,
+)
+from repro.workloads import mtbench
+
+SYSTEMS = (MoELightningSystem, FlexGenSystem, DeepSpeedZeroSystem)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mtbench(generation_len=8, num_requests=24)
+
+
+@pytest.mark.parametrize("system_cls", SYSTEMS, ids=lambda cls: cls.name)
+def test_one_shard_cluster_reproduces_system_result(
+    system_cls, mixtral, t4_node, workload
+):
+    plain = system_cls(mixtral, t4_node).run(workload)
+    clustered = system_cls(
+        mixtral, cluster=ClusterSpec.single(t4_node)
+    ).run(workload)
+    # Bit-for-bit: the dataclass compares every field, including the policy
+    # tuple, prefill/decode times and the step timing.
+    assert clustered == plain
+    assert clustered.num_shards == 1
+
+
+def test_one_shard_analytical_path_identical(mixtral, t4_node, workload):
+    plain = MoELightningSystem(mixtral, t4_node).run(workload, simulate=False)
+    clustered = MoELightningSystem(
+        mixtral, cluster=ClusterSpec.single(t4_node)
+    ).run(workload, simulate=False)
+    assert clustered == plain
+
+
+def test_multi_shard_cluster_reports_shards_and_pays_collectives(
+    dbrx, multi_t4_node, workload
+):
+    cluster = ClusterSpec.from_hardware(multi_t4_node)
+    system = MoELightningSystem(dbrx, cluster=cluster)
+    assert system.num_shards == 4
+    result = system.run(workload, simulate=False)
+    assert result.num_shards == 4
+    assert result.as_row()["num_shards"] == 4
+    # The same aggregate node without explicit collectives is strictly
+    # faster: partitioning adds communication, never removes work.
+    aggregate = MoELightningSystem(dbrx, multi_t4_node)
+    baseline = aggregate.run(workload, policy=result.policy, simulate=False)
+    assert result.total_time >= baseline.total_time
+
+
+def test_partition_and_cluster_must_agree(mixtral, t4_node, multi_t4_node):
+    from repro.utils.errors import ConfigurationError
+
+    cluster = ClusterSpec.from_hardware(multi_t4_node)
+    other = ClusterSpec.single(t4_node)
+    plan = PartitionPlan(cluster=cluster, tp_size=4)
+    with pytest.raises(ConfigurationError):
+        MoELightningSystem(mixtral, cluster=other, partition=plan)
+
+
+def test_hardware_or_cluster_required(mixtral):
+    from repro.utils.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        MoELightningSystem(mixtral)
