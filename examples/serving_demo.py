@@ -10,7 +10,10 @@ drives them through the online serving subsystem:
 3. show what a bursty (Gamma, cv=3) arrival pattern does to tail latency
    relative to smooth Poisson traffic at the same average rate,
 4. scale the same stream across 1/2/4 data-parallel shards behind a
-   least-loaded router (the `repro-serve --shards N` mode).
+   least-loaded router (the `repro-serve --shards N` mode),
+5. serve a multi-turn chat stream with the prefix cache off and on
+   (the `repro-serve --workload chat --prefix-cache on` mode) and print
+   the hit rate and the TTFT/throughput win cached prefixes buy.
 
 Everything is deterministic under the fixed seed, and the headline sweep
 is also written to ``BENCH_serving.json`` (throughput, TTFT/TPOT
@@ -25,10 +28,12 @@ import os
 
 from repro.experiments import (
     render_rows,
+    run_cache_sweep,
     run_serving_sweep,
     run_shard_scaling,
     write_bench_serving_json,
 )
+from repro.experiments.cache_sweep import CACHE_SWEEP_COLUMNS
 from repro.experiments.serving_sweep import SWEEP_COLUMNS, offline_capacity
 from repro.experiments.shard_scaling import SHARD_SCALING_COLUMNS
 from repro.hardware import get_hardware
@@ -158,11 +163,48 @@ def shard_scaling() -> None:
     )
 
 
+def prefix_cache_demo() -> None:
+    """Multi-turn chat with the prefix cache off vs. on at the same load."""
+    rows = run_cache_sweep(
+        load_factors=(1.0, 2.0),
+        generation_len=GENERATION_LEN,
+        num_requests=NUM_REQUESTS,
+        turns_per_session=4,
+        seed=SEED,
+    )
+    print()
+    print(
+        render_rows(
+            rows,
+            columns=list(CACHE_SWEEP_COLUMNS),
+            title=(
+                "Prefix cache on multi-turn chat: hit rate vs. TTFT and "
+                "throughput (shared block store, chunked prefill)"
+            ),
+        )
+    )
+    for load in (1.0, 2.0):
+        off = next(
+            r for r in rows if r["load_factor"] == load and r["prefix_cache"] == "off"
+        )
+        on = next(
+            r for r in rows if r["load_factor"] == load and r["prefix_cache"] == "on"
+        )
+        print(
+            f"  load {load:g}x: hit rate {on['hit_rate']:.0%}, "
+            f"cached tokens {on['cached_token_fraction']:.0%}, "
+            f"mean TTFT {off['mean_ttft']:.1f}s -> {on['mean_ttft']:.1f}s, "
+            f"throughput {off['token_throughput']:.2f} -> "
+            f"{on['token_throughput']:.2f} tok/s"
+        )
+
+
 def main() -> None:
     rows = load_sweep()
     scheduling_comparison()
     burstiness_comparison()
     shard_scaling()
+    prefix_cache_demo()
     write_bench_serving_json(
         BENCH_JSON,
         rows,

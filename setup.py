@@ -4,20 +4,23 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
-        "continuous-batching serving simulator with multi-GPU sharding"
+        "continuous-batching serving simulator with multi-GPU sharding "
+        "and shared-prefix KV caching"
     ),
     long_description=(
         "Analytical (HRM) performance models, a discrete-event pipeline "
         "simulator, the CGOPipe/FlexGen/DeepSpeed schedule family, policy "
         "optimization, the paper's experiment harnesses, an online "
         "serving subsystem (arrival processes, admission control, "
-        "continuous batching, SLO metrics), and a cluster layer "
+        "continuous batching, SLO metrics), a cluster layer "
         "(tensor/expert partition plans, partitioned roofline models, "
-        "sharded serving with routing and chunked prefill) layered on top."
+        "sharded serving with routing and chunked prefill), and a shared "
+        "ref-counted prefix cache (content-hash-chained KV blocks, "
+        "cache-aware routing, multi-turn chat workloads) layered on top."
     ),
     author="paper-repo-growth",
     license="Apache-2.0",

@@ -20,6 +20,9 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.shard_scaling` — sharded-serving scaling sweep
   (throughput and tails vs. data-parallel shard count; not a paper
   artifact).
+* :mod:`repro.experiments.cache_sweep` — prefix-cache on/off sweep over a
+  multi-turn chat stream (hit rate vs. TTFT/throughput/SLO-goodput; not a
+  paper artifact).
 * :mod:`repro.experiments.bench_output` — machine-readable ``BENCH_*.json``
   artifacts for CI trend tracking.
 * :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
@@ -41,6 +44,7 @@ from repro.experiments.throughput_vs_cpumem import run_cpu_memory_sweep
 from repro.experiments.tp_scaling import run_tp_scaling
 from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
 from repro.experiments.shard_scaling import run_shard_scaling
+from repro.experiments.cache_sweep import run_cache_sweep
 from repro.experiments.bench_output import serving_summary, write_bench_serving_json
 from repro.experiments.report import render_rows, rows_to_markdown
 
@@ -60,6 +64,7 @@ __all__ = [
     "offline_capacity",
     "run_serving_sweep",
     "run_shard_scaling",
+    "run_cache_sweep",
     "serving_summary",
     "write_bench_serving_json",
     "render_rows",

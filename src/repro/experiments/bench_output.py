@@ -31,7 +31,9 @@ import json
 from pathlib import Path
 from typing import Mapping, Sequence
 
-#: Metrics copied from a sweep row into the per-system summary.
+#: Metrics copied from a sweep row into the per-system summary when the row
+#: carries them.  Serving rows always report hit_rate/cached_token_fraction
+#: (0.0 under cache-off); num_shards appears only in sharded sweeps.
 SUMMARY_METRICS: tuple[str, ...] = (
     "token_throughput",
     "ttft_p50",
@@ -40,6 +42,9 @@ SUMMARY_METRICS: tuple[str, ...] = (
     "tpot_p99",
     "goodput",
     "goodput_fraction",
+    "hit_rate",
+    "cached_token_fraction",
+    "num_shards",
 )
 
 
@@ -60,10 +65,16 @@ def serving_summary(
     factor closest to 1.0 — the point provisioned capacity is judged at.
     Shard-scaling sweeps (rows that differ in ``num_shards``) summarise at
     the highest shard count — the configuration the sweep argues for.
+    Prefix-cache sweeps (rows that differ in ``prefix_cache``) get one
+    summary entry per cache setting, keyed ``"system (cache on|off)"``, so
+    the artifact captures the cache win, not just one side of it.
     """
     by_system: dict[str, list[Mapping[str, object]]] = {}
+    cache_settings = {str(row.get("prefix_cache", "off")) for row in rows}
     for row in rows:
         system = str(row.get("system", "unknown"))
+        if len(cache_settings) > 1:
+            system = f"{system} (cache {row.get('prefix_cache', 'off')})"
         by_system.setdefault(system, []).append(row)
 
     summary: dict[str, dict[str, object]] = {}

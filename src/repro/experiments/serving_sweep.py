@@ -77,6 +77,7 @@ def run_serving_sweep(
     slo: SLO | None = None,
     use_simulator: bool = False,
     chunk_prefill_tokens: int | None = None,
+    prefix_cache: bool = False,
 ) -> list[dict[str, object]]:
     """Sweep arrival rates across serving systems; one row per point.
 
@@ -117,6 +118,7 @@ def run_serving_sweep(
             slo=shared_slo,
             use_simulator=use_simulator,
             chunk_prefill_tokens=chunk_prefill_tokens,
+            prefix_cache=prefix_cache,
         )
         for backend, policy in zip(backends, policies)
     ]
@@ -132,6 +134,7 @@ def run_serving_sweep(
                 "rate_rps": rate,
                 "arrival": arrival,
                 "scheduling": scheduling,
+                "prefix_cache": "on" if prefix_cache else "off",
             }
             row.update(result.as_row())
             row["slo_ttft"] = shared_slo.ttft
@@ -232,6 +235,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chunked-prefill token budget per engine step (0 disables)",
     )
     parser.add_argument(
+        "--prefix-cache",
+        choices=("on", "off"),
+        default="off",
+        help=(
+            "share KV blocks across requests with matching prompt prefixes "
+            "(ref-counted block store with LRU reuse); pairs naturally with "
+            "--workload chat"
+        ),
+    )
+    parser.add_argument(
         "--load-factor",
         type=float,
         default=None,
@@ -302,7 +315,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             "shards": args.shards,
             "router": args.router,
             "chunk_prefill": args.chunk_prefill,
+            "prefix_cache": args.prefix_cache,
         }
+        prefix_cache = args.prefix_cache == "on"
         if args.shards > 1:
             # Sharded mode sweeps shard counts at one load point: take it
             # from --load-factor, falling back to the strongest requested
@@ -328,6 +343,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 chunk_prefill_tokens=chunk_prefill,
                 seed=args.seed,
                 use_simulator=args.simulate,
+                prefix_cache=prefix_cache,
             )
             columns = list(SHARD_SCALING_COLUMNS)
             title = (
@@ -349,8 +365,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 seed=args.seed,
                 use_simulator=args.simulate,
                 chunk_prefill_tokens=chunk_prefill,
+                prefix_cache=prefix_cache,
             )
             columns = list(SWEEP_COLUMNS)
+            if prefix_cache:
+                columns += ["hit_rate", "cached_token_fraction"]
             title = (
                 f"Serving sweep: {args.workload} @ {args.model} / {args.hardware} "
                 f"({args.arrival} arrivals, {args.scheduling} scheduling, "

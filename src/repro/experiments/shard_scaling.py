@@ -55,6 +55,7 @@ def run_shard_scaling(
     seed: int = 0,
     slo: SLO | None = None,
     use_simulator: bool = False,
+    prefix_cache: bool = False,
 ) -> list[dict[str, object]]:
     """Serve one identical stream with each shard count; one row per point.
 
@@ -106,11 +107,13 @@ def run_shard_scaling(
             slo=shared_slo,
             chunk_prefill_tokens=chunk_prefill_tokens,
             use_simulator=use_simulator,
+            prefix_cache=prefix_cache,
         )
         row = sharded.run(process, count=num_requests, seed=seed).as_row()
         row["load_factor"] = load_factor
         row["rate_rps"] = rate
         row["arrival"] = arrival
+        row["prefix_cache"] = "on" if prefix_cache else "off"
         rows.append(row)
     return rows
 

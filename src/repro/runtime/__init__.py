@@ -20,6 +20,9 @@ engine.  This package provides the substrate those schedules execute on:
   ``2 x sizeof(W_L)`` double buffer and pinned-memory staging.
 * :mod:`repro.runtime.kv_cache` — a paged KV cache with per-request block
   tables split across CPU and GPU pools.
+* :mod:`repro.runtime.block_store` — shared, reference-counted KV blocks
+  with prefix caching: content-hash-chained prompt blocks, copy-on-write
+  on divergence, LRU eviction of unreferenced cache.
 * :mod:`repro.runtime.costs` — task-duration model derived from the same
   operator FLOP/byte counts the analytical performance model uses.
 """
@@ -30,6 +33,7 @@ from repro.runtime.simulator import SimulationResult, Simulator
 from repro.runtime.trace import Trace, TraceEvent
 from repro.runtime.memory_manager import MemoryPool, PageTable, PagedAllocation
 from repro.runtime.weights import PagedWeightManager, WeightPage
+from repro.runtime.block_store import BlockTable, KVBlock, SharedBlockStore
 from repro.runtime.kv_cache import KVCacheManager, SequenceCache
 from repro.runtime.costs import TaskCostModel
 
@@ -49,6 +53,9 @@ __all__ = [
     "PagedAllocation",
     "PagedWeightManager",
     "WeightPage",
+    "BlockTable",
+    "KVBlock",
+    "SharedBlockStore",
     "KVCacheManager",
     "SequenceCache",
     "TaskCostModel",

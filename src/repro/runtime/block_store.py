@@ -1,0 +1,415 @@
+"""Shared, reference-counted KV block store with prefix caching.
+
+The per-sequence paged KV cache of :mod:`repro.runtime.kv_cache` gives every
+sequence exclusive ownership of its pages.  This module replaces that
+ownership model with a *shared block store* in the style of vLLM's prefix
+caching / SGLang's RadixAttention:
+
+* the KV cache is divided into fixed-size **blocks** of ``block_tokens``
+  token positions (all layers of one block are stored together);
+* a *full* block whose content is a pure function of the token prefix it
+  holds carries a **chained content hash** (the hash of its tokens combined
+  with the previous block's hash), so two sequences with the same prompt
+  prefix map to the *same physical block*;
+* blocks are **reference counted**: a block is shared by every sequence
+  whose block table points at it, charged to the memory pools exactly once,
+  and becomes evictable — not freed — when its refcount drops to zero;
+* refcount-zero hashed blocks form the **prefix cache** and are reclaimed
+  in LRU order only when an allocation actually needs their pages;
+* a sequence that needs to *write into* a shared block (divergence below a
+  cached prefix) triggers **copy-on-write**: it gets a private copy and
+  drops its reference to the shared original.
+
+Invariants (property-tested in ``tests/properties``):
+
+* a refcount is never negative;
+* bytes in use equal the sum over *unique* resident blocks — sharers are
+  never double counted;
+* eviction only ever selects blocks with a zero refcount;
+* with no matching prefixes the store degenerates to per-sequence
+  allocation: every block is private and freed as soon as its one owner
+  releases it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.runtime.memory_manager import MemoryPool, PagedAllocation
+from repro.utils.errors import MemoryManagerError
+from repro.utils.validation import require_positive, require_positive_int
+
+#: Multiplier of the polynomial rolling hash chaining tokens into block
+#: hashes (CPython's own string-hash multiplier; any odd constant works).
+_HASH_MULTIPLIER = 1000003
+_HASH_MODULUS = 2**64
+
+
+def chain_block_hashes(
+    token_ids: Sequence[int], block_tokens: int
+) -> list[int]:
+    """Chained content hashes of every *full* block of ``token_ids``.
+
+    Hash ``i`` covers tokens ``[0, (i + 1) * block_tokens)``: it mixes block
+    ``i``'s tokens into block ``i - 1``'s hash, so equal hashes imply equal
+    whole prefixes, not merely equal block contents.  The hash is a plain
+    deterministic polynomial — stable across processes and runs.
+    """
+    require_positive_int("block_tokens", block_tokens)
+    return list(_chain_block_hashes_cached(tuple(token_ids), block_tokens))
+
+
+@lru_cache(maxsize=8192)
+def _chain_block_hashes_cached(
+    token_ids: tuple[int, ...], block_tokens: int
+) -> tuple[int, ...]:
+    """Memoised hashing: one admission hashes the same prompt several times
+    (capacity check, registration, per-shard routing probes)."""
+    hashes: list[int] = []
+    value = 0x9E3779B97F4A7C15  # non-zero seed so a zero-token prefix hashes apart
+    full_blocks = len(token_ids) // block_tokens
+    for block_index in range(full_blocks):
+        start = block_index * block_tokens
+        for token in token_ids[start : start + block_tokens]:
+            value = (value * _HASH_MULTIPLIER + int(token) + 1) % _HASH_MODULUS
+        hashes.append(value)
+    return tuple(hashes)
+
+
+@dataclass
+class KVBlock:
+    """One fixed-size KV block: the unit of sharing, charging and eviction."""
+
+    block_id: int
+    num_tokens: int
+    ref_count: int = 0
+    block_hash: int | None = None
+    cpu_allocation: PagedAllocation | None = None
+    gpu_allocation: PagedAllocation | None = None
+    last_use: int = 0
+
+    @property
+    def is_shareable(self) -> bool:
+        """Whether the block is indexed by content (a full prefix block)."""
+        return self.block_hash is not None
+
+    @property
+    def cpu_bytes(self) -> float:
+        """CPU bytes charged for this block (page-rounded)."""
+        return self.cpu_allocation.total_bytes if self.cpu_allocation else 0.0
+
+    @property
+    def gpu_bytes(self) -> float:
+        """GPU bytes charged for this block (page-rounded)."""
+        return self.gpu_allocation.total_bytes if self.gpu_allocation else 0.0
+
+
+class SharedBlockStore:
+    """Ref-counted KV blocks over CPU/GPU memory pools with LRU reuse.
+
+    ``block_bytes`` is the full KV footprint of one block across all layers;
+    ``gpu_ratio`` splits every block between the pools exactly as the
+    policy's ``r_c`` splits per-sequence allocations in the unshared path.
+    """
+
+    def __init__(
+        self,
+        cpu_pool: MemoryPool,
+        block_bytes: float,
+        block_tokens: int,
+        gpu_pool: MemoryPool | None = None,
+        gpu_ratio: float = 0.0,
+    ) -> None:
+        require_positive("block_bytes", block_bytes)
+        require_positive_int("block_tokens", block_tokens)
+        if gpu_ratio > 0 and gpu_pool is None:
+            raise MemoryManagerError(
+                "gpu_ratio > 0 requires a GPU memory pool for the block store"
+            )
+        self.cpu_pool = cpu_pool
+        self.gpu_pool = gpu_pool
+        self.gpu_ratio = min(1.0, gpu_ratio)
+        self.block_bytes = float(block_bytes)
+        self.block_tokens = block_tokens
+        self.blocks: dict[int, KVBlock] = {}
+        self._hash_index: dict[int, int] = {}
+        self._next_block_id = 0
+        self._clock = 0
+        self.evictions = 0
+        self.cow_copies = 0
+
+    # ------------------------------------------------------------------
+    # Introspection / accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Resident blocks, referenced or cached."""
+        return len(self.blocks)
+
+    @property
+    def num_cached_blocks(self) -> int:
+        """Resident blocks with no referents (the reusable prefix cache)."""
+        return sum(1 for block in self.blocks.values() if block.ref_count == 0)
+
+    def bytes_in_use(self, live_only: bool = False) -> tuple[float, float]:
+        """(cpu, gpu) bytes charged across unique resident blocks.
+
+        ``live_only`` restricts the sum to blocks with a positive refcount;
+        either way each block is counted exactly once no matter how many
+        sequences share it.
+        """
+        cpu = gpu = 0.0
+        for block in self.blocks.values():
+            if live_only and block.ref_count == 0:
+                continue
+            cpu += block.cpu_bytes
+            gpu += block.gpu_bytes
+        return cpu, gpu
+
+    def _split_bytes(self) -> tuple[float, float]:
+        gpu_bytes = self.block_bytes * self.gpu_ratio
+        return self.block_bytes - gpu_bytes, gpu_bytes
+
+    def _evictable(self) -> list[KVBlock]:
+        return sorted(
+            (block for block in self.blocks.values() if block.ref_count == 0),
+            key=lambda block: block.last_use,
+        )
+
+    def can_allocate_blocks(
+        self, num_blocks: int, reserved_block_ids: Iterable[int] = ()
+    ) -> bool:
+        """Whether ``num_blocks`` fresh blocks could be carved out right now.
+
+        Counts both free pages and the pages eviction could reclaim, minus
+        the cached blocks in ``reserved_block_ids`` (a prefix match about to
+        be acquired must not be double-counted as reclaimable).
+        """
+        if num_blocks <= 0:
+            return True
+        reserved = set(reserved_block_ids)
+        cpu_bytes, gpu_bytes = self._split_bytes()
+        reclaim_cpu = reclaim_gpu = 0.0
+        for block in self.blocks.values():
+            if block.ref_count == 0 and block.block_id not in reserved:
+                reclaim_cpu += block.cpu_bytes
+                reclaim_gpu += block.gpu_bytes
+        ok = True
+        if cpu_bytes > 0:
+            needed = self.cpu_pool.pages_needed(cpu_bytes) * num_blocks
+            available = self.cpu_pool.free_pages + int(
+                reclaim_cpu // self.cpu_pool.page_bytes
+            )
+            ok = ok and needed <= available
+        if gpu_bytes > 0:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            needed = self.gpu_pool.pages_needed(gpu_bytes) * num_blocks
+            available = self.gpu_pool.free_pages + int(
+                reclaim_gpu // self.gpu_pool.page_bytes
+            )
+            ok = ok and needed <= available
+        return ok
+
+    # ------------------------------------------------------------------
+    # Prefix matching
+    # ------------------------------------------------------------------
+    def match_prefix(self, token_ids: Sequence[int]) -> list[int]:
+        """Resident block ids matching the longest cached prefix of a prompt.
+
+        Only consecutive leading matches count (block ``i + 1`` can never be
+        reused under a differing block ``i`` — its chained hash differs), and
+        the match is capped one token short of the full prompt so prefill
+        always has at least one token left to compute the first logits from.
+        """
+        if not token_ids:
+            return []
+        matchable_tokens = len(token_ids) - 1
+        matched: list[int] = []
+        for block_hash in chain_block_hashes(token_ids, self.block_tokens):
+            if len(matched) * self.block_tokens + self.block_tokens > matchable_tokens:
+                break
+            block_id = self._hash_index.get(block_hash)
+            if block_id is None:
+                break
+            matched.append(block_id)
+        return matched
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self, block_id: int) -> KVBlock:
+        """Take a reference on a resident block (a prefix-cache hit)."""
+        block = self._get(block_id)
+        block.ref_count += 1
+        self._touch(block)
+        return block
+
+    def allocate_block(
+        self, num_tokens: int, block_hash: int | None = None
+    ) -> KVBlock:
+        """Allocate a fresh block (refcount 1), evicting LRU cache if needed.
+
+        ``block_hash`` registers the block in the content index so later
+        prompts can share it; a hash collision with a resident block keeps
+        the incumbent (the new block stays private).
+        """
+        require_positive_int("num_tokens", num_tokens)
+        if num_tokens > self.block_tokens:
+            raise MemoryManagerError(
+                f"block holds at most {self.block_tokens} tokens, got {num_tokens}"
+            )
+        cpu_bytes, gpu_bytes = self._split_bytes()
+        self._reclaim_for(cpu_bytes, gpu_bytes)
+        block = KVBlock(
+            block_id=self._next_block_id,
+            num_tokens=num_tokens,
+            ref_count=1,
+        )
+        self._next_block_id += 1
+        if cpu_bytes > 0:
+            block.cpu_allocation = self.cpu_pool.allocate(cpu_bytes)
+        if gpu_bytes > 0:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            try:
+                block.gpu_allocation = self.gpu_pool.allocate(gpu_bytes)
+            except MemoryManagerError:
+                # Roll the CPU share back: the block never becomes visible,
+                # so nothing else can free those pages.
+                if block.cpu_allocation is not None:
+                    self.cpu_pool.free(block.cpu_allocation)
+                raise
+        if block_hash is not None and block_hash not in self._hash_index:
+            block.block_hash = block_hash
+            self._hash_index[block_hash] = block.block_id
+        self.blocks[block.block_id] = block
+        self._touch(block)
+        return block
+
+    def append_to_block(self, block_id: int, num_tokens: int) -> KVBlock:
+        """Grow a *private* partial block in place (decode-token append).
+
+        Shared or content-indexed blocks are immutable; callers must
+        copy-on-write first (:meth:`copy_on_write`).
+        """
+        require_positive_int("num_tokens", num_tokens)
+        block = self._get(block_id)
+        if block.ref_count != 1 or block.is_shareable:
+            raise MemoryManagerError(
+                f"block {block_id} is shared or content-indexed; "
+                "copy-on-write before appending"
+            )
+        if block.num_tokens + num_tokens > self.block_tokens:
+            raise MemoryManagerError(
+                f"append of {num_tokens} tokens overflows block {block_id} "
+                f"({block.num_tokens}/{self.block_tokens} used)"
+            )
+        block.num_tokens += num_tokens
+        self._touch(block)
+        return block
+
+    def copy_on_write(self, block_id: int) -> KVBlock:
+        """Diverge from a shared block: private copy, drop the shared ref.
+
+        The copy charges its own pages (the defining cost of divergence);
+        the original keeps its other sharers and its place in the content
+        index.
+        """
+        original = self._get(block_id)
+        if original.ref_count <= 0:
+            raise MemoryManagerError(
+                f"copy-on-write of unreferenced block {block_id}"
+            )
+        copy = self.allocate_block(original.num_tokens)
+        self.release(block_id)
+        self.cow_copies += 1
+        return copy
+
+    def release(self, block_id: int) -> None:
+        """Drop one reference; free or retain the block at refcount zero.
+
+        Hashed blocks are *retained* as prefix cache (freed only by LRU
+        eviction under allocation pressure); private blocks can never be
+        re-matched, so they are freed immediately.
+        """
+        block = self._get(block_id)
+        if block.ref_count <= 0:
+            raise MemoryManagerError(
+                f"refcount underflow: block {block_id} released at "
+                f"refcount {block.ref_count}"
+            )
+        block.ref_count -= 1
+        if block.ref_count == 0:
+            if block.is_shareable:
+                self._touch(block)
+            else:
+                self._free(block)
+
+    def release_many(self, block_ids: Iterable[int]) -> None:
+        """Release a sequence's whole block table."""
+        for block_id in block_ids:
+            self.release(block_id)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _reclaim_for(self, cpu_bytes: float, gpu_bytes: float) -> None:
+        """Evict LRU refcount-zero blocks until one more block fits."""
+        while not self._fits(cpu_bytes, gpu_bytes):
+            victims = self._evictable()
+            if not victims:
+                # Nothing reclaimable: let the pool raise its usual
+                # capacity error from the caller's allocate().
+                return
+            self._free(victims[0])
+            self.evictions += 1
+
+    def _fits(self, cpu_bytes: float, gpu_bytes: float) -> bool:
+        if cpu_bytes > 0 and not self.cpu_pool.can_allocate(cpu_bytes):
+            return False
+        if gpu_bytes > 0:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            if not self.gpu_pool.can_allocate(gpu_bytes):
+                return False
+        return True
+
+    def _free(self, block: KVBlock) -> None:
+        if block.ref_count != 0:
+            raise MemoryManagerError(
+                f"attempted to free block {block.block_id} with "
+                f"refcount {block.ref_count}"
+            )
+        if block.cpu_allocation is not None:
+            self.cpu_pool.free(block.cpu_allocation)
+        if block.gpu_allocation is not None:
+            assert self.gpu_pool is not None  # allocation implies the pool
+            self.gpu_pool.free(block.gpu_allocation)
+        if block.block_hash is not None:
+            self._hash_index.pop(block.block_hash, None)
+        del self.blocks[block.block_id]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get(self, block_id: int) -> KVBlock:
+        if block_id not in self.blocks:
+            raise MemoryManagerError(f"unknown block {block_id}")
+        return self.blocks[block_id]
+
+    def _touch(self, block: KVBlock) -> None:
+        self._clock += 1
+        block.last_use = self._clock
+
+
+@dataclass
+class BlockTable:
+    """One sequence's ordered view into the shared store."""
+
+    block_ids: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    def __iter__(self):
+        return iter(self.block_ids)

@@ -5,14 +5,25 @@ of token positions per layer) to physical pages in either the CPU or the GPU
 pool, following the policy's ``r_c`` split.  The functional engine uses the
 manager to track real tensors; the simulated systems use it for capacity
 accounting and to size KV-transfer tasks.
+
+With ``prefix_cache=True`` the ownership model changes from per-sequence
+allocations to the shared, reference-counted block store of
+:mod:`repro.runtime.block_store`: sequences whose prompts share a token
+prefix share the physical blocks holding it (charged once), finished
+sequences leave their full prompt blocks behind as reusable cache, and
+unreferenced cache is evicted LRU only under allocation pressure.  With the
+flag off (the default) behaviour is bit-for-bit the original per-sequence
+accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.models.config import ModelConfig
 from repro.models.memory import kv_cache_bytes_per_token_per_layer
+from repro.runtime.block_store import BlockTable, SharedBlockStore, chain_block_hashes
 from repro.runtime.memory_manager import MemoryPool, PagedAllocation
 from repro.utils.errors import MemoryManagerError
 from repro.utils.validation import require_non_negative, require_positive_int
@@ -20,12 +31,20 @@ from repro.utils.validation import require_non_negative, require_positive_int
 
 @dataclass
 class SequenceCache:
-    """KV bookkeeping for one sequence: its length and page allocations."""
+    """KV bookkeeping for one sequence: its length and page allocations.
+
+    In the per-sequence regime the sequence owns ``cpu_allocations`` /
+    ``gpu_allocations`` outright; in the shared regime ``block_table``
+    references (possibly shared) blocks in the store and ``cached_tokens``
+    records how much of the prompt was a prefix-cache hit.
+    """
 
     sequence_id: int
     num_tokens: int = 0
     cpu_allocations: list[PagedAllocation] = field(default_factory=list)
     gpu_allocations: list[PagedAllocation] = field(default_factory=list)
+    block_table: BlockTable | None = None
+    cached_tokens: int = 0
 
     @property
     def cpu_bytes(self) -> float:
@@ -48,6 +67,7 @@ class KVCacheManager:
         gpu_pool: MemoryPool | None = None,
         gpu_ratio: float = 0.0,
         block_tokens: int = 16,
+        prefix_cache: bool = False,
     ) -> None:
         require_non_negative("gpu_ratio", gpu_ratio)
         require_positive_int("block_tokens", block_tokens)
@@ -61,6 +81,20 @@ class KVCacheManager:
         self.gpu_ratio = min(1.0, gpu_ratio)
         self.block_tokens = block_tokens
         self.sequences: dict[int, SequenceCache] = {}
+        self.block_store: SharedBlockStore | None = None
+        if prefix_cache:
+            self.block_store = SharedBlockStore(
+                cpu_pool=cpu_pool,
+                block_bytes=block_tokens * self.bytes_per_token(),
+                block_tokens=block_tokens,
+                gpu_pool=gpu_pool,
+                gpu_ratio=self.gpu_ratio,
+            )
+
+    @property
+    def prefix_cache_enabled(self) -> bool:
+        """Whether the shared block store backs this manager."""
+        return self.block_store is not None
 
     # ------------------------------------------------------------------
     # Sizes
@@ -74,23 +108,98 @@ class KVCacheManager:
         require_non_negative("num_tokens", num_tokens)
         return num_tokens * self.bytes_per_token()
 
+    def _blocks_for_tokens(self, num_tokens: int) -> int:
+        return -(-num_tokens // self.block_tokens)
+
+    # ------------------------------------------------------------------
+    # Prefix matching
+    # ------------------------------------------------------------------
+    def match_prefix(self, token_ids: Sequence[int] | None) -> int:
+        """Prompt tokens reusable from the shared cache (0 when disabled).
+
+        Matches whole blocks only and never the entire prompt — prefill must
+        always compute at least one token to produce the first logits.
+        """
+        if self.block_store is None or not token_ids:
+            return 0
+        return len(self.block_store.match_prefix(token_ids)) * self.block_tokens
+
     # ------------------------------------------------------------------
     # Sequence lifecycle
     # ------------------------------------------------------------------
-    def register_sequence(self, sequence_id: int, prompt_tokens: int) -> SequenceCache:
-        """Create bookkeeping for a sequence and allocate its prompt cache."""
+    def register_sequence(
+        self,
+        sequence_id: int,
+        prompt_tokens: int,
+        token_ids: Sequence[int] | None = None,
+    ) -> SequenceCache:
+        """Create bookkeeping for a sequence and allocate its prompt cache.
+
+        ``token_ids`` (shared regime only) identifies the prompt content for
+        prefix matching; it may be shorter than ``prompt_tokens`` when the
+        reservation also covers tokens to be generated, or when a padded
+        system charges more positions than the prompt holds.
+        """
         require_positive_int("prompt_tokens", prompt_tokens)
         if sequence_id in self.sequences:
             raise MemoryManagerError(f"sequence {sequence_id} already registered")
+        if self.block_store is not None:
+            return self._register_shared(sequence_id, prompt_tokens, token_ids)
         cache = SequenceCache(sequence_id=sequence_id)
         self.sequences[sequence_id] = cache
         self.append_tokens(sequence_id, prompt_tokens)
+        return cache
+
+    def _register_shared(
+        self,
+        sequence_id: int,
+        num_tokens: int,
+        token_ids: Sequence[int] | None,
+    ) -> SequenceCache:
+        store = self.block_store
+        assert store is not None  # caller guarantees the shared regime
+        table = BlockTable()
+        cache = SequenceCache(
+            sequence_id=sequence_id, block_table=table, cached_tokens=0
+        )
+        tokens = tuple(token_ids) if token_ids else ()
+        matched_ids = store.match_prefix(tokens)
+        # Blocks beyond the reservation are matchable but useless here
+        # (shorter re-issue of a longer cached prompt).
+        matched_ids = matched_ids[: num_tokens // self.block_tokens]
+        hashes = chain_block_hashes(tokens, self.block_tokens)
+        try:
+            for block_id in matched_ids:
+                store.acquire(block_id)
+                table.block_ids.append(block_id)
+            cache.cached_tokens = len(matched_ids) * self.block_tokens
+            remaining = num_tokens - cache.cached_tokens
+            block_index = len(matched_ids)
+            while remaining > 0:
+                take = min(self.block_tokens, remaining)
+                block_hash = None
+                if take == self.block_tokens and block_index < len(hashes):
+                    # A full block lying entirely inside the known prompt is
+                    # content-addressable; later prompts can share it.
+                    block_hash = hashes[block_index]
+                block = store.allocate_block(take, block_hash=block_hash)
+                table.block_ids.append(block.block_id)
+                remaining -= take
+                block_index += 1
+        except MemoryManagerError:
+            store.release_many(table.block_ids)
+            raise
+        cache.num_tokens = num_tokens
+        self.sequences[sequence_id] = cache
         return cache
 
     def append_tokens(self, sequence_id: int, num_tokens: int) -> None:
         """Grow a sequence's cache by ``num_tokens`` decode/prefill tokens."""
         require_positive_int("num_tokens", num_tokens)
         cache = self._get(sequence_id)
+        if self.block_store is not None:
+            self._append_shared(cache, num_tokens)
+            return
         total_bytes = self.bytes_for_tokens(num_tokens)
         gpu_bytes = total_bytes * self.gpu_ratio
         cpu_bytes = total_bytes - gpu_bytes
@@ -101,9 +210,45 @@ class KVCacheManager:
             cache.gpu_allocations.append(self.gpu_pool.allocate(gpu_bytes))
         cache.num_tokens += num_tokens
 
+    def _append_shared(self, cache: SequenceCache, num_tokens: int) -> None:
+        store = self.block_store
+        assert store is not None  # caller guarantees the shared regime
+        table = cache.block_table
+        assert table is not None  # shared sequences always carry a table
+        remaining = num_tokens
+        while remaining > 0:
+            tail = store.blocks[table.block_ids[-1]] if table.block_ids else None
+            if tail is not None and tail.num_tokens < self.block_tokens:
+                if tail.ref_count > 1 or tail.is_shareable:
+                    # Divergence below a shared block: copy-on-write gives
+                    # this sequence a private, writable tail.  Registration
+                    # only ever shares *full* blocks, so today this guard is
+                    # defensive; it becomes load-bearing the moment partial
+                    # or decode blocks enter the content index.
+                    tail = store.copy_on_write(tail.block_id)
+                    table.block_ids[-1] = tail.block_id
+                take = min(self.block_tokens - tail.num_tokens, remaining)
+                store.append_to_block(tail.block_id, take)
+            else:
+                take = min(self.block_tokens, remaining)
+                block = store.allocate_block(take)
+                table.block_ids.append(block.block_id)
+            remaining -= take
+        cache.num_tokens += num_tokens
+
     def release_sequence(self, sequence_id: int) -> None:
-        """Free every page owned by a finished sequence."""
+        """Free every page owned by a finished sequence.
+
+        In the shared regime this drops one reference per block: private
+        blocks free immediately, content-indexed prompt blocks stay resident
+        as prefix cache until eviction selects them.
+        """
         cache = self._get(sequence_id)
+        if self.block_store is not None:
+            assert cache.block_table is not None
+            self.block_store.release_many(cache.block_table.block_ids)
+            del self.sequences[sequence_id]
+            return
         for allocation in cache.cpu_allocations:
             self.cpu_pool.free(allocation)
         if self.gpu_pool is not None:
@@ -131,18 +276,39 @@ class KVCacheManager:
 
     @property
     def cpu_bytes(self) -> float:
-        """Total CPU bytes held by the cache."""
+        """Total CPU bytes held by live sequences (shared blocks counted once)."""
+        if self.block_store is not None:
+            return self.block_store.bytes_in_use(live_only=True)[0]
         return sum(cache.cpu_bytes for cache in self.sequences.values())
 
     @property
     def gpu_bytes(self) -> float:
-        """Total GPU bytes held by the cache."""
+        """Total GPU bytes held by live sequences (shared blocks counted once)."""
+        if self.block_store is not None:
+            return self.block_store.bytes_in_use(live_only=True)[1]
         return sum(cache.gpu_bytes for cache in self.sequences.values())
 
-    def can_admit(self, prompt_tokens: int, generation_len: int) -> bool:
-        """Whether a new request fits the pools at its end-of-generation size."""
+    def can_admit(
+        self,
+        prompt_tokens: int,
+        generation_len: int,
+        token_ids: Sequence[int] | None = None,
+    ) -> bool:
+        """Whether a new request fits the pools at its end-of-generation size.
+
+        In the shared regime the footprint is *incremental*: blocks covered
+        by a cached prefix of ``token_ids`` cost nothing new, and pages held
+        by evictable (unreferenced) cache count as available.
+        """
         require_positive_int("prompt_tokens", prompt_tokens)
         require_non_negative("generation_len", generation_len)
+        if self.block_store is not None:
+            total_blocks = self._blocks_for_tokens(prompt_tokens + generation_len)
+            matched = self.block_store.match_prefix(token_ids or ())
+            matched = matched[: (prompt_tokens + generation_len) // self.block_tokens]
+            return self.block_store.can_allocate_blocks(
+                total_blocks - len(matched), reserved_block_ids=matched
+            )
         total_bytes = self.bytes_for_tokens(prompt_tokens + generation_len)
         gpu_bytes = total_bytes * self.gpu_ratio
         cpu_bytes = total_bytes - gpu_bytes

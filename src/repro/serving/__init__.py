@@ -13,7 +13,10 @@ metrics, so MoE-Lightning and the baselines become comparable under load.
 * :mod:`repro.serving.queue` — request lifecycle plus the bounded waiting
   queue (FCFS or shortest-job-first ordering).
 * :mod:`repro.serving.admission` — KV-cache and CPU/GPU-memory gated
-  admission via the paged allocator and the analytical memory model.
+  admission via the paged allocator and the analytical memory model; with
+  ``prefix_cache=True`` requests are admitted at their *incremental*
+  footprint given the longest prompt prefix already in the shared block
+  store.
 * :mod:`repro.serving.scheduler` — iteration-level scheduler with FCFS,
   prefill-prioritising and decode-prioritising policies.
 * :mod:`repro.serving.metrics` — TTFT / TPOT / E2E percentiles and
@@ -22,8 +25,8 @@ metrics, so MoE-Lightning and the baselines become comparable under load.
   machine and the :class:`ServingSystem` facade driving any offloading
   backend through a simulated wall clock.
 * :mod:`repro.serving.router` — the :class:`ShardRouter`
-  (round-robin / least-loaded / session-affinity) in front of per-shard
-  queues.
+  (round-robin / least-loaded / session-affinity / cache-aware) in front
+  of per-shard queues.
 * :mod:`repro.serving.sharded` — :class:`ShardedServingSystem`, N
   data-parallel engines on a :class:`~repro.cluster.spec.ClusterSpec`
   with per-shard utilization reporting.

@@ -13,6 +13,12 @@ under.
 Admission also caps the number of live sequences at the policy's batch
 size ``N``: the engine never holds more requests than the policy the
 schedules and kernels were sized for.
+
+With ``prefix_cache=True`` the controller fronts the shared block store of
+:mod:`repro.runtime.block_store`: each request's prompt is matched against
+the cached prefix blocks, the reservation covers only the *incremental*
+blocks beyond the match, and the matched prefix is recorded on the request
+so the engine skips those tokens at prefill.
 """
 
 from __future__ import annotations
@@ -60,9 +66,11 @@ class AdmissionController:
         block_tokens: int = 16,
         cpu_kv_budget_bytes: float | None = None,
         gpu_kv_budget_bytes: float | None = None,
+        prefix_cache: bool = False,
     ) -> None:
         self.model = model
         self.policy = policy
+        self.prefix_cache = prefix_cache
         self.max_live_requests = (
             max_live_requests if max_live_requests is not None else policy.batch_size
         )
@@ -82,37 +90,56 @@ class AdmissionController:
                 gpu_usage.total - gpu_usage.kv_cache
             )
 
-        page_bytes = (
-            block_tokens
-            * model.num_layers
-            * kv_cache_bytes_per_token_per_layer(model)
+        # Grouped exactly as KVCacheManager computes one block's bytes
+        # (block_tokens * bytes_per_token()), so the pool pages below and
+        # the store's per-block charges are bit-identical floats.
+        page_bytes = block_tokens * (
+            kv_cache_bytes_per_token_per_layer(model) * model.num_layers
         )
         if cpu_kv_budget_bytes < page_bytes:
             raise MemoryManagerError(
                 f"policy {policy.describe()} leaves no CPU memory for the KV "
                 f"cache ({cpu_kv_budget_bytes / 1e9:.2f} GB budget)"
             )
-        cpu_pool = MemoryPool("serving-kv-cpu", cpu_kv_budget_bytes, page_bytes)
+        ratio = policy.kv_cache_gpu_ratio
+        # In the shared-block regime each pool's page holds exactly its share
+        # of one block, so a split block costs one page per pool rather than
+        # rounding both shares up to a whole full-size page.  The shares use
+        # the same expressions as SharedBlockStore._split_bytes (gpu = b*r,
+        # cpu = b - gpu): a different float grouping could land one ulp
+        # above the page size and silently double the per-block charge.
+        cpu_page_bytes = page_bytes
+        gpu_page_bytes = page_bytes
+        if prefix_cache and 0 < ratio < 1:
+            gpu_page_bytes = page_bytes * ratio
+            cpu_page_bytes = page_bytes - gpu_page_bytes
+        cpu_pool = MemoryPool("serving-kv-cpu", cpu_kv_budget_bytes, cpu_page_bytes)
         gpu_pool = None
-        if policy.kv_cache_gpu_ratio > 0:
-            if gpu_kv_budget_bytes < page_bytes:
+        if ratio > 0:
+            if gpu_kv_budget_bytes < gpu_page_bytes:
                 raise MemoryManagerError(
                     f"policy {policy.describe()} keeps KV on the GPU but leaves "
                     f"no GPU memory for it "
                     f"({gpu_kv_budget_bytes / 1e9:.2f} GB budget)"
                 )
-            gpu_pool = MemoryPool("serving-kv-gpu", gpu_kv_budget_bytes, page_bytes)
+            gpu_pool = MemoryPool(
+                "serving-kv-gpu", gpu_kv_budget_bytes, gpu_page_bytes
+            )
         self.kv_cache = KVCacheManager(
             model=model,
             cpu_pool=cpu_pool,
             gpu_pool=gpu_pool,
-            gpu_ratio=policy.kv_cache_gpu_ratio,
+            gpu_ratio=ratio,
             block_tokens=block_tokens,
+            prefix_cache=prefix_cache,
         )
 
         self.admitted_count = 0
         self.rejected_kv_count = 0
         self.rejected_slots_count = 0
+        self.cache_hit_count = 0
+        self.cached_tokens_total = 0
+        self.prompt_tokens_total = 0
 
     # ------------------------------------------------------------------
     # Checks and reservations
@@ -122,8 +149,17 @@ class AdmissionController:
         """Number of sequences currently holding KV reservations."""
         return len(self.kv_cache.sequences)
 
+    def match_prefix(self, request) -> int:
+        """Prompt tokens this controller's cache could reuse (routing signal)."""
+        return self.kv_cache.match_prefix(getattr(request, "token_ids", None))
+
     def check(self, serving_request: ServingRequest) -> AdmissionDecision:
-        """Whether the request could be admitted right now (no side effects)."""
+        """Whether the request could be admitted right now (no side effects).
+
+        With the prefix cache on, the KV check is *incremental*: blocks
+        matching a cached prefix of the prompt cost nothing new, so a mostly
+        cached request passes a budget a cold one of the same length fails.
+        """
         if self.live_requests >= self.max_live_requests:
             return AdmissionDecision(
                 admitted=False,
@@ -131,7 +167,9 @@ class AdmissionController:
             )
         request = serving_request.request
         if not self.kv_cache.can_admit(
-            request.effective_input_len, request.generation_len
+            request.effective_input_len,
+            request.generation_len,
+            token_ids=request.token_ids,
         ):
             return AdmissionDecision(
                 admitted=False,
@@ -145,7 +183,9 @@ class AdmissionController:
         The reservation covers prompt plus every token that will be
         generated, so a request admitted now can never be evicted mid-decode
         by a later admission — the same guarantee Algorithm 2's cache-budget
-        check gives within a batch.
+        check gives within a batch.  Prefix-cache hits acquire references on
+        the matched blocks (pinning them against eviction) and are recorded
+        on the request as already-prefilled tokens.
         """
         decision = self.check(serving_request)
         if not decision.admitted:
@@ -155,11 +195,20 @@ class AdmissionController:
                 self.rejected_slots_count += 1
             return decision
         request = serving_request.request
-        self.kv_cache.register_sequence(
+        cache = self.kv_cache.register_sequence(
             serving_request.request_id,
             request.effective_input_len + request.generation_len,
+            token_ids=request.token_ids,
+        )
+        serving_request.tokens_cached = cache.cached_tokens
+        serving_request.tokens_prefilled = max(
+            serving_request.tokens_prefilled, cache.cached_tokens
         )
         self.admitted_count += 1
+        if cache.cached_tokens > 0:
+            self.cache_hit_count += 1
+        self.cached_tokens_total += cache.cached_tokens
+        self.prompt_tokens_total += request.effective_input_len
         return decision
 
     def release(self, serving_request: ServingRequest) -> None:

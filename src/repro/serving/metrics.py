@@ -78,6 +78,12 @@ class ServingReport:
     mean_tpot: float
     slo_met: int
     goodput: float
+    #: Prefix-cache statistics (all zero when the cache is off or cold).
+    cache_hits: int = 0
+    hit_rate: float = 0.0
+    cached_token_fraction: float = 0.0
+    mean_ttft_hit: float = 0.0
+    mean_ttft_miss: float = 0.0
 
     @property
     def completion_rate(self) -> float:
@@ -128,6 +134,8 @@ class ServingReport:
             "slo_met": self.slo_met,
             "goodput": self.goodput,
             "goodput_fraction": self.goodput_fraction,
+            "hit_rate": self.hit_rate,
+            "cached_token_fraction": self.cached_token_fraction,
         }
 
 
@@ -147,6 +155,13 @@ def summarize(
     slo_met = sum(1 for sr in finished if slo.is_met(sr))
     tokens = sum(sr.tokens_decoded for sr in finished)
 
+    hits = [sr for sr in finished if sr.is_cache_hit]
+    misses = [sr for sr in finished if not sr.is_cache_hit]
+    hit_ttfts = [sr.ttft for sr in hits if sr.ttft is not None]
+    miss_ttfts = [sr.ttft for sr in misses if sr.ttft is not None]
+    prompt_tokens = sum(sr.request.effective_input_len for sr in finished)
+    cached_tokens = sum(sr.tokens_cached for sr in finished)
+
     return ServingReport(
         num_offered=len(requests),
         num_completed=len(finished),
@@ -160,4 +175,11 @@ def summarize(
         mean_tpot=float(np.mean(tpots)) if tpots else 0.0,
         slo_met=slo_met,
         goodput=slo_met / makespan if makespan > 0 else 0.0,
+        cache_hits=len(hits),
+        hit_rate=len(hits) / len(finished) if finished else 0.0,
+        cached_token_fraction=(
+            cached_tokens / prompt_tokens if prompt_tokens > 0 else 0.0
+        ),
+        mean_ttft_hit=float(np.mean(hit_ttfts)) if hit_ttfts else 0.0,
+        mean_ttft_miss=float(np.mean(miss_ttfts)) if miss_ttfts else 0.0,
     )

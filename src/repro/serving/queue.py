@@ -49,6 +49,7 @@ class ServingRequest:
     finish_time: float | None = None
     tokens_decoded: int = 0
     tokens_prefilled: int = 0
+    tokens_cached: int = 0
     reject_reason: str | None = None
     shard_id: int | None = None
 
@@ -69,8 +70,18 @@ class ServingRequest:
 
     @property
     def prefill_remaining(self) -> int:
-        """Prompt tokens not yet prefilled (drives chunked prefill)."""
+        """Prompt tokens not yet prefilled (drives chunked prefill).
+
+        Admission counts prefix-cache hits as already prefilled
+        (``tokens_cached``), so a hit shortens both whole-prompt and chunked
+        prefill schedules.
+        """
         return self.request.effective_input_len - self.tokens_prefilled
+
+    @property
+    def is_cache_hit(self) -> bool:
+        """Whether admission reused any cached prefix blocks."""
+        return self.tokens_cached > 0
 
     @property
     def is_prefill_complete(self) -> bool:

@@ -12,10 +12,14 @@ how evenly — and how cache-affinely — load spreads:
   join-the-shortest-queue policy that absorbs bursts best;
 * ``"session-affinity"`` — hash the request's session key so a session's
   requests always land on the same shard (the prerequisite for per-shard
-  prefix/KV reuse), falling back to the request id for sessionless traffic.
+  prefix/KV reuse), falling back to the request id for sessionless traffic;
+* ``"cache-aware"`` — send the arrival to the shard whose prefix cache
+  holds the longest match for its prompt, breaking ties (and handling cold
+  prompts) by least-loaded.  Where session affinity *hopes* the KV is
+  still warm, cache-aware routing *measures* it.
 
-Routing is deterministic: the same arrival stream and shard loads produce
-the same assignment.
+Routing is deterministic: the same arrival stream, shard loads and cache
+states produce the same assignment.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ ROUTER_POLICIES: tuple[str, ...] = (
     "round-robin",
     "least-loaded",
     "session-affinity",
+    "cache-aware",
 )
 
 #: Knuth's multiplicative constant: spreads consecutive session keys across
@@ -52,11 +57,22 @@ class ShardRouter:
         self.policy = policy
         self._next = 0
         self.assignments = [0] * num_shards
+        self.cache_routed = 0
+
+    def _least_loaded(self, loads: Sequence[int]) -> int:
+        return min(range(self.num_shards), key=lambda s: (loads[s], s))
 
     def route(
-        self, serving_request: ServingRequest, loads: Sequence[int]
+        self,
+        serving_request: ServingRequest,
+        loads: Sequence[int],
+        prefix_lens: Sequence[int] | None = None,
     ) -> int:
-        """Pick the shard for one arrival given current per-shard loads."""
+        """Pick the shard for one arrival given current per-shard loads.
+
+        ``prefix_lens`` (cache-aware policy only) carries each shard's
+        longest cached-prefix match for this request's prompt, in tokens.
+        """
         if len(loads) != self.num_shards:
             raise ConfigurationError(
                 f"expected {self.num_shards} shard loads, got {len(loads)}"
@@ -65,9 +81,29 @@ class ShardRouter:
             shard = self._next % self.num_shards
             self._next += 1
         elif self.policy == "least-loaded":
-            shard = min(range(self.num_shards), key=lambda s: (loads[s], s))
+            shard = self._least_loaded(loads)
+        elif self.policy == "cache-aware":
+            if prefix_lens is not None and len(prefix_lens) != self.num_shards:
+                raise ConfigurationError(
+                    f"expected {self.num_shards} prefix lengths, "
+                    f"got {len(prefix_lens)}"
+                )
+            if prefix_lens is not None and max(prefix_lens) > 0:
+                best = max(prefix_lens)
+                # Ties between equally warm shards break by load, then id.
+                shard = min(
+                    (s for s in range(self.num_shards) if prefix_lens[s] == best),
+                    key=lambda s: (loads[s], s),
+                )
+                self.cache_routed += 1
+            else:
+                shard = self._least_loaded(loads)
         else:  # session-affinity
             key = serving_request.request.session_key
-            shard = (key * _HASH_MULTIPLIER % _HASH_MODULUS) % self.num_shards
+            # Multiplicative hashing: the *high* bits of the product carry
+            # the mixing (the low bits merely echo the key's parity, which
+            # the session/sessionless tag bit pins).
+            mixed = (key * _HASH_MULTIPLIER) % _HASH_MODULUS
+            shard = (mixed >> 16) % self.num_shards
         self.assignments[shard] += 1
         return shard

@@ -94,10 +94,16 @@ class EngineStepModel:
         return self._decode_cache[key]
 
     def prefill_time(self, chunk: list[ServingRequest]) -> float:
-        """Latency of prefilling ``chunk`` (which also emits its first tokens)."""
+        """Latency of prefilling ``chunk`` (which also emits its first tokens).
+
+        Each request is costed at its *remaining* prompt tokens: prefix-cache
+        hits were marked prefilled at admission, so cached tokens are skipped
+        rather than recomputed.  With the cache off every request's remaining
+        length equals its full effective length.
+        """
         if not chunk:
             raise SimulationError("cannot cost an empty prefill chunk")
-        lengths = [sr.request.effective_input_len for sr in chunk]
+        lengths = [max(1, sr.prefill_remaining) for sr in chunk]
         # Cost at the bucketed lengths that form the memo key (as the decode
         # path does), so a chunk's charge never depends on which chunk
         # populated the cache slot first.
@@ -197,11 +203,13 @@ class EngineCore:
         block_tokens: int = 16,
         chunk_prefill_tokens: int | None = None,
         shard_id: int | None = None,
+        prefix_cache: bool = False,
     ) -> None:
         self.policy = policy
         self.step_model = step_model
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.shard_id = shard_id
+        self.prefix_cache = prefix_cache
         self.admission = AdmissionController(
             model=backend.model,
             hardware=backend.hardware,
@@ -209,6 +217,7 @@ class EngineCore:
             policy=policy,
             padded=backend.padded,
             block_tokens=block_tokens,
+            prefix_cache=prefix_cache,
         )
         self.scheduler = ContinuousBatchingScheduler(
             policy=policy,
@@ -416,6 +425,8 @@ class EngineCore:
             "rejected_kv": self.admission.rejected_kv_count,
             "rejected_slots": self.admission.rejected_slots_count,
             "dropped_queue_full": self.dropped_queue_full,
+            "cache_hits": self.admission.cache_hit_count,
+            "cached_tokens": self.admission.cached_tokens_total,
         }
 
 
@@ -463,6 +474,7 @@ class ServingSystem:
         ctx_bucket: int = 32,
         block_tokens: int = 16,
         chunk_prefill_tokens: int | None = None,
+        prefix_cache: bool = False,
     ) -> None:
         self.backend = backend
         self.workload = workload
@@ -473,6 +485,7 @@ class ServingSystem:
         self.slo = slo or default_slo(backend, workload, self.policy)
         self.block_tokens = block_tokens
         self.chunk_prefill_tokens = chunk_prefill_tokens
+        self.prefix_cache = prefix_cache
         self.step_model = EngineStepModel(
             backend,
             workload,
@@ -531,6 +544,7 @@ class ServingSystem:
             max_queue_depth=self.max_queue_depth,
             block_tokens=self.block_tokens,
             chunk_prefill_tokens=self.chunk_prefill_tokens,
+            prefix_cache=self.prefix_cache,
         )
         next_arrival = 0
         while next_arrival < len(records) or core.has_work():

@@ -100,7 +100,9 @@ class ShardedServingResult:
 
 
 class ShardedServingSystem:
-    """Round-robin / least-loaded / session-affinity serving over N shards."""
+    """Routed serving over N shards (round-robin / least-loaded /
+    session-affinity / cache-aware), optionally with per-shard prefix
+    caches."""
 
     def __init__(
         self,
@@ -118,6 +120,7 @@ class ShardedServingSystem:
         ctx_bucket: int = 32,
         block_tokens: int = 16,
         chunk_prefill_tokens: int | None = None,
+        prefix_cache: bool = False,
     ) -> None:
         if num_shards is None:
             if cluster is None:
@@ -148,6 +151,13 @@ class ShardedServingSystem:
         self.slo = slo or default_slo(backend, workload, self.policy)
         self.block_tokens = block_tokens
         self.chunk_prefill_tokens = chunk_prefill_tokens
+        if router == "cache-aware" and not prefix_cache:
+            raise ConfigurationError(
+                "cache-aware routing requires prefix_cache=True: without the "
+                "shared block store there is no per-shard prefix state to "
+                "route on"
+            )
+        self.prefix_cache = prefix_cache
         # One step model shared by every shard: the replicas are identical,
         # so the (batch, context) -> latency memo is shard-agnostic.
         self.step_model = EngineStepModel(
@@ -182,6 +192,7 @@ class ShardedServingSystem:
                 block_tokens=self.block_tokens,
                 chunk_prefill_tokens=self.chunk_prefill_tokens,
                 shard_id=shard_id,
+                prefix_cache=self.prefix_cache,
             )
             for shard_id in range(self.num_shards)
         ]
@@ -217,7 +228,16 @@ class ShardedServingSystem:
             for core in cores:
                 core.advance_to(serving_request.arrival_time)
             loads = [core.load() for core in cores]
-            shard = router.route(serving_request, loads)
+            prefix_lens = None
+            if self.router_policy == "cache-aware":
+                # The router measures each shard's actual cached-prefix
+                # match at the arrival instant — the live counterpart of
+                # session affinity's static hash.
+                prefix_lens = [
+                    core.admission.match_prefix(serving_request.request)
+                    for core in cores
+                ]
+            shard = router.route(serving_request, loads, prefix_lens)
             cores[shard].offer(serving_request)
         for core in cores:
             core.drain()

@@ -9,9 +9,11 @@ requests.
 """
 
 from repro.workloads.request import Batch, MicroBatch, Request
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import ChatWorkloadSpec, WorkloadSpec
 from repro.workloads.generators import (
     WORKLOAD_REGISTRY,
+    chat,
+    generate_chat_requests,
     generate_requests,
     get_workload,
     list_workloads,
@@ -27,8 +29,11 @@ __all__ = [
     "Batch",
     "MicroBatch",
     "Request",
+    "ChatWorkloadSpec",
     "WorkloadSpec",
     "WORKLOAD_REGISTRY",
+    "chat",
+    "generate_chat_requests",
     "generate_requests",
     "get_workload",
     "list_workloads",

@@ -19,7 +19,10 @@ import numpy as np
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive_int
 from repro.workloads.request import Request
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import ChatWorkloadSpec, WorkloadSpec
+
+#: Synthetic vocabulary: token ids are drawn uniformly below this bound.
+_VOCAB_SIZE = 32000
 
 WORKLOAD_REGISTRY: Dict[str, Callable[..., WorkloadSpec]] = {}
 
@@ -100,10 +103,46 @@ def uniform_workload(
     )
 
 
+def chat(
+    generation_len: int = 32,
+    num_requests: int = 64,
+    turns_per_session: int = 4,
+    num_sessions: int | None = None,
+    system_prompt_len: int = 64,
+    user_turn_len: int = 32,
+) -> ChatWorkloadSpec:
+    """Multi-turn chat: shared system prompt + growing per-session history.
+
+    Not a paper workload — it opens the scenario class the prefix cache is
+    for.  Prompt lengths are deterministic per turn (only the token values
+    vary with the seed), so the spec's average/maximum are exact.
+    """
+    require_positive_int("turns_per_session", turns_per_session)
+    require_positive_int("num_requests", num_requests)
+    if num_sessions is None:
+        num_sessions = max(1, -(-num_requests // turns_per_session))
+    lengths = [
+        system_prompt_len + turn * (user_turn_len + generation_len) + user_turn_len
+        for turn in range(turns_per_session)
+    ]
+    return ChatWorkloadSpec(
+        name="chat",
+        avg_prompt_len=max(1, round(sum(lengths) / len(lengths))),
+        max_prompt_len=lengths[-1],
+        generation_len=generation_len,
+        num_requests=num_requests,
+        num_sessions=num_sessions,
+        turns_per_session=turns_per_session,
+        system_prompt_len=system_prompt_len,
+        user_turn_len=user_turn_len,
+    )
+
+
 register_workload("mtbench", mtbench)
 register_workload("synthetic_reasoning", synthetic_reasoning)
 register_workload("summarization", summarization)
 register_workload("uniform", uniform_workload)
+register_workload("chat", chat)
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +171,56 @@ def _sample_lengths(spec: WorkloadSpec, count: int, rng: np.random.Generator) ->
     return lengths
 
 
+def generate_chat_requests(
+    spec: ChatWorkloadSpec,
+    count: int | None = None,
+    seed: int = 0,
+) -> list[Request]:
+    """Materialise a multi-turn chat stream with real shared token prefixes.
+
+    Every session's turn-``t`` prompt is the shared system prompt, the
+    session's accumulated conversation (user turns plus the assistant
+    replies synthesised for earlier turns) and a fresh user message; token
+    values are deterministic in ``seed``.  Requests are emitted turn-major —
+    every session's turn 0, then every session's turn 1, ... — so a
+    session's turns arrive in order under any monotone arrival process.
+    Streams longer than ``num_sessions * turns_per_session`` open additional
+    sessions (which still share the system prompt).
+    """
+    count = count if count is not None else spec.num_requests
+    require_positive_int("count", count)
+    system_rng = np.random.default_rng([seed, 0xC047])
+    system_tokens = tuple(
+        int(t) for t in system_rng.integers(0, _VOCAB_SIZE, spec.system_prompt_len)
+    )
+    num_sessions = max(spec.num_sessions, -(-count // spec.turns_per_session))
+    histories: list[tuple[int, ...]] = [system_tokens] * num_sessions
+    session_rngs = [
+        np.random.default_rng([seed, 0x5E55, session]) for session in range(num_sessions)
+    ]
+    requests: list[Request] = []
+    for turn in range(spec.turns_per_session):
+        for session in range(num_sessions):
+            if len(requests) >= count:
+                return requests
+            rng = session_rngs[session]
+            user = tuple(int(t) for t in rng.integers(0, _VOCAB_SIZE, spec.user_turn_len))
+            prompt = histories[session] + user
+            requests.append(
+                Request(
+                    input_len=len(prompt),
+                    generation_len=spec.generation_len,
+                    session_id=session,
+                    token_ids=prompt,
+                )
+            )
+            assistant = tuple(
+                int(t) for t in rng.integers(0, _VOCAB_SIZE, spec.generation_len)
+            )
+            histories[session] = prompt + assistant
+    return requests
+
+
 def generate_requests(
     spec: WorkloadSpec,
     count: int | None = None,
@@ -141,8 +230,11 @@ def generate_requests(
 
     The sample's maximum prompt length is forced to equal the spec's maximum
     (by assigning it to one request) so padding-based systems pay the same
-    worst case the paper describes.
+    worst case the paper describes.  Chat workloads dispatch to
+    :func:`generate_chat_requests`, whose per-turn lengths are deterministic.
     """
+    if isinstance(spec, ChatWorkloadSpec):
+        return generate_chat_requests(spec, count=count, seed=seed)
     count = count if count is not None else spec.num_requests
     require_positive_int("count", count)
     rng = np.random.default_rng(seed)

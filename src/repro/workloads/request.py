@@ -33,6 +33,7 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_counter))
     padded_len: int | None = None
     session_id: int | None = None
+    token_ids: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         require_positive_int("input_len", self.input_len)
@@ -42,11 +43,23 @@ class Request:
                 f"padded_len ({self.padded_len}) must be >= input_len "
                 f"({self.input_len})"
             )
+        if self.token_ids is not None and len(self.token_ids) != self.input_len:
+            raise ConfigurationError(
+                f"token_ids holds {len(self.token_ids)} tokens but input_len "
+                f"is {self.input_len}"
+            )
 
     @property
     def session_key(self) -> int:
-        """Stable key for session-affinity routing (request id fallback)."""
-        return self.session_id if self.session_id is not None else self.request_id
+        """Stable key for session-affinity routing.
+
+        Session ids and the sessionless request-id fallback live in disjoint
+        key spaces (a tag bit in the LSB), so ``session_id=5`` can never
+        collide with a sessionless request whose ``request_id`` is 5.
+        """
+        if self.session_id is not None:
+            return (self.session_id << 1) | 1
+        return self.request_id << 1
 
     @property
     def effective_input_len(self) -> int:
@@ -70,6 +83,7 @@ class Request:
             request_id=self.request_id,
             padded_len=length,
             session_id=self.session_id,
+            token_ids=self.token_ids,
         )
 
 

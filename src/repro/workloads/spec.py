@@ -87,3 +87,38 @@ class WorkloadSpec:
             f"{self.max_prompt_len}, gen len {self.generation_len}, "
             f"{self.num_requests} requests"
         )
+
+
+@dataclass(frozen=True)
+class ChatWorkloadSpec(WorkloadSpec):
+    """A multi-turn chat workload: sessions with growing shared prefixes.
+
+    Every session opens with the *same* system prompt of
+    ``system_prompt_len`` tokens; each turn appends a ``user_turn_len``-token
+    user message, and the assistant's ``generation_len``-token reply is woven
+    into the next turn's prompt.  Turn ``t`` of a session therefore prompts
+    with ``system + t * (user_turn_len + generation_len) + user_turn_len``
+    tokens, of which everything up to the final user message is a prefix of
+    turn ``t + 1`` — the structure a prefix cache exists to exploit.
+    """
+
+    num_sessions: int = 8
+    turns_per_session: int = 4
+    system_prompt_len: int = 64
+    user_turn_len: int = 32
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        require_positive_int("num_sessions", self.num_sessions)
+        require_positive_int("turns_per_session", self.turns_per_session)
+        require_positive_int("system_prompt_len", self.system_prompt_len)
+        require_positive_int("user_turn_len", self.user_turn_len)
+
+    def prompt_len_at_turn(self, turn: int) -> int:
+        """Prompt length of any session's ``turn``-th request (0-based)."""
+        if turn < 0 or turn >= self.turns_per_session:
+            raise ConfigurationError(
+                f"turn must be in [0, {self.turns_per_session}), got {turn}"
+            )
+        history = turn * (self.user_turn_len + self.generation_len)
+        return self.system_prompt_len + history + self.user_turn_len

@@ -1,0 +1,104 @@
+"""Cache-sweep harness, its CLI wiring and the BENCH_serving.json fields."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache_sweep import CACHE_SWEEP_COLUMNS, main, run_cache_sweep
+from repro.experiments.bench_output import serving_summary, write_bench_serving_json
+from repro.experiments.serving_sweep import main as serve_main
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_cache_sweep(
+        load_factors=(2.0,),
+        num_requests=16,
+        generation_len=8,
+        turns_per_session=4,
+        seed=0,
+    )
+
+
+def test_rows_pair_cache_off_and_on(rows):
+    assert [row["prefix_cache"] for row in rows] == ["off", "on"]
+    for row in rows:
+        for column in CACHE_SWEEP_COLUMNS:
+            assert column in row
+
+
+def test_cache_on_dominates_in_the_sweep(rows):
+    off, on = rows
+    assert on["hit_rate"] > 0.0 and off["hit_rate"] == 0.0
+    assert on["token_throughput"] > off["token_throughput"]
+    assert on["mean_ttft"] < off["mean_ttft"]
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigurationError):
+        run_cache_sweep(system_name="unknown")
+    with pytest.raises(ConfigurationError):
+        run_cache_sweep(arrival="weibull")
+    with pytest.raises(ConfigurationError):
+        run_cache_sweep(load_factors=())
+
+
+def test_summary_splits_cache_settings_and_carries_hit_rate(rows):
+    summary = serving_summary(rows)
+    assert set(summary) == {
+        "moe-lightning (cache off)",
+        "moe-lightning (cache on)",
+    }
+    on = summary["moe-lightning (cache on)"]
+    assert on["hit_rate"] > 0.0
+    assert "cached_token_fraction" in on
+
+
+def test_bench_json_records_cache_and_shard_fields(rows, tmp_path):
+    path = tmp_path / "BENCH_serving.json"
+    write_bench_serving_json(path, rows, meta={"shards": 1, "prefix_cache": "on"})
+    document = json.loads(path.read_text())
+    assert document["meta"]["shards"] == 1
+    assert document["meta"]["prefix_cache"] == "on"
+    for row in document["rows"]:
+        assert "hit_rate" in row
+        assert "cached_token_fraction" in row
+
+
+def test_cache_sweep_cli_writes_json(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    code = main(
+        [
+            "--num-requests", "8",
+            "--generation-len", "4",
+            "--load-factors", "2.0",
+            "--json", str(path),
+        ]
+    )
+    assert code == 0
+    document = json.loads(path.read_text())
+    assert document["meta"]["workload"] == "chat"
+    assert capsys.readouterr().out.count("Prefix-cache sweep") == 1
+
+
+def test_cache_sweep_cli_invalid_config_exits_2(capsys):
+    assert main(["--system", "nope"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_repro_serve_accepts_prefix_cache_flag(capsys):
+    code = serve_main(
+        [
+            "--workload", "chat",
+            "--prefix-cache", "on",
+            "--systems", "moe-lightning",
+            "--num-requests", "8",
+            "--generation-len", "4",
+            "--load-factors", "1.0",
+            "--chunk-prefill", "96",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hit_rate" in out

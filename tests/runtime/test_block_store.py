@@ -1,0 +1,201 @@
+"""Shared block store: hashing, sharing, refcounts, COW, LRU eviction."""
+
+import pytest
+
+from repro.runtime.block_store import SharedBlockStore, chain_block_hashes
+from repro.runtime.memory_manager import MemoryPool
+from repro.utils.errors import MemoryManagerError
+
+BLOCK_TOKENS = 4
+BLOCK_BYTES = 1024.0
+
+
+def make_store(num_blocks=8, gpu_ratio=0.0, gpu_blocks=8):
+    # Pool pages hold exactly each pool's share of one block, as the
+    # serving admission controller sizes them.
+    cpu_share = BLOCK_BYTES * (1 - gpu_ratio)
+    cpu_pool = MemoryPool("cpu", num_blocks * cpu_share, cpu_share)
+    gpu_pool = None
+    if gpu_ratio > 0:
+        gpu_pool = MemoryPool(
+            "gpu", gpu_blocks * BLOCK_BYTES * gpu_ratio, BLOCK_BYTES * gpu_ratio
+        )
+    return SharedBlockStore(
+        cpu_pool=cpu_pool,
+        block_bytes=BLOCK_BYTES,
+        block_tokens=BLOCK_TOKENS,
+        gpu_pool=gpu_pool,
+        gpu_ratio=gpu_ratio,
+    )
+
+
+class TestHashing:
+    def test_only_full_blocks_hash(self):
+        assert chain_block_hashes((1, 2, 3), BLOCK_TOKENS) == []
+        assert len(chain_block_hashes((1, 2, 3, 4), BLOCK_TOKENS)) == 1
+        assert len(chain_block_hashes(tuple(range(11)), BLOCK_TOKENS)) == 2
+
+    def test_hash_chains_through_earlier_blocks(self):
+        a = chain_block_hashes((1, 2, 3, 4, 5, 6, 7, 8), BLOCK_TOKENS)
+        b = chain_block_hashes((9, 2, 3, 4, 5, 6, 7, 8), BLOCK_TOKENS)
+        # Same second-block tokens, different first block: both hashes differ.
+        assert a[0] != b[0]
+        assert a[1] != b[1]
+
+    def test_hash_is_deterministic(self):
+        tokens = tuple(range(16))
+        assert chain_block_hashes(tokens, BLOCK_TOKENS) == chain_block_hashes(
+            tokens, BLOCK_TOKENS
+        )
+
+
+class TestSharing:
+    def test_match_requires_residency(self):
+        store = make_store()
+        tokens = (1, 2, 3, 4, 5)
+        assert store.match_prefix(tokens) == []
+        hashes = chain_block_hashes(tokens, BLOCK_TOKENS)
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=hashes[0])
+        assert store.match_prefix(tokens) == [block.block_id]
+
+    def test_match_never_covers_whole_prompt(self):
+        """Prefill must keep at least one token to compute first logits."""
+        store = make_store()
+        tokens = (1, 2, 3, 4, 5, 6, 7, 8)
+        for h in chain_block_hashes(tokens, BLOCK_TOKENS):
+            store.allocate_block(BLOCK_TOKENS, block_hash=h)
+        # Both blocks resident, but an 8-token prompt may match only one.
+        assert len(store.match_prefix(tokens)) == 1
+        assert len(store.match_prefix(tokens + (9,))) == 2
+
+    def test_acquire_shares_without_double_charge(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=123)
+        used_before = store.cpu_pool.used_pages
+        store.acquire(block.block_id)
+        assert store.blocks[block.block_id].ref_count == 2
+        assert store.cpu_pool.used_pages == used_before
+
+    def test_release_retains_hashed_blocks_as_cache(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=7)
+        store.release(block.block_id)
+        assert block.block_id in store.blocks  # resident, evictable
+        assert store.num_cached_blocks == 1
+        assert store.cpu_pool.used_pages == 1
+
+    def test_release_frees_private_blocks_immediately(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS)
+        store.release(block.block_id)
+        assert block.block_id not in store.blocks
+        assert store.cpu_pool.used_pages == 0
+
+    def test_refcount_underflow_raises(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=7)
+        store.release(block.block_id)
+        with pytest.raises(MemoryManagerError):
+            store.release(block.block_id)
+
+
+class TestCopyOnWrite:
+    def test_cow_gives_private_copy(self):
+        store = make_store()
+        shared = store.allocate_block(BLOCK_TOKENS, block_hash=11)
+        store.acquire(shared.block_id)  # two sharers
+        copy = store.copy_on_write(shared.block_id)
+        assert copy.block_id != shared.block_id
+        assert copy.ref_count == 1
+        assert not copy.is_shareable
+        assert store.blocks[shared.block_id].ref_count == 1
+        assert store.cow_copies == 1
+
+    def test_append_to_shared_block_rejected(self):
+        store = make_store()
+        shared = store.allocate_block(BLOCK_TOKENS - 1)
+        store.blocks[shared.block_id].ref_count = 2
+        with pytest.raises(MemoryManagerError):
+            store.append_to_block(shared.block_id, 1)
+
+
+class TestEviction:
+    def test_lru_eviction_frees_oldest_cache(self):
+        store = make_store(num_blocks=2)
+        first = store.allocate_block(BLOCK_TOKENS, block_hash=1)
+        second = store.allocate_block(BLOCK_TOKENS, block_hash=2)
+        store.release(first.block_id)
+        store.release(second.block_id)
+        store.acquire(second.block_id)  # refresh: second is now MRU + pinned
+        store.release(second.block_id)
+        store.allocate_block(BLOCK_TOKENS)  # needs one page -> evict LRU
+        assert first.block_id not in store.blocks
+        assert second.block_id in store.blocks
+        assert store.evictions == 1
+
+    def test_failed_gpu_allocation_rolls_back_cpu_pages(self):
+        """A split-store allocation that dies on the GPU pool leaks nothing."""
+        store = make_store(num_blocks=8, gpu_ratio=0.5, gpu_blocks=2)
+        store.allocate_block(BLOCK_TOKENS)
+        store.allocate_block(BLOCK_TOKENS)  # GPU pool now full, CPU has room
+        cpu_used = store.cpu_pool.used_pages
+        with pytest.raises(MemoryManagerError):
+            store.allocate_block(BLOCK_TOKENS)
+        assert store.cpu_pool.used_pages == cpu_used
+        assert len(store.blocks) == 2
+
+    def test_eviction_never_removes_referenced_blocks(self):
+        store = make_store(num_blocks=2)
+        pinned = store.allocate_block(BLOCK_TOKENS, block_hash=1)
+        store.allocate_block(BLOCK_TOKENS, block_hash=2)
+        # Pool full, nothing evictable: the pool itself must refuse.
+        with pytest.raises(MemoryManagerError):
+            store.allocate_block(BLOCK_TOKENS)
+        assert pinned.block_id in store.blocks
+
+    def test_evicted_blocks_leave_the_hash_index(self):
+        store = make_store(num_blocks=1)
+        tokens = (1, 2, 3, 4, 5)
+        block = store.allocate_block(
+            BLOCK_TOKENS, block_hash=chain_block_hashes(tokens, BLOCK_TOKENS)[0]
+        )
+        store.release(block.block_id)
+        assert store.match_prefix(tokens)
+        store.allocate_block(BLOCK_TOKENS)  # forces eviction
+        assert store.match_prefix(tokens) == []
+
+    def test_can_allocate_counts_evictable_but_not_reserved(self):
+        store = make_store(num_blocks=2)
+        a = store.allocate_block(BLOCK_TOKENS, block_hash=1)
+        b = store.allocate_block(BLOCK_TOKENS, block_hash=2)
+        store.release(a.block_id)
+        store.release(b.block_id)
+        assert store.can_allocate_blocks(2)
+        # Reserving one matched block leaves room for only one new block.
+        assert store.can_allocate_blocks(1, reserved_block_ids=[a.block_id])
+        assert not store.can_allocate_blocks(2, reserved_block_ids=[a.block_id])
+
+
+class TestAccounting:
+    def test_bytes_count_unique_blocks_once(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=5)
+        for _ in range(3):
+            store.acquire(block.block_id)
+        cpu, gpu = store.bytes_in_use()
+        assert cpu == BLOCK_BYTES
+        assert gpu == 0.0
+
+    def test_gpu_split_charges_both_pools(self):
+        store = make_store(gpu_ratio=0.5)
+        store.allocate_block(BLOCK_TOKENS)
+        cpu, gpu = store.bytes_in_use()
+        assert cpu == pytest.approx(BLOCK_BYTES * 0.5)
+        assert gpu == pytest.approx(BLOCK_BYTES * 0.5)
+
+    def test_live_only_excludes_cached(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=9)
+        store.release(block.block_id)
+        assert store.bytes_in_use(live_only=True) == (0.0, 0.0)
+        assert store.bytes_in_use() == (BLOCK_BYTES, 0.0)

@@ -82,3 +82,98 @@ def test_can_admit_respects_capacity(tiny_model):
     capacity_tokens = int(small_pool.capacity_bytes / per_token)
     assert manager.can_admit(prompt_tokens=capacity_tokens // 2, generation_len=0)
     assert not manager.can_admit(prompt_tokens=capacity_tokens * 2, generation_len=0)
+
+
+# ----------------------------------------------------------------------
+# Shared-prefix regime (prefix_cache=True)
+# ----------------------------------------------------------------------
+class TestPrefixCacheRegime:
+    def make_manager(self, model, capacity_blocks=64):
+        from repro.models.memory import kv_cache_bytes_per_token_per_layer
+
+        block_tokens = 16
+        block_bytes = (
+            block_tokens * kv_cache_bytes_per_token_per_layer(model) * model.num_layers
+        )
+        pool = MemoryPool("cpu", capacity_blocks * block_bytes, block_bytes)
+        return KVCacheManager(
+            model, pool, block_tokens=block_tokens, prefix_cache=True
+        )
+
+    def test_identical_prompts_share_blocks(self, tiny_model):
+        manager = self.make_manager(tiny_model)
+        tokens = tuple(range(64))
+        manager.register_sequence(0, 64, token_ids=tokens)
+        used_after_first = manager.cpu_pool.used_pages
+        cache = manager.register_sequence(1, 64, token_ids=tokens)
+        # Three full blocks shared (the fourth must be recomputed/owned).
+        assert cache.cached_tokens == 48
+        assert manager.cpu_pool.used_pages == used_after_first + 1
+
+    def test_released_prompts_stay_matchable(self, tiny_model):
+        manager = self.make_manager(tiny_model)
+        tokens = tuple(range(64))
+        manager.register_sequence(0, 64, token_ids=tokens)
+        manager.release_sequence(0)
+        assert manager.match_prefix(tokens) == 48
+        cache = manager.register_sequence(1, 64, token_ids=tokens)
+        assert cache.cached_tokens == 48
+
+    def test_growing_prompt_reuses_shorter_history(self, tiny_model):
+        """A chat turn's prompt reuses the previous turn's cached blocks."""
+        manager = self.make_manager(tiny_model)
+        turn1 = tuple(range(48))
+        manager.register_sequence(0, 48, token_ids=turn1)
+        manager.release_sequence(0)
+        turn2 = turn1 + tuple(range(100, 148))
+        cache = manager.register_sequence(1, 96, token_ids=turn2)
+        assert cache.cached_tokens == 48
+
+    def test_reservation_beyond_prompt_is_private(self, tiny_model):
+        """Generated-token blocks never enter the content index."""
+        manager = self.make_manager(tiny_model)
+        tokens = tuple(range(32))
+        manager.register_sequence(0, 32 + 32, token_ids=tokens)  # +generation
+        manager.release_sequence(0)
+        # Only the prompt's 2 full blocks remain cached; generation blocks
+        # freed outright.
+        assert manager.block_store.num_cached_blocks == 2
+
+    def test_unique_prompts_degenerate_to_private_accounting(self, tiny_model):
+        manager = self.make_manager(tiny_model)
+        manager.register_sequence(0, 64, token_ids=tuple(range(64)))
+        manager.register_sequence(1, 64, token_ids=tuple(range(1000, 1064)))
+        assert manager.cpu_pool.used_pages == 8
+        manager.release_all()
+        # Hashed prompt blocks linger as cache; the store still frees the
+        # pool once eviction reclaims them.
+        assert manager.total_tokens == 0
+
+    def test_append_tokens_fills_private_tail(self, tiny_model):
+        manager = self.make_manager(tiny_model)
+        manager.register_sequence(0, 40, token_ids=tuple(range(40)))
+        used = manager.cpu_pool.used_pages
+        manager.append_tokens(0, 8)  # fits the half-full tail block
+        assert manager.cpu_pool.used_pages == used
+        manager.append_tokens(0, 16)  # spills into a fresh block
+        assert manager.cpu_pool.used_pages == used + 1
+        assert manager.sequences[0].num_tokens == 64
+
+    def test_can_admit_is_incremental_under_hits(self, tiny_model):
+        manager = self.make_manager(tiny_model, capacity_blocks=5)
+        tokens = tuple(range(64))
+        manager.register_sequence(0, 64, token_ids=tokens)  # 4 blocks
+        # A cold prompt of 4 blocks cannot fit alongside (5 - 4 = 1 free).
+        assert not manager.can_admit(64, 0, token_ids=tuple(range(500, 564)))
+        # The same-size cached prompt needs only its final block.
+        assert manager.can_admit(64, 0, token_ids=tokens)
+
+    def test_register_rollback_on_capacity_error(self, tiny_model):
+        manager = self.make_manager(tiny_model, capacity_blocks=4)
+        manager.register_sequence(0, 48, token_ids=tuple(range(48)))
+        with pytest.raises(MemoryManagerError):
+            manager.register_sequence(1, 48, token_ids=tuple(range(500, 548)))
+        # The failed registration left nothing behind.
+        assert 1 not in manager.sequences
+        live = [b for b in manager.block_store.blocks.values() if b.ref_count > 0]
+        assert len(live) == 3

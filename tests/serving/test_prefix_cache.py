@@ -1,0 +1,188 @@
+"""Prefix-cache serving: cache-on dominates, cache-off is unchanged.
+
+The acceptance bar for the shared block store refactor:
+
+* on the same multi-turn arrival stream, prefix-cache-on yields strictly
+  higher SLO-goodput and strictly lower mean TTFT than cache-off;
+* with the cache off — or on but with zero hits — per-request timestamps
+  are bit-for-bit what the per-sequence accounting produced.
+"""
+
+import pytest
+
+from repro.hardware import get_hardware
+from repro.models import get_model
+from repro.serving import PoissonProcess, ServingSystem, TimedRequest, default_slo
+from repro.serving.sharded import ShardedServingSystem
+from repro.systems import MoELightningSystem
+from repro.utils.errors import ConfigurationError
+from repro.workloads import Request, chat, generate_chat_requests
+
+NUM_REQUESTS = 24
+GENERATION_LEN = 8
+CHUNK_TOKENS = 96
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return MoELightningSystem(get_model("mixtral-8x7b"), get_hardware("1xT4"))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return chat(
+        generation_len=GENERATION_LEN,
+        num_requests=NUM_REQUESTS,
+        turns_per_session=4,
+    )
+
+
+def run_chat(backend, workload, prefix_cache, load_factor=2.0, **kwargs):
+    from repro.experiments.serving_sweep import offline_capacity
+
+    policy = backend.select_policy(workload)
+    slo = kwargs.pop("slo", None) or default_slo(backend, workload, policy)
+    serving = ServingSystem(
+        backend,
+        workload,
+        policy=policy,
+        slo=slo,
+        chunk_prefill_tokens=kwargs.pop("chunk_prefill_tokens", CHUNK_TOKENS),
+        prefix_cache=prefix_cache,
+        **kwargs,
+    )
+    rate = load_factor * offline_capacity(backend, workload, policy)
+    return serving.run(PoissonProcess(rate), count=NUM_REQUESTS, seed=SEED)
+
+
+class TestCacheOnDominates:
+    """The ISSUE's acceptance criterion, asserted at tier 1."""
+
+    def test_cache_on_beats_cache_off_on_the_same_stream(self, backend, workload):
+        off = run_chat(backend, workload, prefix_cache=False)
+        on = run_chat(backend, workload, prefix_cache=True)
+
+        # Same stream, same completions — only the cache differs.
+        assert off.report.num_offered == on.report.num_offered
+        assert on.report.hit_rate > 0.5
+        assert on.report.cached_token_fraction > 0.3
+        assert off.report.hit_rate == 0.0
+
+        # Strictly higher SLO-goodput, strictly lower mean TTFT.
+        assert on.report.goodput > off.report.goodput
+        assert on.report.mean_ttft < off.report.mean_ttft
+        # Fewer weight-streaming passes also buy throughput.
+        assert on.report.token_throughput > off.report.token_throughput
+
+    def test_hits_see_lower_ttft_than_misses(self, backend, workload):
+        on = run_chat(backend, workload, prefix_cache=True)
+        assert on.report.cache_hits > 0
+        assert 0 < on.report.mean_ttft_hit
+        assert on.admission_stats["cache_hits"] == on.report.cache_hits
+
+    def test_cached_tokens_skip_prefill_work(self, backend, workload):
+        """Admitted hits carry their cached prefix as already-prefilled."""
+        on = run_chat(backend, workload, prefix_cache=True)
+        hits = [sr for sr in on.requests if sr.tokens_cached > 0]
+        assert hits
+        for sr in hits:
+            assert sr.tokens_cached < sr.request.effective_input_len
+            assert sr.tokens_cached % 16 == 0  # whole blocks only
+
+
+class TestCacheOffUnchanged:
+    """Bit-for-bit equivalence with the per-sequence accounting."""
+
+    def _timeline(self, result):
+        # Positional, not by request id: each run materialises fresh Request
+        # objects whose ids advance a process-global counter.
+        return [
+            (index, sr.admit_time, sr.first_token_time, sr.finish_time)
+            for index, sr in enumerate(result.requests)
+        ]
+
+    def test_zero_hit_stream_matches_cache_off_exactly(self, backend, workload):
+        """Unique prompts: the shared store degenerates to today's path."""
+        requests = generate_chat_requests(workload, count=NUM_REQUESTS, seed=SEED)
+        unique = [
+            TimedRequest(
+                request=Request(
+                    input_len=req.input_len,
+                    generation_len=req.generation_len,
+                    token_ids=tuple(range(i * 4096, i * 4096 + req.input_len)),
+                ),
+                arrival_time=0.5 * i,
+            )
+            for i, req in enumerate(requests)
+        ]
+        policy = backend.select_policy(workload)
+        slo = default_slo(backend, workload, policy)
+
+        results = {}
+        for prefix_cache in (False, True):
+            serving = ServingSystem(
+                backend,
+                workload,
+                policy=policy,
+                slo=slo,
+                chunk_prefill_tokens=CHUNK_TOKENS,
+                prefix_cache=prefix_cache,
+            )
+            # Rebuild the stream each run: ServingRequest records are mutated.
+            stream = [
+                TimedRequest(request=t.request, arrival_time=t.arrival_time)
+                for t in unique
+            ]
+            results[prefix_cache] = serving.run(stream)
+
+        assert results[True].report.hit_rate == 0.0
+        assert self._timeline(results[True]) == self._timeline(results[False])
+        assert results[True].makespan == results[False].makespan
+
+    def test_tokenless_workloads_run_identically_under_the_flag(
+        self, backend, workload
+    ):
+        """mtbench-style requests carry no token ids: the flag is inert."""
+        from repro.workloads import mtbench
+
+        spec = mtbench(generation_len=8, num_requests=16)
+        policy = backend.select_policy(spec)
+        slo = default_slo(backend, spec, policy)
+        timelines = []
+        for prefix_cache in (False, True):
+            serving = ServingSystem(
+                backend, spec, policy=policy, slo=slo, prefix_cache=prefix_cache
+            )
+            result = serving.run(PoissonProcess(0.5), count=16, seed=SEED)
+            timelines.append(self._timeline(result))
+        assert timelines[0] == timelines[1]
+
+
+class TestCacheAwareSharding:
+    def test_cache_aware_requires_prefix_cache(self, backend, workload):
+        with pytest.raises(ConfigurationError):
+            ShardedServingSystem(
+                backend, workload, num_shards=2, router="cache-aware"
+            )
+
+    def test_cache_aware_keeps_sessions_on_warm_shards(self, backend, workload):
+        sharded = ShardedServingSystem(
+            backend,
+            workload,
+            num_shards=2,
+            router="cache-aware",
+            prefix_cache=True,
+            chunk_prefill_tokens=CHUNK_TOKENS,
+        )
+        result = sharded.run(PoissonProcess(0.2), count=NUM_REQUESTS, seed=SEED)
+        assert result.report.num_completed == NUM_REQUESTS
+        # Later turns follow their session's cached history: once a session
+        # has a warm shard, its follow-ups land there.
+        by_session: dict[int, set[int]] = {}
+        for sr in result.requests:
+            session = sr.request.session_id
+            by_session.setdefault(session, set()).add(sr.shard_id)
+        sticky = [len(shards) == 1 for shards in by_session.values()]
+        assert sum(sticky) >= len(sticky) - 2  # near-perfect affinity
+        assert result.report.hit_rate > 0.5

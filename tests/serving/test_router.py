@@ -73,4 +73,33 @@ def test_sessionless_traffic_falls_back_to_request_id():
 
 
 def test_policy_roster_is_stable():
-    assert ROUTER_POLICIES == ("round-robin", "least-loaded", "session-affinity")
+    assert ROUTER_POLICIES == (
+        "round-robin",
+        "least-loaded",
+        "session-affinity",
+        "cache-aware",
+    )
+
+
+class TestCacheAwareRouting:
+    def test_longest_prefix_wins(self):
+        router = ShardRouter(3, "cache-aware")
+        shard = router.route(make_request(0), [5, 0, 0], prefix_lens=[64, 0, 16])
+        assert shard == 0
+        assert router.cache_routed == 1
+
+    def test_cold_prompt_falls_back_to_least_loaded(self):
+        router = ShardRouter(3, "cache-aware")
+        assert router.route(make_request(0), [4, 1, 2], prefix_lens=[0, 0, 0]) == 1
+        assert router.route(make_request(1), [4, 1, 2], prefix_lens=None) == 1
+        assert router.cache_routed == 0
+
+    def test_prefix_ties_break_by_load_then_id(self):
+        router = ShardRouter(3, "cache-aware")
+        assert router.route(make_request(0), [7, 2, 2], prefix_lens=[32, 32, 32]) == 1
+        assert router.route(make_request(1), [2, 2, 2], prefix_lens=[0, 32, 32]) == 1
+
+    def test_prefix_vector_must_match_shards(self):
+        router = ShardRouter(3, "cache-aware")
+        with pytest.raises(ConfigurationError):
+            router.route(make_request(0), [0, 0, 0], prefix_lens=[1, 2])

@@ -73,3 +73,58 @@ def test_generation_length_attached_to_requests():
     spec = mtbench(generation_len=64, num_requests=10)
     requests = generate_requests(spec)
     assert all(r.generation_len == 64 for r in requests)
+
+
+# ----------------------------------------------------------------------
+# Multi-turn chat workload
+# ----------------------------------------------------------------------
+class TestChatWorkload:
+    def test_registered_and_parameterised(self):
+        from repro.workloads import get_workload
+
+        spec = get_workload("chat", generation_len=8, num_requests=12)
+        assert spec.name == "chat"
+        assert spec.generation_len == 8
+
+    def test_turn_lengths_are_deterministic(self):
+        from repro.workloads import chat, generate_chat_requests
+
+        spec = chat(generation_len=8, num_requests=12, turns_per_session=3)
+        requests = generate_chat_requests(spec, seed=3)
+        assert len(requests) == 12
+        for request in requests:
+            assert request.session_id is not None
+            assert request.token_ids is not None
+            assert len(request.token_ids) == request.input_len
+        assert max(r.input_len for r in requests) <= spec.max_prompt_len
+
+    def test_sessions_share_the_system_prompt(self):
+        from repro.workloads import chat, generate_chat_requests
+
+        spec = chat(generation_len=8, num_requests=8, turns_per_session=2)
+        requests = generate_chat_requests(spec, seed=0)
+        first_turns = [r for r in requests if r.input_len == spec.prompt_len_at_turn(0)]
+        prefixes = {r.token_ids[: spec.system_prompt_len] for r in first_turns}
+        assert len(prefixes) == 1  # one shared system prompt across sessions
+
+    def test_later_turns_extend_the_previous_prompt(self):
+        from repro.workloads import chat, generate_chat_requests
+
+        spec = chat(generation_len=8, num_requests=8, turns_per_session=4)
+        requests = generate_chat_requests(spec, count=8, seed=1)
+        by_session = {}
+        for request in requests:
+            by_session.setdefault(request.session_id, []).append(request)
+        for turns in by_session.values():
+            for earlier, later in zip(turns, turns[1:]):
+                assert later.token_ids[: earlier.input_len] == earlier.token_ids
+
+    def test_same_seed_same_tokens(self):
+        from repro.workloads import chat, generate_chat_requests
+
+        spec = chat(generation_len=4, num_requests=6)
+        a = generate_chat_requests(spec, seed=7)
+        b = generate_chat_requests(spec, seed=7)
+        assert [r.token_ids for r in a] == [r.token_ids for r in b]
+        c = generate_chat_requests(spec, seed=8)
+        assert [r.token_ids for r in a] != [r.token_ids for r in c]

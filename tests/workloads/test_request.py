@@ -77,3 +77,32 @@ def test_batch_total_kv_tokens():
 def test_total_generated_tokens():
     requests = [Request(input_len=4, generation_len=7) for _ in range(3)]
     assert total_generated_tokens(requests) == 21
+
+
+def test_session_key_namespaces_sessions_from_request_ids():
+    """session_id=5 and a sessionless request_id=5 must not collide."""
+    with_session = Request(
+        input_len=4, generation_len=1, request_id=99, session_id=5
+    )
+    sessionless = Request(input_len=4, generation_len=1, request_id=5)
+    assert with_session.session_key != sessionless.session_key
+    # Exhaustively: the two key spaces are disjoint over a dense range.
+    session_keys = {
+        Request(input_len=1, generation_len=1, request_id=0, session_id=i).session_key
+        for i in range(256)
+    }
+    request_keys = {
+        Request(input_len=1, generation_len=1, request_id=i).session_key
+        for i in range(256)
+    }
+    assert session_keys.isdisjoint(request_keys)
+
+
+def test_token_ids_length_must_match_input_len():
+    with pytest.raises(ConfigurationError):
+        Request(input_len=3, generation_len=1, token_ids=(1, 2))
+
+
+def test_padding_preserves_token_ids():
+    request = Request(input_len=3, generation_len=1, token_ids=(7, 8, 9))
+    assert request.padded_to(10).token_ids == (7, 8, 9)
