@@ -13,12 +13,16 @@ import os
 
 import pytest
 
-from repro.experiments import run_serving_sweep, run_shard_scaling
+from repro.experiments import run_overlap_sweep, run_serving_sweep, run_shard_scaling
 from repro.experiments.bench_output import write_bench_serving_json
+from repro.experiments.overlap_sweep import OVERLAP_SWEEP_COLUMNS
 from repro.experiments.serving_sweep import SWEEP_COLUMNS
 from repro.experiments.shard_scaling import SHARD_SCALING_COLUMNS
 
 BENCH_JSON = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
+BENCH_OVERLAP_JSON = os.environ.get(
+    "BENCH_SERVING_OVERLAP_JSON", "BENCH_serving_overlap.json"
+)
 
 
 @pytest.mark.paper_artifact("Serving sweep (beyond-paper)")
@@ -100,3 +104,48 @@ def test_bench_shard_scaling(benchmark, print_rows):
     assert rows[-1]["ttft_p99"] < rows[0]["ttft_p99"]
     for row in rows:
         assert 0.0 < row["shard_util_min"] <= 1.0
+
+
+@pytest.mark.paper_artifact("Overlapped prefill/decode streams (beyond-paper)")
+def test_bench_overlap_sweep(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_overlap_sweep,
+        kwargs={
+            "load_factors": (2.0, 4.0),
+            "num_requests": 32,
+            "generation_len": 16,
+            "seed": 0,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print_rows(
+        rows,
+        columns=list(OVERLAP_SWEEP_COLUMNS),
+        title="Overlap sweep: chat @ S1, serialized vs. overlapped streams",
+    )
+    document = write_bench_serving_json(
+        BENCH_OVERLAP_JSON,
+        rows,
+        meta={
+            "source": "benchmarks/test_bench_serving.py",
+            "model": "mixtral-8x7b",
+            "hardware": "1xT4",
+            "workload": "chat",
+            "generation_len": 16,
+            "num_requests": 32,
+            "seed": 0,
+        },
+    )
+    assert set(document["summary"]) == {
+        "moe-lightning (overlap off)",
+        "moe-lightning (overlap on)",
+    }
+    assert len(rows) == 4  # 2 load factors x {off, on}
+    for off_row, on_row in zip(rows[::2], rows[1::2]):
+        assert off_row["overlap"] == "off" and on_row["overlap"] == "on"
+        # The overlapped engine wins on decode smoothness and goodput.
+        assert on_row["mean_tpot"] < off_row["mean_tpot"]
+        assert on_row["goodput"] >= off_row["goodput"]
+        assert on_row["overlap_fraction"] > 0.0
+        assert off_row["overlap_fraction"] == 0.0

@@ -13,7 +13,10 @@ drives them through the online serving subsystem:
    least-loaded router (the `repro-serve --shards N` mode),
 5. serve a multi-turn chat stream with the prefix cache off and on
    (the `repro-serve --workload chat --prefix-cache on` mode) and print
-   the hit rate and the TTFT/throughput win cached prefixes buy.
+   the hit rate and the TTFT/throughput win cached prefixes buy,
+6. serve a loaded chat stream serialized and with overlapped
+   prefill/decode streams (the `repro-serve --overlap on` mode) and print
+   the TPOT/goodput win of fusing prefills into decode iterations.
 
 Everything is deterministic under the fixed seed, and the headline sweep
 is also written to ``BENCH_serving.json`` (throughput, TTFT/TPOT
@@ -29,11 +32,13 @@ import os
 from repro.experiments import (
     render_rows,
     run_cache_sweep,
+    run_overlap_sweep,
     run_serving_sweep,
     run_shard_scaling,
     write_bench_serving_json,
 )
 from repro.experiments.cache_sweep import CACHE_SWEEP_COLUMNS
+from repro.experiments.overlap_sweep import OVERLAP_SWEEP_COLUMNS
 from repro.experiments.serving_sweep import SWEEP_COLUMNS, offline_capacity
 from repro.experiments.shard_scaling import SHARD_SCALING_COLUMNS
 from repro.hardware import get_hardware
@@ -199,12 +204,47 @@ def prefix_cache_demo() -> None:
         )
 
 
+def overlap_demo() -> None:
+    """Serialized vs. overlapped prefill/decode streams at the same load."""
+    rows = run_overlap_sweep(
+        load_factors=(2.0, 4.0),
+        generation_len=GENERATION_LEN,
+        num_requests=NUM_REQUESTS,
+        seed=SEED,
+    )
+    print()
+    print(
+        render_rows(
+            rows,
+            columns=list(OVERLAP_SWEEP_COLUMNS),
+            title=(
+                "Overlapped prefill/decode streams on loaded chat: "
+                "serialized vs. fused weight-streaming passes"
+            ),
+        )
+    )
+    for load in (2.0, 4.0):
+        off = next(
+            r for r in rows if r["load_factor"] == load and r["overlap"] == "off"
+        )
+        on = next(
+            r for r in rows if r["load_factor"] == load and r["overlap"] == "on"
+        )
+        print(
+            f"  load {load:g}x: mean TPOT {off['mean_tpot']:.1f}s -> "
+            f"{on['mean_tpot']:.1f}s, goodput {off['goodput']:.3f} -> "
+            f"{on['goodput']:.3f} req/s, overlap fraction "
+            f"{on['overlap_fraction']:.0%}"
+        )
+
+
 def main() -> None:
     rows = load_sweep()
     scheduling_comparison()
     burstiness_comparison()
     shard_scaling()
     prefix_cache_demo()
+    overlap_demo()
     write_bench_serving_json(
         BENCH_JSON,
         rows,

@@ -23,6 +23,9 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.cache_sweep` — prefix-cache on/off sweep over a
   multi-turn chat stream (hit rate vs. TTFT/throughput/SLO-goodput; not a
   paper artifact).
+* :mod:`repro.experiments.overlap_sweep` — serialized vs. overlapped
+  prefill/decode streams over one loaded chat stream (goodput/TPOT/TTFT
+  curves; not a paper artifact).
 * :mod:`repro.experiments.bench_output` — machine-readable ``BENCH_*.json``
   artifacts for CI trend tracking.
 * :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
@@ -45,6 +48,7 @@ from repro.experiments.tp_scaling import run_tp_scaling
 from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
 from repro.experiments.shard_scaling import run_shard_scaling
 from repro.experiments.cache_sweep import run_cache_sweep
+from repro.experiments.overlap_sweep import run_overlap_sweep
 from repro.experiments.bench_output import serving_summary, write_bench_serving_json
 from repro.experiments.report import render_rows, rows_to_markdown
 
@@ -65,6 +69,7 @@ __all__ = [
     "run_serving_sweep",
     "run_shard_scaling",
     "run_cache_sweep",
+    "run_overlap_sweep",
     "serving_summary",
     "write_bench_serving_json",
     "render_rows",

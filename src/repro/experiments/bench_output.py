@@ -37,13 +37,19 @@ from typing import Mapping, Sequence
 SUMMARY_METRICS: tuple[str, ...] = (
     "token_throughput",
     "ttft_p50",
+    "ttft_p95",
     "ttft_p99",
     "tpot_p50",
+    "tpot_p95",
     "tpot_p99",
+    "e2e_p95",
+    "mean_ttft",
+    "mean_tpot",
     "goodput",
     "goodput_fraction",
     "hit_rate",
     "cached_token_fraction",
+    "overlap_fraction",
     "num_shards",
 )
 
@@ -67,14 +73,19 @@ def serving_summary(
     the highest shard count — the configuration the sweep argues for.
     Prefix-cache sweeps (rows that differ in ``prefix_cache``) get one
     summary entry per cache setting, keyed ``"system (cache on|off)"``, so
-    the artifact captures the cache win, not just one side of it.
+    the artifact captures the cache win, not just one side of it; sweeps
+    over overlapped prefill/decode streams (rows that differ in
+    ``overlap``) are keyed ``"system (overlap on|off)"`` the same way.
     """
     by_system: dict[str, list[Mapping[str, object]]] = {}
     cache_settings = {str(row.get("prefix_cache", "off")) for row in rows}
+    overlap_settings = {str(row.get("overlap", "off")) for row in rows}
     for row in rows:
         system = str(row.get("system", "unknown"))
         if len(cache_settings) > 1:
             system = f"{system} (cache {row.get('prefix_cache', 'off')})"
+        if len(overlap_settings) > 1:
+            system = f"{system} (overlap {row.get('overlap', 'off')})"
         by_system.setdefault(system, []).append(row)
 
     summary: dict[str, dict[str, object]] = {}

@@ -78,6 +78,7 @@ def run_serving_sweep(
     use_simulator: bool = False,
     chunk_prefill_tokens: int | None = None,
     prefix_cache: bool = False,
+    overlap: bool = False,
 ) -> list[dict[str, object]]:
     """Sweep arrival rates across serving systems; one row per point.
 
@@ -119,6 +120,7 @@ def run_serving_sweep(
             use_simulator=use_simulator,
             chunk_prefill_tokens=chunk_prefill_tokens,
             prefix_cache=prefix_cache,
+            overlap=overlap,
         )
         for backend, policy in zip(backends, policies)
     ]
@@ -135,6 +137,7 @@ def run_serving_sweep(
                 "arrival": arrival,
                 "scheduling": scheduling,
                 "prefix_cache": "on" if prefix_cache else "off",
+                "overlap": "on" if overlap else "off",
             }
             row.update(result.as_row())
             row["slo_ttft"] = shared_slo.ttft
@@ -225,7 +228,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--router",
         default="round-robin",
         metavar="POLICY",
-        help="shard router: round-robin, least-loaded or session-affinity",
+        help=(
+            "shard router: round-robin, least-loaded, session-affinity or "
+            "cache-aware"
+        ),
     )
     parser.add_argument(
         "--chunk-prefill",
@@ -242,6 +248,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "share KV blocks across requests with matching prompt prefixes "
             "(ref-counted block store with LRU reuse); pairs naturally with "
             "--workload chat"
+        ),
+    )
+    parser.add_argument(
+        "--overlap",
+        choices=("on", "off"),
+        default="off",
+        help=(
+            "overlapped prefill/decode streams: whole-prompt prefills ride "
+            "decode iterations on the shared weight-streaming pass instead "
+            "of stalling them (off reproduces the serialized timeline)"
         ),
     )
     parser.add_argument(
@@ -316,8 +332,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             "router": args.router,
             "chunk_prefill": args.chunk_prefill,
             "prefix_cache": args.prefix_cache,
+            "overlap": args.overlap,
         }
         prefix_cache = args.prefix_cache == "on"
+        overlap = args.overlap == "on"
         if args.shards > 1:
             # Sharded mode sweeps shard counts at one load point: take it
             # from --load-factor, falling back to the strongest requested
@@ -344,8 +362,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 seed=args.seed,
                 use_simulator=args.simulate,
                 prefix_cache=prefix_cache,
+                overlap=overlap,
             )
             columns = list(SHARD_SCALING_COLUMNS)
+            if prefix_cache:
+                columns += ["hit_rate", "cached_token_fraction"]
+            if overlap:
+                columns += ["overlap_fraction"]
             title = (
                 f"Shard scaling: {args.workload} @ {args.model} / "
                 f"{args.hardware} x{args.shards} ({args.router} routing, "
@@ -366,10 +389,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 use_simulator=args.simulate,
                 chunk_prefill_tokens=chunk_prefill,
                 prefix_cache=prefix_cache,
+                overlap=overlap,
             )
             columns = list(SWEEP_COLUMNS)
             if prefix_cache:
                 columns += ["hit_rate", "cached_token_fraction"]
+            if overlap:
+                columns += ["overlap_fraction"]
             title = (
                 f"Serving sweep: {args.workload} @ {args.model} / {args.hardware} "
                 f"({args.arrival} arrivals, {args.scheduling} scheduling, "

@@ -56,6 +56,7 @@ def run_shard_scaling(
     slo: SLO | None = None,
     use_simulator: bool = False,
     prefix_cache: bool = False,
+    overlap: bool = False,
 ) -> list[dict[str, object]]:
     """Serve one identical stream with each shard count; one row per point.
 
@@ -108,12 +109,14 @@ def run_shard_scaling(
             chunk_prefill_tokens=chunk_prefill_tokens,
             use_simulator=use_simulator,
             prefix_cache=prefix_cache,
+            overlap=overlap,
         )
         row = sharded.run(process, count=num_requests, seed=seed).as_row()
         row["load_factor"] = load_factor
         row["rate_rps"] = rate
         row["arrival"] = arrival
         row["prefix_cache"] = "on" if prefix_cache else "off"
+        row["overlap"] = "on" if overlap else "off"
         rows.append(row)
     return rows
 

@@ -22,17 +22,22 @@ metrics, so MoE-Lightning and the baselines become comparable under load.
 * :mod:`repro.serving.metrics` — TTFT / TPOT / E2E percentiles and
   SLO-goodput.
 * :mod:`repro.serving.server` — the per-shard :class:`EngineCore` state
-  machine and the :class:`ServingSystem` facade driving any offloading
-  backend through a simulated wall clock.
+  machine (event-granular ``begin_step``/``complete_step``, optionally
+  with overlapped prefill/decode streams) and the :class:`ServingSystem`
+  facade driving any offloading backend through a simulated wall clock.
 * :mod:`repro.serving.router` — the :class:`ShardRouter`
   (round-robin / least-loaded / session-affinity / cache-aware) in front
   of per-shard queues.
+* :mod:`repro.serving.event_loop` — the central timestamp-ordered event
+  queue interleaving arrivals and per-shard step completions in true
+  global time order.
 * :mod:`repro.serving.sharded` — :class:`ShardedServingSystem`, N
   data-parallel engines on a :class:`~repro.cluster.spec.ClusterSpec`
-  with per-shard utilization reporting.
+  with per-shard utilization and stream-occupancy reporting.
 """
 
 from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.event_loop import ServingEventLoop
 from repro.serving.arrivals import (
     ArrivalProcess,
     DeterministicProcess,
@@ -86,6 +91,7 @@ __all__ = [
     "EngineStep",
     "EngineStepModel",
     "ROUTER_POLICIES",
+    "ServingEventLoop",
     "ServingResult",
     "ServingSystem",
     "ShardRouter",

@@ -1,0 +1,124 @@
+"""Timestamp-ordered event loop driving N engine cores in global time order.
+
+The first sharded serving loop was *time-sliced*: before routing each
+arrival it ran every shard forward to the arrival instant
+(O(arrivals x shards) calls), and because an engine step runs to
+completion once started, a shard's clock could overshoot the arrival
+mid-step — the router then observed state (retirements, queue drains)
+from *after* the instant it was deciding at.
+
+This module replaces that with a discrete-event simulation over one
+central event queue.  Two event kinds exist:
+
+* **step-complete** — a shard's in-flight engine step finishes; its
+  effects (clock advance, first tokens, decode tokens, retirements) are
+  applied via :meth:`~repro.serving.server.EngineCore.complete_step`;
+* **arrival** — a request reaches the router, which observes every
+  shard's true outstanding load *at that instant* and offers the request
+  to the chosen shard's queue.
+
+Events are processed in strict timestamp order.  At equal timestamps,
+step completions apply before arrivals (a step ending exactly when a
+request arrives has retired its requests by the time the router looks),
+and all events sharing a timestamp are drained before any shard begins a
+new step, so simultaneous arrivals all enter the same scheduling
+decision.  Drained shards simply stop producing events; the loop ends
+when the queue empties, which doubles as the drain phase.
+
+With ``overlap=False`` engines this reproduces the time-sliced loop's
+per-request timeline bit-for-bit whenever routing is load-independent
+(round-robin, session-affinity) — and fixes the load signal where it is
+not.  A single core behind the loop reproduces
+:class:`~repro.serving.server.ServingSystem`'s timeline exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Sequence
+
+from repro.serving.queue import ServingRequest
+from repro.serving.server import EngineCore
+from repro.utils.errors import SimulationError
+
+#: Tie-break priorities at equal timestamps: completions apply first so the
+#: router sees post-retirement state, then arrivals enqueue, and only once
+#: the timestamp is fully drained do idle shards begin their next step.
+_STEP_COMPLETE = 0
+_ARRIVAL = 1
+
+#: A routing decision: maps one arrival plus the live cores to a shard index.
+RouteFn = Callable[[ServingRequest, Sequence[EngineCore]], int]
+
+
+class ServingEventLoop:
+    """Central event queue multiplexing one arrival stream over N cores.
+
+    ``route`` is called once per arrival with the cores in shard order; it
+    returns the index of the shard to offer the request to.  It runs at
+    the arrival's exact timestamp, after every earlier (and simultaneous)
+    step completion has been applied, so whatever load or cache signal it
+    reads is the true global state at that instant.
+    """
+
+    def __init__(self, cores: Sequence[EngineCore], route: RouteFn) -> None:
+        if not cores:
+            raise SimulationError("event loop needs at least one engine core")
+        self.cores = list(cores)
+        self.route = route
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._pending_arrivals = 0
+
+    def _push(self, time: float, priority: int, payload: object) -> None:
+        heapq.heappush(self._heap, (time, priority, next(self._seq), payload))
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self, records: Sequence[ServingRequest]) -> float:
+        """Serve ``records`` (sorted by arrival time) to completion.
+
+        Returns the makespan: the latest shard clock once every offered
+        request has retired.
+        """
+        for serving_request in records:
+            self._push(serving_request.arrival_time, _ARRIVAL, serving_request)
+        self._pending_arrivals = len(records)
+
+        while self._heap:
+            time = self._heap[0][0]
+            # Drain every event at this timestamp before starting new
+            # steps: completions first (priority order), then arrivals.
+            while self._heap and self._heap[0][0] == time:
+                _, priority, _, payload = heapq.heappop(self._heap)
+                self._dispatch(priority, payload)
+            self._kick()
+        return max((core.now for core in self.cores), default=0.0)
+
+    def _dispatch(self, priority: int, payload: object) -> None:
+        if priority == _ARRIVAL:
+            self._pending_arrivals -= 1
+            serving_request = payload
+            shard = self.route(serving_request, self.cores)
+            self.cores[shard].offer(serving_request)
+        else:
+            core = payload
+            core.complete_step()
+
+    def _kick(self) -> None:
+        """Begin the next step on every shard that can run one."""
+        for core in self.cores:
+            if core.step_in_flight or not core.has_work():
+                continue
+            completion = core.begin_step()
+            if completion is not None:
+                self._push(completion, _STEP_COMPLETE, core)
+            elif core.has_work() and self._pending_arrivals == 0:
+                # Nothing in flight anywhere can unblock this shard's
+                # admission once the arrival stream is exhausted and its
+                # own steps have drained: the engine is wedged.
+                raise SimulationError(
+                    "serving engine stalled with work outstanding"
+                )

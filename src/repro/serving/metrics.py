@@ -126,11 +126,16 @@ class ServingReport:
             "makespan_s": self.makespan,
             "token_throughput": self.token_throughput,
             "ttft_p50": self.ttft[50],
+            "ttft_p95": self.ttft[95],
             "ttft_p99": self.ttft[99],
             "tpot_p50": self.tpot[50],
+            "tpot_p95": self.tpot[95],
             "tpot_p99": self.tpot[99],
             "e2e_p50": self.e2e[50],
+            "e2e_p95": self.e2e[95],
             "e2e_p99": self.e2e[99],
+            "mean_ttft": self.mean_ttft,
+            "mean_tpot": self.mean_tpot,
             "slo_met": self.slo_met,
             "goodput": self.goodput,
             "goodput_fraction": self.goodput_fraction,

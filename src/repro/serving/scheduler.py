@@ -30,6 +30,13 @@ rides along with the decode iteration as a ``"mixed"`` step instead of
 interrupting it.  The mixed step piggybacks the chunk's prompt compute on
 the decode step's weight-streaming pass (the same layer weights serve
 both), so long prefills stop inflating TPOT on loaded shards.
+
+``overlap=True`` generalises the mixed step from a chunked-prefill special
+case into the steady state: the engine runs a *decode stream* and a
+*prefill stream* that advance concurrently and serialize only on the
+shared weight-streaming pass, so whole-prompt prefills also ride decode
+iterations instead of stalling them.  With ``overlap=False`` (the default)
+the scheduler emits exactly the serialized timeline it always has.
 """
 
 from __future__ import annotations
@@ -77,6 +84,7 @@ class ContinuousBatchingScheduler:
         admission: AdmissionController,
         scheduling: str = "fcfs",
         chunk_tokens: int | None = None,
+        overlap: bool = False,
     ) -> None:
         if scheduling not in SCHEDULING_POLICIES:
             known = ", ".join(SCHEDULING_POLICIES)
@@ -89,6 +97,7 @@ class ContinuousBatchingScheduler:
         self.admission = admission
         self.scheduling = scheduling
         self.chunk_tokens = chunk_tokens
+        self.overlap = overlap
 
     # ------------------------------------------------------------------
     # Per-iteration decision
@@ -148,7 +157,11 @@ class ContinuousBatchingScheduler:
                     chunk.append(candidate)
                     admitted += 1
                     if budget is not None:
-                        budget -= candidate.request.effective_input_len
+                        # Charge only the tokens the chunk will actually
+                        # process: prefix-cache hits were marked prefilled
+                        # at admission, so their cached tokens are skipped
+                        # at prefill and must not consume chunk budget.
+                        budget -= candidate.prefill_remaining
                     continue
                 if self.admission.live_requests == 0 and not chunk:
                     # Even an empty engine cannot hold this request: it is
@@ -163,10 +176,12 @@ class ContinuousBatchingScheduler:
                 # Head-of-line request must wait for capacity to free up.
                 break
         if chunk:
-            if self.chunk_tokens is not None and num_running > 0:
-                # Chunked prefill rides the decode iteration: the chunk's
-                # prompt compute overlaps the step's weight-streaming pass
-                # instead of stalling every decoding request.
+            if num_running > 0 and (self.chunk_tokens is not None or self.overlap):
+                # The chunk rides the decode iteration: its prompt compute
+                # overlaps the step's weight-streaming pass instead of
+                # stalling every decoding request.  Chunked prefill always
+                # overlaps this way; ``overlap`` extends it to whole-prompt
+                # prefills (the overlapped prefill/decode streams).
                 return SchedulerAction(kind="mixed", chunk=chunk, rejected=rejected)
             return SchedulerAction(kind="prefill", chunk=chunk, rejected=rejected)
         if num_running > 0:

@@ -23,6 +23,7 @@ run reproduces identical per-request timestamps and metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.core.policy import Policy
 from repro.serving.admission import AdmissionController
@@ -167,28 +168,95 @@ def default_slo(
 
 @dataclass(frozen=True)
 class EngineStep:
-    """One engine iteration in the serving timeline."""
+    """One engine iteration in the serving timeline.
+
+    ``decode_time`` and ``prefill_time`` are the two streams' shares of the
+    step: pure steps put their whole duration on one stream; ``"mixed"``
+    steps carry both halves on the shared weight-streaming pass, so the
+    step lasts as long as the slower half and the faster half rides along
+    for free (``overlapped_time``).
+    """
 
     kind: str
     start: float
     duration: float
     num_requests: int
     num_micro_batches: int
+    decode_time: float = 0.0
+    prefill_time: float = 0.0
 
     @property
     def end(self) -> float:
         """Completion time of the iteration."""
         return self.start + self.duration
 
+    @property
+    def overlapped_time(self) -> float:
+        """Time both streams spent executing concurrently in this step."""
+        return max(0.0, self.decode_time + self.prefill_time - self.duration)
+
+
+def decode_stream_busy(steps: Sequence[EngineStep]) -> float:
+    """Total decode-stream execution time across ``steps``."""
+    return sum(step.decode_time for step in steps)
+
+
+def prefill_stream_busy(steps: Sequence[EngineStep]) -> float:
+    """Total prefill-stream execution time across ``steps``."""
+    return sum(step.prefill_time for step in steps)
+
+
+def overlap_fraction(steps: Sequence[EngineStep]) -> float:
+    """Fraction of total step time with both streams executing."""
+    busy = sum(step.duration for step in steps)
+    if busy <= 0:
+        return 0.0
+    return sum(step.overlapped_time for step in steps) / busy
+
+
+@dataclass
+class _InFlightStep:
+    """A launched-but-not-yet-completed engine step (event-granular mode).
+
+    :meth:`EngineCore.begin_step` decides the action, prices it into
+    ``step`` and records the launch state here;
+    :meth:`EngineCore.complete_step` applies the end-of-step effects at
+    the completion instant and appends ``step`` to the timeline verbatim.
+    Between the two, arrivals may be offered to the core's queue but its
+    running/prefilling sets are frozen.
+    """
+
+    step: EngineStep
+    chunk: list[ServingRequest]
+    decoding: list[ServingRequest]
+    first_token_at: float
+
+    @property
+    def completion(self) -> float:
+        return self.step.end
+
 
 class EngineCore:
     """One engine's continuous-batching state machine (a single shard).
 
     :class:`ServingSystem` drives exactly one core; the sharded serving
-    system drives one per shard and multiplexes the arrival stream between
-    them.  The core owns its shard's queue, admission controller, scheduler
-    and running/prefilling sets, and advances its own simulated clock one
-    engine step at a time.
+    system drives one per shard through the timestamp-ordered event queue
+    of :mod:`repro.serving.event_loop`.  The core owns its shard's queue,
+    admission controller, scheduler and running/prefilling sets.
+
+    Stepping is *event-granular*: :meth:`begin_step` decides and launches
+    the next engine iteration (returning its completion time) and
+    :meth:`complete_step` applies its effects, so an event loop can
+    interleave other shards' events — and arrival ingestion — between the
+    two.  The synchronous :meth:`run_step` (begin + complete back to back)
+    remains the single-engine fast path and is bit-for-bit the historical
+    timeline.
+
+    ``overlap=True`` runs a decode stream and a prefill stream
+    concurrently: whole-prompt prefills ride decode iterations as
+    ``"mixed"`` steps (serializing only on the shared weight-streaming
+    pass) instead of stalling them.  ``overlap=False`` reproduces the
+    serialized timeline exactly.
     """
 
     def __init__(
@@ -204,12 +272,14 @@ class EngineCore:
         chunk_prefill_tokens: int | None = None,
         shard_id: int | None = None,
         prefix_cache: bool = False,
+        overlap: bool = False,
     ) -> None:
         self.policy = policy
         self.step_model = step_model
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.shard_id = shard_id
         self.prefix_cache = prefix_cache
+        self.overlap = overlap
         self.admission = AdmissionController(
             model=backend.model,
             hardware=backend.hardware,
@@ -224,6 +294,7 @@ class EngineCore:
             admission=self.admission,
             scheduling=scheduling,
             chunk_tokens=chunk_prefill_tokens,
+            overlap=overlap,
         )
         self.queue = RequestQueue(ordering=queue_ordering, max_depth=max_queue_depth)
         self.running: list[ServingRequest] = []
@@ -231,6 +302,7 @@ class EngineCore:
         self.steps: list[EngineStep] = []
         self.now = 0.0
         self.dropped_queue_full = 0
+        self._in_flight: _InFlightStep | None = None
 
     # ------------------------------------------------------------------
     # External interface (arrival ingestion and clock control)
@@ -239,30 +311,63 @@ class EngineCore:
         """Ingest one arrival; returns False when the full queue drops it."""
         if self.shard_id is not None:
             serving_request.shard_id = self.shard_id
-        if not self.has_work():
-            # An idle engine's clock catches up to the arrival; a busy one
-            # leaves the request to wait for the current step to finish.
-            self.now = max(self.now, serving_request.arrival_time)
+        was_idle = not self.has_work()
         if not self.queue.push(serving_request):
             serving_request.mark_rejected(
                 serving_request.arrival_time, "queue full"
             )
             self.dropped_queue_full += 1
             return False
+        if was_idle:
+            # An idle engine's clock catches up to the arrival; a busy one
+            # leaves the request to wait for the current step to finish.
+            # The catch-up happens only after a successful push, so a
+            # queue-full drop leaves the clock untouched.
+            self.now = max(self.now, serving_request.arrival_time)
         return True
 
     def has_work(self) -> bool:
         """Whether any request is queued, prefilling or decoding here."""
-        return bool(self.queue) or bool(self.running) or bool(self.prefilling)
+        return (
+            self._in_flight is not None
+            or bool(self.queue)
+            or bool(self.running)
+            or bool(self.prefilling)
+        )
 
     def load(self) -> int:
         """Outstanding requests on this shard (routing signal)."""
         return len(self.queue) + len(self.running) + len(self.prefilling)
 
     @property
+    def step_in_flight(self) -> bool:
+        """Whether a begun step is awaiting its completion event."""
+        return self._in_flight is not None
+
+    @property
     def busy_time(self) -> float:
         """Total simulated time this engine spent executing steps."""
         return sum(step.duration for step in self.steps)
+
+    @property
+    def decode_stream_busy(self) -> float:
+        """Total time the decode stream spent executing."""
+        return decode_stream_busy(self.steps)
+
+    @property
+    def prefill_stream_busy(self) -> float:
+        """Total time the prefill stream spent executing."""
+        return prefill_stream_busy(self.steps)
+
+    @property
+    def overlapped_time(self) -> float:
+        """Total time both streams executed concurrently (mixed steps)."""
+        return sum(step.overlapped_time for step in self.steps)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of this engine's busy time spent with overlapped streams."""
+        return overlap_fraction(self.steps)
 
     def advance_to(self, time: float) -> None:
         """Run engine steps until the clock reaches ``time`` or work runs out."""
@@ -279,10 +384,26 @@ class EngineCore:
                 )
 
     # ------------------------------------------------------------------
-    # One engine iteration
+    # One engine iteration (event-granular: begin / complete)
     # ------------------------------------------------------------------
     def run_step(self) -> str:
         """Execute the scheduler's next action; returns the action kind."""
+        if self.begin_step() is None:
+            return "idle"
+        return self.complete_step()
+
+    def begin_step(self) -> float | None:
+        """Decide and launch the next engine step; returns its completion time.
+
+        Returns ``None`` when the scheduler has nothing runnable (idle);
+        otherwise the step is in flight until :meth:`complete_step` is
+        called at the returned instant.  Start-of-step effects (admission,
+        ``mark_running``, prompt-token consumption) are applied here, at
+        the step's start time; everything stamped at the completion instant
+        waits for :meth:`complete_step`.
+        """
+        if self._in_flight is not None:
+            raise SimulationError("engine step already in flight")
         action = self.scheduler.next_action(
             len(self.running), self.queue, self.prefilling
         )
@@ -291,122 +412,200 @@ class EngineCore:
                 self.now, oversized.reject_reason or "oversized request"
             )
         if action.kind == "idle":
-            return "idle"
-        start = self.now
+            return None
         if action.kind == "prefill":
-            num_requests, num_micro_batches, duration = self._execute_prefill(
-                action.chunk
-            )
+            self._in_flight = self._begin_prefill(action.chunk)
         elif action.kind == "mixed":
-            num_requests, num_micro_batches, duration = self._execute_mixed(
-                action.chunk
-            )
+            self._in_flight = self._begin_mixed(action.chunk)
         else:
-            num_requests, num_micro_batches, duration = self._execute_decode()
-        self.steps.append(
-            EngineStep(
-                kind=action.kind,
-                start=start,
-                duration=duration,
-                num_requests=num_requests,
-                num_micro_batches=num_micro_batches,
-            )
-        )
-        self._retire_finished()
-        return action.kind
+            self._in_flight = self._begin_decode()
+        # The chunk's members leave the queue at begin time; carrying them
+        # in ``prefilling`` keeps has_work()/load() honest mid-flight.
+        self.prefilling = list(self._in_flight.chunk)
+        return self._in_flight.completion
 
-    def _execute_prefill(
-        self, chunk: list[ServingRequest]
-    ) -> tuple[int, int, float]:
+    def complete_step(self) -> str:
+        """Apply the in-flight step's effects at its completion instant."""
+        in_flight = self._in_flight
+        if in_flight is None:
+            raise SimulationError("no engine step in flight to complete")
+        self._in_flight = None
+        self.now = in_flight.completion
+        for serving_request in in_flight.decoding:
+            serving_request.tokens_decoded += 1
+        if in_flight.chunk:
+            self._finish_chunk(in_flight.chunk, in_flight.first_token_at)
+        self.steps.append(in_flight.step)
+        self._retire_finished()
+        return in_flight.step.kind
+
+    def _begin_prefill(self, chunk: list[ServingRequest]) -> _InFlightStep:
         if self.chunk_prefill_tokens is None:
             for serving_request in chunk:
                 serving_request.mark_running(self.now)
             duration = self.step_model.prefill_time(chunk)
-            self.now += duration
+            # The whole prompt is processed this step; consuming it now
+            # lets completion route every request through _finish_chunk.
             for serving_request in chunk:
-                serving_request.mark_first_token(self.now)
-                self.running.append(serving_request)
+                serving_request.tokens_prefilled = (
+                    serving_request.request.effective_input_len
+                )
             num_requests = len(chunk)
             mu = min(self.policy.micro_batch_size, num_requests)
-            return num_requests, -(-num_requests // mu), duration
+            step = EngineStep(
+                kind="prefill",
+                start=self.now,
+                duration=duration,
+                num_requests=num_requests,
+                num_micro_batches=-(-num_requests // mu),
+                decode_time=0.0,
+                prefill_time=duration,
+            )
+            return _InFlightStep(
+                step=step,
+                chunk=chunk,
+                decoding=[],
+                first_token_at=step.end,
+            )
 
         # Chunked prefill with nothing decoding: a standalone chunk step.
         num_worked, tokens_processed = self._consume_chunk_budget(chunk)
         duration = self.step_model.chunked_prefill_time(
             max(1, num_worked), max(1, tokens_processed)
         )
-        self.now += duration
-        self._finish_chunk(chunk)
         mu = min(self.policy.micro_batch_size, max(1, num_worked))
-        return num_worked, -(-max(1, num_worked) // mu), duration
+        step = EngineStep(
+            kind="prefill",
+            start=self.now,
+            duration=duration,
+            num_requests=num_worked,
+            num_micro_batches=-(-max(1, num_worked) // mu),
+            decode_time=0.0,
+            prefill_time=duration,
+        )
+        return _InFlightStep(
+            step=step,
+            chunk=chunk,
+            decoding=[],
+            first_token_at=step.end,
+        )
 
-    def _execute_mixed(self, chunk: list[ServingRequest]) -> tuple[int, int, float]:
-        """One decode iteration carrying a chunked-prefill token budget.
+    def _begin_mixed(self, chunk: list[ServingRequest]) -> _InFlightStep:
+        """One decode iteration carrying prefill work on the same pass.
 
         The chunk's prompt compute shares the step's layer-by-layer weight
         stream with the decode pass (what the GPU would otherwise idle
         through on weight-transfer-bound steps), so the step lasts as long
-        as the *slower* of the two halves rather than their sum.
+        as the *slower* of the two halves rather than their sum.  Under
+        chunked prefill the chunk is a token budget; with ``overlap`` and
+        no chunking it is the whole-prompt prefill of the admitted chunk.
         """
         batch = self.scheduler.form_micro_batches(self.running)
         binding_context = self.scheduler.binding_context_len(batch, self.running)
         decode_time = self.step_model.decode_step_time(
             len(self.running), binding_context
         )
-        num_worked, tokens_processed = self._consume_chunk_budget(chunk)
-        chunk_time = self.step_model.chunked_prefill_time(
-            max(1, num_worked), max(1, tokens_processed)
-        )
+        if self.chunk_prefill_tokens is None:
+            # Whole-prompt prefill riding the decode stream (overlap mode):
+            # price it before consuming the prompts it will process.
+            chunk_time = self.step_model.prefill_time(chunk)
+            num_worked, _ = self._consume_chunk_budget(chunk)
+        else:
+            num_worked, tokens_processed = self._consume_chunk_budget(chunk)
+            chunk_time = self.step_model.chunked_prefill_time(
+                max(1, num_worked), max(1, tokens_processed)
+            )
         duration = max(decode_time, chunk_time)
-        self.now += duration
-        for serving_request in self.running:
-            serving_request.tokens_decoded += 1
-        self._finish_chunk(chunk)
+        # Count each request exactly once: the decode half works the
+        # requests running at step start, the prefill half the chunk's
+        # worked prompts.  (Prompts that finish prefilling this step join
+        # the running set only at completion, so they are not decoding.)
         num_requests = len(self.running) + num_worked
-        return num_requests, batch.num_micro_batches, duration
+        # The prefill half completes when its stream does: with overlap on
+        # that is ``chunk_time`` into the step; the serialized timeline
+        # stamps first tokens at the end of the whole step, as it always
+        # has.
+        first_token_at = (
+            self.now + chunk_time if self.overlap else self.now + duration
+        )
+        step = EngineStep(
+            kind="mixed",
+            start=self.now,
+            duration=duration,
+            num_requests=num_requests,
+            num_micro_batches=batch.num_micro_batches,
+            decode_time=decode_time,
+            prefill_time=chunk_time,
+        )
+        return _InFlightStep(
+            step=step,
+            chunk=chunk,
+            decoding=list(self.running),
+            first_token_at=first_token_at,
+        )
 
-    def _consume_chunk_budget(
-        self, chunk: list[ServingRequest]
-    ) -> tuple[int, int]:
-        """Spend the chunk token budget across the chunk's prompts."""
-        budget = self.chunk_prefill_tokens
-        tokens_processed = 0
-        num_worked = 0
-        for serving_request in chunk:
-            if budget <= 0:
-                break
-            if serving_request.state is RequestState.QUEUED:
-                serving_request.mark_running(self.now)
-            take = min(serving_request.prefill_remaining, budget)
-            if take <= 0:
-                continue
-            serving_request.tokens_prefilled += take
-            budget -= take
-            tokens_processed += take
-            num_worked += 1
-        return num_worked, tokens_processed
-
-    def _finish_chunk(self, chunk: list[ServingRequest]) -> None:
-        """Retire completed prompts into the running set; keep the rest."""
-        still_prefilling: list[ServingRequest] = []
-        for serving_request in chunk:
-            if serving_request.is_prefill_complete:
-                serving_request.mark_first_token(self.now)
-                self.running.append(serving_request)
-            else:
-                still_prefilling.append(serving_request)
-        self.prefilling = still_prefilling
-
-    def _execute_decode(self) -> tuple[int, int, float]:
+    def _begin_decode(self) -> _InFlightStep:
         batch = self.scheduler.form_micro_batches(self.running)
         binding_context = self.scheduler.binding_context_len(batch, self.running)
         duration = self.step_model.decode_step_time(
             len(self.running), binding_context
         )
-        self.now += duration
-        for serving_request in self.running:
-            serving_request.tokens_decoded += 1
-        return len(self.running), batch.num_micro_batches, duration
+        step = EngineStep(
+            kind="decode",
+            start=self.now,
+            duration=duration,
+            num_requests=len(self.running),
+            num_micro_batches=batch.num_micro_batches,
+            decode_time=duration,
+            prefill_time=0.0,
+        )
+        return _InFlightStep(
+            step=step,
+            chunk=[],
+            decoding=list(self.running),
+            first_token_at=step.end,
+        )
+
+    def _consume_chunk_budget(
+        self, chunk: list[ServingRequest]
+    ) -> tuple[int, int]:
+        """Spend the chunk token budget across the chunk's prompts.
+
+        A ``None`` budget (overlap mode without chunked prefill) processes
+        every remaining prompt token in the chunk.
+        """
+        budget = self.chunk_prefill_tokens
+        tokens_processed = 0
+        num_worked = 0
+        for serving_request in chunk:
+            if budget is not None and budget <= 0:
+                break
+            if serving_request.state is RequestState.QUEUED:
+                serving_request.mark_running(self.now)
+            take = serving_request.prefill_remaining
+            if budget is not None:
+                take = min(take, budget)
+            if take <= 0:
+                continue
+            serving_request.tokens_prefilled += take
+            if budget is not None:
+                budget -= take
+            tokens_processed += take
+            num_worked += 1
+        return num_worked, tokens_processed
+
+    def _finish_chunk(
+        self, chunk: list[ServingRequest], first_token_at: float
+    ) -> None:
+        """Retire completed prompts into the running set; keep the rest."""
+        still_prefilling: list[ServingRequest] = []
+        for serving_request in chunk:
+            if serving_request.is_prefill_complete:
+                serving_request.mark_first_token(first_token_at)
+                self.running.append(serving_request)
+            else:
+                still_prefilling.append(serving_request)
+        self.prefilling = still_prefilling
 
     def _retire_finished(self) -> None:
         still_running: list[ServingRequest] = []
@@ -445,6 +644,21 @@ class ServingResult:
     report: ServingReport
     admission_stats: dict[str, int] = field(default_factory=dict)
 
+    @property
+    def decode_stream_busy(self) -> float:
+        """Total decode-stream execution time across the run's steps."""
+        return decode_stream_busy(self.steps)
+
+    @property
+    def prefill_stream_busy(self) -> float:
+        """Total prefill-stream execution time across the run's steps."""
+        return prefill_stream_busy(self.steps)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of engine busy time with both streams executing."""
+        return overlap_fraction(self.steps)
+
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
         row: dict[str, object] = {
@@ -455,6 +669,9 @@ class ServingResult:
             "micro_batch_size": self.policy.micro_batch_size,
         }
         row.update(self.report.as_row())
+        row["overlap_fraction"] = self.overlap_fraction
+        row["decode_busy_s"] = self.decode_stream_busy
+        row["prefill_busy_s"] = self.prefill_stream_busy
         return row
 
 
@@ -475,6 +692,7 @@ class ServingSystem:
         block_tokens: int = 16,
         chunk_prefill_tokens: int | None = None,
         prefix_cache: bool = False,
+        overlap: bool = False,
     ) -> None:
         self.backend = backend
         self.workload = workload
@@ -486,6 +704,7 @@ class ServingSystem:
         self.block_tokens = block_tokens
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.prefix_cache = prefix_cache
+        self.overlap = overlap
         self.step_model = EngineStepModel(
             backend,
             workload,
@@ -545,6 +764,7 @@ class ServingSystem:
             block_tokens=self.block_tokens,
             chunk_prefill_tokens=self.chunk_prefill_tokens,
             prefix_cache=self.prefix_cache,
+            overlap=self.overlap,
         )
         next_arrival = 0
         while next_arrival < len(records) or core.has_work():

@@ -6,13 +6,19 @@ offloading backend — each an independent :class:`~repro.serving.server.EngineC
 with its own queue, admission controller and KV cache — serve a single
 arrival stream split by a :class:`~repro.serving.router.ShardRouter`.
 
-The simulation multiplexes the shard clocks: before each arrival is routed,
-every shard's engine runs forward to the arrival time, so load-aware
-routing observes exactly the queue depths a real router would.  Shards
-correspond to the devices of a :class:`~repro.cluster.spec.ClusterSpec`
-(scale-out semantics: each shard owns its node), and the result reports
-per-shard utilization alongside the aggregate latency/goodput metrics, so
-imbalance — the router's failure mode — is directly visible.
+The run loop is the timestamp-ordered event queue of
+:mod:`repro.serving.event_loop`: arrivals and per-shard step completions
+interleave in true global time order, so routing decisions, admissions and
+retirements happen exactly when they would on a live cluster — the router
+never observes a shard clock that overshot the arrival instant.  (The
+original time-sliced multiplexer survives as :meth:`run_time_sliced`, a
+reference implementation for equivalence regression tests.)
+
+Shards correspond to the devices of a
+:class:`~repro.cluster.spec.ClusterSpec` (scale-out semantics: each shard
+owns its node), and the result reports per-shard utilization and
+prefill/decode stream occupancy alongside the aggregate latency/goodput
+metrics, so imbalance — the router's failure mode — is directly visible.
 
 Determinism matches the single-engine system: same backend, arrival
 process, router policy and seed give identical per-request timestamps.
@@ -25,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.cluster.spec import ClusterSpec
 from repro.core.policy import Policy
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
+from repro.serving.event_loop import ServingEventLoop
 from repro.serving.metrics import SLO, ServingReport, summarize
 from repro.serving.queue import RequestState, ServingRequest
 from repro.serving.router import ShardRouter
@@ -45,6 +52,9 @@ class ShardStats:
     tokens_generated: int
     busy_time: float
     utilization: float
+    decode_stream_busy: float = 0.0
+    prefill_stream_busy: float = 0.0
+    overlap_fraction: float = 0.0
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
@@ -56,6 +66,9 @@ class ShardStats:
             "tokens": self.tokens_generated,
             "busy_s": self.busy_time,
             "utilization": self.utilization,
+            "decode_busy_s": self.decode_stream_busy,
+            "prefill_busy_s": self.prefill_stream_busy,
+            "overlap_fraction": self.overlap_fraction,
         }
 
 
@@ -81,6 +94,22 @@ class ShardedServingResult:
         """Per-shard busy fractions over the run's makespan."""
         return [stats.utilization for stats in self.shard_stats]
 
+    @property
+    def overlap_fraction(self) -> float:
+        """Cluster-wide fraction of busy time with both streams executing.
+
+        The busy-time-weighted mean of the per-shard fractions, which are
+        accumulated per step (a pure step contributes exactly zero, with
+        no float residue from regrouped stream sums).
+        """
+        busy = sum(stats.busy_time for stats in self.shard_stats)
+        if busy <= 0:
+            return 0.0
+        overlapped = sum(
+            stats.overlap_fraction * stats.busy_time for stats in self.shard_stats
+        )
+        return overlapped / busy
+
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
         utils = self.shard_utilizations
@@ -96,6 +125,9 @@ class ShardedServingResult:
         row["shard_util_mean"] = sum(utils) / len(utils) if utils else 0.0
         row["shard_util_min"] = min(utils) if utils else 0.0
         row["shard_util"] = "/".join(f"{u:.2f}" for u in utils)
+        row["overlap_fraction"] = self.overlap_fraction
+        row["decode_busy_s"] = sum(s.decode_stream_busy for s in self.shard_stats)
+        row["prefill_busy_s"] = sum(s.prefill_stream_busy for s in self.shard_stats)
         return row
 
 
@@ -121,6 +153,7 @@ class ShardedServingSystem:
         block_tokens: int = 16,
         chunk_prefill_tokens: int | None = None,
         prefix_cache: bool = False,
+        overlap: bool = False,
     ) -> None:
         if num_shards is None:
             if cluster is None:
@@ -158,6 +191,7 @@ class ShardedServingSystem:
                 "route on"
             )
         self.prefix_cache = prefix_cache
+        self.overlap = overlap
         # One step model shared by every shard: the replicas are identical,
         # so the (batch, context) -> latency memo is shard-agnostic.
         self.step_model = EngineStepModel(
@@ -193,6 +227,7 @@ class ShardedServingSystem:
                 chunk_prefill_tokens=self.chunk_prefill_tokens,
                 shard_id=shard_id,
                 prefix_cache=self.prefix_cache,
+                overlap=self.overlap,
             )
             for shard_id in range(self.num_shards)
         ]
@@ -200,18 +235,17 @@ class ShardedServingSystem:
     # ------------------------------------------------------------------
     # The sharded serving loop
     # ------------------------------------------------------------------
-    def run(
+    def _materialize(
         self,
         arrivals: ArrivalProcess | list[TimedRequest],
-        count: int | None = None,
-        seed: int = 0,
-    ) -> ShardedServingResult:
-        """Serve one request stream across every shard to completion."""
+        count: int | None,
+        seed: int,
+    ) -> list[ServingRequest]:
         if isinstance(arrivals, ArrivalProcess):
             stream = arrivals.generate(self.workload, count=count, seed=seed)
         else:
             stream = sorted(arrivals, key=lambda timed: timed.arrival_time)
-        records = [
+        return [
             ServingRequest(
                 request=self._as_served(timed.request),
                 arrival_time=timed.arrival_time,
@@ -219,14 +253,11 @@ class ShardedServingSystem:
             for timed in stream
         ]
 
-        router = ShardRouter(self.num_shards, self.router_policy)
-        cores = self._make_cores()
-        for serving_request in records:
-            # Every shard catches up to the arrival instant first, so the
-            # router's load signal is the true outstanding count at that
-            # time — exactly what a live load balancer would see.
-            for core in cores:
-                core.advance_to(serving_request.arrival_time)
+    def _route_fn(self, router: ShardRouter):
+        """Routing callback for the event loop: loads (and cache matches)
+        are read at the arrival's exact timestamp."""
+
+        def route(serving_request: ServingRequest, cores) -> int:
             loads = [core.load() for core in cores]
             prefix_lens = None
             if self.router_policy == "cache-aware":
@@ -237,12 +268,65 @@ class ShardedServingSystem:
                     core.admission.match_prefix(serving_request.request)
                     for core in cores
                 ]
-            shard = router.route(serving_request, loads, prefix_lens)
+            return router.route(serving_request, loads, prefix_lens)
+
+        return route
+
+    def run(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None = None,
+        seed: int = 0,
+    ) -> ShardedServingResult:
+        """Serve one request stream across every shard to completion.
+
+        Event-driven: a central timestamp-ordered queue interleaves
+        arrivals with per-shard step completions, so the router observes
+        every shard's true outstanding load at the arrival instant and
+        admissions/retirements apply in global time order.
+        """
+        records = self._materialize(arrivals, count, seed)
+        router = ShardRouter(self.num_shards, self.router_policy)
+        cores = self._make_cores()
+        loop = ServingEventLoop(cores, self._route_fn(router))
+        makespan = loop.run(records)
+        return self._finalize(records, cores, makespan)
+
+    def run_time_sliced(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None = None,
+        seed: int = 0,
+    ) -> ShardedServingResult:
+        """The original time-sliced multiplexer (reference implementation).
+
+        Before each arrival is routed, every shard's engine runs forward to
+        the arrival time — O(arrivals x shards), and a step started before
+        the arrival runs to completion, so the shard clock can overshoot
+        the instant the router is deciding at.  Retained for equivalence
+        regression tests: with load-independent routing (round-robin,
+        session-affinity) :meth:`run` reproduces this timeline bit-for-bit.
+        """
+        records = self._materialize(arrivals, count, seed)
+        router = ShardRouter(self.num_shards, self.router_policy)
+        cores = self._make_cores()
+        route = self._route_fn(router)
+        for serving_request in records:
+            for core in cores:
+                core.advance_to(serving_request.arrival_time)
+            shard = route(serving_request, cores)
             cores[shard].offer(serving_request)
         for core in cores:
             core.drain()
-
         makespan = max((core.now for core in cores), default=0.0)
+        return self._finalize(records, cores, makespan)
+
+    def _finalize(
+        self,
+        records: list[ServingRequest],
+        cores: list[EngineCore],
+        makespan: float,
+    ) -> ShardedServingResult:
         report = summarize(records, makespan=makespan, slo=self.slo)
         shard_stats = []
         for core in cores:
@@ -264,6 +348,9 @@ class ShardedServingSystem:
                     utilization=(
                         core.busy_time / makespan if makespan > 0 else 0.0
                     ),
+                    decode_stream_busy=core.decode_stream_busy,
+                    prefill_stream_busy=core.prefill_stream_busy,
+                    overlap_fraction=core.overlap_fraction,
                 )
             )
         totals: dict[str, int] = {}

@@ -1,0 +1,122 @@
+"""Overlap-sweep harness, its CLI wiring and the BENCH artifact fields."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_output import serving_summary, write_bench_serving_json
+from repro.experiments.overlap_sweep import (
+    OVERLAP_SWEEP_COLUMNS,
+    main,
+    run_overlap_sweep,
+)
+from repro.experiments.serving_sweep import main as serve_main
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_overlap_sweep(
+        load_factors=(4.0,),
+        num_requests=16,
+        generation_len=16,
+        seed=0,
+    )
+
+
+def test_rows_pair_serialized_and_overlapped(rows):
+    assert [row["overlap"] for row in rows] == ["off", "on"]
+    for row in rows:
+        for column in OVERLAP_SWEEP_COLUMNS:
+            assert column in row
+
+
+def test_overlap_on_dominates_in_the_sweep(rows):
+    off, on = rows
+    assert on["mean_tpot"] < off["mean_tpot"]
+    assert on["goodput"] >= off["goodput"]
+    assert on["overlap_fraction"] > 0.0
+    assert off["overlap_fraction"] == 0.0
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        run_overlap_sweep(system_name="unknown")
+    with pytest.raises(ConfigurationError):
+        run_overlap_sweep(arrival="weibull")
+    with pytest.raises(ConfigurationError):
+        run_overlap_sweep(load_factors=())
+
+
+def test_summary_splits_overlap_settings(rows):
+    summary = serving_summary(rows)
+    assert set(summary) == {
+        "moe-lightning (overlap off)",
+        "moe-lightning (overlap on)",
+    }
+    on = summary["moe-lightning (overlap on)"]
+    assert on["overlap_fraction"] > 0.0
+    assert "tpot_p95" in on and "mean_tpot" in on
+
+
+def test_bench_json_records_overlap_fields(rows, tmp_path):
+    path = tmp_path / "BENCH_serving_overlap.json"
+    write_bench_serving_json(path, rows, meta={"shards": 1, "tpot_factor": 1.2})
+    document = json.loads(path.read_text())
+    assert document["meta"]["tpot_factor"] == 1.2
+    for row in document["rows"]:
+        assert row["overlap"] in ("on", "off")
+        assert "overlap_fraction" in row
+        assert "tpot_p95" in row
+
+
+def test_overlap_sweep_cli_writes_json(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    code = main(
+        [
+            "--num-requests", "8",
+            "--generation-len", "8",
+            "--load-factors", "2.0",
+            "--json", str(path),
+        ]
+    )
+    assert code == 0
+    document = json.loads(path.read_text())
+    assert document["meta"]["workload"] == "chat"
+    assert capsys.readouterr().out.count("Overlap sweep") == 1
+
+
+def test_overlap_sweep_cli_invalid_config_exits_2(capsys):
+    assert main(["--system", "nope"]) == 2
+    assert main(["--shards", "0"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_repro_serve_accepts_overlap_flag(capsys):
+    code = serve_main(
+        [
+            "--workload", "chat",
+            "--overlap", "on",
+            "--systems", "moe-lightning",
+            "--num-requests", "8",
+            "--generation-len", "8",
+            "--load-factors", "2.0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "overlap_fraction" in out
+
+
+def test_repro_serve_sharded_accepts_overlap_flag(capsys):
+    code = serve_main(
+        [
+            "--shards", "2",
+            "--overlap", "on",
+            "--systems", "moe-lightning",
+            "--num-requests", "8",
+            "--generation-len", "8",
+        ]
+    )
+    assert code == 0
+    assert "num_shards" in capsys.readouterr().out
