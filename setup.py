@@ -4,12 +4,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
-        "continuous-batching serving simulator with multi-GPU sharding "
-        "and shared-prefix KV caching"
+        "continuous-batching serving simulator with multi-GPU sharding, "
+        "shared-prefix KV caching and end-to-end serving telemetry"
     ),
     long_description=(
         "Analytical (HRM) performance models, a discrete-event pipeline "
@@ -20,7 +20,9 @@ setup(
         "(tensor/expert partition plans, partitioned roofline models, "
         "sharded serving with routing and chunked prefill), and a shared "
         "ref-counted prefix cache (content-hash-chained KV blocks, "
-        "cache-aware routing, multi-turn chat workloads) layered on top."
+        "cache-aware routing, multi-turn chat workloads), and an opt-in "
+        "observability layer (request-lifecycle Chrome traces, streaming "
+        "P2 percentile metrics, time-series sampling) layered on top."
     ),
     author="paper-repo-growth",
     license="Apache-2.0",
@@ -40,6 +42,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.experiments.serving_sweep:main",
+            "repro-trace = repro.obs.trace_cli:main",
         ],
     },
     classifiers=[

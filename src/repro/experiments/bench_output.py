@@ -8,7 +8,9 @@ need stable JSON.  This module owns the schema so every emitter (the
 ```json
 {
   "benchmark": "serving",
-  "schema_version": 1,
+  "schema_version": 2,
+  "git_sha": "...",                   # emitting checkout (or "unknown")
+  "created_at": "...",                # UTC ISO-8601 run timestamp
   "meta": {...},                      # workload / hardware / sweep knobs
   "summary": {                        # one entry per system, measured at
     "moe-lightning": {                # the load factor closest to 1.0
@@ -28,8 +30,14 @@ writer drops anything else rather than failing mid-benchmark.
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Mapping, Sequence
+
+#: Bumped whenever the artifact shape changes.  2: provenance stamps
+#: (``git_sha``, ``created_at``) and p50/p99 E2E percentiles in summaries.
+BENCH_SCHEMA_VERSION = 2
 
 #: Metrics copied from a sweep row into the per-system summary when the row
 #: carries them.  Serving rows always report hit_rate/cached_token_fraction
@@ -42,7 +50,9 @@ SUMMARY_METRICS: tuple[str, ...] = (
     "tpot_p50",
     "tpot_p95",
     "tpot_p99",
+    "e2e_p50",
     "e2e_p95",
+    "e2e_p99",
     "mean_ttft",
     "mean_tpot",
     "goodput",
@@ -104,15 +114,37 @@ def serving_summary(
     return summary
 
 
+def _git_sha() -> str:
+    """The working tree's commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def write_bench_serving_json(
     path: str | Path,
     rows: Sequence[Mapping[str, object]],
     meta: Mapping[str, object] | None = None,
 ) -> dict[str, object]:
-    """Write the serving benchmark artifact; returns the written document."""
+    """Write the serving benchmark artifact; returns the written document.
+
+    Every artifact is stamped with its schema version, the emitting
+    checkout's git SHA and a UTC run timestamp, so trend tooling can bucket
+    results by code version without trusting file mtimes.
+    """
     document: dict[str, object] = {
         "benchmark": "serving",
-        "schema_version": 1,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "created_at": datetime.now(timezone.utc).isoformat(),
         "meta": _clean_row(meta or {}),
         "summary": serving_summary(rows),
         "rows": [_clean_row(row) for row in rows],

@@ -79,6 +79,7 @@ def run_serving_sweep(
     chunk_prefill_tokens: int | None = None,
     prefix_cache: bool = False,
     overlap: bool = False,
+    telemetry=None,
 ) -> list[dict[str, object]]:
     """Sweep arrival rates across serving systems; one row per point.
 
@@ -86,6 +87,11 @@ def run_serving_sweep(
     capacity so every system is measured at identical absolute load.  The
     shared SLO defaults to the first system's unloaded latencies (see
     :func:`repro.serving.server.default_slo`).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) observes the *final*
+    sweep point — the last listed system at the highest load factor — so
+    one trace/metrics artifact describes one well-defined run rather than
+    a blur of all of them.
     """
     if not load_factors:
         raise ConfigurationError("load_factors must not be empty")
@@ -126,11 +132,17 @@ def run_serving_sweep(
     ]
 
     rows: list[dict[str, object]] = []
+    total_runs = len(load_factors) * len(servers)
+    run_index = 0
     for load_factor in load_factors:
         rate = load_factor * reference_rate
         process = ARRIVAL_PROCESSES[arrival](rate)
         for serving in servers:
-            result = serving.run(process, count=num_requests, seed=seed)
+            run_index += 1
+            attach = telemetry if run_index == total_runs else None
+            result = serving.run(
+                process, count=num_requests, seed=seed, telemetry=attach
+            )
             row: dict[str, object] = {
                 "load_factor": load_factor,
                 "rate_rps": rate,
@@ -275,6 +287,35 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the sweep as a machine-readable BENCH_serving.json",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the final sweep point as Chrome trace-event JSON "
+            "(open in Perfetto, or summarise with repro-trace)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the final sweep point's time-series samples as JSONL "
+            "(one {\"t\": ...} object per line; last line carries the "
+            "metric-registry summary) and print sparklines"
+        ),
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "simulated-time spacing of the time-series samples "
+            "(default: 1.0 when --metrics-out is set)"
+        ),
+    )
     return parser
 
 
@@ -336,6 +377,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         }
         prefix_cache = args.prefix_cache == "on"
         overlap = args.overlap == "on"
+        # Telemetry is strictly opt-in: with none of the flags set the
+        # serving loops take their historical code paths untouched.
+        telemetry = None
+        if args.trace or args.metrics_out or args.sample_interval is not None:
+            from repro.obs import Telemetry
+
+            if args.sample_interval is not None and args.sample_interval <= 0:
+                raise ConfigurationError(
+                    f"--sample-interval must be > 0, got {args.sample_interval}"
+                )
+            interval = args.sample_interval
+            if interval is None and args.metrics_out:
+                interval = 1.0
+            telemetry = Telemetry(
+                trace=args.trace is not None,
+                metrics=True,
+                sample_interval=interval,
+            )
         if args.shards > 1:
             # Sharded mode sweeps shard counts at one load point: take it
             # from --load-factor, falling back to the strongest requested
@@ -363,6 +422,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 use_simulator=args.simulate,
                 prefix_cache=prefix_cache,
                 overlap=overlap,
+                telemetry=telemetry,
             )
             columns = list(SHARD_SCALING_COLUMNS)
             if prefix_cache:
@@ -390,6 +450,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 chunk_prefill_tokens=chunk_prefill,
                 prefix_cache=prefix_cache,
                 overlap=overlap,
+                telemetry=telemetry,
             )
             columns = list(SWEEP_COLUMNS)
             if prefix_cache:
@@ -409,7 +470,53 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.json:
         write_bench_serving_json(args.json, rows, meta=meta)
         print(f"wrote {args.json}")
+    if telemetry is not None:
+        _write_telemetry(telemetry, args)
     return 0
+
+
+def _write_telemetry(telemetry, args) -> None:
+    """Export the recorded trace / metrics and print the sparklines."""
+    import json as json_module
+
+    if args.trace and telemetry.trace is not None:
+        telemetry.trace.write_chrome(args.trace)
+        print(f"wrote {args.trace} ({len(telemetry.trace.spans)} lane spans)")
+    if args.metrics_out:
+        lines = []
+        if telemetry.sampler is not None:
+            text = telemetry.sampler.to_jsonl()
+            if text:
+                lines.append(text)
+        if telemetry.registry is not None:
+            lines.append(
+                json_module.dumps(
+                    {"summary": telemetry.registry.snapshot()}, sort_keys=True
+                )
+            )
+        with open(args.metrics_out, "w") as handle:
+            handle.write("\n".join(lines) + "\n" if lines else "")
+        print(f"wrote {args.metrics_out}")
+    if telemetry.sampler is not None and telemetry.sampler.samples:
+        print("time series (final sweep point):")
+        print(
+            telemetry.sampler.render(
+                [
+                    name
+                    for name in (
+                        "queue_depth",
+                        "running",
+                        "load",
+                        "kv_frac",
+                        "hit_rate",
+                        "overlap_fraction",
+                    )
+                    if any(
+                        name in sample for sample in telemetry.sampler.samples
+                    )
+                ]
+            )
+        )
 
 
 if __name__ == "__main__":

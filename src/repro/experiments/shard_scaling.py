@@ -57,12 +57,17 @@ def run_shard_scaling(
     use_simulator: bool = False,
     prefix_cache: bool = False,
     overlap: bool = False,
+    telemetry=None,
 ) -> list[dict[str, object]]:
     """Serve one identical stream with each shard count; one row per point.
 
     The arrival rate is ``load_factor`` times one shard's offline capacity
     regardless of the point's shard count, so every row faces the same
     stream and rows differ only in how much hardware absorbs it.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) observes the *last*
+    point — the highest shard count, the configuration the sweep argues
+    for — so the exported trace shows every shard's lanes.
     """
     from repro.experiments.serving_sweep import (
         ARRIVAL_PROCESSES,
@@ -94,7 +99,7 @@ def run_shard_scaling(
     process = ARRIVAL_PROCESSES[arrival](rate)
 
     rows: list[dict[str, object]] = []
-    for num_shards in shard_counts:
+    for index, num_shards in enumerate(shard_counts):
         # One shard behind the router reproduces the plain ServingSystem
         # exactly (tested), so every point goes through the same machinery
         # and reports the same columns.
@@ -111,7 +116,10 @@ def run_shard_scaling(
             prefix_cache=prefix_cache,
             overlap=overlap,
         )
-        row = sharded.run(process, count=num_requests, seed=seed).as_row()
+        attach = telemetry if index == len(shard_counts) - 1 else None
+        row = sharded.run(
+            process, count=num_requests, seed=seed, telemetry=attach
+        ).as_row()
         row["load_factor"] = load_factor
         row["rate_rps"] = rate
         row["arrival"] = arrival

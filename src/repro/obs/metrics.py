@@ -1,0 +1,240 @@
+"""Streaming metric primitives: counters, gauges and P² histograms.
+
+The serving simulator's reports recompute percentiles from every stored
+latency sample (``numpy.percentile`` over a list).  That is exact but it is
+also the accumulation pattern the ROADMAP's simulator-speed item calls out:
+million-request streams cannot afford one Python object per latency.  This
+module provides the streaming alternative:
+
+* :class:`P2Quantile` — the P² algorithm of Jain & Chlamtáč (CACM 1985):
+  one quantile estimated from five markers updated in O(1) per
+  observation, no samples stored;
+* :class:`StreamingHistogram` — count/sum/min/max plus one
+  :class:`P2Quantile` per requested quantile (p50/p95/p99 by default);
+* :class:`MetricRegistry` — a flat name-keyed registry of counters,
+  gauges and histograms with a JSON-able :meth:`~MetricRegistry.snapshot`.
+
+Everything here is deterministic: the same observation stream produces the
+same estimates, so telemetry-enabled runs are as reproducible as the
+simulator itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.utils.errors import ConfigurationError
+
+#: Quantiles a histogram tracks unless told otherwise (the report trio).
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm (no samples stored).
+
+    Five markers track the running minimum, the target quantile, the
+    quantile's half-way neighbours and the running maximum; each
+    observation shifts marker positions and adjusts heights with a
+    piecewise-parabolic (falling back to linear) interpolation.  Until
+    five observations arrive the estimate is the exact interpolated
+    percentile of the buffered values, so small streams stay exact.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the estimate (O(1))."""
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            bisect.insort(self._heights, value)
+            return
+
+        heights = self._heights
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and heights[cell + 1] <= value:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            # Exact linear-interpolated percentile of the sorted buffer
+            # (numpy's default method), so tiny streams report exactly.
+            rank = self.q * (len(self._heights) - 1)
+            low = int(rank)
+            high = min(low + 1, len(self._heights) - 1)
+            frac = rank - low
+            return self._heights[low] * (1.0 - frac) + self._heights[high] * frac
+        return self._heights[2]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class StreamingHistogram:
+    """Count/sum/min/max plus P² sketches for a fixed set of quantiles."""
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        if not quantiles:
+            raise ConfigurationError("histogram needs at least one quantile")
+        self.quantiles = tuple(quantiles)
+        self._sketches = {q: P2Quantile(q) for q in self.quantiles}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into every sketch."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for sketch in self._sketches.values():
+            sketch.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """The tracked quantile estimate for ``q`` (must be tracked)."""
+        if q not in self._sketches:
+            tracked = ", ".join(str(t) for t in self.quantiles)
+            raise ConfigurationError(f"quantile {q} not tracked (tracked: {tracked})")
+        return self._sketches[q].value()
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the histogram's headline statistics."""
+        stats: dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+        }
+        for q in self.quantiles:
+            stats[f"p{q * 100:g}"] = self._sketches[q].value()
+        return stats
+
+
+@dataclass
+class MetricRegistry:
+    """Name-keyed counters, gauges and histograms for one run."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, StreamingHistogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self.counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self.gauges.setdefault(name, Gauge())
+
+    def histogram(
+        self, name: str, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> StreamingHistogram:
+        """Get or create the histogram called ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = StreamingHistogram(quantiles)
+            self.histograms[name] = histogram
+        return histogram
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-able view of every metric's current value."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def names(self) -> Iterable[str]:
+        """Every registered metric name, sorted."""
+        return sorted([*self.counters, *self.gauges, *self.histograms])

@@ -1,0 +1,112 @@
+"""Fixed-interval time-series sampling over simulated time.
+
+The event loop processes events at irregular simulated timestamps; between
+events the system's state is constant.  The sampler exploits that: each
+time the loop is about to advance to a new timestamp it offers the sampler
+the chance to emit samples for every interval boundary crossed since the
+last one, stamped at the boundary and carrying the state that held there
+(the state after the previous event).  The result is a regular time series
+— queue depth, KV occupancy, cache hit rate, per-shard load — from an
+irregular event stream, with zero samples stored between boundaries.
+
+Export is JSONL (one ``{"t": ..., **values}`` object per line) and ASCII
+sparklines via :func:`repro.utils.ascii_plot.sparkline`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.utils.ascii_plot import sparkline
+from repro.utils.validation import require_positive
+
+#: Produces the values to record at one sample instant.
+CollectFn = Callable[[], Mapping[str, float]]
+
+
+class TimeSeriesSampler:
+    """Samples a state snapshot at fixed simulated-time intervals."""
+
+    def __init__(self, interval: float) -> None:
+        require_positive("interval", interval)
+        self.interval = interval
+        self.samples: list[dict[str, float]] = []
+        self._next_boundary = 0.0
+
+    def observe(self, now: float, collect: CollectFn) -> list[dict[str, float]]:
+        """Emit samples for boundaries strictly before ``now``.
+
+        ``collect`` is called once per pending boundary; state is constant
+        between events, so every boundary in ``(previous event, now)``
+        carries the same — correct — values.  Returns the new samples.
+        """
+        emitted: list[dict[str, float]] = []
+        while self._next_boundary < now - 1e-12:
+            sample = {"t": self._next_boundary}
+            sample.update(collect())
+            self.samples.append(sample)
+            emitted.append(sample)
+            self._next_boundary += self.interval
+        return emitted
+
+    def flush(self, now: float, collect: CollectFn) -> list[dict[str, float]]:
+        """Emit the final samples up to and including ``now`` (run end)."""
+        emitted = self.observe(now, collect)
+        if self._next_boundary <= now + 1e-12:
+            sample = {"t": self._next_boundary}
+            sample.update(collect())
+            self.samples.append(sample)
+            emitted.append(sample)
+            self._next_boundary += self.interval
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Views and export
+    # ------------------------------------------------------------------
+    def series_names(self) -> list[str]:
+        """Every sampled series name (excluding the timestamp), sorted."""
+        names: set[str] = set()
+        for sample in self.samples:
+            names.update(sample)
+        names.discard("t")
+        return sorted(names)
+
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """(timestamps, values) of one series, skipping absent samples."""
+        ts: list[float] = []
+        values: list[float] = []
+        for sample in self.samples:
+            if name in sample:
+                ts.append(sample["t"])
+                values.append(sample[name])
+        return ts, values
+
+    def to_jsonl(self) -> str:
+        """Every sample as one JSON object per line."""
+        return "\n".join(json.dumps(sample, sort_keys=True) for sample in self.samples)
+
+    def write_jsonl(self, path: str | Path) -> None:
+        """Write the samples to ``path`` as JSONL."""
+        text = self.to_jsonl()
+        Path(path).write_text(text + "\n" if text else "")
+
+    def render(
+        self, names: Sequence[str] | None = None, width: int = 60
+    ) -> str:
+        """Sparkline dashboard: one row per series, labelled with its range."""
+        names = list(names) if names is not None else self.series_names()
+        label_width = max((len(name) for name in names), default=0)
+        lines = []
+        for name in names:
+            _, values = self.series(name)
+            if not values:
+                continue
+            lines.append(
+                f"{name:<{label_width}}  [{min(values):g}, {max(values):g}]  "
+                f"{sparkline(values, width=width)}"
+            )
+        if not lines:
+            return "(no samples)"
+        return "\n".join(lines)

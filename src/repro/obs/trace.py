@@ -1,0 +1,448 @@
+"""Request-lifecycle and per-lane span tracing with Chrome trace export.
+
+The offline half of the repo traces pipeline tasks
+(:mod:`repro.runtime.trace`); this module is the online counterpart: it
+records what the *serving* stack did and when, at event granularity:
+
+* **lane spans** — exclusive-occupancy spans on per-shard lanes
+  (``shard0/decode``, ``shard0/prefill``, ``shard0/weight``): one span per
+  engine step and stream, so the decode lane's span sum *is*
+  ``decode_busy_s`` and the weight lane shows the serialize point every
+  step shares;
+* **request spans** — each request's lifecycle as a gapless chain of
+  ``queue`` (arrival → admission), ``prefill`` (admission → first token)
+  and ``decode`` (first token → finish) phases;
+* **instants** — point events: routing decisions, admission verdicts,
+  drops;
+* **counter samples** — time series (queue depth, load, ...) the sampler
+  mirrors into the trace.
+
+:meth:`TraceRecorder.to_chrome` exports all of it as Chrome trace-event
+JSON (the ``traceEvents`` array format), loadable in Perfetto or
+``chrome://tracing``: lane spans become ``X`` complete events on named
+threads, request phases become ``b``/``e`` async events keyed by request
+id, and counter samples become ``C`` events.  Timestamps are simulated
+seconds scaled to microseconds, the unit the format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.utils.errors import SimulationError
+
+#: Simulated seconds -> Chrome trace microseconds.
+_TIME_SCALE = 1e6
+
+#: Overlap tolerance when verifying lane exclusivity (simulated seconds).
+_LANE_TOLERANCE = 1e-9
+
+#: The request-lifecycle phases, in chain order.
+REQUEST_PHASES: tuple[str, ...] = ("queue", "prefill", "decode")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One exclusive-occupancy span on a named lane."""
+
+    lane: str
+    name: str
+    start: float
+    duration: float
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(
+                f"span {self.name!r} on {self.lane!r} has negative duration "
+                f"({self.duration})"
+            )
+
+    @property
+    def end(self) -> float:
+        """Completion time of the span."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class RequestSpan:
+    """One phase of one request's lifecycle."""
+
+    request_id: int
+    phase: str
+    start: float
+    end: float
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"request {self.request_id} phase {self.phase!r} ends before "
+                f"it starts ({self.start} -> {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Time the request spent in this phase."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a lane (routing decision, admission verdict, drop)."""
+
+    lane: str
+    name: str
+    ts: float
+    args: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of one or more named counters at an instant."""
+
+    name: str
+    ts: float
+    values: Mapping[str, float] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects spans, request phases, instants and counter samples."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.request_spans: list[RequestSpan] = []
+        self.instants: list[Instant] = []
+        self.counters: list[CounterSample] = []
+
+    def add_span(
+        self,
+        lane: str,
+        name: str,
+        start: float,
+        duration: float,
+        **args: object,
+    ) -> None:
+        """Record one exclusive lane span."""
+        self.spans.append(
+            Span(lane=lane, name=name, start=start, duration=duration, args=args)
+        )
+
+    def add_request_span(
+        self,
+        request_id: int,
+        phase: str,
+        start: float,
+        end: float,
+        **args: object,
+    ) -> None:
+        """Record one request-lifecycle phase."""
+        self.request_spans.append(
+            RequestSpan(
+                request_id=request_id, phase=phase, start=start, end=end, args=args
+            )
+        )
+
+    def add_instant(self, lane: str, name: str, ts: float, **args: object) -> None:
+        """Record a point event."""
+        self.instants.append(Instant(lane=lane, name=name, ts=ts, args=args))
+
+    def add_counter(self, name: str, ts: float, values: Mapping[str, float]) -> None:
+        """Record one counter sample (a dict of series values at ``ts``)."""
+        self.counters.append(CounterSample(name=name, ts=ts, values=dict(values)))
+
+    # ------------------------------------------------------------------
+    # Queries and invariants
+    # ------------------------------------------------------------------
+    def lanes(self) -> list[str]:
+        """Every lane with at least one span or instant, sorted."""
+        names = {span.lane for span in self.spans}
+        names.update(instant.lane for instant in self.instants)
+        return sorted(names)
+
+    def spans_on(self, lane: str) -> list[Span]:
+        """Spans on ``lane`` ordered by start time."""
+        return sorted(
+            (span for span in self.spans if span.lane == lane),
+            key=lambda span: (span.start, span.end),
+        )
+
+    def lane_busy(self, lane: str) -> float:
+        """Total span time on ``lane`` (spans never overlap there)."""
+        return sum(span.duration for span in self.spans if span.lane == lane)
+
+    def request_chain(self, request_id: int) -> list[RequestSpan]:
+        """One request's lifecycle phases in chain (start-time) order."""
+        return sorted(
+            (rs for rs in self.request_spans if rs.request_id == request_id),
+            key=lambda rs: (rs.start, rs.end),
+        )
+
+    def verify_lanes(self) -> None:
+        """Assert no two spans overlap on the same lane."""
+        for lane in self.lanes():
+            spans = self.spans_on(lane)
+            for previous, current in zip(spans, spans[1:]):
+                if current.start < previous.end - _LANE_TOLERANCE:
+                    raise SimulationError(
+                        f"overlapping spans on lane {lane!r}: "
+                        f"{previous.name} [{previous.start:.6f}, {previous.end:.6f}] "
+                        f"and {current.name} [{current.start:.6f}, {current.end:.6f}]"
+                    )
+
+    def verify_request_chains(self) -> None:
+        """Assert every traced request's phases chain gaplessly."""
+        ids = {rs.request_id for rs in self.request_spans}
+        for request_id in ids:
+            chain = self.request_chain(request_id)
+            for previous, current in zip(chain, chain[1:]):
+                if abs(current.start - previous.end) > _LANE_TOLERANCE:
+                    raise SimulationError(
+                        f"request {request_id}: phase {previous.phase!r} ends at "
+                        f"{previous.end:.6f} but {current.phase!r} starts at "
+                        f"{current.start:.6f}"
+                    )
+
+    @property
+    def makespan(self) -> float:
+        """Latest end time across every span and request phase."""
+        ends = [span.end for span in self.spans]
+        ends.extend(rs.end for rs in self.request_spans)
+        return max(ends, default=0.0)
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict[str, object]:
+        """The trace as a Chrome trace-event JSON document (Perfetto-ready)."""
+        events: list[dict[str, object]] = []
+        lane_tids = {lane: tid for tid, lane in enumerate(self.lanes(), start=1)}
+
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "serving"},
+            }
+        )
+        for lane, tid in lane_tids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+
+        for span in self.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "lane",
+                    "pid": 1,
+                    "tid": lane_tids[span.lane],
+                    "ts": span.start * _TIME_SCALE,
+                    "dur": span.duration * _TIME_SCALE,
+                    "args": dict(span.args),
+                }
+            )
+        for instant in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": instant.name,
+                    "cat": "event",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": lane_tids[instant.lane],
+                    "ts": instant.ts * _TIME_SCALE,
+                    "args": dict(instant.args),
+                }
+            )
+        for rs in self.request_spans:
+            base = {
+                "cat": "request",
+                "id": rs.request_id,
+                "pid": 1,
+                "tid": 0,
+                "name": rs.phase,
+            }
+            events.append(
+                {"ph": "b", "ts": rs.start * _TIME_SCALE, "args": dict(rs.args), **base}
+            )
+            events.append({"ph": "e", "ts": rs.end * _TIME_SCALE, **base})
+        for sample in self.counters:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": sample.name,
+                    "cat": "sampler",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": sample.ts * _TIME_SCALE,
+                    "args": dict(sample.values),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path) -> dict[str, object]:
+        """Write the Chrome trace JSON to ``path``; returns the document."""
+        document = self.to_chrome()
+        Path(path).write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        return document
+
+
+# ----------------------------------------------------------------------
+# Validation of exported (or externally produced) Chrome traces
+# ----------------------------------------------------------------------
+_KNOWN_PHASES = {"X", "M", "i", "b", "e", "C"}
+
+
+def validate_chrome_trace(document: object) -> list[str]:
+    """Schema-check a Chrome trace-event document; returns error strings.
+
+    An empty list means the document is valid: a dict with a
+    ``traceEvents`` array whose events carry the fields their phase
+    requires — ``X`` events a non-negative ``dur``, ``b``/``e`` pairs
+    balanced per (category, id, name), every event a numeric ``ts``.
+    """
+    errors: list[str] = []
+    if not isinstance(document, Mapping):
+        return ["trace document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document has no traceEvents array"]
+    open_async: dict[tuple[object, object, object], int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, Mapping):
+            errors.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            errors.append(f"event {index} has unknown phase {phase!r}")
+            continue
+        if "name" not in event:
+            errors.append(f"event {index} ({phase}) has no name")
+        if phase != "M" and not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"event {index} ({event.get('name')}) has no numeric ts")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                errors.append(
+                    f"event {index} ({event.get('name')}) has invalid dur "
+                    f"{duration!r}"
+                )
+        if phase in ("b", "e"):
+            key = (event.get("cat"), event.get("id"), event.get("name"))
+            if event.get("id") is None:
+                errors.append(f"event {index} ({event.get('name')}) has no async id")
+            delta = 1 if phase == "b" else -1
+            open_async[key] = open_async.get(key, 0) + delta
+            if open_async[key] < 0:
+                errors.append(
+                    f"event {index}: async end without begin for {key!r}"
+                )
+    for key, balance in open_async.items():
+        if balance > 0:
+            errors.append(f"unclosed async span(s) for {key!r}")
+    return errors
+
+
+def summarize_chrome_trace(document: Mapping[str, object]) -> dict[str, object]:
+    """Per-lane and per-phase rollups of an exported Chrome trace.
+
+    Returns ``{"lanes": [...], "requests": [...], "makespan_s": ...}`` where
+    each lane row carries its span count and busy seconds, and each request
+    row aggregates one lifecycle phase (count, total and mean seconds) from
+    the async events.  Works on any document :func:`validate_chrome_trace`
+    accepts, including ones round-tripped through JSON.
+    """
+    events = document.get("traceEvents", [])
+    thread_names: dict[tuple[object, object], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid"), event.get("tid"))
+            thread_names[key] = str(event.get("args", {}).get("name", key))
+
+    lane_busy: dict[str, float] = {}
+    lane_count: dict[str, int] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        lane = thread_names.get(key, str(key))
+        lane_busy[lane] = lane_busy.get(lane, 0.0) + float(event["dur"]) / _TIME_SCALE
+        lane_count[lane] = lane_count.get(lane, 0) + 1
+
+    begins: dict[tuple[object, object, object], list[float]] = {}
+    phase_totals: dict[str, list[float]] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("b", "e"):
+            continue
+        key = (event.get("cat"), event.get("id"), event.get("name"))
+        if phase == "b":
+            begins.setdefault(key, []).append(float(event["ts"]))
+        else:
+            starts = begins.get(key)
+            if starts:
+                start = starts.pop()
+                name = str(event.get("name"))
+                phase_totals.setdefault(name, []).append(
+                    (float(event["ts"]) - start) / _TIME_SCALE
+                )
+
+    makespan = 0.0
+    for event in events:
+        if isinstance(event.get("ts"), (int, float)):
+            end = float(event["ts"]) + float(event.get("dur", 0.0))
+            makespan = max(makespan, end / _TIME_SCALE)
+
+    lanes = [
+        {"lane": lane, "spans": lane_count[lane], "busy_s": lane_busy[lane]}
+        for lane in sorted(lane_busy)
+    ]
+    requests = [
+        {
+            "phase": phase,
+            "count": len(durations),
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / len(durations),
+        }
+        for phase, durations in sorted(phase_totals.items())
+    ]
+    return {"lanes": lanes, "requests": requests, "makespan_s": makespan}
+
+
+def load_chrome_trace(path: str | Path) -> dict[str, object]:
+    """Read a Chrome trace JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def iter_lane_spans(
+    document: Mapping[str, object],
+) -> Iterable[tuple[str, float, float]]:
+    """Yield ``(lane, start_s, duration_s)`` for every X event in a document."""
+    events = document.get("traceEvents", [])
+    thread_names: dict[tuple[object, object], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid"), event.get("tid"))
+            thread_names[key] = str(event.get("args", {}).get("name", key))
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        yield (
+            thread_names.get(key, str(key)),
+            float(event["ts"]) / _TIME_SCALE,
+            float(event["dur"]) / _TIME_SCALE,
+        )

@@ -1,0 +1,93 @@
+"""``repro-trace``: validate and summarise exported Chrome trace JSON.
+
+A recorded serving trace (``repro-serve --trace trace.json``) is meant to
+be opened in Perfetto, but CI and quick terminal triage need answers
+without a UI: is the file schema-valid, how busy was each lane, and where
+did requests spend their time.  This CLI prints exactly that:
+
+```
+$ repro-trace trace.json
+$ repro-trace trace.json --validate        # exit 1 on schema errors
+$ repro-trace trace.json --json            # machine-readable summary
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.trace import (
+    load_chrome_trace,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Validate and summarise a Chrome trace-event JSON file recorded "
+            "by the serving telemetry (repro-serve --trace)."
+        ),
+    )
+    parser.add_argument("trace", help="path to the Chrome trace JSON file")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check only: exit 1 listing errors, print nothing else",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of tables",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point (installed as ``repro-trace``).
+
+    Exit status: 0 on success, 1 on an invalid trace, 2 on an unreadable
+    or unparsable file.
+    """
+    from repro.experiments.report import render_rows
+
+    args = _build_parser().parse_args(argv)
+    try:
+        document = load_chrome_trace(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro-trace: error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    errors = validate_chrome_trace(document)
+    if errors:
+        for error in errors:
+            print(f"repro-trace: invalid: {error}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.trace}: valid Chrome trace")
+        return 0
+
+    summary = summarize_chrome_trace(document)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    print(f"trace: {args.trace}  (makespan {summary['makespan_s']:.3f} s)")
+    if summary["lanes"]:
+        print(render_rows(summary["lanes"], title="lane occupancy", precision=4))
+    if summary["requests"]:
+        print(
+            render_rows(
+                summary["requests"], title="request phases", precision=4
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

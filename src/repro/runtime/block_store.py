@@ -168,6 +168,24 @@ class SharedBlockStore:
             gpu += block.gpu_bytes
         return cpu, gpu
 
+    def occupancy(self) -> dict[str, float]:
+        """Point-in-time occupancy snapshot (the telemetry sampler's view).
+
+        ``blocks``/``cached_blocks`` count resident and reusable (refcount
+        zero) blocks; byte totals count each unique block once, with the
+        ``live_*`` pair restricted to referenced blocks.
+        """
+        cpu_bytes, gpu_bytes = self.bytes_in_use()
+        live_cpu, live_gpu = self.bytes_in_use(live_only=True)
+        return {
+            "blocks": float(self.num_blocks),
+            "cached_blocks": float(self.num_cached_blocks),
+            "cpu_bytes": cpu_bytes,
+            "gpu_bytes": gpu_bytes,
+            "live_cpu_bytes": live_cpu,
+            "live_gpu_bytes": live_gpu,
+        }
+
     def _split_bytes(self) -> tuple[float, float]:
         gpu_bytes = self.block_bytes * self.gpu_ratio
         return self.block_bytes - gpu_bytes, gpu_bytes

@@ -288,6 +288,25 @@ class KVCacheManager:
             return self.block_store.bytes_in_use(live_only=True)[1]
         return sum(cache.gpu_bytes for cache in self.sequences.values())
 
+    def occupancy(self) -> dict[str, float]:
+        """Point-in-time cache occupancy for the telemetry sampler.
+
+        In the shared regime this is the block store's view (resident and
+        cached block counts plus byte totals); otherwise block counts are
+        zero and bytes come from the live per-sequence caches.
+        """
+        if self.block_store is not None:
+            report = self.block_store.occupancy()
+        else:
+            report = {
+                "blocks": 0.0,
+                "cached_blocks": 0.0,
+                "cpu_bytes": self.cpu_bytes,
+                "gpu_bytes": self.gpu_bytes,
+            }
+        report["tokens"] = float(self.total_tokens)
+        return report
+
     def can_admit(
         self,
         prompt_tokens: int,

@@ -67,10 +67,14 @@ class AdmissionController:
         cpu_kv_budget_bytes: float | None = None,
         gpu_kv_budget_bytes: float | None = None,
         prefix_cache: bool = False,
+        telemetry=None,
     ) -> None:
         self.model = model
         self.policy = policy
         self.prefix_cache = prefix_cache
+        #: Optional :class:`repro.obs.Telemetry`; verdict counters only —
+        #: admission has no clock, so timestamped events stay with the engine.
+        self.telemetry = telemetry
         self.max_live_requests = (
             max_live_requests if max_live_requests is not None else policy.batch_size
         )
@@ -191,8 +195,12 @@ class AdmissionController:
         if not decision.admitted:
             if "KV cache" in decision.reason:
                 self.rejected_kv_count += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("admission.rejected_kv")
             else:
                 self.rejected_slots_count += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("admission.rejected_slots")
             return decision
         request = serving_request.request
         cache = self.kv_cache.register_sequence(
@@ -209,6 +217,11 @@ class AdmissionController:
             self.cache_hit_count += 1
         self.cached_tokens_total += cache.cached_tokens
         self.prompt_tokens_total += request.effective_input_len
+        if self.telemetry is not None:
+            self.telemetry.count("admission.admitted")
+            if cache.cached_tokens > 0:
+                self.telemetry.count("admission.cache_hits")
+                self.telemetry.count("admission.cached_tokens", cache.cached_tokens)
         return decision
 
     def release(self, serving_request: ServingRequest) -> None:

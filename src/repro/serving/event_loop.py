@@ -62,11 +62,17 @@ class ServingEventLoop:
     reads is the true global state at that instant.
     """
 
-    def __init__(self, cores: Sequence[EngineCore], route: RouteFn) -> None:
+    def __init__(
+        self, cores: Sequence[EngineCore], route: RouteFn, telemetry=None
+    ) -> None:
         if not cores:
             raise SimulationError("event loop needs at least one engine core")
         self.cores = list(cores)
         self.route = route
+        #: Optional :class:`repro.obs.Telemetry`: the loop drives its
+        #: time-series sampler as simulated time advances (per-core event
+        #: hooks live on the cores themselves).
+        self.telemetry = telemetry
         self._heap: list[tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._pending_arrivals = 0
@@ -89,19 +95,32 @@ class ServingEventLoop:
 
         while self._heap:
             time = self._heap[0][0]
+            # Sample interval boundaries crossed before this timestamp with
+            # the pre-event state: state is constant between events, so the
+            # snapshot taken now is exact at every boundary strictly before
+            # ``time``.
+            if self.telemetry is not None:
+                self.telemetry.sample(time, self.cores)
             # Drain every event at this timestamp before starting new
             # steps: completions first (priority order), then arrivals.
             while self._heap and self._heap[0][0] == time:
                 _, priority, _, payload = heapq.heappop(self._heap)
                 self._dispatch(priority, payload)
             self._kick()
-        return max((core.now for core in self.cores), default=0.0)
+        makespan = max((core.now for core in self.cores), default=0.0)
+        if self.telemetry is not None:
+            self.telemetry.finish_run(makespan, self.cores)
+        return makespan
 
     def _dispatch(self, priority: int, payload: object) -> None:
         if priority == _ARRIVAL:
             self._pending_arrivals -= 1
             serving_request = payload
             shard = self.route(serving_request, self.cores)
+            if self.telemetry is not None:
+                self.telemetry.record_route(
+                    serving_request, shard, serving_request.arrival_time
+                )
             self.cores[shard].offer(serving_request)
         else:
             core = payload

@@ -30,10 +30,26 @@ from repro.utils.validation import require_positive
 REPORT_PERCENTILES: tuple[int, ...] = (50, 95, 99)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile of ``values`` (0 for an empty sample)."""
+_RAISE = object()
+
+
+def percentile(
+    values: Sequence[float], q: float, default: float = _RAISE
+) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    An empty sample has no percentile: it raises :class:`ValueError` unless
+    an explicit ``default`` is supplied.  (The old behaviour of silently
+    returning ``0.0`` made an empty run's p99 indistinguishable from a
+    genuinely instant one — callers that want a sentinel must now say so.)
+    """
     if not values:
-        return 0.0
+        if default is _RAISE:
+            raise ValueError(
+                f"percentile(q={q}) of an empty sample is undefined; "
+                "pass default= to choose a sentinel"
+            )
+        return default
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
@@ -173,9 +189,11 @@ def summarize(
         num_rejected=len(rejected),
         makespan=makespan,
         tokens_generated=tokens,
-        ttft={q: percentile(ttfts, q) for q in REPORT_PERCENTILES},
-        tpot={q: percentile(tpots, q) for q in REPORT_PERCENTILES},
-        e2e={q: percentile(e2es, q) for q in REPORT_PERCENTILES},
+        # A run that completed nothing reports 0.0 percentiles (the
+        # historical sentinel), chosen explicitly here.
+        ttft={q: percentile(ttfts, q, default=0.0) for q in REPORT_PERCENTILES},
+        tpot={q: percentile(tpots, q, default=0.0) for q in REPORT_PERCENTILES},
+        e2e={q: percentile(e2es, q, default=0.0) for q in REPORT_PERCENTILES},
         mean_ttft=float(np.mean(ttfts)) if ttfts else 0.0,
         mean_tpot=float(np.mean(tpots)) if tpots else 0.0,
         slo_met=slo_met,

@@ -273,6 +273,7 @@ class EngineCore:
         shard_id: int | None = None,
         prefix_cache: bool = False,
         overlap: bool = False,
+        telemetry=None,
     ) -> None:
         self.policy = policy
         self.step_model = step_model
@@ -280,6 +281,10 @@ class EngineCore:
         self.shard_id = shard_id
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        #: Optional :class:`repro.obs.Telemetry`.  Every emission below sits
+        #: behind ``if self.telemetry is not None`` and never mutates serving
+        #: state, so a run without it is bit-for-bit the historical timeline.
+        self.telemetry = telemetry
         self.admission = AdmissionController(
             model=backend.model,
             hardware=backend.hardware,
@@ -288,6 +293,7 @@ class EngineCore:
             padded=backend.padded,
             block_tokens=block_tokens,
             prefix_cache=prefix_cache,
+            telemetry=telemetry,
         )
         self.scheduler = ContinuousBatchingScheduler(
             policy=policy,
@@ -317,6 +323,10 @@ class EngineCore:
                 serving_request.arrival_time, "queue full"
             )
             self.dropped_queue_full += 1
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    serving_request, serving_request.arrival_time, "queue full"
+                )
             return False
         if was_idle:
             # An idle engine's clock catches up to the arrival; a busy one
@@ -404,6 +414,11 @@ class EngineCore:
         """
         if self._in_flight is not None:
             raise SimulationError("engine step already in flight")
+        # The chunk the scheduler returns is the carried-over prefilling set
+        # followed by this step's new admissions; remember the boundary
+        # before next_action mutates anything so the admit instants below
+        # cover exactly the newly admitted tail.
+        n_carried = len(self.prefilling)
         action = self.scheduler.next_action(
             len(self.running), self.queue, self.prefilling
         )
@@ -411,6 +426,13 @@ class EngineCore:
             oversized.mark_rejected(
                 self.now, oversized.reject_reason or "oversized request"
             )
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    oversized, self.now, oversized.reject_reason or "oversized"
+                )
+        if self.telemetry is not None:
+            for admitted in action.chunk[n_carried:]:
+                self.telemetry.record_admit(admitted, self.now)
         if action.kind == "idle":
             return None
         if action.kind == "prefill":
@@ -436,6 +458,8 @@ class EngineCore:
         if in_flight.chunk:
             self._finish_chunk(in_flight.chunk, in_flight.first_token_at)
         self.steps.append(in_flight.step)
+        if self.telemetry is not None:
+            self.telemetry.record_step(self.shard_id, in_flight.step)
         self._retire_finished()
         return in_flight.step.kind
 
@@ -613,6 +637,8 @@ class EngineCore:
             if serving_request.is_finished:
                 serving_request.mark_finished(self.now)
                 self.admission.release(serving_request)
+                if self.telemetry is not None:
+                    self.telemetry.record_finish(serving_request)
             else:
                 still_running.append(serving_request)
         self.running = still_running
@@ -735,11 +761,16 @@ class ServingSystem:
         arrivals: ArrivalProcess | list[TimedRequest],
         count: int | None = None,
         seed: int = 0,
+        telemetry=None,
     ) -> ServingResult:
         """Serve a request stream to completion and return the result.
 
         ``arrivals`` is either an :class:`ArrivalProcess` (materialised with
         ``count`` and ``seed``) or an explicit pre-built stream.
+        ``telemetry`` optionally attaches a fresh :class:`repro.obs.Telemetry`
+        for this run (recorders accumulate, so pass one per run); without it
+        the loop takes its historical code path and the result is bit-for-bit
+        identical.
         """
         if isinstance(arrivals, ArrivalProcess):
             stream = arrivals.generate(self.workload, count=count, seed=seed)
@@ -765,9 +796,14 @@ class ServingSystem:
             chunk_prefill_tokens=self.chunk_prefill_tokens,
             prefix_cache=self.prefix_cache,
             overlap=self.overlap,
+            telemetry=telemetry,
         )
         next_arrival = 0
         while next_arrival < len(records) or core.has_work():
+            # Sample interval boundaries crossed since the last event with
+            # the pre-arrival state (state is constant between events).
+            if telemetry is not None:
+                telemetry.sample(core.now, (core,))
             # Ingest every arrival up to the current simulated time.
             while (
                 next_arrival < len(records)
@@ -776,7 +812,11 @@ class ServingSystem:
                 core.offer(records[next_arrival])
                 next_arrival += 1
 
-            if core.run_step() == "idle":
+            # begin_step + complete_step is exactly run_step; splitting the
+            # pair here lets the sampler observe the pre-completion state at
+            # boundaries inside the step.
+            completion = core.begin_step()
+            if completion is None:
                 if next_arrival < len(records):
                     core.now = max(
                         core.now, records[next_arrival].arrival_time
@@ -787,7 +827,12 @@ class ServingSystem:
                         "serving loop stalled with work outstanding"
                     )
                 break
+            if telemetry is not None:
+                telemetry.sample(completion, (core,))
+            core.complete_step()
 
+        if telemetry is not None:
+            telemetry.finish_run(core.now, (core,))
         report = summarize(records, makespan=core.now, slo=self.slo)
         return ServingResult(
             system=self.backend.name,

@@ -213,7 +213,7 @@ class ShardedServingSystem:
             max(self.workload.max_prompt_len, request.input_len)
         )
 
-    def _make_cores(self) -> list[EngineCore]:
+    def _make_cores(self, telemetry=None) -> list[EngineCore]:
         return [
             EngineCore(
                 backend=self.backend,
@@ -228,6 +228,7 @@ class ShardedServingSystem:
                 shard_id=shard_id,
                 prefix_cache=self.prefix_cache,
                 overlap=self.overlap,
+                telemetry=telemetry,
             )
             for shard_id in range(self.num_shards)
         ]
@@ -277,18 +278,21 @@ class ShardedServingSystem:
         arrivals: ArrivalProcess | list[TimedRequest],
         count: int | None = None,
         seed: int = 0,
+        telemetry=None,
     ) -> ShardedServingResult:
         """Serve one request stream across every shard to completion.
 
         Event-driven: a central timestamp-ordered queue interleaves
         arrivals with per-shard step completions, so the router observes
         every shard's true outstanding load at the arrival instant and
-        admissions/retirements apply in global time order.
+        admissions/retirements apply in global time order.  ``telemetry``
+        optionally attaches a fresh :class:`repro.obs.Telemetry` for this
+        run; disabled, the run is bit-for-bit the historical timeline.
         """
         records = self._materialize(arrivals, count, seed)
         router = ShardRouter(self.num_shards, self.router_policy)
-        cores = self._make_cores()
-        loop = ServingEventLoop(cores, self._route_fn(router))
+        cores = self._make_cores(telemetry=telemetry)
+        loop = ServingEventLoop(cores, self._route_fn(router), telemetry=telemetry)
         makespan = loop.run(records)
         return self._finalize(records, cores, makespan)
 

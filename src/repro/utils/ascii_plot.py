@@ -13,6 +13,37 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
+#: Eight-level block characters for sparklines, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render ``values`` as a one-line block-character sparkline.
+
+    ``width`` resamples the series to at most that many characters (each
+    character shows the mean of its bucket); ``None`` renders one character
+    per value.  A constant series renders at the lowest level.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(series) // width
+            hi = max(lo + 1, (i + 1) * len(series) // width)
+            bucket = series[lo:hi]
+            bucketed.append(sum(bucket) / len(bucket))
+        series = bucketed
+    low, high = min(series), max(series)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(series)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int(round((v - low) / span * top))] for v in series
+    )
+
 
 @dataclass
 class Series:

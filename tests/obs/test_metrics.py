@@ -1,0 +1,85 @@
+"""The streaming metric registry: counters, gauges and the P² sketch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricRegistry, P2Quantile, StreamingHistogram
+
+
+class TestP2Quantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_tiny_stream_is_exact(self):
+        sketch = P2Quantile(0.5)
+        for value in [3.0, 1.0, 4.0]:
+            sketch.add(value)
+        assert sketch.value() == pytest.approx(float(np.percentile([3, 1, 4], 50)))
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            lambda rng, n: rng.uniform(0.0, 10.0, n),
+            lambda rng, n: rng.normal(50.0, 10.0, n),
+            lambda rng, n: rng.lognormal(1.0, 0.75, n),
+            lambda rng, n: rng.exponential(3.0, n),
+        ],
+        ids=["uniform", "normal", "lognormal", "exponential"],
+    )
+    def test_within_two_percent_of_numpy_on_5k_stream(self, q, sampler):
+        # The acceptance bound: p50/p95/p99 within 2% of the exact
+        # percentile on a 5k-request latency stream.
+        rng = np.random.default_rng(42)
+        values = sampler(rng, 5000)
+        sketch = P2Quantile(q)
+        for value in values:
+            sketch.add(float(value))
+        exact = float(np.percentile(values, q * 100))
+        assert sketch.value() == pytest.approx(exact, rel=0.02)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(Exception):
+            P2Quantile(0.0)
+        with pytest.raises(Exception):
+            P2Quantile(1.0)
+
+
+class TestStreamingHistogram:
+    def test_summary_keys_and_moments(self):
+        histogram = StreamingHistogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert set(summary) >= {"p50", "p95", "p99"}
+
+    def test_empty_summary_is_nan_quantiles(self):
+        summary = StreamingHistogram().summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p50"])
+
+
+class TestMetricRegistry:
+    def test_get_or_create_and_snapshot(self):
+        registry = MetricRegistry()
+        registry.counter("requests").inc()
+        registry.counter("requests").inc(2.0)
+        registry.gauge("depth").set(7.0)
+        registry.histogram("ttft").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 3.0
+        assert snapshot["gauges"]["depth"] == 7.0
+        assert snapshot["histograms"]["ttft"]["count"] == 1
+        assert sorted(registry.names()) == ["depth", "requests", "ttft"]
+
+    def test_counter_rejects_negative(self):
+        registry = MetricRegistry()
+        with pytest.raises(Exception):
+            registry.counter("bad").inc(-1.0)

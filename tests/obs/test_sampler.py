@@ -1,0 +1,79 @@
+"""Time-series sampling semantics, JSONL export and sparklines."""
+
+import json
+
+import pytest
+
+from repro.obs import TimeSeriesSampler
+from repro.utils.ascii_plot import sparkline
+
+
+class TestSamplingSemantics:
+    def test_boundaries_carry_pre_event_state(self):
+        # State is constant between events: the snapshot offered at an
+        # event covers every boundary crossed since the previous event.
+        sampler = TimeSeriesSampler(1.0)
+        sampler.observe(0.5, lambda: {"depth": 0.0})  # t=0 boundary
+        sampler.observe(3.2, lambda: {"depth": 2.0})  # t=1, 2, 3 boundaries
+        times = [s["t"] for s in sampler.samples]
+        assert times == [0.0, 1.0, 2.0, 3.0]
+        assert [s["depth"] for s in sampler.samples] == [0.0, 2.0, 2.0, 2.0]
+
+    def test_observe_excludes_now_flush_includes_it(self):
+        sampler = TimeSeriesSampler(1.0)
+        sampler.observe(2.0, lambda: {"v": 1.0})  # t=0, 1 — not 2
+        assert [s["t"] for s in sampler.samples] == [0.0, 1.0]
+        sampler.flush(2.0, lambda: {"v": 5.0})
+        assert [s["t"] for s in sampler.samples] == [0.0, 1.0, 2.0]
+        assert sampler.samples[-1]["v"] == 5.0
+
+    def test_series_views(self):
+        sampler = TimeSeriesSampler(0.5)
+        sampler.flush(1.0, lambda: {"a": 1.0, "b": 2.0})
+        assert sampler.series_names() == ["a", "b"]
+        ts, values = sampler.series("a")
+        assert ts == [0.0, 0.5, 1.0]
+        assert values == [1.0, 1.0, 1.0]
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(Exception):
+            TimeSeriesSampler(0.0)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        sampler = TimeSeriesSampler(1.0)
+        sampler.flush(2.0, lambda: {"depth": 3.0})
+        path = tmp_path / "series.jsonl"
+        sampler.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0] == {"t": 0.0, "depth": 3.0}
+
+    def test_empty_jsonl_is_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        TimeSeriesSampler(1.0).write_jsonl(path)
+        assert path.read_text() == ""
+
+    def test_render_labels_and_range(self):
+        sampler = TimeSeriesSampler(1.0)
+        values = iter([0.0, 5.0, 10.0])
+        sampler.flush(2.0, lambda: {"depth": next(values)})
+        rendered = sampler.render(["depth"])
+        assert "depth" in rendered
+        assert "[0, 10]" in rendered
+        assert TimeSeriesSampler(1.0).render() == "(no samples)"
+
+
+class TestSparkline:
+    def test_levels_scale_with_values(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_uses_lowest_level(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_resamples_to_width(self):
+        assert len(sparkline(list(range(100)), width=20)) == 20

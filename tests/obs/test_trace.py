@@ -1,0 +1,105 @@
+"""TraceRecorder invariants and Chrome trace-event export/validation."""
+
+import pytest
+
+from repro.obs import (
+    REQUEST_PHASES,
+    TraceRecorder,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.trace import iter_lane_spans
+from repro.utils.errors import SimulationError
+
+
+def small_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.add_span("shard0/decode", "decode", 0.0, 1.0, num_requests=2)
+    trace.add_span("shard0/decode", "mixed", 1.0, 0.5)
+    trace.add_span("shard0/prefill", "prefill", 0.25, 0.5)
+    trace.add_instant("router", "route", 0.1, request_id=7)
+    trace.add_request_span(7, "queue", 0.1, 0.25)
+    trace.add_request_span(7, "prefill", 0.25, 0.75)
+    trace.add_request_span(7, "decode", 0.75, 1.5, tokens=3)
+    trace.add_counter("queue_depth", 0.5, {"queue_depth": 2.0})
+    return trace
+
+
+class TestRecorder:
+    def test_phases_constant(self):
+        assert REQUEST_PHASES == ("queue", "prefill", "decode")
+
+    def test_lane_queries(self):
+        trace = small_trace()
+        assert trace.lanes() == ["router", "shard0/decode", "shard0/prefill"]
+        assert [s.name for s in trace.spans_on("shard0/decode")] == [
+            "decode",
+            "mixed",
+        ]
+        assert trace.lane_busy("shard0/decode") == pytest.approx(1.5)
+        assert trace.makespan == pytest.approx(1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder().add_span("lane", "bad", 0.0, -0.1)
+        with pytest.raises(SimulationError):
+            TraceRecorder().add_request_span(1, "queue", 1.0, 0.5)
+
+    def test_verify_lanes_catches_overlap(self):
+        trace = small_trace()
+        trace.verify_lanes()  # the base trace is clean
+        trace.add_span("shard0/decode", "rogue", 0.5, 1.0)
+        with pytest.raises(SimulationError, match="overlapping spans"):
+            trace.verify_lanes()
+
+    def test_verify_request_chains_catches_gap(self):
+        trace = small_trace()
+        trace.verify_request_chains()
+        trace.add_request_span(8, "queue", 0.0, 1.0)
+        trace.add_request_span(8, "prefill", 1.5, 2.0)  # 0.5 s gap
+        with pytest.raises(SimulationError, match="request 8"):
+            trace.verify_request_chains()
+
+
+class TestChromeExport:
+    def test_export_validates_and_round_trips(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "trace.json"
+        document = trace.write_chrome(path)
+        assert validate_chrome_trace(document) == []
+
+        import json
+
+        reloaded = json.loads(path.read_text())
+        assert validate_chrome_trace(reloaded) == []
+        spans = list(iter_lane_spans(reloaded))
+        decode = [s for s in spans if s[0] == "shard0/decode"]
+        assert sum(d for _, _, d in decode) == pytest.approx(1.5)
+
+    def test_summary_rollups(self):
+        summary = summarize_chrome_trace(small_trace().to_chrome())
+        lanes = {row["lane"]: row for row in summary["lanes"]}
+        assert lanes["shard0/decode"]["spans"] == 2
+        assert lanes["shard0/decode"]["busy_s"] == pytest.approx(1.5)
+        phases = {row["phase"]: row for row in summary["requests"]}
+        assert phases["decode"]["count"] == 1
+        assert phases["decode"]["total_s"] == pytest.approx(0.75)
+        assert summary["makespan_s"] == pytest.approx(1.5)
+
+    def test_validator_flags_broken_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "name": "x", "ts": 0}]}
+        ) != []
+        # X without dur, event without ts, unbalanced async pair.
+        errors = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "x", "ts": 0},
+                    {"ph": "i", "name": "y"},
+                    {"ph": "b", "name": "p", "cat": "request", "id": 1, "ts": 0},
+                ]
+            }
+        )
+        assert len(errors) == 3

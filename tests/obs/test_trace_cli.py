@@ -1,0 +1,51 @@
+"""The ``repro-trace`` CLI: exit codes, validation and summaries."""
+
+import json
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.obs.trace_cli import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    trace = TraceRecorder()
+    trace.add_span("engine/decode", "decode", 0.0, 2.0)
+    trace.add_request_span(1, "queue", 0.0, 0.5)
+    trace.add_request_span(1, "prefill", 0.5, 1.0)
+    trace.add_request_span(1, "decode", 1.0, 2.0)
+    path = tmp_path / "trace.json"
+    trace.write_chrome(path)
+    return path
+
+
+class TestExitCodes:
+    def test_valid_trace_summarises(self, trace_path, capsys):
+        assert main([str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine/decode" in out
+        assert "makespan" in out
+
+    def test_validate_only(self, trace_path, capsys):
+        assert main([str(trace_path), "--validate"]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_json_summary(self, trace_path, capsys):
+        assert main([str(trace_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["makespan_s"] == pytest.approx(2.0)
+        assert summary["lanes"][0]["lane"] == "engine/decode"
+
+    def test_invalid_trace_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert main([str(path), "--validate"]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_unreadable_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main([str(missing)]) == 2
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        assert main([str(garbled)]) == 2

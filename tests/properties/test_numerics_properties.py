@@ -45,7 +45,13 @@ def test_rms_norm_is_scale_invariant(x, scale):
     inside the norm stays negligible relative to the signal.
     """
     shifted = x + 1.0
-    assume(np.all(np.sqrt(np.mean(np.square(shifted), axis=-1)) > 1e-2))
+    rms = np.sqrt(np.mean(np.square(shifted), axis=-1))
+    # The epsilon perturbs the norm by ~eps / (2 * rms^2); both the base
+    # and the scaled input's RMS must stay large enough that the relative
+    # error sits well inside the 1e-3 tolerance (scale >= 0.1, so bounding
+    # scale * rms bounds both).
+    assume(np.all(rms > 1e-2))
+    assume(np.all(scale * rms > 0.05))
     weight = np.ones(x.shape[-1])
     base = rms_norm(shifted, weight)
     scaled = rms_norm(shifted * scale, weight)

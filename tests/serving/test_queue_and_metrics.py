@@ -1,5 +1,7 @@
 """Request queue ordering/bounds and latency-metric aggregation."""
 
+import math
+
 import pytest
 
 from repro.serving import SLO, RequestQueue, RequestState, ServingRequest, summarize
@@ -101,7 +103,12 @@ class TestSummarize:
 
         values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
         assert percentile(values, 50) == pytest.approx(float(np.percentile(values, 50)))
-        assert percentile([], 99) == 0.0
+
+    def test_percentile_empty_raises_unless_defaulted(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            percentile([], 99)
+        assert percentile([], 99, default=0.0) == 0.0
+        assert math.isnan(percentile([], 50, default=math.nan))
 
     def test_counts_and_goodput(self):
         slo = SLO(ttft=2.0, tpot=1.0)
