@@ -20,13 +20,18 @@ drives them through the online serving subsystem:
 
 Everything is deterministic under the fixed seed, and the headline sweep
 is also written to ``BENCH_serving.json`` (throughput, TTFT/TPOT
-percentiles, SLO-goodput) for trend tooling.  Run with:
+percentiles, SLO-goodput) for trend tooling.  Reports default to the
+streaming P² mode (flat memory in the stream length; percentiles within
+sketch tolerance, all other metrics exact) — pass ``--exact-report`` to
+store per-request samples and compute exact percentiles instead.  Run
+with:
 
     python examples/serving_demo.py        (or `repro-serve` once installed)
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 
 from repro.experiments import (
@@ -54,7 +59,7 @@ GENERATION_LEN = 16
 BENCH_JSON = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
 
 
-def load_sweep() -> list[dict[str, object]]:
+def load_sweep(store_samples: bool) -> list[dict[str, object]]:
     """Poisson load sweep across both systems (the headline curves)."""
     rows = run_serving_sweep(
         load_factors=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
@@ -62,6 +67,7 @@ def load_sweep() -> list[dict[str, object]]:
         generation_len=GENERATION_LEN,
         num_requests=NUM_REQUESTS,
         seed=SEED,
+        store_samples=store_samples,
     )
     print(
         render_rows(
@@ -88,7 +94,7 @@ def load_sweep() -> list[dict[str, object]]:
     return rows
 
 
-def scheduling_comparison() -> None:
+def scheduling_comparison(store_samples: bool) -> None:
     """FCFS vs prefill-first vs decode-first at a fixed overload point."""
     model = get_model("mixtral-8x7b")
     hardware = get_hardware("1xT4")
@@ -101,7 +107,12 @@ def scheduling_comparison() -> None:
     rows = []
     for scheduling in ("fcfs", "prefill-first", "decode-first"):
         serving = ServingSystem(
-            backend, workload, policy=policy, scheduling=scheduling, slo=slo
+            backend,
+            workload,
+            policy=policy,
+            scheduling=scheduling,
+            slo=slo,
+            store_samples=store_samples,
         )
         result = serving.run(PoissonProcess(rate), count=NUM_REQUESTS, seed=SEED)
         rows.append(result.as_row())
@@ -118,7 +129,7 @@ def scheduling_comparison() -> None:
     )
 
 
-def burstiness_comparison() -> None:
+def burstiness_comparison(store_samples: bool) -> None:
     """Smooth vs bursty arrivals at the same average rate."""
     model = get_model("mixtral-8x7b")
     hardware = get_hardware("1xT4")
@@ -130,7 +141,9 @@ def burstiness_comparison() -> None:
 
     rows = []
     for process in (PoissonProcess(rate), GammaProcess(rate, cv=3.0)):
-        serving = ServingSystem(backend, workload, policy=policy, slo=slo)
+        serving = ServingSystem(
+            backend, workload, policy=policy, slo=slo, store_samples=store_samples
+        )
         result = serving.run(process, count=NUM_REQUESTS, seed=SEED)
         row = result.as_row()
         row["arrival"] = process.name
@@ -148,7 +161,7 @@ def burstiness_comparison() -> None:
     )
 
 
-def shard_scaling() -> None:
+def shard_scaling(store_samples: bool) -> None:
     """One stream, 1/2/4 shards behind a least-loaded router."""
     rows = run_shard_scaling(
         shard_counts=(1, 2, 4),
@@ -157,6 +170,7 @@ def shard_scaling() -> None:
         num_requests=NUM_REQUESTS,
         load_factor=4.0,
         seed=SEED,
+        store_samples=store_samples,
     )
     print()
     print(
@@ -168,7 +182,7 @@ def shard_scaling() -> None:
     )
 
 
-def prefix_cache_demo() -> None:
+def prefix_cache_demo(store_samples: bool) -> None:
     """Multi-turn chat with the prefix cache off vs. on at the same load."""
     rows = run_cache_sweep(
         load_factors=(1.0, 2.0),
@@ -176,6 +190,7 @@ def prefix_cache_demo() -> None:
         num_requests=NUM_REQUESTS,
         turns_per_session=4,
         seed=SEED,
+        store_samples=store_samples,
     )
     print()
     print(
@@ -204,13 +219,14 @@ def prefix_cache_demo() -> None:
         )
 
 
-def overlap_demo() -> None:
+def overlap_demo(store_samples: bool) -> None:
     """Serialized vs. overlapped prefill/decode streams at the same load."""
     rows = run_overlap_sweep(
         load_factors=(2.0, 4.0),
         generation_len=GENERATION_LEN,
         num_requests=NUM_REQUESTS,
         seed=SEED,
+        store_samples=store_samples,
     )
     print()
     print(
@@ -238,13 +254,25 @@ def overlap_demo() -> None:
         )
 
 
-def main() -> None:
-    rows = load_sweep()
-    scheduling_comparison()
-    burstiness_comparison()
-    shard_scaling()
-    prefix_cache_demo()
-    overlap_demo()
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--exact-report",
+        action="store_true",
+        help=(
+            "store per-request samples and compute exact percentiles "
+            "instead of the default streaming P² report"
+        ),
+    )
+    args = parser.parse_args(argv)
+    store_samples = args.exact_report
+
+    rows = load_sweep(store_samples)
+    scheduling_comparison(store_samples)
+    burstiness_comparison(store_samples)
+    shard_scaling(store_samples)
+    prefix_cache_demo(store_samples)
+    overlap_demo(store_samples)
     write_bench_serving_json(
         BENCH_JSON,
         rows,
@@ -256,6 +284,7 @@ def main() -> None:
             "generation_len": GENERATION_LEN,
             "num_requests": NUM_REQUESTS,
             "seed": SEED,
+            "report": "exact" if store_samples else "streaming",
         },
     )
     print(f"\nwrote {BENCH_JSON}")

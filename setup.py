@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
@@ -42,6 +42,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.experiments.serving_sweep:main",
+            "repro-simperf = repro.experiments.simperf_sweep:main",
             "repro-trace = repro.obs.trace_cli:main",
         ],
     },

@@ -26,6 +26,9 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.overlap_sweep` — serialized vs. overlapped
   prefill/decode streams over one loaded chat stream (goodput/TPOT/TTFT
   curves; not a paper artifact).
+* :mod:`repro.experiments.simperf_sweep` — simulator raw-speed sweep
+  (events/sec vs. stream length and shard count; measures the simulator
+  itself, not a paper artifact).
 * :mod:`repro.experiments.bench_output` — machine-readable ``BENCH_*.json``
   artifacts for CI trend tracking.
 * :mod:`repro.experiments.report` — table rendering and EXPERIMENTS.md
@@ -49,7 +52,13 @@ from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
 from repro.experiments.shard_scaling import run_shard_scaling
 from repro.experiments.cache_sweep import run_cache_sweep
 from repro.experiments.overlap_sweep import run_overlap_sweep
-from repro.experiments.bench_output import serving_summary, write_bench_serving_json
+from repro.experiments.bench_output import (
+    serving_summary,
+    simperf_summary,
+    write_bench_serving_json,
+    write_bench_simperf_json,
+)
+from repro.experiments.simperf_sweep import run_simperf_sweep
 from repro.experiments.report import render_rows, rows_to_markdown
 
 __all__ = [
@@ -70,8 +79,11 @@ __all__ = [
     "run_shard_scaling",
     "run_cache_sweep",
     "run_overlap_sweep",
+    "run_simperf_sweep",
     "serving_summary",
+    "simperf_summary",
     "write_bench_serving_json",
+    "write_bench_simperf_json",
     "render_rows",
     "rows_to_markdown",
 ]

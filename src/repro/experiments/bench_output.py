@@ -152,3 +152,76 @@ def write_bench_serving_json(
     target = Path(path)
     target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
+
+
+#: Metrics copied into the simperf summary from its headline row (the
+#: largest streaming point of the sweep).
+SIMPERF_SUMMARY_METRICS: tuple[str, ...] = (
+    "num_requests",
+    "num_shards",
+    "wall_time_s",
+    "num_events",
+    "events_per_sec",
+    "requests_per_sec",
+    "peak_mem_mb",
+)
+
+
+def simperf_summary(
+    rows: Sequence[Mapping[str, object]],
+) -> dict[str, object]:
+    """Headline metrics of one simulator-speed sweep.
+
+    The headline point is the largest streaming-mode run (most requests,
+    then most shards) — the scale the sweep exists to defend.  Reference
+    rows (``mode != "streaming"``) never headline; they exist to compute
+    speedups against.
+    """
+    streaming = [row for row in rows if row.get("mode") == "streaming"]
+    if not streaming:
+        return {}
+    chosen = max(
+        streaming,
+        key=lambda row: (
+            int(row.get("num_requests", 0)),
+            int(row.get("num_shards", 0)),
+        ),
+    )
+    return {
+        metric: chosen[metric] for metric in SIMPERF_SUMMARY_METRICS if metric in chosen
+    }
+
+
+def write_bench_simperf_json(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    meta: Mapping[str, object] | None = None,
+    speedup_vs_time_sliced: float | None = None,
+    speedup_vs_pre_pr: float | None = None,
+) -> dict[str, object]:
+    """Write the simulator-speed benchmark artifact (``BENCH_simperf.json``).
+
+    Same stamping discipline as :func:`write_bench_serving_json`;
+    ``speedup_vs_time_sliced`` records the streaming hot path's measured
+    events/sec multiple over the retained time-sliced reference loop on
+    the same stream, and ``speedup_vs_pre_pr`` its machine-normalised
+    multiple over the pre-optimization baseline recorded at the seed
+    commit.
+    """
+    summary = simperf_summary(rows)
+    if speedup_vs_time_sliced is not None:
+        summary["speedup_vs_time_sliced"] = speedup_vs_time_sliced
+    if speedup_vs_pre_pr is not None:
+        summary["speedup_vs_pre_pr"] = speedup_vs_pre_pr
+    document: dict[str, object] = {
+        "benchmark": "simperf",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "meta": _clean_row(meta or {}),
+        "summary": summary,
+        "rows": [_clean_row(row) for row in rows],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

@@ -51,6 +51,7 @@ def run_cache_sweep(
     slo: SLO | None = None,
     use_simulator: bool = False,
     chunk_prefill_tokens: int | None = 128,
+    store_samples: bool = True,
 ) -> list[dict[str, object]]:
     """Serve one chat stream with the prefix cache off and on at each load.
 
@@ -61,6 +62,10 @@ def run_cache_sweep(
     bound during prefill, so skipping cached tokens pays off as *fewer
     chunk steps* (each a full weight pass) rather than cheaper ones — the
     cache's TTFT/throughput win is realised through the chunk schedule.
+
+    ``store_samples=False`` runs every point with streaming P² report
+    aggregation (flat memory in the stream length); the library default
+    stays exact, the CLI harness defaults to streaming.
     """
     from repro.experiments.serving_sweep import (
         ARRIVAL_PROCESSES,
@@ -105,6 +110,7 @@ def run_cache_sweep(
                 use_simulator=use_simulator,
                 chunk_prefill_tokens=chunk_prefill_tokens,
                 prefix_cache=prefix_cache,
+                store_samples=store_samples,
             )
             result = serving.run(process, count=num_requests, seed=seed)
             row: dict[str, object] = {
@@ -168,6 +174,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="TOKENS",
         help="chunked-prefill token budget per engine step (0 disables)",
     )
+    parser.add_argument(
+        "--exact-report",
+        action="store_true",
+        help=(
+            "store per-request samples and compute exact percentiles "
+            "instead of the default streaming P² report"
+        ),
+    )
     parser.add_argument("--json", default=None, metavar="PATH")
     return parser
 
@@ -197,6 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             chunk_prefill_tokens=(
                 args.chunk_prefill if args.chunk_prefill > 0 else None
             ),
+            store_samples=args.exact_report,
         )
     except ReproError as exc:
         print(f"repro-cache-sweep: error: {exc}", file=sys.stderr)

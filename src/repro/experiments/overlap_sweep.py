@@ -55,6 +55,7 @@ def run_overlap_sweep(
     slo: SLO | None = None,
     tpot_factor: float = 1.2,
     use_simulator: bool = False,
+    store_samples: bool = True,
 ) -> list[dict[str, object]]:
     """Serve one chat stream serialized and overlapped at each load point.
 
@@ -63,6 +64,10 @@ def run_overlap_sweep(
     anchored to the unloaded latencies with ``tpot_factor`` headroom on
     the decode step (tight, streaming-style) unless an explicit ``slo``
     is given.
+
+    ``store_samples=False`` runs every point with streaming P² report
+    aggregation (flat memory in the stream length); the library default
+    stays exact, the CLI harness defaults to streaming.
     """
     from repro.experiments.serving_sweep import (
         ARRIVAL_PROCESSES,
@@ -109,6 +114,7 @@ def run_overlap_sweep(
             slo=shared_slo,
             use_simulator=use_simulator,
             overlap=overlap,
+            store_samples=store_samples,
         )
         for overlap in (False, True)
     }
@@ -179,6 +185,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.2,
         help="streaming TPOT SLO headroom over the unloaded decode step",
     )
+    parser.add_argument(
+        "--exact-report",
+        action="store_true",
+        help=(
+            "store per-request samples and compute exact percentiles "
+            "instead of the default streaming P² report"
+        ),
+    )
     parser.add_argument("--json", default=None, metavar="PATH")
     return parser
 
@@ -210,6 +224,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             arrival=args.arrival,
             seed=args.seed,
             tpot_factor=args.tpot_factor,
+            store_samples=args.exact_report,
         )
     except ReproError as exc:
         print(f"repro-overlap-sweep: error: {exc}", file=sys.stderr)

@@ -80,6 +80,7 @@ def run_serving_sweep(
     prefix_cache: bool = False,
     overlap: bool = False,
     telemetry=None,
+    store_samples: bool = True,
 ) -> list[dict[str, object]]:
     """Sweep arrival rates across serving systems; one row per point.
 
@@ -87,6 +88,12 @@ def run_serving_sweep(
     capacity so every system is measured at identical absolute load.  The
     shared SLO defaults to the first system's unloaded latencies (see
     :func:`repro.serving.server.default_slo`).
+
+    ``store_samples=False`` switches every point to streaming P² report
+    aggregation (flat memory in the stream length; percentiles within
+    sketch tolerance, all other metrics exact).  The library default stays
+    exact; the ``repro-serve`` CLI defaults to streaming and restores this
+    with ``--exact-report``.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) observes the *final*
     sweep point — the last listed system at the highest load factor — so
@@ -127,6 +134,7 @@ def run_serving_sweep(
             chunk_prefill_tokens=chunk_prefill_tokens,
             prefix_cache=prefix_cache,
             overlap=overlap,
+            store_samples=store_samples,
         )
         for backend, policy in zip(backends, policies)
     ]
@@ -282,6 +290,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--exact-report",
+        action="store_true",
+        help=(
+            "store per-request samples and compute exact percentiles "
+            "instead of the default streaming P² report (streaming keeps "
+            "memory flat on long streams; percentiles agree within sketch "
+            "tolerance and every other metric is exact either way)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -374,6 +392,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "chunk_prefill": args.chunk_prefill,
             "prefix_cache": args.prefix_cache,
             "overlap": args.overlap,
+            "report": "exact" if args.exact_report else "streaming",
         }
         prefix_cache = args.prefix_cache == "on"
         overlap = args.overlap == "on"
@@ -423,6 +442,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 prefix_cache=prefix_cache,
                 overlap=overlap,
                 telemetry=telemetry,
+                store_samples=args.exact_report,
             )
             columns = list(SHARD_SCALING_COLUMNS)
             if prefix_cache:
@@ -451,6 +471,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 prefix_cache=prefix_cache,
                 overlap=overlap,
                 telemetry=telemetry,
+                store_samples=args.exact_report,
             )
             columns = list(SWEEP_COLUMNS)
             if prefix_cache:

@@ -58,6 +58,7 @@ def run_shard_scaling(
     prefix_cache: bool = False,
     overlap: bool = False,
     telemetry=None,
+    store_samples: bool = True,
 ) -> list[dict[str, object]]:
     """Serve one identical stream with each shard count; one row per point.
 
@@ -68,6 +69,10 @@ def run_shard_scaling(
     ``telemetry`` (a :class:`repro.obs.Telemetry`) observes the *last*
     point — the highest shard count, the configuration the sweep argues
     for — so the exported trace shows every shard's lanes.
+
+    ``store_samples=False`` runs every point with streaming P² report
+    aggregation (flat memory in the stream length); the library default
+    stays exact, the ``repro-serve`` CLI defaults to streaming.
     """
     from repro.experiments.serving_sweep import (
         ARRIVAL_PROCESSES,
@@ -115,6 +120,7 @@ def run_shard_scaling(
             use_simulator=use_simulator,
             prefix_cache=prefix_cache,
             overlap=overlap,
+            store_samples=store_samples,
         )
         attach = telemetry if index == len(shard_counts) - 1 else None
         row = sharded.run(

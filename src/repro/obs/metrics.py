@@ -63,6 +63,8 @@ class P2Quantile:
 
         heights = self._heights
         positions = self._positions
+        desired = self._desired
+        increments = self._increments
         if value < heights[0]:
             heights[0] = value
             cell = 0
@@ -75,20 +77,30 @@ class P2Quantile:
                 cell += 1
         for i in range(cell + 1, 5):
             positions[i] += 1.0
-        for i in range(5):
-            self._desired[i] += self._increments[i]
+        # desired[0]'s increment is always 0.0; skip it on the hot path.
+        desired[1] += increments[1]
+        desired[2] += increments[2]
+        desired[3] += increments[3]
+        desired[4] += 1.0
 
         for i in (1, 2, 3):
-            delta = self._desired[i] - positions[i]
-            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
-                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
-            ):
-                step = 1.0 if delta > 0 else -1.0
-                candidate = self._parabolic(i, step)
-                if not heights[i - 1] < candidate < heights[i + 1]:
-                    candidate = self._linear(i, step)
-                heights[i] = candidate
-                positions[i] += step
+            position = positions[i]
+            delta = desired[i] - position
+            if delta >= 1.0:
+                if positions[i + 1] - position <= 1.0:
+                    continue
+                step = 1.0
+            elif delta <= -1.0:
+                if positions[i - 1] - position >= -1.0:
+                    continue
+                step = -1.0
+            else:
+                continue
+            candidate = self._parabolic(i, step)
+            if not heights[i - 1] < candidate < heights[i + 1]:
+                candidate = self._linear(i, step)
+            heights[i] = candidate
+            positions[i] += step
 
     def _parabolic(self, i: int, step: float) -> float:
         h, n = self._heights, self._positions

@@ -33,6 +33,7 @@ Invariants (property-tested in ``tests/properties``):
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterable, Sequence
@@ -89,6 +90,10 @@ class KVBlock:
     cpu_allocation: PagedAllocation | None = None
     gpu_allocation: PagedAllocation | None = None
     last_use: int = 0
+    #: Whether the block currently sits in the store's reusable cache
+    #: (refcount zero, retained for prefix matching) and is therefore
+    #: counted in the store's incremental reclaim totals.
+    cached: bool = False
 
     @property
     def is_shareable(self) -> bool:
@@ -139,6 +144,25 @@ class SharedBlockStore:
         self._clock = 0
         self.evictions = 0
         self.cow_copies = 0
+        #: Bumped on every content-index mutation (block registered or
+        #: evicted); routers memoise prefix matches against this, so a
+        #: stale memo can never survive an index change.
+        self.version = 0
+        # Incremental accounting: every admission capacity check and every
+        # telemetry snapshot used to scan all resident blocks, which made
+        # long streams quadratic in the request count.  These counters
+        # track the same totals under O(1) updates at each block
+        # transition (allocate / refcount 0 <-> positive / free).
+        self._total_cpu_pages = 0
+        self._total_gpu_pages = 0
+        self._cached_cpu_pages = 0
+        self._cached_gpu_pages = 0
+        self._num_cached = 0
+        # LRU eviction order with lazy deletion: entries are
+        # ``(last_use, block_id)`` pushed when a block enters the cache;
+        # stale entries (block acquired again, re-cached later, or freed)
+        # are skipped on pop by re-checking against the live block.
+        self._lru_heap: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Introspection / accounting
@@ -151,21 +175,23 @@ class SharedBlockStore:
     @property
     def num_cached_blocks(self) -> int:
         """Resident blocks with no referents (the reusable prefix cache)."""
-        return sum(1 for block in self.blocks.values() if block.ref_count == 0)
+        return self._num_cached
 
     def bytes_in_use(self, live_only: bool = False) -> tuple[float, float]:
         """(cpu, gpu) bytes charged across unique resident blocks.
 
         ``live_only`` restricts the sum to blocks with a positive refcount;
         either way each block is counted exactly once no matter how many
-        sequences share it.
+        sequences share it.  Allocations are whole pages, so page counters
+        reproduce the per-block byte sum exactly.
         """
-        cpu = gpu = 0.0
-        for block in self.blocks.values():
-            if live_only and block.ref_count == 0:
-                continue
-            cpu += block.cpu_bytes
-            gpu += block.gpu_bytes
+        cpu_pages = self._total_cpu_pages
+        gpu_pages = self._total_gpu_pages
+        if live_only:
+            cpu_pages -= self._cached_cpu_pages
+            gpu_pages -= self._cached_gpu_pages
+        cpu = cpu_pages * self.cpu_pool.page_bytes
+        gpu = gpu_pages * self.gpu_pool.page_bytes if self.gpu_pool else 0.0
         return cpu, gpu
 
     def occupancy(self) -> dict[str, float]:
@@ -196,6 +222,36 @@ class SharedBlockStore:
             key=lambda block: block.last_use,
         )
 
+    def _cache(self, block: KVBlock) -> None:
+        """Count a block entering the reusable cache (refcount hit zero)."""
+        block.cached = True
+        self._num_cached += 1
+        if block.cpu_allocation is not None:
+            self._cached_cpu_pages += block.cpu_allocation.num_pages
+        if block.gpu_allocation is not None:
+            self._cached_gpu_pages += block.gpu_allocation.num_pages
+        heapq.heappush(self._lru_heap, (block.last_use, block.block_id))
+
+    def _uncache(self, block: KVBlock) -> None:
+        """Count a block leaving the cache (re-acquired or freed)."""
+        if not block.cached:
+            return
+        block.cached = False
+        self._num_cached -= 1
+        if block.cpu_allocation is not None:
+            self._cached_cpu_pages -= block.cpu_allocation.num_pages
+        if block.gpu_allocation is not None:
+            self._cached_gpu_pages -= block.gpu_allocation.num_pages
+
+    def _pop_lru_cached(self) -> KVBlock | None:
+        """The least-recently-used cached block, skipping stale heap entries."""
+        while self._lru_heap:
+            last_use, block_id = heapq.heappop(self._lru_heap)
+            block = self.blocks.get(block_id)
+            if block is not None and block.cached and block.last_use == last_use:
+                return block
+        return None
+
     def can_allocate_blocks(
         self, num_blocks: int, reserved_block_ids: Iterable[int] = ()
     ) -> bool:
@@ -203,30 +259,31 @@ class SharedBlockStore:
 
         Counts both free pages and the pages eviction could reclaim, minus
         the cached blocks in ``reserved_block_ids`` (a prefix match about to
-        be acquired must not be double-counted as reclaimable).
+        be acquired must not be double-counted as reclaimable).  Runs in
+        O(reserved) off the incremental cache counters — this sits on the
+        admission hot path, once per arrival.
         """
         if num_blocks <= 0:
             return True
-        reserved = set(reserved_block_ids)
+        reclaim_cpu_pages = self._cached_cpu_pages
+        reclaim_gpu_pages = self._cached_gpu_pages
+        for block_id in set(reserved_block_ids):
+            block = self.blocks.get(block_id)
+            if block is not None and block.cached:
+                if block.cpu_allocation is not None:
+                    reclaim_cpu_pages -= block.cpu_allocation.num_pages
+                if block.gpu_allocation is not None:
+                    reclaim_gpu_pages -= block.gpu_allocation.num_pages
         cpu_bytes, gpu_bytes = self._split_bytes()
-        reclaim_cpu = reclaim_gpu = 0.0
-        for block in self.blocks.values():
-            if block.ref_count == 0 and block.block_id not in reserved:
-                reclaim_cpu += block.cpu_bytes
-                reclaim_gpu += block.gpu_bytes
         ok = True
         if cpu_bytes > 0:
             needed = self.cpu_pool.pages_needed(cpu_bytes) * num_blocks
-            available = self.cpu_pool.free_pages + int(
-                reclaim_cpu // self.cpu_pool.page_bytes
-            )
+            available = self.cpu_pool.free_pages + reclaim_cpu_pages
             ok = ok and needed <= available
         if gpu_bytes > 0:
             assert self.gpu_pool is not None  # guaranteed by the constructor
             needed = self.gpu_pool.pages_needed(gpu_bytes) * num_blocks
-            available = self.gpu_pool.free_pages + int(
-                reclaim_gpu // self.gpu_pool.page_bytes
-            )
+            available = self.gpu_pool.free_pages + reclaim_gpu_pages
             ok = ok and needed <= available
         return ok
 
@@ -243,9 +300,24 @@ class SharedBlockStore:
         """
         if not token_ids:
             return []
-        matchable_tokens = len(token_ids) - 1
+        return self.match_prefix_hashes(
+            chain_block_hashes(token_ids, self.block_tokens),
+            len(token_ids) - 1,
+        )
+
+    def match_prefix_hashes(
+        self, block_hashes: Sequence[int], matchable_tokens: int
+    ) -> list[int]:
+        """:meth:`match_prefix` over pre-computed chained block hashes.
+
+        Routers probing many shards hash the prompt once and probe each
+        shard's index with this, instead of re-hashing per shard.
+        ``matchable_tokens`` carries :meth:`match_prefix`'s cap of one
+        token short of the full prompt — the match depends on the prompt
+        length, not just its hashes.
+        """
         matched: list[int] = []
-        for block_hash in chain_block_hashes(token_ids, self.block_tokens):
+        for block_hash in block_hashes:
             if len(matched) * self.block_tokens + self.block_tokens > matchable_tokens:
                 break
             block_id = self._hash_index.get(block_hash)
@@ -261,6 +333,8 @@ class SharedBlockStore:
         """Take a reference on a resident block (a prefix-cache hit)."""
         block = self._get(block_id)
         block.ref_count += 1
+        if block.ref_count == 1:
+            self._uncache(block)
         self._touch(block)
         return block
 
@@ -301,7 +375,12 @@ class SharedBlockStore:
         if block_hash is not None and block_hash not in self._hash_index:
             block.block_hash = block_hash
             self._hash_index[block_hash] = block.block_id
+            self.version += 1
         self.blocks[block.block_id] = block
+        if block.cpu_allocation is not None:
+            self._total_cpu_pages += block.cpu_allocation.num_pages
+        if block.gpu_allocation is not None:
+            self._total_gpu_pages += block.gpu_allocation.num_pages
         self._touch(block)
         return block
 
@@ -361,6 +440,7 @@ class SharedBlockStore:
         if block.ref_count == 0:
             if block.is_shareable:
                 self._touch(block)
+                self._cache(block)
             else:
                 self._free(block)
 
@@ -375,12 +455,12 @@ class SharedBlockStore:
     def _reclaim_for(self, cpu_bytes: float, gpu_bytes: float) -> None:
         """Evict LRU refcount-zero blocks until one more block fits."""
         while not self._fits(cpu_bytes, gpu_bytes):
-            victims = self._evictable()
-            if not victims:
+            victim = self._pop_lru_cached()
+            if victim is None:
                 # Nothing reclaimable: let the pool raise its usual
                 # capacity error from the caller's allocate().
                 return
-            self._free(victims[0])
+            self._free(victim)
             self.evictions += 1
 
     def _fits(self, cpu_bytes: float, gpu_bytes: float) -> bool:
@@ -398,13 +478,17 @@ class SharedBlockStore:
                 f"attempted to free block {block.block_id} with "
                 f"refcount {block.ref_count}"
             )
+        self._uncache(block)
         if block.cpu_allocation is not None:
             self.cpu_pool.free(block.cpu_allocation)
+            self._total_cpu_pages -= block.cpu_allocation.num_pages
         if block.gpu_allocation is not None:
             assert self.gpu_pool is not None  # allocation implies the pool
             self.gpu_pool.free(block.gpu_allocation)
+            self._total_gpu_pages -= block.gpu_allocation.num_pages
         if block.block_hash is not None:
             self._hash_index.pop(block.block_hash, None)
+            self.version += 1
         del self.blocks[block.block_id]
 
     # ------------------------------------------------------------------

@@ -80,6 +80,11 @@ class KVCacheManager:
         self.gpu_pool = gpu_pool
         self.gpu_ratio = min(1.0, gpu_ratio)
         self.block_tokens = block_tokens
+        # The per-token KV footprint is a pure function of the model; cache
+        # it once instead of re-deriving it on every admission check.
+        self._bytes_per_token = (
+            kv_cache_bytes_per_token_per_layer(model) * model.num_layers
+        )
         self.sequences: dict[int, SequenceCache] = {}
         self.block_store: SharedBlockStore | None = None
         if prefix_cache:
@@ -101,7 +106,7 @@ class KVCacheManager:
     # ------------------------------------------------------------------
     def bytes_per_token(self) -> float:
         """KV bytes per token across all layers."""
-        return kv_cache_bytes_per_token_per_layer(self.model) * self.model.num_layers
+        return self._bytes_per_token
 
     def bytes_for_tokens(self, num_tokens: int) -> float:
         """KV bytes for ``num_tokens`` tokens across all layers."""
@@ -123,6 +128,21 @@ class KVCacheManager:
         if self.block_store is None or not token_ids:
             return 0
         return len(self.block_store.match_prefix(token_ids)) * self.block_tokens
+
+    def match_prefix_hashes(
+        self, block_hashes: Sequence[int], matchable_tokens: int
+    ) -> int:
+        """:meth:`match_prefix` over pre-computed chained block hashes.
+
+        ``matchable_tokens`` is ``len(token_ids) - 1`` for the prompt the
+        hashes came from (the never-match-the-whole-prompt cap).
+        """
+        if self.block_store is None:
+            return 0
+        matched = self.block_store.match_prefix_hashes(
+            block_hashes, matchable_tokens
+        )
+        return len(matched) * self.block_tokens
 
     # ------------------------------------------------------------------
     # Sequence lifecycle

@@ -111,7 +111,12 @@ class MemoryPool:
                 f"pool {self.name!r}: requested {needed} pages "
                 f"({num_bytes / 1e6:.1f} MB) but only {self.free_pages} free"
             )
-        pages = tuple(self._free.pop() for _ in range(needed))
+        # One slice instead of ``needed`` pops — same pages in the same
+        # (reverse-of-free-list) order, without the per-page call overhead.
+        free = self._free
+        start = len(free) - needed
+        pages = tuple(reversed(free[start:]))
+        del free[start:]
         self._allocated.update(pages)
         return PagedAllocation(pool_name=self.name, pages=pages, page_bytes=self.page_bytes)
 

@@ -46,7 +46,13 @@ from repro.serving.arrivals import (
     ReplayProcess,
     TimedRequest,
 )
-from repro.serving.metrics import SLO, ServingReport, percentile, summarize
+from repro.serving.metrics import (
+    SLO,
+    ReportBuilder,
+    ServingReport,
+    percentile,
+    summarize,
+)
 from repro.serving.queue import RequestQueue, RequestState, ServingRequest
 from repro.serving.scheduler import (
     SCHEDULING_POLICIES,
@@ -78,6 +84,7 @@ __all__ = [
     "ReplayProcess",
     "TimedRequest",
     "SLO",
+    "ReportBuilder",
     "ServingReport",
     "percentile",
     "summarize",

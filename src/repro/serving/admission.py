@@ -157,6 +157,16 @@ class AdmissionController:
         """Prompt tokens this controller's cache could reuse (routing signal)."""
         return self.kv_cache.match_prefix(getattr(request, "token_ids", None))
 
+    def match_prefix_hashes(
+        self, block_hashes, matchable_tokens: int
+    ) -> int:
+        """:meth:`match_prefix` over pre-computed chained block hashes.
+
+        Lets a router hash a prompt once and probe every shard's cache;
+        ``matchable_tokens`` is ``len(token_ids) - 1`` for that prompt.
+        """
+        return self.kv_cache.match_prefix_hashes(block_hashes, matchable_tokens)
+
     def check(self, serving_request: ServingRequest) -> AdmissionDecision:
         """Whether the request could be admitted right now (no side effects).
 
@@ -202,6 +212,17 @@ class AdmissionController:
                 if self.telemetry is not None:
                     self.telemetry.count("admission.rejected_slots")
             return decision
+        self.admit_checked(serving_request)
+        return decision
+
+    def admit_checked(self, serving_request: ServingRequest) -> None:
+        """Reserve KV for a request that just passed :meth:`check`.
+
+        The scheduler's admission loop peeks, checks, pops and admits the
+        same request with nothing in between that could change admission
+        state, so this skips :meth:`admit`'s redundant re-check — the hot
+        path pays for one capacity probe per admission, not two.
+        """
         request = serving_request.request
         cache = self.kv_cache.register_sequence(
             serving_request.request_id,
@@ -222,7 +243,6 @@ class AdmissionController:
             if cache.cached_tokens > 0:
                 self.telemetry.count("admission.cache_hits")
                 self.telemetry.count("admission.cached_tokens", cache.cached_tokens)
-        return decision
 
     def release(self, serving_request: ServingRequest) -> None:
         """Free a finished request's KV reservation."""

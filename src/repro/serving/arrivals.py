@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive, require_positive_int
-from repro.workloads.generators import generate_requests
+from repro.workloads.generators import generate_request_columns, generate_requests
 from repro.workloads.request import Request
 from repro.workloads.spec import WorkloadSpec
 
@@ -85,6 +85,43 @@ class ArrivalProcess(abc.ABC):
             TimedRequest(request=request, arrival_time=float(time))
             for request, time in zip(requests, times)
         ]
+
+    def generate_lazy(
+        self,
+        spec: WorkloadSpec,
+        count: int | None = None,
+        seed: int = 0,
+        token_ids: bool = False,
+    ) -> Iterator[TimedRequest]:
+        """Lazily yield the stream :meth:`generate` would materialise.
+
+        Arrival times are still drawn vectorised in one shot (same rng
+        stream as :meth:`generate`, so timestamps match exactly), but
+        request bodies come from the columnar generator and turn into
+        :class:`Request` objects only as the consumer pulls them — the
+        peak footprint of a million-request stream is one request, not a
+        million.  ``token_ids=True`` falls back to the object generators
+        (which synthesise real token prefixes for the prefix cache) while
+        keeping the lazy zip; use it when a cache-aware consumer needs
+        prompt tokens.
+        """
+        count = count if count is not None else spec.num_requests
+        require_positive_int("count", count)
+        times = self.arrival_times(count, np.random.default_rng([seed, 0xA221]))
+        if len(times) != count:
+            raise ConfigurationError(
+                f"{self.name}: expected {count} arrival times, got {len(times)}"
+            )
+        if token_ids:
+            requests: Iterable[Request] = generate_requests(
+                spec, count=count, seed=seed
+            )
+        else:
+            requests = generate_request_columns(
+                spec, count=count, seed=seed
+            ).iter_requests()
+        for request, time in zip(requests, times.tolist()):
+            yield TimedRequest(request=request, arrival_time=time)
 
 
 class PoissonProcess(ArrivalProcess):

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.serving.queue import ServingRequest
 from repro.serving.server import EngineCore
@@ -76,6 +76,9 @@ class ServingEventLoop:
         self._heap: list[tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._pending_arrivals = 0
+        self._stream: Iterator[ServingRequest] | None = None
+        self._core_index = {id(core): i for i, core in enumerate(self.cores)}
+        self._touched: set[int] = set()
 
     def _push(self, time: float, priority: int, payload: object) -> None:
         heapq.heappush(self._heap, (time, priority, next(self._seq), payload))
@@ -92,7 +95,32 @@ class ServingEventLoop:
         for serving_request in records:
             self._push(serving_request.arrival_time, _ARRIVAL, serving_request)
         self._pending_arrivals = len(records)
+        return self._drain()
 
+    def run_stream(self, records: Iterable[ServingRequest]) -> float:
+        """Serve a lazily-generated arrival stream to completion.
+
+        ``records`` must yield requests in non-decreasing arrival-time
+        order (as every :class:`~repro.serving.arrivals.ArrivalProcess`
+        produces them).  Exactly one unconsumed arrival is held in the
+        event queue at a time — popping it pulls the next from the
+        iterator — so a million-request stream never materialises as a
+        million queued events.  The event order is identical to
+        :meth:`run` on the materialised list: the next arrival can never
+        be earlier than the one just popped, so pushing it late changes
+        nothing the heap ordering observes.
+        """
+        self._stream = iter(records)
+        first = next(self._stream, None)
+        if first is not None:
+            self._push(first.arrival_time, _ARRIVAL, first)
+            self._pending_arrivals = 1
+        try:
+            return self._drain()
+        finally:
+            self._stream = None
+
+    def _drain(self) -> float:
         while self._heap:
             time = self._heap[0][0]
             # Sample interval boundaries crossed before this timestamp with
@@ -107,6 +135,14 @@ class ServingEventLoop:
                 _, priority, _, payload = heapq.heappop(self._heap)
                 self._dispatch(priority, payload)
             self._kick()
+        for core in self.cores:
+            if core.has_work():
+                # Backstop for the event-driven kick: a wedged shard whose
+                # last event left it unable to begin a step surfaces here
+                # rather than silently dropping its work.
+                raise SimulationError(
+                    "serving engine stalled with work outstanding"
+                )
         makespan = max((core.now for core in self.cores), default=0.0)
         if self.telemetry is not None:
             self.telemetry.finish_run(makespan, self.cores)
@@ -115,6 +151,15 @@ class ServingEventLoop:
     def _dispatch(self, priority: int, payload: object) -> None:
         if priority == _ARRIVAL:
             self._pending_arrivals -= 1
+            if self._stream is not None:
+                # Keep the invariant: the next unconsumed arrival is always
+                # in the heap.  It joins before this one routes, so a
+                # same-timestamp successor drains in this very batch —
+                # exactly where the eager path would have it.
+                upcoming = next(self._stream, None)
+                if upcoming is not None:
+                    self._push(upcoming.arrival_time, _ARRIVAL, upcoming)
+                    self._pending_arrivals += 1
             serving_request = payload
             shard = self.route(serving_request, self.cores)
             if self.telemetry is not None:
@@ -122,13 +167,25 @@ class ServingEventLoop:
                     serving_request, shard, serving_request.arrival_time
                 )
             self.cores[shard].offer(serving_request)
+            self._touched.add(shard)
         else:
             core = payload
             core.complete_step()
+            self._touched.add(self._core_index[id(core)])
 
     def _kick(self) -> None:
-        """Begin the next step on every shard that can run one."""
-        for core in self.cores:
+        """Begin the next step on every shard an event just touched.
+
+        A shard with no event this timestamp is unchanged since its last
+        kick, so re-deciding it would return the same action — scanning
+        all N shards per timestamp (the old behaviour) only re-derives
+        idle verdicts.  Kicks run in shard order, matching the full scan.
+        """
+        touched = self._touched
+        if not touched:
+            return
+        for index in sorted(touched):
+            core = self.cores[index]
             if core.step_in_flight or not core.has_work():
                 continue
             completion = core.begin_step()
@@ -141,3 +198,4 @@ class ServingEventLoop:
                 raise SimulationError(
                     "serving engine stalled with work outstanding"
                 )
+        touched.clear()

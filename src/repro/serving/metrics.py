@@ -14,15 +14,28 @@ throughput number of the offline harness:
 
 Percentiles use linear interpolation (numpy's default) so reports are
 deterministic and comparable across runs.
+
+Aggregation runs in one of two modes (:class:`ReportBuilder`):
+
+* ``store_samples=True`` — every latency sample is kept and percentiles
+  are exact (``numpy.percentile``); this is the historical path and the
+  one regression tests pin bit-for-bit;
+* ``store_samples=False`` — the streaming mode: each latency metric feeds
+  P² quantile sketches (:class:`repro.obs.P2Quantile`, O(1) memory per
+  metric) and running sums, so million-request streams aggregate with
+  flat memory.  Estimates are exact below five samples and within the
+  tested P² tolerance beyond.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import P2Quantile
 from repro.serving.queue import RequestState, ServingRequest
 from repro.utils.validation import require_positive
 
@@ -160,49 +173,165 @@ class ServingReport:
         }
 
 
+class ReportBuilder:
+    """Incremental :class:`ServingReport` aggregation over request records.
+
+    ``store_samples=True`` keeps every latency sample and computes exact
+    ``numpy.percentile`` / ``numpy.mean`` values — byte-identical to the
+    historical :func:`summarize` (which now delegates here).
+
+    ``store_samples=False`` is the streaming mode: O(1) memory regardless
+    of stream length.  Percentiles come from P² sketches (exact below five
+    samples, within tested tolerance beyond) and means from running sums
+    (which can differ from numpy's pairwise summation in the last few
+    ulps — acceptable only in this mode).
+    """
+
+    _LATENCIES = ("ttft", "tpot", "e2e")
+
+    def __init__(self, slo: SLO, *, store_samples: bool = False) -> None:
+        self.slo = slo
+        self.store_samples = store_samples
+        self.num_offered = 0
+        self.num_completed = 0
+        self.num_rejected = 0
+        self.tokens_generated = 0
+        self.slo_met = 0
+        self.cache_hits = 0
+        self.prompt_tokens = 0
+        self.cached_tokens = 0
+        if store_samples:
+            self._samples: dict[str, list[float]] = {
+                name: [] for name in self._LATENCIES
+            }
+            self._hit_ttfts: list[float] = []
+            self._miss_ttfts: list[float] = []
+        else:
+            self._sketches: dict[str, dict[int, P2Quantile]] = {
+                name: {q: P2Quantile(q / 100.0) for q in REPORT_PERCENTILES}
+                for name in self._LATENCIES
+            }
+            self._sums: dict[str, float] = {
+                "ttft": 0.0, "tpot": 0.0, "hit_ttft": 0.0, "miss_ttft": 0.0
+            }
+            self._counts: dict[str, int] = {
+                "ttft": 0, "tpot": 0, "hit_ttft": 0, "miss_ttft": 0
+            }
+
+    def observe(self, sr: ServingRequest) -> None:
+        """Fold one terminal (or still-live, at stream end) request in."""
+        self.num_offered += 1
+        state = sr.state
+        if state is RequestState.REJECTED:
+            self.num_rejected += 1
+            return
+        if state is not RequestState.FINISHED:
+            return
+        self.num_completed += 1
+        self.tokens_generated += sr.tokens_decoded
+        if self.slo.is_met(sr):
+            self.slo_met += 1
+        self.prompt_tokens += sr.request.effective_input_len
+        self.cached_tokens += sr.tokens_cached
+        hit = sr.is_cache_hit
+        if hit:
+            self.cache_hits += 1
+        ttft = sr.ttft
+        tpot = sr.tpot
+        e2e = sr.e2e_latency
+        if self.store_samples:
+            if ttft is not None:
+                self._samples["ttft"].append(ttft)
+                (self._hit_ttfts if hit else self._miss_ttfts).append(ttft)
+            if tpot is not None:
+                self._samples["tpot"].append(tpot)
+            if e2e is not None:
+                self._samples["e2e"].append(e2e)
+        else:
+            if ttft is not None:
+                for sketch in self._sketches["ttft"].values():
+                    sketch.add(ttft)
+                self._sums["ttft"] += ttft
+                self._counts["ttft"] += 1
+                key = "hit_ttft" if hit else "miss_ttft"
+                self._sums[key] += ttft
+                self._counts[key] += 1
+            if tpot is not None:
+                for sketch in self._sketches["tpot"].values():
+                    sketch.add(tpot)
+                self._sums["tpot"] += tpot
+                self._counts["tpot"] += 1
+            if e2e is not None:
+                for sketch in self._sketches["e2e"].values():
+                    sketch.add(e2e)
+
+    def _percentiles(self, name: str) -> dict[int, float]:
+        # A run that completed nothing reports 0.0 percentiles (the
+        # historical sentinel), chosen explicitly here.
+        if self.store_samples:
+            values = self._samples[name]
+            return {
+                q: percentile(values, q, default=0.0)
+                for q in REPORT_PERCENTILES
+            }
+        out: dict[int, float] = {}
+        for q, sketch in self._sketches[name].items():
+            value = sketch.value()
+            out[q] = 0.0 if math.isnan(value) else float(value)
+        return out
+
+    def _mean(self, key: str) -> float:
+        if self.store_samples:
+            values = {
+                "ttft": self._samples["ttft"],
+                "tpot": self._samples["tpot"],
+                "hit_ttft": self._hit_ttfts,
+                "miss_ttft": self._miss_ttfts,
+            }[key]
+            return float(np.mean(values)) if values else 0.0
+        count = self._counts[key]
+        return self._sums[key] / count if count else 0.0
+
+    def build(self, makespan: float) -> ServingReport:
+        """Freeze the aggregates into a :class:`ServingReport`."""
+        return ServingReport(
+            num_offered=self.num_offered,
+            num_completed=self.num_completed,
+            num_rejected=self.num_rejected,
+            makespan=makespan,
+            tokens_generated=self.tokens_generated,
+            ttft=self._percentiles("ttft"),
+            tpot=self._percentiles("tpot"),
+            e2e=self._percentiles("e2e"),
+            mean_ttft=self._mean("ttft"),
+            mean_tpot=self._mean("tpot"),
+            slo_met=self.slo_met,
+            goodput=self.slo_met / makespan if makespan > 0 else 0.0,
+            cache_hits=self.cache_hits,
+            hit_rate=(
+                self.cache_hits / self.num_completed
+                if self.num_completed else 0.0
+            ),
+            cached_token_fraction=(
+                self.cached_tokens / self.prompt_tokens
+                if self.prompt_tokens > 0 else 0.0
+            ),
+            mean_ttft_hit=self._mean("hit_ttft"),
+            mean_ttft_miss=self._mean("miss_ttft"),
+        )
+
+
 def summarize(
     requests: Iterable[ServingRequest],
     makespan: float,
     slo: SLO,
 ) -> ServingReport:
-    """Aggregate per-request records into a :class:`ServingReport`."""
-    requests = list(requests)
-    finished = [sr for sr in requests if sr.state is RequestState.FINISHED]
-    rejected = [sr for sr in requests if sr.state is RequestState.REJECTED]
+    """Aggregate per-request records into a :class:`ServingReport`.
 
-    ttfts = [sr.ttft for sr in finished if sr.ttft is not None]
-    tpots = [sr.tpot for sr in finished if sr.tpot is not None]
-    e2es = [sr.e2e_latency for sr in finished if sr.e2e_latency is not None]
-    slo_met = sum(1 for sr in finished if slo.is_met(sr))
-    tokens = sum(sr.tokens_decoded for sr in finished)
-
-    hits = [sr for sr in finished if sr.is_cache_hit]
-    misses = [sr for sr in finished if not sr.is_cache_hit]
-    hit_ttfts = [sr.ttft for sr in hits if sr.ttft is not None]
-    miss_ttfts = [sr.ttft for sr in misses if sr.ttft is not None]
-    prompt_tokens = sum(sr.request.effective_input_len for sr in finished)
-    cached_tokens = sum(sr.tokens_cached for sr in finished)
-
-    return ServingReport(
-        num_offered=len(requests),
-        num_completed=len(finished),
-        num_rejected=len(rejected),
-        makespan=makespan,
-        tokens_generated=tokens,
-        # A run that completed nothing reports 0.0 percentiles (the
-        # historical sentinel), chosen explicitly here.
-        ttft={q: percentile(ttfts, q, default=0.0) for q in REPORT_PERCENTILES},
-        tpot={q: percentile(tpots, q, default=0.0) for q in REPORT_PERCENTILES},
-        e2e={q: percentile(e2es, q, default=0.0) for q in REPORT_PERCENTILES},
-        mean_ttft=float(np.mean(ttfts)) if ttfts else 0.0,
-        mean_tpot=float(np.mean(tpots)) if tpots else 0.0,
-        slo_met=slo_met,
-        goodput=slo_met / makespan if makespan > 0 else 0.0,
-        cache_hits=len(hits),
-        hit_rate=len(hits) / len(finished) if finished else 0.0,
-        cached_token_fraction=(
-            cached_tokens / prompt_tokens if prompt_tokens > 0 else 0.0
-        ),
-        mean_ttft_hit=float(np.mean(hit_ttfts)) if hit_ttfts else 0.0,
-        mean_ttft_miss=float(np.mean(miss_ttfts)) if miss_ttfts else 0.0,
-    )
+    Exact (stored-sample) aggregation; for streams too large to hold,
+    feed a streaming :class:`ReportBuilder` instead.
+    """
+    builder = ReportBuilder(slo, store_samples=True)
+    for sr in requests:
+        builder.observe(sr)
+    return builder.build(makespan)

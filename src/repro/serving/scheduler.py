@@ -153,7 +153,9 @@ class ContinuousBatchingScheduler:
                 decision = self.admission.check(queue.peek())
                 if decision.admitted:
                     candidate = queue.pop()
-                    self.admission.admit(candidate)
+                    # Nothing can change admission state between the check
+                    # above and this reservation; skip the re-check.
+                    self.admission.admit_checked(candidate)
                     chunk.append(candidate)
                     admitted += 1
                     if budget is not None:

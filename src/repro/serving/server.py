@@ -28,7 +28,7 @@ from typing import Sequence
 from repro.core.policy import Policy
 from repro.serving.admission import AdmissionController
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
-from repro.serving.metrics import SLO, ServingReport, summarize
+from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
 from repro.serving.queue import RequestQueue, RequestState, ServingRequest
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.systems.base import OffloadingSystem
@@ -228,7 +228,12 @@ class _InFlightStep:
 
     step: EngineStep
     chunk: list[ServingRequest]
-    decoding: list[ServingRequest]
+    #: Whether this step decodes the running set.  Between begin and
+    #: complete the running set is frozen (only the queue can mutate), so
+    #: a flag replaces the per-step ``list(self.running)`` copy the old
+    #: code kept — the completion applies decode effects to ``running``
+    #: itself, which is bit-for-bit the same population.
+    decoded_running: bool
     first_token_at: float
 
     @property
@@ -274,6 +279,9 @@ class EngineCore:
         prefix_cache: bool = False,
         overlap: bool = False,
         telemetry=None,
+        record_steps: bool = True,
+        on_finish=None,
+        on_reject=None,
     ) -> None:
         self.policy = policy
         self.step_model = step_model
@@ -305,29 +313,87 @@ class EngineCore:
         self.queue = RequestQueue(ordering=queue_ordering, max_depth=max_queue_depth)
         self.running: list[ServingRequest] = []
         self.prefilling: list[ServingRequest] = []
+        #: ``record_steps=False`` is the streaming mode: the per-step busy
+        #: accumulators below replace the step list, so million-step runs
+        #: hold O(1) state.  Timelines are identical either way — the
+        #: accumulators add the same floats in the same order the list
+        #: properties would.
+        self.record_steps = record_steps
         self.steps: list[EngineStep] = []
         self.now = 0.0
         self.dropped_queue_full = 0
         self._in_flight: _InFlightStep | None = None
+        #: Sinks for terminal requests (streaming report aggregation): each
+        #: is called exactly once per request, at its terminal instant.
+        self.on_finish = on_finish
+        self.on_reject = on_reject
+        # O(1) counters mirroring what a scan over records/steps would
+        # compute (asserted equal at tier 1).
+        self.offered_count = 0
+        self.completed_count = 0
+        self.rejected_count = 0
+        self.tokens_generated_total = 0
+        self.num_steps = 0
+        self._busy_time = 0.0
+        self._decode_busy = 0.0
+        self._prefill_busy = 0.0
+        self._overlapped = 0.0
+        # Incremental load counter (= load()) published to an optional
+        # shared board so the router never polls every core per arrival.
+        self._load = 0
+        self._load_board: list[int] | None = None
+        # Decode-shape memo: the running set's micro-batch partition is a
+        # pure function of its membership (static request lengths), so it
+        # is rebuilt only when membership changes (version bump) and the
+        # per-group context sums advance by group size per decode.
+        self._running_version = 0
+        self._partition_version = -1
+        self._partition_groups: list[list[ServingRequest]] = []
+        self._partition_sums: list[int] = []
+        self._partition_micro = 0
 
     # ------------------------------------------------------------------
     # External interface (arrival ingestion and clock control)
     # ------------------------------------------------------------------
+    def attach_load_board(self, board: list[int]) -> None:
+        """Publish this core's load counter into a shared per-shard board.
+
+        ``board[shard_id]`` is kept equal to :meth:`load` across every
+        mutation, so a router reads N loads in O(N) list accesses with no
+        per-core calls (and no scans at all for the chosen shard).
+        """
+        if self.shard_id is None:
+            raise SimulationError(
+                "attach_load_board requires a shard_id-bearing core"
+            )
+        self._load_board = board
+        board[self.shard_id] = self._load
+
+    def _bump_load(self, delta: int) -> None:
+        self._load += delta
+        if self._load_board is not None:
+            self._load_board[self.shard_id] = self._load
+
     def offer(self, serving_request: ServingRequest) -> bool:
         """Ingest one arrival; returns False when the full queue drops it."""
         if self.shard_id is not None:
             serving_request.shard_id = self.shard_id
+        self.offered_count += 1
         was_idle = not self.has_work()
         if not self.queue.push(serving_request):
             serving_request.mark_rejected(
                 serving_request.arrival_time, "queue full"
             )
             self.dropped_queue_full += 1
+            self.rejected_count += 1
             if self.telemetry is not None:
                 self.telemetry.record_reject(
                     serving_request, serving_request.arrival_time, "queue full"
                 )
+            if self.on_reject is not None:
+                self.on_reject(serving_request)
             return False
+        self._bump_load(1)
         if was_idle:
             # An idle engine's clock catches up to the arrival; a busy one
             # leaves the request to wait for the current step to finish.
@@ -356,28 +422,36 @@ class EngineCore:
 
     @property
     def busy_time(self) -> float:
-        """Total simulated time this engine spent executing steps."""
-        return sum(step.duration for step in self.steps)
+        """Total simulated time this engine spent executing steps.
+
+        Accumulated step by step in completion order — the identical
+        float-addition sequence ``sum(step.duration for step in steps)``
+        performs, so the value is bit-for-bit the historical one while
+        costing O(1) per query (and surviving ``record_steps=False``).
+        """
+        return self._busy_time
 
     @property
     def decode_stream_busy(self) -> float:
         """Total time the decode stream spent executing."""
-        return decode_stream_busy(self.steps)
+        return self._decode_busy
 
     @property
     def prefill_stream_busy(self) -> float:
         """Total time the prefill stream spent executing."""
-        return prefill_stream_busy(self.steps)
+        return self._prefill_busy
 
     @property
     def overlapped_time(self) -> float:
         """Total time both streams executed concurrently (mixed steps)."""
-        return sum(step.overlapped_time for step in self.steps)
+        return self._overlapped
 
     @property
     def overlap_fraction(self) -> float:
         """Fraction of this engine's busy time spent with overlapped streams."""
-        return overlap_fraction(self.steps)
+        if self._busy_time <= 0:
+            return 0.0
+        return self._overlapped / self._busy_time
 
     def advance_to(self, time: float) -> None:
         """Run engine steps until the clock reaches ``time`` or work runs out."""
@@ -426,10 +500,16 @@ class EngineCore:
             oversized.mark_rejected(
                 self.now, oversized.reject_reason or "oversized request"
             )
+            self.rejected_count += 1
             if self.telemetry is not None:
                 self.telemetry.record_reject(
                     oversized, self.now, oversized.reject_reason or "oversized"
                 )
+            if self.on_reject is not None:
+                self.on_reject(oversized)
+        if action.rejected:
+            # Oversized drops left the queue without entering the chunk.
+            self._bump_load(-len(action.rejected))
         if self.telemetry is not None:
             for admitted in action.chunk[n_carried:]:
                 self.telemetry.record_admit(admitted, self.now)
@@ -453,15 +533,33 @@ class EngineCore:
             raise SimulationError("no engine step in flight to complete")
         self._in_flight = None
         self.now = in_flight.completion
-        for serving_request in in_flight.decoding:
-            serving_request.tokens_decoded += 1
+        if in_flight.decoded_running:
+            for serving_request in self.running:
+                serving_request.tokens_decoded += 1
+            if self._partition_version == self._running_version:
+                # Membership is unchanged since the partition was formed,
+                # so each group's integer context sum advances by exactly
+                # one token per member.
+                self._partition_sums = [
+                    total + len(group)
+                    for total, group in zip(
+                        self._partition_sums, self._partition_groups
+                    )
+                ]
         if in_flight.chunk:
             self._finish_chunk(in_flight.chunk, in_flight.first_token_at)
-        self.steps.append(in_flight.step)
+        step = in_flight.step
+        self.num_steps += 1
+        self._busy_time += step.duration
+        self._decode_busy += step.decode_time
+        self._prefill_busy += step.prefill_time
+        self._overlapped += step.overlapped_time
+        if self.record_steps:
+            self.steps.append(step)
         if self.telemetry is not None:
-            self.telemetry.record_step(self.shard_id, in_flight.step)
+            self.telemetry.record_step(self.shard_id, step)
         self._retire_finished()
-        return in_flight.step.kind
+        return step.kind
 
     def _begin_prefill(self, chunk: list[ServingRequest]) -> _InFlightStep:
         if self.chunk_prefill_tokens is None:
@@ -488,7 +586,7 @@ class EngineCore:
             return _InFlightStep(
                 step=step,
                 chunk=chunk,
-                decoding=[],
+                decoded_running=False,
                 first_token_at=step.end,
             )
 
@@ -510,7 +608,7 @@ class EngineCore:
         return _InFlightStep(
             step=step,
             chunk=chunk,
-            decoding=[],
+            decoded_running=False,
             first_token_at=step.end,
         )
 
@@ -524,8 +622,7 @@ class EngineCore:
         chunked prefill the chunk is a token budget; with ``overlap`` and
         no chunking it is the whole-prompt prefill of the admitted chunk.
         """
-        batch = self.scheduler.form_micro_batches(self.running)
-        binding_context = self.scheduler.binding_context_len(batch, self.running)
+        num_micro_batches, binding_context = self._decode_shape()
         decode_time = self.step_model.decode_step_time(
             len(self.running), binding_context
         )
@@ -557,20 +654,19 @@ class EngineCore:
             start=self.now,
             duration=duration,
             num_requests=num_requests,
-            num_micro_batches=batch.num_micro_batches,
+            num_micro_batches=num_micro_batches,
             decode_time=decode_time,
             prefill_time=chunk_time,
         )
         return _InFlightStep(
             step=step,
             chunk=chunk,
-            decoding=list(self.running),
+            decoded_running=True,
             first_token_at=first_token_at,
         )
 
     def _begin_decode(self) -> _InFlightStep:
-        batch = self.scheduler.form_micro_batches(self.running)
-        binding_context = self.scheduler.binding_context_len(batch, self.running)
+        num_micro_batches, binding_context = self._decode_shape()
         duration = self.step_model.decode_step_time(
             len(self.running), binding_context
         )
@@ -579,16 +675,49 @@ class EngineCore:
             start=self.now,
             duration=duration,
             num_requests=len(self.running),
-            num_micro_batches=batch.num_micro_batches,
+            num_micro_batches=num_micro_batches,
             decode_time=duration,
             prefill_time=0.0,
         )
         return _InFlightStep(
             step=step,
             chunk=[],
-            decoding=list(self.running),
+            decoded_running=True,
             first_token_at=step.end,
         )
+
+    def _decode_shape(self) -> tuple[int, float]:
+        """Micro-batch count and binding context of the running set.
+
+        The partition produced by ``form_micro_batches`` depends only on
+        the running set's membership (static request lengths), so it is
+        memoised on ``_running_version`` and only rebuilt when requests
+        join or retire.  Between rebuilds the cached integer context sums
+        advance by one token per group member per decode step (exact —
+        context lengths are ints), so the binding context here is
+        bit-for-bit what a fresh ``binding_context_len`` scan would give.
+        """
+        if self._partition_version != self._running_version:
+            batch = self.scheduler.form_micro_batches(self.running)
+            by_id = {sr.request_id: sr for sr in self.running}
+            self._partition_groups = [
+                [by_id[request.request_id] for request in micro_batch]
+                for micro_batch in batch
+                if micro_batch.size > 0
+            ]
+            self._partition_sums = [
+                sum(sr.context_len for sr in group)
+                for group in self._partition_groups
+            ]
+            self._partition_micro = batch.num_micro_batches
+            self._partition_version = self._running_version
+        binding_context = max(
+            total / len(group)
+            for total, group in zip(
+                self._partition_sums, self._partition_groups
+            )
+        )
+        return self._partition_micro, binding_context
 
     def _consume_chunk_budget(
         self, chunk: list[ServingRequest]
@@ -623,25 +752,44 @@ class EngineCore:
     ) -> None:
         """Retire completed prompts into the running set; keep the rest."""
         still_prefilling: list[ServingRequest] = []
+        joined = False
         for serving_request in chunk:
             if serving_request.is_prefill_complete:
                 serving_request.mark_first_token(first_token_at)
                 self.running.append(serving_request)
+                joined = True
             else:
                 still_prefilling.append(serving_request)
         self.prefilling = still_prefilling
+        if joined:
+            self._running_version += 1
 
     def _retire_finished(self) -> None:
-        still_running: list[ServingRequest] = []
-        for serving_request in self.running:
+        # In-place two-pointer compaction: identical surviving order to the
+        # historical rebuild (swap-remove would reorder and change the
+        # micro-batch partition), without allocating a list per step.
+        running = self.running
+        total = len(running)
+        write = 0
+        for read in range(total):
+            serving_request = running[read]
             if serving_request.is_finished:
                 serving_request.mark_finished(self.now)
                 self.admission.release(serving_request)
+                self.completed_count += 1
+                self.tokens_generated_total += serving_request.tokens_decoded
                 if self.telemetry is not None:
                     self.telemetry.record_finish(serving_request)
+                if self.on_finish is not None:
+                    self.on_finish(serving_request)
             else:
-                still_running.append(serving_request)
-        self.running = still_running
+                if write != read:
+                    running[write] = serving_request
+                write += 1
+        if write != total:
+            del running[write:]
+            self._running_version += 1
+            self._bump_load(write - total)
 
     def admission_stats(self) -> dict[str, int]:
         """Drop/admit counters in the report's canonical key order."""
@@ -669,20 +817,35 @@ class ServingResult:
     makespan: float
     report: ServingReport
     admission_stats: dict[str, int] = field(default_factory=dict)
+    #: Busy totals carried from the engine's O(1) accumulators, so results
+    #: survive ``record_steps=False`` runs (empty ``steps``) with the same
+    #: values a scan over the step list would produce.
+    busy_s: float | None = None
+    decode_busy_total: float | None = None
+    prefill_busy_total: float | None = None
+    overlapped_total: float | None = None
 
     @property
     def decode_stream_busy(self) -> float:
         """Total decode-stream execution time across the run's steps."""
+        if self.decode_busy_total is not None:
+            return self.decode_busy_total
         return decode_stream_busy(self.steps)
 
     @property
     def prefill_stream_busy(self) -> float:
         """Total prefill-stream execution time across the run's steps."""
+        if self.prefill_busy_total is not None:
+            return self.prefill_busy_total
         return prefill_stream_busy(self.steps)
 
     @property
     def overlap_fraction(self) -> float:
         """Fraction of engine busy time with both streams executing."""
+        if self.busy_s is not None and self.overlapped_total is not None:
+            if self.busy_s <= 0:
+                return 0.0
+            return self.overlapped_total / self.busy_s
         return overlap_fraction(self.steps)
 
     def as_row(self) -> dict[str, object]:
@@ -719,6 +882,7 @@ class ServingSystem:
         chunk_prefill_tokens: int | None = None,
         prefix_cache: bool = False,
         overlap: bool = False,
+        store_samples: bool = True,
     ) -> None:
         self.backend = backend
         self.workload = workload
@@ -731,6 +895,11 @@ class ServingSystem:
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        #: ``store_samples=False`` switches the report to streaming P²
+        #: aggregation and drops the per-step timeline from the result —
+        #: the per-request timestamps themselves stay bit-for-bit the
+        #: stored-sample run's.
+        self.store_samples = store_samples
         self.step_model = EngineStepModel(
             backend,
             workload,
@@ -784,6 +953,9 @@ class ServingSystem:
             for timed in stream
         ]
 
+        builder: ReportBuilder | None = None
+        if not self.store_samples:
+            builder = ReportBuilder(self.slo, store_samples=False)
         core = EngineCore(
             backend=self.backend,
             workload=self.workload,
@@ -797,6 +969,9 @@ class ServingSystem:
             prefix_cache=self.prefix_cache,
             overlap=self.overlap,
             telemetry=telemetry,
+            record_steps=self.store_samples,
+            on_finish=builder.observe if builder is not None else None,
+            on_reject=builder.observe if builder is not None else None,
         )
         next_arrival = 0
         while next_arrival < len(records) or core.has_work():
@@ -833,7 +1008,10 @@ class ServingSystem:
 
         if telemetry is not None:
             telemetry.finish_run(core.now, (core,))
-        report = summarize(records, makespan=core.now, slo=self.slo)
+        if builder is not None:
+            report = builder.build(core.now)
+        else:
+            report = summarize(records, makespan=core.now, slo=self.slo)
         return ServingResult(
             system=self.backend.name,
             workload=self.workload.name,
@@ -845,4 +1023,8 @@ class ServingSystem:
             makespan=core.now,
             report=report,
             admission_stats=core.admission_stats(),
+            busy_s=core.busy_time,
+            decode_busy_total=core.decode_stream_busy,
+            prefill_busy_total=core.prefill_stream_busy,
+            overlapped_total=core.overlapped_time,
         )

@@ -27,18 +27,24 @@ process, router policy and seed give identical per-request timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.policy import Policy
+from repro.runtime.block_store import chain_block_hashes
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
 from repro.serving.event_loop import ServingEventLoop
-from repro.serving.metrics import SLO, ServingReport, summarize
-from repro.serving.queue import RequestState, ServingRequest
+from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
+from repro.serving.queue import ServingRequest
 from repro.serving.router import ShardRouter
 from repro.serving.server import EngineCore, EngineStepModel, default_slo
 from repro.systems.base import OffloadingSystem
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive_int
+
+#: Per-shard route memo entries kept before the memo is recycled; bounds
+#: live memory on streams whose prompt population never repeats.
+_ROUTE_MEMO_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,9 @@ class ShardStats:
     decode_stream_busy: float = 0.0
     prefill_stream_busy: float = 0.0
     overlap_fraction: float = 0.0
+    #: Engine steps this shard executed (simperf's event count alongside
+    #: arrivals); 0 only on an idle shard.
+    num_steps: int = 0
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
@@ -69,6 +78,7 @@ class ShardStats:
             "decode_busy_s": self.decode_stream_busy,
             "prefill_busy_s": self.prefill_stream_busy,
             "overlap_fraction": self.overlap_fraction,
+            "num_steps": self.num_steps,
         }
 
 
@@ -154,6 +164,8 @@ class ShardedServingSystem:
         chunk_prefill_tokens: int | None = None,
         prefix_cache: bool = False,
         overlap: bool = False,
+        store_samples: bool = True,
+        incremental_routing: bool = True,
     ) -> None:
         if num_shards is None:
             if cluster is None:
@@ -192,6 +204,15 @@ class ShardedServingSystem:
             )
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        #: ``store_samples=False`` switches :meth:`run` to the streaming
+        #: hot path: lazy arrivals, no per-step records, P^2 sketch report.
+        #: The serving timeline is identical either way; only report
+        #: percentiles may differ (within P^2 tolerance).
+        self.store_samples = store_samples
+        #: ``incremental_routing=False`` keeps the original per-arrival
+        #: polling closure (the regression reference for the O(1) router
+        #: state below).
+        self.incremental_routing = incremental_routing
         # One step model shared by every shard: the replicas are identical,
         # so the (batch, context) -> latency memo is shard-agnostic.
         self.step_model = EngineStepModel(
@@ -213,7 +234,13 @@ class ShardedServingSystem:
             max(self.workload.max_prompt_len, request.input_len)
         )
 
-    def _make_cores(self, telemetry=None) -> list[EngineCore]:
+    def _make_cores(
+        self,
+        telemetry=None,
+        record_steps: bool = True,
+        on_finish: Callable[[ServingRequest], None] | None = None,
+        on_reject: Callable[[ServingRequest], None] | None = None,
+    ) -> list[EngineCore]:
         return [
             EngineCore(
                 backend=self.backend,
@@ -229,6 +256,9 @@ class ShardedServingSystem:
                 prefix_cache=self.prefix_cache,
                 overlap=self.overlap,
                 telemetry=telemetry,
+                record_steps=record_steps,
+                on_finish=on_finish,
+                on_reject=on_reject,
             )
             for shard_id in range(self.num_shards)
         ]
@@ -255,8 +285,13 @@ class ShardedServingSystem:
         ]
 
     def _route_fn(self, router: ShardRouter):
-        """Routing callback for the event loop: loads (and cache matches)
-        are read at the arrival's exact timestamp."""
+        """Polling routing callback: loads (and cache matches) are scanned
+        across every shard per arrival.
+
+        The reference implementation for :meth:`_incremental_route_fn` —
+        O(shards) (O(shards x prompt) when cache-aware) per arrival, kept
+        for :meth:`run_time_sliced` and the router regression tests.
+        """
 
         def route(serving_request: ServingRequest, cores) -> int:
             loads = [core.load() for core in cores]
@@ -270,6 +305,67 @@ class ShardedServingSystem:
                     for core in cores
                 ]
             return router.route(serving_request, loads, prefix_lens)
+
+        return route
+
+    def _incremental_route_fn(self, router: ShardRouter, cores: list[EngineCore]):
+        """O(1)-state routing: cores publish load deltas to a shared board.
+
+        Instead of polling ``core.load()`` across every shard per arrival,
+        each core pushes its +1/-1 load changes into one shared list as
+        they happen (see ``EngineCore.attach_load_board``), so the router
+        just reads it.  Cache-aware routing additionally hashes the prompt
+        once (not once per shard) and memoises each shard's prefix match,
+        invalidated by the shard's block-store version — chat turns that
+        repeat a session prefix between cache changes skip the per-block
+        probe entirely.  Routing decisions are identical to the polling
+        closure: the board always equals ``[core.load() for core in
+        cores]`` and the memoised matches are exactly what a fresh probe
+        would return at the current store version.
+        """
+        board = [0] * len(cores)
+        for core in cores:
+            core.attach_load_board(board)
+        if self.router_policy != "cache-aware":
+
+            def route(serving_request: ServingRequest, cores) -> int:
+                return router.route(serving_request, board, None)
+
+            return route
+
+        managers = [core.admission.kv_cache for core in cores]
+        stores = [manager.block_store for manager in managers]
+        memos: list[dict[tuple[int, tuple[int, ...]], int]] = [{} for _ in cores]
+        versions = [-1] * len(cores)
+        block_tokens = self.block_tokens
+
+        def route(serving_request: ServingRequest, cores) -> int:
+            token_ids = getattr(serving_request.request, "token_ids", None)
+            if not token_ids:
+                prefix_lens = [0] * len(board)
+            else:
+                hashes = tuple(chain_block_hashes(token_ids, block_tokens))
+                # A longer prompt can match more tokens on the same block
+                # chain (the last block is never matchable), so the prompt
+                # length is part of the key.
+                key = (len(token_ids), hashes)
+                matchable = len(token_ids) - 1
+                prefix_lens = []
+                for index, store in enumerate(stores):
+                    if store is not None and versions[index] != store.version:
+                        memos[index].clear()
+                        versions[index] = store.version
+                    memo = memos[index]
+                    match = memo.get(key)
+                    if match is None:
+                        match = managers[index].match_prefix_hashes(
+                            hashes, matchable
+                        )
+                        if len(memo) >= _ROUTE_MEMO_LIMIT:
+                            memo.clear()
+                        memo[key] = match
+                    prefix_lens.append(match)
+            return router.route(serving_request, board, prefix_lens)
 
         return route
 
@@ -289,12 +385,60 @@ class ShardedServingSystem:
         optionally attaches a fresh :class:`repro.obs.Telemetry` for this
         run; disabled, the run is bit-for-bit the historical timeline.
         """
-        records = self._materialize(arrivals, count, seed)
         router = ShardRouter(self.num_shards, self.router_policy)
-        cores = self._make_cores(telemetry=telemetry)
-        loop = ServingEventLoop(cores, self._route_fn(router), telemetry=telemetry)
-        makespan = loop.run(records)
-        return self._finalize(records, cores, makespan)
+        builder: ReportBuilder | None = None
+        if self.store_samples:
+            records = self._materialize(arrivals, count, seed)
+            cores = self._make_cores(telemetry=telemetry)
+        else:
+            # Streaming mode: no per-step records, no retained requests.
+            # Terminal requests flow straight into the sketch-backed
+            # report builder and are then garbage — peak memory is the
+            # live working set, independent of stream length.
+            records = []
+            builder = ReportBuilder(self.slo, store_samples=False)
+            cores = self._make_cores(
+                telemetry=telemetry,
+                record_steps=False,
+                on_finish=builder.observe,
+                on_reject=builder.observe,
+            )
+        if self.incremental_routing:
+            route = self._incremental_route_fn(router, cores)
+        else:
+            route = self._route_fn(router)
+        loop = ServingEventLoop(cores, route, telemetry=telemetry)
+        if builder is None:
+            makespan = loop.run(records)
+            report = summarize(records, makespan=makespan, slo=self.slo)
+        else:
+            makespan = loop.run_stream(self._stream_records(arrivals, count, seed))
+            report = builder.build(makespan)
+        return self._finalize(records, cores, makespan, report)
+
+    def _stream_records(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None,
+        seed: int,
+    ) -> Iterator[ServingRequest]:
+        """Lazy counterpart of :meth:`_materialize` for :meth:`run_stream`.
+
+        Prompt token ids are only synthesised when a prefix cache will
+        consume them; otherwise the columnar generators keep per-request
+        cost to one small object.
+        """
+        if isinstance(arrivals, ArrivalProcess):
+            stream = arrivals.generate_lazy(
+                self.workload, count=count, seed=seed, token_ids=self.prefix_cache
+            )
+        else:
+            stream = iter(sorted(arrivals, key=lambda timed: timed.arrival_time))
+        for timed in stream:
+            yield ServingRequest(
+                request=self._as_served(timed.request),
+                arrival_time=timed.arrival_time,
+            )
 
     def run_time_sliced(
         self,
@@ -323,31 +467,30 @@ class ShardedServingSystem:
         for core in cores:
             core.drain()
         makespan = max((core.now for core in cores), default=0.0)
-        return self._finalize(records, cores, makespan)
+        report = summarize(records, makespan=makespan, slo=self.slo)
+        return self._finalize(records, cores, makespan, report)
 
     def _finalize(
         self,
         records: list[ServingRequest],
         cores: list[EngineCore],
         makespan: float,
+        report: ServingReport,
     ) -> ShardedServingResult:
-        report = summarize(records, makespan=makespan, slo=self.slo)
+        # Per-shard stats come from the cores' O(1) counters rather than a
+        # scan over the request records: every offered request is terminal
+        # by run end and its shard_id was fixed at offer time, so the
+        # counter totals equal the old per-record tallies exactly — and
+        # they exist even in streaming mode, where no records are kept.
         shard_stats = []
         for core in cores:
-            assigned = [sr for sr in records if sr.shard_id == core.shard_id]
-            finished = [
-                sr for sr in assigned if sr.state is RequestState.FINISHED
-            ]
-            rejected = [
-                sr for sr in assigned if sr.state is RequestState.REJECTED
-            ]
             shard_stats.append(
                 ShardStats(
                     shard_id=core.shard_id,
-                    offered=len(assigned),
-                    completed=len(finished),
-                    rejected=len(rejected),
-                    tokens_generated=sum(sr.tokens_decoded for sr in finished),
+                    offered=core.offered_count,
+                    completed=core.completed_count,
+                    rejected=core.rejected_count,
+                    tokens_generated=core.tokens_generated_total,
                     busy_time=core.busy_time,
                     utilization=(
                         core.busy_time / makespan if makespan > 0 else 0.0
@@ -355,6 +498,7 @@ class ShardedServingSystem:
                     decode_stream_busy=core.decode_stream_busy,
                     prefill_stream_busy=core.prefill_stream_busy,
                     overlap_fraction=core.overlap_fraction,
+                    num_steps=core.num_steps,
                 )
             )
         totals: dict[str, int] = {}

@@ -12,7 +12,8 @@ Every generator accepts a ``seed`` so experiments are reproducible.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator
 
 import numpy as np
 
@@ -191,7 +192,7 @@ def generate_chat_requests(
     require_positive_int("count", count)
     system_rng = np.random.default_rng([seed, 0xC047])
     system_tokens = tuple(
-        int(t) for t in system_rng.integers(0, _VOCAB_SIZE, spec.system_prompt_len)
+        system_rng.integers(0, _VOCAB_SIZE, spec.system_prompt_len).tolist()
     )
     num_sessions = max(spec.num_sessions, -(-count // spec.turns_per_session))
     histories: list[tuple[int, ...]] = [system_tokens] * num_sessions
@@ -204,7 +205,7 @@ def generate_chat_requests(
             if len(requests) >= count:
                 return requests
             rng = session_rngs[session]
-            user = tuple(int(t) for t in rng.integers(0, _VOCAB_SIZE, spec.user_turn_len))
+            user = tuple(rng.integers(0, _VOCAB_SIZE, spec.user_turn_len).tolist())
             prompt = histories[session] + user
             requests.append(
                 Request(
@@ -215,7 +216,7 @@ def generate_chat_requests(
                 )
             )
             assistant = tuple(
-                int(t) for t in rng.integers(0, _VOCAB_SIZE, spec.generation_len)
+                rng.integers(0, _VOCAB_SIZE, spec.generation_len).tolist()
             )
             histories[session] = prompt + assistant
     return requests
@@ -246,3 +247,98 @@ def generate_requests(
         for length in lengths
     ]
     return requests
+
+
+# ----------------------------------------------------------------------
+# Columnar generation (the streaming hot path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestColumns:
+    """A request stream as parallel numpy columns instead of objects.
+
+    The hot-path counterpart of :func:`generate_requests`: lengths (and,
+    for chat, session ids) are produced vectorised in one shot, and
+    :meth:`iter_requests` materialises :class:`Request` objects lazily —
+    one at a time, as the serving loop consumes them — so a million-long
+    stream never exists as a million simultaneous objects.
+
+    Token-id prefixes are deliberately omitted: they only matter to the
+    prefix cache, and callers that need them fall back to the object
+    generators.  Everything else (length distributions, the forced-max
+    first request, chat's deterministic per-turn lengths and turn-major
+    session order) matches the object path value-for-value.
+    """
+
+    input_lens: np.ndarray
+    generation_lens: np.ndarray
+    session_ids: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.input_lens)
+
+    def iter_requests(self) -> Iterator[Request]:
+        """Yield :class:`Request` objects one at a time, in stream order."""
+        input_lens = self.input_lens.tolist()
+        generation_lens = self.generation_lens.tolist()
+        if self.session_ids is None:
+            for input_len, generation_len in zip(input_lens, generation_lens):
+                yield Request(input_len=input_len, generation_len=generation_len)
+        else:
+            for input_len, generation_len, session in zip(
+                input_lens, generation_lens, self.session_ids.tolist()
+            ):
+                yield Request(
+                    input_len=input_len,
+                    generation_len=generation_len,
+                    session_id=session,
+                )
+
+    def materialize(self) -> list[Request]:
+        """Eager list form (for tests and small streams)."""
+        return list(self.iter_requests())
+
+
+def generate_request_columns(
+    spec: WorkloadSpec,
+    count: int | None = None,
+    seed: int = 0,
+) -> RequestColumns:
+    """Vectorised :func:`generate_requests`: columns, not objects.
+
+    Non-chat workloads draw the same ``np.random.default_rng(seed)``
+    length sample as the object path (and force the first request to the
+    spec maximum the same way).  Chat prompt lengths are deterministic
+    arithmetic in the turn index, so the columns are built directly with
+    ``np.repeat``/``np.tile`` in the object path's turn-major emission
+    order; token values — the only seed-dependent part of a chat stream —
+    are omitted (see :class:`RequestColumns`).
+    """
+    count = count if count is not None else spec.num_requests
+    require_positive_int("count", count)
+    if isinstance(spec, ChatWorkloadSpec):
+        num_sessions = max(spec.num_sessions, -(-count // spec.turns_per_session))
+        turn_lens = np.array(
+            [
+                spec.system_prompt_len
+                + turn * (spec.user_turn_len + spec.generation_len)
+                + spec.user_turn_len
+                for turn in range(spec.turns_per_session)
+            ],
+            dtype=np.int64,
+        )
+        input_lens = np.repeat(turn_lens, num_sessions)[:count]
+        session_ids = np.tile(
+            np.arange(num_sessions, dtype=np.int64), spec.turns_per_session
+        )[:count]
+        generation_lens = np.full(count, spec.generation_len, dtype=np.int64)
+        return RequestColumns(
+            input_lens=input_lens,
+            generation_lens=generation_lens,
+            session_ids=session_ids,
+        )
+    rng = np.random.default_rng(seed)
+    lengths = _sample_lengths(spec, count, rng)
+    if count > 1:
+        lengths[0] = spec.max_prompt_len
+    generation_lens = np.full(count, spec.generation_len, dtype=np.int64)
+    return RequestColumns(input_lens=lengths, generation_lens=generation_lens)

@@ -1,0 +1,163 @@
+"""Tests for the simulator raw-speed sweep (``repro-simperf``).
+
+The heavy measurements live in ``benchmarks/test_bench_simperf.py``; these
+tests exercise the sweep's plumbing on tiny streams — row shape, work
+conservation, the speedup calculations and the CI regression gate — so a
+broken harness fails tier-1 in seconds rather than the bench job in
+minutes.
+"""
+
+import pytest
+
+from repro.experiments.simperf_sweep import (
+    PRE_PR_BASELINE,
+    _make_backend,
+    check_near_linear_scaling,
+    gate_against_baseline,
+    measure_reference,
+    run_simperf_sweep,
+    speedup_vs_pre_pr,
+    speedup_vs_reference,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def _row(
+    mode: str,
+    events_per_sec: float,
+    num_requests: int = 1000,
+    num_shards: int = 4,
+    router: str = "cache-aware",
+    prefix_cache: bool = True,
+    peak_mem_mb: float | None = None,
+) -> dict[str, object]:
+    return {
+        "mode": mode,
+        "router": router,
+        "num_shards": num_shards,
+        "num_requests": num_requests,
+        "prefix_cache": prefix_cache,
+        "events_per_sec": events_per_sec,
+        "peak_mem_mb": peak_mem_mb,
+    }
+
+
+class TestSweep:
+    def test_tiny_sweep_rows_conserve_work(self):
+        rows = run_simperf_sweep(
+            stream_lengths=(100, 200),
+            shard_counts=(2,),
+            with_reference=False,
+            seed=0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mode"] == "streaming"
+            assert row["completed"] + row["rejected"] == row["num_requests"]
+            assert row["num_events"] >= row["num_requests"]
+            assert row["events_per_sec"] > 0
+            assert row["wall_time_s"] > 0
+
+    def test_reference_pair_shares_the_timeline(self):
+        rows = measure_reference(
+            _make_backend(), num_requests=200, num_shards=2, repeats=1
+        )
+        time_sliced, streaming = rows
+        assert time_sliced["mode"] == "time-sliced"
+        assert streaming["mode"] == "streaming"
+        # Identical simulated timelines: the modes may only differ in how
+        # fast the wall clock gets through them.
+        assert streaming["num_events"] == time_sliced["num_events"]
+        assert streaming["completed"] == time_sliced["completed"]
+        assert streaming["makespan_s"] == pytest.approx(time_sliced["makespan_s"])
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simperf_sweep(stream_lengths=(), shard_counts=(2,))
+
+
+class TestSpeedups:
+    def test_vs_reference_matches_configuration(self):
+        rows = [
+            _row("time-sliced", 100.0),
+            # Wrong configuration: must be ignored despite closer length.
+            _row("streaming", 999.0, router="least-loaded", prefix_cache=False),
+            _row("streaming", 150.0),
+        ]
+        assert speedup_vs_reference(rows) == pytest.approx(1.5)
+
+    def test_vs_reference_without_reference_row(self):
+        assert speedup_vs_reference([_row("streaming", 100.0)]) is None
+
+    def test_vs_pre_pr_normalises_machine_speed(self):
+        anchor = PRE_PR_BASELINE["anchor_events_per_sec"]
+        baseline = PRE_PR_BASELINE["events_per_sec"]
+        # A machine exactly as fast as the baseline's: scale cancels.
+        rows = [
+            _row("time-sliced", anchor),
+            _row("streaming", 10 * baseline),
+        ]
+        assert speedup_vs_pre_pr(rows) == pytest.approx(10.0)
+        # Half-speed machine: the baseline is scaled down the same way.
+        rows = [
+            _row("time-sliced", anchor / 2),
+            _row("streaming", 5 * baseline),
+        ]
+        assert speedup_vs_pre_pr(rows) == pytest.approx(10.0)
+
+
+class TestScalingCheck:
+    def test_flat_cost_passes(self):
+        check_near_linear_scaling(
+            [
+                _row("streaming", 1000.0, num_requests=1000),
+                _row("streaming", 950.0, num_requests=10_000),
+            ]
+        )
+
+    def test_super_linear_decay_fails(self):
+        with pytest.raises(ConfigurationError):
+            check_near_linear_scaling(
+                [
+                    _row("streaming", 1000.0, num_requests=1000),
+                    _row("streaming", 300.0, num_requests=10_000),
+                ]
+            )
+
+    def test_memory_traced_rows_are_excluded(self):
+        # tracemalloc rows are an order slower by construction; they must
+        # not register as a scaling regression.
+        check_near_linear_scaling(
+            [
+                _row("streaming", 1000.0, num_requests=1000),
+                _row("streaming", 950.0, num_requests=10_000),
+                _row("streaming", 90.0, num_requests=10_000, peak_mem_mb=50.0),
+            ]
+        )
+
+
+class TestGate:
+    def _document(self, events_per_sec: float, reference: float) -> dict:
+        return {
+            "summary": {"events_per_sec": events_per_sec},
+            "rows": [_row("time-sliced", reference)],
+        }
+
+    def test_passes_at_parity(self):
+        verdict = gate_against_baseline(
+            self._document(1000.0, 500.0), self._document(1000.0, 500.0)
+        )
+        assert verdict["machine_scale"] == pytest.approx(1.0)
+
+    def test_normalises_across_machines(self):
+        # Half-speed machine, half the events/sec: no regression.
+        verdict = gate_against_baseline(
+            self._document(500.0, 250.0), self._document(1000.0, 500.0)
+        )
+        assert verdict["machine_scale"] == pytest.approx(0.5)
+
+    def test_fails_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            gate_against_baseline(
+                self._document(500.0, 500.0), self._document(1000.0, 500.0)
+            )
