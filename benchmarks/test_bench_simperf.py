@@ -16,7 +16,9 @@ import pytest
 
 from repro.experiments.bench_output import write_bench_simperf_json
 from repro.experiments.simperf_sweep import (
+    CACHE_RATIO_FLOOR,
     SIMPERF_COLUMNS,
+    cache_aware_ratio,
     check_near_linear_scaling,
     run_simperf_sweep,
     speedup_vs_pre_pr,
@@ -38,6 +40,7 @@ def test_bench_simperf_sweep(benchmark, print_rows):
             "stream_lengths": STREAM_LENGTHS,
             "shard_counts": SHARD_COUNTS,
             "with_reference": True,
+            "with_prefix_cache": True,
             "trace_memory_at": MEMORY_AT,
             "seed": 0,
         },
@@ -51,6 +54,7 @@ def test_bench_simperf_sweep(benchmark, print_rows):
     )
     speedup = speedup_vs_reference(rows)
     pre_pr_speedup = speedup_vs_pre_pr(rows)
+    cache_ratio = cache_aware_ratio(rows)
     document = write_bench_simperf_json(
         BENCH_JSON,
         rows,
@@ -65,12 +69,14 @@ def test_bench_simperf_sweep(benchmark, print_rows):
         },
         speedup_vs_time_sliced=speedup,
         speedup_vs_pre_pr=pre_pr_speedup,
+        cache_aware_vs_least_loaded=cache_ratio,
     )
 
     summary = document["summary"]
     assert summary["num_requests"] == max(STREAM_LENGTHS)
     assert summary["num_shards"] == max(SHARD_COUNTS)
     assert summary["events_per_sec"] > 0
+    assert summary["prefix_cache_events_per_sec"] > 0
 
     # Work conservation on every point: nothing silently dropped.
     for row in rows:
@@ -80,11 +86,16 @@ def test_bench_simperf_sweep(benchmark, print_rows):
     # Per-event cost stays flat as streams grow (the flat-memory design).
     check_near_linear_scaling(rows)
 
-    # The memory row exists and stays far below what stored per-request
-    # samples would need at this stream length.
+    # A memory row exists for both router families and stays far below
+    # what stored per-request samples would need at this stream length.
+    # The cache-aware row's budget is wider: the shared block stores and
+    # their LRU structures are real resident state the simulator models.
     memory_rows = [row for row in rows if row.get("peak_mem_mb") is not None]
-    assert memory_rows, "sweep must include a peak-memory row"
-    assert memory_rows[0]["peak_mem_mb"] < 200.0
+    assert len(memory_rows) == 2, "sweep must include both peak-memory rows"
+    plain_memory = [r for r in memory_rows if not r["prefix_cache"]]
+    cache_memory = [r for r in memory_rows if r["prefix_cache"]]
+    assert plain_memory and plain_memory[0]["peak_mem_mb"] < 200.0
+    assert cache_memory and cache_memory[0]["peak_mem_mb"] < 400.0
 
     # The streaming hot path must not lose to the retained time-sliced
     # loop on the matched calibration stream (both run post-overhaul
@@ -101,4 +112,13 @@ def test_bench_simperf_sweep(benchmark, print_rows):
     assert pre_pr_speedup >= 10.0, (
         f"streaming speedup {pre_pr_speedup:.1f}x below the 10x floor "
         "over the pre-PR baseline"
+    )
+
+    # Cache-aware routing over the shared prefix cache stays within 2x of
+    # plain least-loaded routing on the paired calibration stream (the
+    # ratio is a median over interleaved pairs, so machine drift cancels).
+    assert cache_ratio is not None
+    assert cache_ratio >= CACHE_RATIO_FLOOR, (
+        f"cache-aware at {cache_ratio:.2f}x of least-loaded, below the "
+        f"{CACHE_RATIO_FLOOR:.2f} floor"
     )

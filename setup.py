@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "

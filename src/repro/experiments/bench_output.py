@@ -175,21 +175,41 @@ def simperf_summary(
     The headline point is the largest streaming-mode run (most requests,
     then most shards) — the scale the sweep exists to defend.  Reference
     rows (``mode != "streaming"``) never headline; they exist to compute
-    speedups against.
+    speedups against.  Prefix-cache rows form their own family: they never
+    headline either, but the largest one contributes
+    ``prefix_cache_events_per_sec`` so the cache-aware hot path gates
+    separately from the plain-routing headline.
     """
-    streaming = [row for row in rows if row.get("mode") == "streaming"]
+    streaming = [
+        row
+        for row in rows
+        if row.get("mode") == "streaming" and not row.get("prefix_cache")
+    ]
     if not streaming:
         return {}
-    chosen = max(
-        streaming,
-        key=lambda row: (
+
+    def scale(row: Mapping[str, object]) -> tuple[int, int]:
+        return (
             int(row.get("num_requests", 0)),
             int(row.get("num_shards", 0)),
-        ),
-    )
-    return {
+        )
+
+    chosen = max(streaming, key=scale)
+    summary = {
         metric: chosen[metric] for metric in SIMPERF_SUMMARY_METRICS if metric in chosen
     }
+    cached = [
+        row
+        for row in rows
+        if row.get("mode") == "streaming"
+        and row.get("prefix_cache")
+        and row.get("peak_mem_mb") is None
+    ]
+    if cached:
+        summary["prefix_cache_events_per_sec"] = max(cached, key=scale)[
+            "events_per_sec"
+        ]
+    return summary
 
 
 def write_bench_simperf_json(
@@ -198,21 +218,25 @@ def write_bench_simperf_json(
     meta: Mapping[str, object] | None = None,
     speedup_vs_time_sliced: float | None = None,
     speedup_vs_pre_pr: float | None = None,
+    cache_aware_vs_least_loaded: float | None = None,
 ) -> dict[str, object]:
     """Write the simulator-speed benchmark artifact (``BENCH_simperf.json``).
 
     Same stamping discipline as :func:`write_bench_serving_json`;
     ``speedup_vs_time_sliced`` records the streaming hot path's measured
     events/sec multiple over the retained time-sliced reference loop on
-    the same stream, and ``speedup_vs_pre_pr`` its machine-normalised
+    the same stream, ``speedup_vs_pre_pr`` its machine-normalised
     multiple over the pre-optimization baseline recorded at the seed
-    commit.
+    commit, and ``cache_aware_vs_least_loaded`` the paired calibration
+    ratio of cache-aware routing over least-loaded on the same stream.
     """
     summary = simperf_summary(rows)
     if speedup_vs_time_sliced is not None:
         summary["speedup_vs_time_sliced"] = speedup_vs_time_sliced
     if speedup_vs_pre_pr is not None:
         summary["speedup_vs_pre_pr"] = speedup_vs_pre_pr
+    if cache_aware_vs_least_loaded is not None:
+        summary["cache_aware_vs_least_loaded"] = cache_aware_vs_least_loaded
     document: dict[str, object] = {
         "benchmark": "simperf",
         "schema_version": BENCH_SCHEMA_VERSION,

@@ -21,7 +21,6 @@ simulator itself.
 
 from __future__ import annotations
 
-import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -58,8 +57,16 @@ class P2Quantile:
         value = float(value)
         self.count += 1
         if self.count <= 5:
-            bisect.insort(self._heights, value)
+            # Exact regime: plain append.  The buffer is only sorted when a
+            # value is actually read (see :meth:`value`) and once at the
+            # transition into the sketch regime below, so tiny streams pay
+            # no per-observation sort.
+            self._heights.append(value)
             return
+        if self.count == 6:
+            # The five buffered values become the initial markers, which
+            # the sketch update relies on being in height order.
+            self._heights.sort()
 
         heights = self._heights
         positions = self._positions
@@ -114,6 +121,16 @@ class P2Quantile:
         j = i + int(step)
         return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
 
+    def add_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations (same state as sequential adds).
+
+        The sketch state is a pure fold over the observation order, so this
+        is exactly ``for v in values: add(v)`` minus the per-call overhead.
+        """
+        add = self.add
+        for value in values:
+            add(value)
+
     def value(self) -> float:
         """The current quantile estimate (NaN before any observation)."""
         if self.count == 0:
@@ -121,6 +138,7 @@ class P2Quantile:
         if self.count <= 5:
             # Exact linear-interpolated percentile of the sorted buffer
             # (numpy's default method), so tiny streams report exactly.
+            self._heights.sort()
             rank = self.q * (len(self._heights) - 1)
             low = int(rank)
             high = min(low + 1, len(self._heights) - 1)
@@ -181,6 +199,30 @@ class StreamingHistogram:
             self.max = value
         for sketch in self._sketches.values():
             sketch.add(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations (same state as sequential observes).
+
+        Accumulation order is preserved (floats fold left-to-right exactly
+        as :meth:`observe` would), so the summary statistics are
+        bit-identical to the one-at-a-time path.
+        """
+        batch = [float(value) for value in values]
+        if not batch:
+            return
+        self.count += len(batch)
+        total = self.total
+        for value in batch:
+            total += value
+        self.total = total
+        low = min(batch)
+        high = max(batch)
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        for sketch in self._sketches.values():
+            sketch.add_many(batch)
 
     @property
     def mean(self) -> float:

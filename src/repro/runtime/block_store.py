@@ -79,7 +79,7 @@ def _chain_block_hashes_cached(
     return tuple(hashes)
 
 
-@dataclass
+@dataclass(slots=True)
 class KVBlock:
     """One fixed-size KV block: the unit of sharing, charging and eviction."""
 
@@ -138,6 +138,16 @@ class SharedBlockStore:
         self.gpu_ratio = min(1.0, gpu_ratio)
         self.block_bytes = float(block_bytes)
         self.block_tokens = block_tokens
+        # Every block charges the same byte split and hence the same page
+        # counts; hoist them out of the per-block hot paths (allocate,
+        # cache/uncache, admission capacity checks).
+        gpu_block_bytes = self.block_bytes * self.gpu_ratio
+        self._block_cpu_bytes = self.block_bytes - gpu_block_bytes
+        self._block_gpu_bytes = gpu_block_bytes
+        self._block_cpu_pages = cpu_pool.pages_needed(self._block_cpu_bytes)
+        self._block_gpu_pages = (
+            gpu_pool.pages_needed(gpu_block_bytes) if gpu_pool is not None else 0
+        )
         self.blocks: dict[int, KVBlock] = {}
         self._hash_index: dict[int, int] = {}
         self._next_block_id = 0
@@ -213,8 +223,7 @@ class SharedBlockStore:
         }
 
     def _split_bytes(self) -> tuple[float, float]:
-        gpu_bytes = self.block_bytes * self.gpu_ratio
-        return self.block_bytes - gpu_bytes, gpu_bytes
+        return self._block_cpu_bytes, self._block_gpu_bytes
 
     def _evictable(self) -> list[KVBlock]:
         return sorted(
@@ -226,10 +235,10 @@ class SharedBlockStore:
         """Count a block entering the reusable cache (refcount hit zero)."""
         block.cached = True
         self._num_cached += 1
-        if block.cpu_allocation is not None:
-            self._cached_cpu_pages += block.cpu_allocation.num_pages
-        if block.gpu_allocation is not None:
-            self._cached_gpu_pages += block.gpu_allocation.num_pages
+        # Per-block page counts are store constants (zero for a pool the
+        # split does not touch), so no allocation needs to be consulted.
+        self._cached_cpu_pages += self._block_cpu_pages
+        self._cached_gpu_pages += self._block_gpu_pages
         heapq.heappush(self._lru_heap, (block.last_use, block.block_id))
 
     def _uncache(self, block: KVBlock) -> None:
@@ -238,10 +247,8 @@ class SharedBlockStore:
             return
         block.cached = False
         self._num_cached -= 1
-        if block.cpu_allocation is not None:
-            self._cached_cpu_pages -= block.cpu_allocation.num_pages
-        if block.gpu_allocation is not None:
-            self._cached_gpu_pages -= block.gpu_allocation.num_pages
+        self._cached_cpu_pages -= self._block_cpu_pages
+        self._cached_gpu_pages -= self._block_gpu_pages
 
     def _pop_lru_cached(self) -> KVBlock | None:
         """The least-recently-used cached block, skipping stale heap entries."""
@@ -265,26 +272,26 @@ class SharedBlockStore:
         """
         if num_blocks <= 0:
             return True
-        reclaim_cpu_pages = self._cached_cpu_pages
-        reclaim_gpu_pages = self._cached_gpu_pages
+        reserved_cached = 0
+        blocks = self.blocks
         for block_id in set(reserved_block_ids):
-            block = self.blocks.get(block_id)
+            block = blocks.get(block_id)
             if block is not None and block.cached:
-                if block.cpu_allocation is not None:
-                    reclaim_cpu_pages -= block.cpu_allocation.num_pages
-                if block.gpu_allocation is not None:
-                    reclaim_gpu_pages -= block.gpu_allocation.num_pages
-        cpu_bytes, gpu_bytes = self._split_bytes()
+                reserved_cached += 1
         ok = True
-        if cpu_bytes > 0:
-            needed = self.cpu_pool.pages_needed(cpu_bytes) * num_blocks
-            available = self.cpu_pool.free_pages + reclaim_cpu_pages
-            ok = ok and needed <= available
-        if gpu_bytes > 0:
+        if self._block_cpu_pages:
+            needed = self._block_cpu_pages * num_blocks
+            reclaim = (
+                self._cached_cpu_pages - reserved_cached * self._block_cpu_pages
+            )
+            ok = needed <= self.cpu_pool.free_pages + reclaim
+        if ok and self._block_gpu_pages:
             assert self.gpu_pool is not None  # guaranteed by the constructor
-            needed = self.gpu_pool.pages_needed(gpu_bytes) * num_blocks
-            available = self.gpu_pool.free_pages + reclaim_gpu_pages
-            ok = ok and needed <= available
+            needed = self._block_gpu_pages * num_blocks
+            reclaim = (
+                self._cached_gpu_pages - reserved_cached * self._block_gpu_pages
+            )
+            ok = needed <= self.gpu_pool.free_pages + reclaim
         return ok
 
     # ------------------------------------------------------------------
@@ -304,6 +311,19 @@ class SharedBlockStore:
             chain_block_hashes(token_ids, self.block_tokens),
             len(token_ids) - 1,
         )
+
+    @property
+    def prefix_index(self) -> dict[int, int]:
+        """The live content index (chained block hash -> resident block id).
+
+        Exposed for read-only probing: routers that fan one prompt's hash
+        chain across many shards walk this directly instead of paying a
+        method call per shard.  Membership here is exactly what
+        :meth:`match_prefix_hashes` tests, so ``hash in prefix_index`` per
+        chain position reproduces its match depth.  Callers must never
+        mutate it.
+        """
+        return self._hash_index
 
     def match_prefix_hashes(
         self, block_hashes: Sequence[int], matchable_tokens: int
@@ -338,6 +358,26 @@ class SharedBlockStore:
         self._touch(block)
         return block
 
+    def acquire_many(self, block_ids: Iterable[int]) -> None:
+        """:meth:`acquire` a whole prefix match (same order, one call).
+
+        Registration pins every matched block; doing it in one loop keeps
+        the refcount/cache/LRU transitions identical to sequential
+        acquires without a method call and double dict probe per block.
+        """
+        blocks = self.blocks
+        clock = self._clock
+        for block_id in block_ids:
+            block = blocks.get(block_id)
+            if block is None:
+                raise MemoryManagerError(f"unknown block {block_id}")
+            block.ref_count += 1
+            if block.ref_count == 1:
+                self._uncache(block)
+            clock += 1
+            block.last_use = clock
+        self._clock = clock
+
     def allocate_block(
         self, num_tokens: int, block_hash: int | None = None
     ) -> KVBlock:
@@ -352,20 +392,19 @@ class SharedBlockStore:
             raise MemoryManagerError(
                 f"block holds at most {self.block_tokens} tokens, got {num_tokens}"
             )
-        cpu_bytes, gpu_bytes = self._split_bytes()
-        self._reclaim_for(cpu_bytes, gpu_bytes)
+        self._reclaim_for(self._block_cpu_bytes, self._block_gpu_bytes)
         block = KVBlock(
             block_id=self._next_block_id,
             num_tokens=num_tokens,
             ref_count=1,
         )
         self._next_block_id += 1
-        if cpu_bytes > 0:
-            block.cpu_allocation = self.cpu_pool.allocate(cpu_bytes)
-        if gpu_bytes > 0:
+        if self._block_cpu_pages:
+            block.cpu_allocation = self.cpu_pool.take_pages(self._block_cpu_pages)
+        if self._block_gpu_pages:
             assert self.gpu_pool is not None  # guaranteed by the constructor
             try:
-                block.gpu_allocation = self.gpu_pool.allocate(gpu_bytes)
+                block.gpu_allocation = self.gpu_pool.take_pages(self._block_gpu_pages)
             except MemoryManagerError:
                 # Roll the CPU share back: the block never becomes visible,
                 # so nothing else can free those pages.
@@ -377,12 +416,66 @@ class SharedBlockStore:
             self._hash_index[block_hash] = block.block_id
             self.version += 1
         self.blocks[block.block_id] = block
-        if block.cpu_allocation is not None:
-            self._total_cpu_pages += block.cpu_allocation.num_pages
-        if block.gpu_allocation is not None:
-            self._total_gpu_pages += block.gpu_allocation.num_pages
-        self._touch(block)
+        self._total_cpu_pages += self._block_cpu_pages
+        self._total_gpu_pages += self._block_gpu_pages
+        self._clock += 1
+        block.last_use = self._clock
         return block
+
+    def allocate_run(
+        self,
+        sizes: Sequence[int],
+        hashes: Sequence[int | None],
+        out_block_ids: list[int],
+    ) -> None:
+        """One prompt's worth of fresh blocks, as sequential allocations.
+
+        Observably identical to calling :meth:`allocate_block` once per
+        ``(size, hash)`` pair — same eviction points, ids, index/clock
+        transitions — without the per-block method and validation
+        overhead (registration is the allocation hot path: one run per
+        admitted request).  Each committed block id is appended to
+        ``out_block_ids`` immediately, so a mid-run pool failure leaves
+        the committed prefix visible for the caller to release.  Callers
+        guarantee every size lies in ``(0, block_tokens]``.
+        """
+        blocks = self.blocks
+        hash_index = self._hash_index
+        cpu_pool = self.cpu_pool
+        gpu_pool = self.gpu_pool
+        cpu_pages = self._block_cpu_pages
+        gpu_pages = self._block_gpu_pages
+        for num_tokens, block_hash in zip(sizes, hashes):
+            if cpu_pages > cpu_pool.free_pages or (
+                gpu_pages and gpu_pages > gpu_pool.free_pages
+            ):
+                self._reclaim_for(self._block_cpu_bytes, self._block_gpu_bytes)
+            block = KVBlock(
+                block_id=self._next_block_id,
+                num_tokens=num_tokens,
+                ref_count=1,
+            )
+            self._next_block_id += 1
+            if cpu_pages:
+                block.cpu_allocation = cpu_pool.take_pages(cpu_pages)
+            if gpu_pages:
+                assert gpu_pool is not None  # guaranteed by the constructor
+                try:
+                    block.gpu_allocation = gpu_pool.take_pages(gpu_pages)
+                except MemoryManagerError:
+                    if block.cpu_allocation is not None:
+                        cpu_pool.free(block.cpu_allocation)
+                    raise
+            if block_hash is not None and block_hash not in hash_index:
+                block.block_hash = block_hash
+                hash_index[block_hash] = block.block_id
+                self.version += 1
+            blocks[block.block_id] = block
+            self._total_cpu_pages += cpu_pages
+            self._total_gpu_pages += gpu_pages
+            self._clock += 1
+            block.last_use = self._clock
+            out_block_ids.append(block.block_id)
 
     def append_to_block(self, block_id: int, num_tokens: int) -> KVBlock:
         """Grow a *private* partial block in place (decode-token append).
@@ -445,9 +538,24 @@ class SharedBlockStore:
                 self._free(block)
 
     def release_many(self, block_ids: Iterable[int]) -> None:
-        """Release a sequence's whole block table."""
+        """Release a sequence's whole block table (same order, one loop)."""
+        blocks = self.blocks
         for block_id in block_ids:
-            self.release(block_id)
+            block = blocks.get(block_id)
+            if block is None:
+                raise MemoryManagerError(f"unknown block {block_id}")
+            if block.ref_count <= 0:
+                raise MemoryManagerError(
+                    f"refcount underflow: block {block_id} released at "
+                    f"refcount {block.ref_count}"
+                )
+            block.ref_count -= 1
+            if block.ref_count == 0:
+                if block.is_shareable:
+                    self._touch(block)
+                    self._cache(block)
+                else:
+                    self._free(block)
 
     # ------------------------------------------------------------------
     # Eviction
@@ -464,11 +572,13 @@ class SharedBlockStore:
             self.evictions += 1
 
     def _fits(self, cpu_bytes: float, gpu_bytes: float) -> bool:
-        if cpu_bytes > 0 and not self.cpu_pool.can_allocate(cpu_bytes):
+        # Only ever asked about one block's constant split, so the page
+        # needs are the precomputed per-block counts.
+        if self._block_cpu_pages > self.cpu_pool.free_pages:
             return False
-        if gpu_bytes > 0:
+        if self._block_gpu_pages:
             assert self.gpu_pool is not None  # guaranteed by the constructor
-            if not self.gpu_pool.can_allocate(gpu_bytes):
+            if self._block_gpu_pages > self.gpu_pool.free_pages:
                 return False
         return True
 

@@ -86,6 +86,11 @@ class KVCacheManager:
             kv_cache_bytes_per_token_per_layer(model) * model.num_layers
         )
         self.sequences: dict[int, SequenceCache] = {}
+        # One-entry match memo: the admission path matches the same hash
+        # chain twice back-to-back (capacity check, then registration) with
+        # no store mutation in between.  Keyed on chain identity and the
+        # store's content-index version so any insert/evict invalidates it.
+        self._match_memo: tuple | None = None
         self.block_store: SharedBlockStore | None = None
         if prefix_cache:
             self.block_store = SharedBlockStore(
@@ -152,19 +157,31 @@ class KVCacheManager:
         sequence_id: int,
         prompt_tokens: int,
         token_ids: Sequence[int] | None = None,
+        block_hashes: Sequence[int] | None = None,
+        matchable_tokens: int | None = None,
     ) -> SequenceCache:
         """Create bookkeeping for a sequence and allocate its prompt cache.
 
         ``token_ids`` (shared regime only) identifies the prompt content for
         prefix matching; it may be shorter than ``prompt_tokens`` when the
         reservation also covers tokens to be generated, or when a padded
-        system charges more positions than the prompt holds.
+        system charges more positions than the prompt holds.  Alternatively
+        the caller can pass the prompt's pre-computed chained
+        ``block_hashes`` plus ``matchable_tokens`` (``prompt length - 1``)
+        directly — bit-identical matching and block tagging without token
+        ids ever existing.
         """
         require_positive_int("prompt_tokens", prompt_tokens)
         if sequence_id in self.sequences:
             raise MemoryManagerError(f"sequence {sequence_id} already registered")
         if self.block_store is not None:
-            return self._register_shared(sequence_id, prompt_tokens, token_ids)
+            return self._register_shared(
+                sequence_id,
+                prompt_tokens,
+                token_ids,
+                block_hashes=block_hashes,
+                matchable_tokens=matchable_tokens,
+            )
         cache = SequenceCache(sequence_id=sequence_id)
         self.sequences[sequence_id] = cache
         self.append_tokens(sequence_id, prompt_tokens)
@@ -175,6 +192,8 @@ class KVCacheManager:
         sequence_id: int,
         num_tokens: int,
         token_ids: Sequence[int] | None,
+        block_hashes: Sequence[int] | None = None,
+        matchable_tokens: int | None = None,
     ) -> SequenceCache:
         store = self.block_store
         assert store is not None  # caller guarantees the shared regime
@@ -182,36 +201,75 @@ class KVCacheManager:
         cache = SequenceCache(
             sequence_id=sequence_id, block_table=table, cached_tokens=0
         )
-        tokens = tuple(token_ids) if token_ids else ()
-        matched_ids = store.match_prefix(tokens)
+        if block_hashes is None:
+            tokens = tuple(token_ids) if token_ids else ()
+            block_hashes = chain_block_hashes(tokens, self.block_tokens)
+            matchable_tokens = len(tokens) - 1
+        elif matchable_tokens is None:
+            raise MemoryManagerError(
+                "block_hashes requires matchable_tokens"
+            )
+        matched_ids = self._match_hashes_memo(block_hashes, matchable_tokens)
         # Blocks beyond the reservation are matchable but useless here
         # (shorter re-issue of a longer cached prompt).
         matched_ids = matched_ids[: num_tokens // self.block_tokens]
-        hashes = chain_block_hashes(tokens, self.block_tokens)
+        hashes = block_hashes
         try:
-            for block_id in matched_ids:
-                store.acquire(block_id)
-                table.block_ids.append(block_id)
+            if matched_ids:
+                store.acquire_many(matched_ids)
+                table.block_ids.extend(matched_ids)
             cache.cached_tokens = len(matched_ids) * self.block_tokens
             remaining = num_tokens - cache.cached_tokens
-            block_index = len(matched_ids)
-            while remaining > 0:
-                take = min(self.block_tokens, remaining)
-                block_hash = None
-                if take == self.block_tokens and block_index < len(hashes):
-                    # A full block lying entirely inside the known prompt is
-                    # content-addressable; later prompts can share it.
-                    block_hash = hashes[block_index]
-                block = store.allocate_block(take, block_hash=block_hash)
-                table.block_ids.append(block.block_id)
-                remaining -= take
-                block_index += 1
+            if remaining > 0:
+                block_tokens = self.block_tokens
+                block_index = len(matched_ids)
+                sizes = []
+                run_hashes = []
+                while remaining > 0:
+                    take = min(block_tokens, remaining)
+                    sizes.append(take)
+                    # A full block lying entirely inside the known prompt
+                    # is content-addressable; later prompts can share it.
+                    run_hashes.append(
+                        hashes[block_index]
+                        if take == block_tokens and block_index < len(hashes)
+                        else None
+                    )
+                    remaining -= take
+                    block_index += 1
+                store.allocate_run(sizes, run_hashes, table.block_ids)
         except MemoryManagerError:
             store.release_many(table.block_ids)
             raise
         cache.num_tokens = num_tokens
         self.sequences[sequence_id] = cache
         return cache
+
+    def _match_hashes_memo(
+        self, block_hashes: Sequence[int], matchable_tokens: int
+    ) -> list[int]:
+        """Prefix match with a one-entry memo over the admit double-probe.
+
+        :meth:`can_admit` and :meth:`register_sequence` run back-to-back on
+        the same chain with nothing mutating the store between them; the
+        memo hits on chain *identity* (columnar requests carry one stored
+        tuple) and is invalidated by the store's content-index ``version``,
+        which bumps on every insert or eviction — so a hit is always
+        exactly what a fresh probe would return.
+        """
+        store = self.block_store
+        assert store is not None  # callers guarantee the shared regime
+        memo = self._match_memo
+        if (
+            memo is not None
+            and memo[0] is block_hashes
+            and memo[1] == matchable_tokens
+            and memo[2] == store.version
+        ):
+            return memo[3]
+        matched = store.match_prefix_hashes(block_hashes, matchable_tokens)
+        self._match_memo = (block_hashes, matchable_tokens, store.version, matched)
+        return matched
 
     def append_tokens(self, sequence_id: int, num_tokens: int) -> None:
         """Grow a sequence's cache by ``num_tokens`` decode/prefill tokens."""
@@ -332,18 +390,29 @@ class KVCacheManager:
         prompt_tokens: int,
         generation_len: int,
         token_ids: Sequence[int] | None = None,
+        block_hashes: Sequence[int] | None = None,
+        matchable_tokens: int | None = None,
     ) -> bool:
         """Whether a new request fits the pools at its end-of-generation size.
 
         In the shared regime the footprint is *incremental*: blocks covered
-        by a cached prefix of ``token_ids`` cost nothing new, and pages held
-        by evictable (unreferenced) cache count as available.
+        by a cached prefix of ``token_ids`` (or of the pre-hashed
+        ``block_hashes`` chain with its ``matchable_tokens`` cap) cost
+        nothing new, and pages held by evictable (unreferenced) cache count
+        as available.
         """
         require_positive_int("prompt_tokens", prompt_tokens)
         require_non_negative("generation_len", generation_len)
         if self.block_store is not None:
             total_blocks = self._blocks_for_tokens(prompt_tokens + generation_len)
-            matched = self.block_store.match_prefix(token_ids or ())
+            if block_hashes is not None:
+                if matchable_tokens is None:
+                    raise MemoryManagerError(
+                        "block_hashes requires matchable_tokens"
+                    )
+                matched = self._match_hashes_memo(block_hashes, matchable_tokens)
+            else:
+                matched = self.block_store.match_prefix(token_ids or ())
             matched = matched[: (prompt_tokens + generation_len) // self.block_tokens]
             return self.block_store.can_allocate_blocks(
                 total_blocks - len(matched), reserved_block_ids=matched

@@ -155,7 +155,12 @@ class AdmissionController:
 
     def match_prefix(self, request) -> int:
         """Prompt tokens this controller's cache could reuse (routing signal)."""
-        return self.kv_cache.match_prefix(getattr(request, "token_ids", None))
+        if not self.kv_cache.prefix_cache_enabled:
+            return 0
+        chain = request.block_hash_chain(self.kv_cache.block_tokens)
+        if not chain:
+            return 0
+        return self.kv_cache.match_prefix_hashes(chain, request.input_len - 1)
 
     def match_prefix_hashes(
         self, block_hashes, matchable_tokens: int
@@ -183,13 +188,31 @@ class AdmissionController:
         if not self.kv_cache.can_admit(
             request.effective_input_len,
             request.generation_len,
-            token_ids=request.token_ids,
+            **self._prefix_identity(request),
         ):
             return AdmissionDecision(
                 admitted=False,
                 reason="KV cache budget exhausted at end-of-generation size",
             )
         return AdmissionDecision(admitted=True)
+
+    def _prefix_identity(self, request) -> dict:
+        """Content-identity kwargs for the KV manager, cheapest form first.
+
+        Hash chains are the native currency: stored chains (columnar chat
+        streams) cost nothing, eager token ids hash through the memoised
+        chain function, and lazy token sources are never materialised just
+        to admit or match.  With the cache off there is nothing to match.
+        """
+        if not self.kv_cache.prefix_cache_enabled:
+            return {}
+        chain = request.block_hash_chain(self.kv_cache.block_tokens)
+        if chain is None:
+            return {}
+        return {
+            "block_hashes": chain,
+            "matchable_tokens": request.input_len - 1,
+        }
 
     def admit(self, serving_request: ServingRequest) -> AdmissionDecision:
         """Check and, on success, reserve the request's full KV footprint.
@@ -227,7 +250,7 @@ class AdmissionController:
         cache = self.kv_cache.register_sequence(
             serving_request.request_id,
             request.effective_input_len + request.generation_len,
-            token_ids=request.token_ids,
+            **self._prefix_identity(request),
         )
         serving_request.tokens_cached = cache.cached_tokens
         serving_request.tokens_prefilled = max(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -92,6 +92,7 @@ class ArrivalProcess(abc.ABC):
         count: int | None = None,
         seed: int = 0,
         token_ids: bool = False,
+        prefix_block_tokens: int = 16,
     ) -> Iterator[TimedRequest]:
         """Lazily yield the stream :meth:`generate` would materialise.
 
@@ -100,10 +101,12 @@ class ArrivalProcess(abc.ABC):
         request bodies come from the columnar generator and turn into
         :class:`Request` objects only as the consumer pulls them — the
         peak footprint of a million-request stream is one request, not a
-        million.  ``token_ids=True`` falls back to the object generators
-        (which synthesise real token prefixes for the prefix cache) while
-        keeping the lazy zip; use it when a cache-aware consumer needs
-        prompt tokens.
+        million.  ``token_ids=True`` attaches prompt-content identity for
+        the prefix cache: chat requests carry columnar block-hash chains
+        (at ``prefix_block_tokens`` tokens per block, matching the
+        consumer's block store) plus a lazy token source, so the stream
+        stays columnar — no eager token-id materialisation even on the
+        cache-aware path.
         """
         count = count if count is not None else spec.num_requests
         require_positive_int("count", count)
@@ -112,14 +115,12 @@ class ArrivalProcess(abc.ABC):
             raise ConfigurationError(
                 f"{self.name}: expected {count} arrival times, got {len(times)}"
             )
-        if token_ids:
-            requests: Iterable[Request] = generate_requests(
-                spec, count=count, seed=seed
-            )
-        else:
-            requests = generate_request_columns(
-                spec, count=count, seed=seed
-            ).iter_requests()
+        requests = generate_request_columns(
+            spec,
+            count=count,
+            seed=seed,
+            prefix_block_tokens=prefix_block_tokens if token_ids else None,
+        ).iter_requests()
         for request, time in zip(requests, times.tolist()):
             yield TimedRequest(request=request, arrival_time=time)
 

@@ -217,6 +217,12 @@ class ReportBuilder:
             self._counts: dict[str, int] = {
                 "ttft": 0, "tpot": 0, "hit_ttft": 0, "miss_ttft": 0
             }
+            # Hot-path view of the sketches (tuple iteration beats dict
+            # .values() at ~10k observations/s per shard).
+            self._sketch_tuples: dict[str, tuple[P2Quantile, ...]] = {
+                name: tuple(sketches.values())
+                for name, sketches in self._sketches.items()
+            }
 
     def observe(self, sr: ServingRequest) -> None:
         """Fold one terminal (or still-live, at stream end) request in."""
@@ -249,7 +255,7 @@ class ReportBuilder:
                 self._samples["e2e"].append(e2e)
         else:
             if ttft is not None:
-                for sketch in self._sketches["ttft"].values():
+                for sketch in self._sketch_tuples["ttft"]:
                     sketch.add(ttft)
                 self._sums["ttft"] += ttft
                 self._counts["ttft"] += 1
@@ -257,13 +263,73 @@ class ReportBuilder:
                 self._sums[key] += ttft
                 self._counts[key] += 1
             if tpot is not None:
-                for sketch in self._sketches["tpot"].values():
+                for sketch in self._sketch_tuples["tpot"]:
                     sketch.add(tpot)
                 self._sums["tpot"] += tpot
                 self._counts["tpot"] += 1
             if e2e is not None:
-                for sketch in self._sketches["e2e"].values():
+                for sketch in self._sketch_tuples["e2e"]:
                     sketch.add(e2e)
+
+    def observe_many(self, serving_requests: Iterable[ServingRequest]) -> None:
+        """Fold a batch of terminal requests in (one retirement's worth).
+
+        Identical aggregate state to calling :meth:`observe` per request in
+        the same order: each P² sketch sees its own metric's values in
+        batch order, and the running float sums accumulate left-to-right —
+        only the per-request call and dict-lookup overhead is amortised.
+        """
+        if self.store_samples:
+            for serving_request in serving_requests:
+                self.observe(serving_request)
+            return
+        ttfts: list[float] = []
+        tpots: list[float] = []
+        e2es: list[float] = []
+        sums = self._sums
+        counts = self._counts
+        for sr in serving_requests:
+            self.num_offered += 1
+            state = sr.state
+            if state is RequestState.REJECTED:
+                self.num_rejected += 1
+                continue
+            if state is not RequestState.FINISHED:
+                continue
+            self.num_completed += 1
+            self.tokens_generated += sr.tokens_decoded
+            if self.slo.is_met(sr):
+                self.slo_met += 1
+            self.prompt_tokens += sr.request.effective_input_len
+            self.cached_tokens += sr.tokens_cached
+            hit = sr.is_cache_hit
+            if hit:
+                self.cache_hits += 1
+            ttft = sr.ttft
+            tpot = sr.tpot
+            e2e = sr.e2e_latency
+            if ttft is not None:
+                ttfts.append(ttft)
+                sums["ttft"] += ttft
+                counts["ttft"] += 1
+                key = "hit_ttft" if hit else "miss_ttft"
+                sums[key] += ttft
+                counts[key] += 1
+            if tpot is not None:
+                tpots.append(tpot)
+                sums["tpot"] += tpot
+                counts["tpot"] += 1
+            if e2e is not None:
+                e2es.append(e2e)
+        if ttfts:
+            for sketch in self._sketch_tuples["ttft"]:
+                sketch.add_many(ttfts)
+        if tpots:
+            for sketch in self._sketch_tuples["tpot"]:
+                sketch.add_many(tpots)
+        if e2es:
+            for sketch in self._sketch_tuples["e2e"]:
+                sketch.add_many(e2es)
 
     def _percentiles(self, name: str) -> dict[int, float]:
         # A run that completed nothing reports 0.0 percentiles (the

@@ -39,6 +39,13 @@ class ServingRequest:
     ``tokens_decoded`` counts generated tokens; prefill emits the first
     token, so a request finishes after ``generation_len - 1`` further decode
     steps.  All times are simulated seconds since the stream started.
+
+    While a request sits in an engine's running set, ``tokens_decoded``
+    can be backed by the engine's shared decode-epoch counter (see
+    :meth:`attach_decode_epoch`): the engine then advances *one* integer
+    per decode step instead of touching every running request, and this
+    request's count reads as ``epoch + offset``.  Detached requests (the
+    default) store the plain integer, so standalone use is unchanged.
     """
 
     request: Request
@@ -52,6 +59,23 @@ class ServingRequest:
     tokens_cached: int = 0
     reject_reason: str | None = None
     shard_id: int | None = None
+
+    # Class-level defaults so the ``tokens_decoded`` property works during
+    # ``__init__`` and on detached requests (not dataclass fields).
+    _epoch_box = None
+    _epoch_offset = 0
+
+    def attach_decode_epoch(self, box: list[int]) -> None:
+        """Back ``tokens_decoded`` by a shared decode-epoch counter."""
+        self._epoch_offset = self.__dict__["tokens_decoded"] - box[0]
+        self._epoch_box = box
+
+    def detach_decode_epoch(self) -> None:
+        """Materialise the epoch-backed count back into plain storage."""
+        box = self._epoch_box
+        if box is not None:
+            self.__dict__["tokens_decoded"] = box[0] + self._epoch_offset
+            self._epoch_box = None
 
     @property
     def request_id(self) -> int:
@@ -141,6 +165,28 @@ class ServingRequest:
         if self.finish_time is None or self.state is not RequestState.FINISHED:
             return None
         return self.finish_time - self.arrival_time
+
+
+def _tokens_decoded_get(self: ServingRequest) -> int:
+    box = self._epoch_box
+    if box is not None:
+        return box[0] + self._epoch_offset
+    return self.__dict__["tokens_decoded"]
+
+
+def _tokens_decoded_set(self: ServingRequest, value: int) -> None:
+    box = self._epoch_box
+    if box is not None:
+        self._epoch_offset = value - box[0]
+    else:
+        self.__dict__["tokens_decoded"] = value
+
+
+# Installed post-class so the dataclass machinery still treats
+# ``tokens_decoded`` as an ordinary default-0 field.
+ServingRequest.tokens_decoded = property(  # type: ignore[assignment]
+    _tokens_decoded_get, _tokens_decoded_set
+)
 
 
 #: Queue orderings: name -> sort key over a ServingRequest.

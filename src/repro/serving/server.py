@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.policy import Policy
 from repro.serving.admission import AdmissionController
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
@@ -282,6 +284,7 @@ class EngineCore:
         record_steps: bool = True,
         on_finish=None,
         on_reject=None,
+        on_finish_batch=None,
     ) -> None:
         self.policy = policy
         self.step_model = step_model
@@ -325,8 +328,11 @@ class EngineCore:
         self._in_flight: _InFlightStep | None = None
         #: Sinks for terminal requests (streaming report aggregation): each
         #: is called exactly once per request, at its terminal instant.
+        #: ``on_finish_batch`` (if set) replaces ``on_finish`` with one call
+        #: per retirement batch, in the same per-request order.
         self.on_finish = on_finish
         self.on_reject = on_reject
+        self.on_finish_batch = on_finish_batch
         # O(1) counters mirroring what a scan over records/steps would
         # compute (asserted equal at tier 1).
         self.offered_count = 0
@@ -342,14 +348,27 @@ class EngineCore:
         # shared board so the router never polls every core per arrival.
         self._load = 0
         self._load_board: list[int] | None = None
+        # O(1) decode accounting: one shared epoch counter advances per
+        # decode step instead of a scan over the running set.  Running
+        # requests read ``tokens_decoded`` as ``epoch + offset`` (attached
+        # at join, materialised at retire), and each joiner is bucketed by
+        # the epoch at which it will finish, so retirement pops a dict key
+        # instead of scanning.
+        self._decode_epochs = [0]
+        self._finish_buckets: dict[int, list[ServingRequest]] = {}
         # Decode-shape memo: the running set's micro-batch partition is a
         # pure function of its membership (static request lengths), so it
-        # is rebuilt only when membership changes (version bump) and the
-        # per-group context sums advance by group size per decode.
+        # is rebuilt only when membership changes (version bump).  Between
+        # rebuilds each group's integer context sum advances by its size
+        # per decode epoch — applied lazily and vectorised from the epoch
+        # delta, so repeated decode steps of an unchanged mega-batch reprice
+        # from the memo table with no per-group Python loop.
         self._running_version = 0
         self._partition_version = -1
         self._partition_groups: list[list[ServingRequest]] = []
-        self._partition_sums: list[int] = []
+        self._partition_base: np.ndarray | None = None
+        self._partition_sizes: np.ndarray | None = None
+        self._partition_epoch = 0
         self._partition_micro = 0
 
     # ------------------------------------------------------------------
@@ -534,18 +553,10 @@ class EngineCore:
         self._in_flight = None
         self.now = in_flight.completion
         if in_flight.decoded_running:
-            for serving_request in self.running:
-                serving_request.tokens_decoded += 1
-            if self._partition_version == self._running_version:
-                # Membership is unchanged since the partition was formed,
-                # so each group's integer context sum advances by exactly
-                # one token per member.
-                self._partition_sums = [
-                    total + len(group)
-                    for total, group in zip(
-                        self._partition_sums, self._partition_groups
-                    )
-                ]
+            # O(1): every attached running request reads one more decoded
+            # token through the shared epoch; the partition memo derives
+            # its context sums from the same epoch delta.
+            self._decode_epochs[0] += 1
         if in_flight.chunk:
             self._finish_chunk(in_flight.chunk, in_flight.first_token_at)
         step = in_flight.step
@@ -705,18 +716,29 @@ class EngineCore:
                 for micro_batch in batch
                 if micro_batch.size > 0
             ]
-            self._partition_sums = [
-                sum(sr.context_len for sr in group)
-                for group in self._partition_groups
-            ]
+            self._partition_base = np.array(
+                [
+                    sum(sr.context_len for sr in group)
+                    for group in self._partition_groups
+                ],
+                dtype=np.int64,
+            )
+            self._partition_sizes = np.array(
+                [len(group) for group in self._partition_groups],
+                dtype=np.int64,
+            )
+            self._partition_epoch = self._decode_epochs[0]
             self._partition_micro = batch.num_micro_batches
             self._partition_version = self._running_version
-        binding_context = max(
-            total / len(group)
-            for total, group in zip(
-                self._partition_sums, self._partition_groups
-            )
-        )
+        # Each member gains one context token per decode epoch, so the
+        # group sums at the current epoch are base + size * delta — exact
+        # integer arithmetic, and int64/int64 division is bit-for-bit the
+        # Python int/int float the per-request scan used to produce.
+        delta = self._decode_epochs[0] - self._partition_epoch
+        sums = self._partition_base
+        if delta:
+            sums = sums + self._partition_sizes * delta
+        binding_context = float((sums / self._partition_sizes).max())
         return self._partition_micro, binding_context
 
     def _consume_chunk_budget(
@@ -753,9 +775,20 @@ class EngineCore:
         """Retire completed prompts into the running set; keep the rest."""
         still_prefilling: list[ServingRequest] = []
         joined = False
+        epoch = self._decode_epochs[0]
         for serving_request in chunk:
             if serving_request.is_prefill_complete:
                 serving_request.mark_first_token(first_token_at)
+                serving_request.attach_decode_epoch(self._decode_epochs)
+                # Prefill emitted token 1, so the request finishes after
+                # generation_len - 1 further decode epochs; bucketing it by
+                # that epoch makes retirement a dict pop, not a scan.
+                finish_epoch = (
+                    epoch + serving_request.request.generation_len - 1
+                )
+                self._finish_buckets.setdefault(finish_epoch, []).append(
+                    serving_request
+                )
                 self.running.append(serving_request)
                 joined = True
             else:
@@ -765,31 +798,40 @@ class EngineCore:
             self._running_version += 1
 
     def _retire_finished(self) -> None:
-        # In-place two-pointer compaction: identical surviving order to the
-        # historical rebuild (swap-remove would reorder and change the
-        # micro-batch partition), without allocating a list per step.
+        # Requests are bucketed at join time by the decode epoch at which
+        # they finish, so a step that retires nothing costs one dict probe
+        # and steps that do retire touch only the finished requests (plus
+        # one compaction of the survivors).  Bucket order is join order is
+        # running-list order, so mark/release/observe sequencing — and with
+        # it LRU recency, eviction and the timeline — is bit-for-bit the
+        # old scan's.
+        finished = self._finish_buckets.pop(self._decode_epochs[0], None)
+        if not finished:
+            return
+        for serving_request in finished:
+            serving_request.detach_decode_epoch()
+            serving_request.mark_finished(self.now)
+            self.admission.release(serving_request)
+            self.completed_count += 1
+            self.tokens_generated_total += serving_request.tokens_decoded
+            if self.telemetry is not None:
+                self.telemetry.record_finish(serving_request)
+            if self.on_finish is not None:
+                self.on_finish(serving_request)
+        if self.on_finish_batch is not None:
+            self.on_finish_batch(finished)
         running = self.running
-        total = len(running)
-        write = 0
-        for read in range(total):
-            serving_request = running[read]
-            if serving_request.is_finished:
-                serving_request.mark_finished(self.now)
-                self.admission.release(serving_request)
-                self.completed_count += 1
-                self.tokens_generated_total += serving_request.tokens_decoded
-                if self.telemetry is not None:
-                    self.telemetry.record_finish(serving_request)
-                if self.on_finish is not None:
-                    self.on_finish(serving_request)
-            else:
-                if write != read:
-                    running[write] = serving_request
-                write += 1
-        if write != total:
-            del running[write:]
-            self._running_version += 1
-            self._bump_load(write - total)
+        if len(finished) == len(running):
+            running.clear()
+        else:
+            drop = set(map(id, finished))
+            running[:] = [
+                serving_request
+                for serving_request in running
+                if id(serving_request) not in drop
+            ]
+        self._running_version += 1
+        self._bump_load(-len(finished))
 
     def admission_stats(self) -> dict[str, int]:
         """Drop/admit counters in the report's canonical key order."""
@@ -970,8 +1012,8 @@ class ServingSystem:
             overlap=self.overlap,
             telemetry=telemetry,
             record_steps=self.store_samples,
-            on_finish=builder.observe if builder is not None else None,
             on_reject=builder.observe if builder is not None else None,
+            on_finish_batch=builder.observe_many if builder is not None else None,
         )
         next_arrival = 0
         while next_arrival < len(records) or core.has_work():

@@ -31,7 +31,6 @@ from typing import Callable, Iterator
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.policy import Policy
-from repro.runtime.block_store import chain_block_hashes
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
 from repro.serving.event_loop import ServingEventLoop
 from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
@@ -41,10 +40,6 @@ from repro.serving.server import EngineCore, EngineStepModel, default_slo
 from repro.systems.base import OffloadingSystem
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_positive_int
-
-#: Per-shard route memo entries kept before the memo is recycled; bounds
-#: live memory on streams whose prompt population never repeats.
-_ROUTE_MEMO_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -240,6 +235,7 @@ class ShardedServingSystem:
         record_steps: bool = True,
         on_finish: Callable[[ServingRequest], None] | None = None,
         on_reject: Callable[[ServingRequest], None] | None = None,
+        on_finish_batch: Callable[[list[ServingRequest]], None] | None = None,
     ) -> list[EngineCore]:
         return [
             EngineCore(
@@ -259,6 +255,7 @@ class ShardedServingSystem:
                 record_steps=record_steps,
                 on_finish=on_finish,
                 on_reject=on_reject,
+                on_finish_batch=on_finish_batch,
             )
             for shard_id in range(self.num_shards)
         ]
@@ -314,14 +311,15 @@ class ShardedServingSystem:
         Instead of polling ``core.load()`` across every shard per arrival,
         each core pushes its +1/-1 load changes into one shared list as
         they happen (see ``EngineCore.attach_load_board``), so the router
-        just reads it.  Cache-aware routing additionally hashes the prompt
-        once (not once per shard) and memoises each shard's prefix match,
-        invalidated by the shard's block-store version — chat turns that
-        repeat a session prefix between cache changes skip the per-block
-        probe entirely.  Routing decisions are identical to the polling
-        closure: the board always equals ``[core.load() for core in
-        cores]`` and the memoised matches are exactly what a fresh probe
-        would return at the current store version.
+        just reads it.  Cache-aware routing reads the prompt's columnar
+        hash chain (precomputed by the workload generator) and walks each
+        shard's content index directly — for the shards that do not hold
+        the session's prefix that is a single dict probe, and no per-shard
+        re-hashing or method dispatch happens anywhere.  Routing decisions
+        are identical to the polling closure: the board always equals
+        ``[core.load() for core in cores]`` and the per-index walk counts
+        exactly the blocks :meth:`SharedBlockStore.match_prefix_hashes`
+        would return.
         """
         board = [0] * len(cores)
         for core in cores:
@@ -333,38 +331,34 @@ class ShardedServingSystem:
 
             return route
 
-        managers = [core.admission.kv_cache for core in cores]
-        stores = [manager.block_store for manager in managers]
-        memos: list[dict[tuple[int, tuple[int, ...]], int]] = [{} for _ in cores]
-        versions = [-1] * len(cores)
+        stores = [core.admission.kv_cache.block_store for core in cores]
+        indexes = [
+            store.prefix_index if store is not None else {} for store in stores
+        ]
         block_tokens = self.block_tokens
 
         def route(serving_request: ServingRequest, cores) -> int:
-            token_ids = getattr(serving_request.request, "token_ids", None)
-            if not token_ids:
+            request = serving_request.request
+            hashes = request.block_hash_chain(block_tokens)
+            if not hashes:
                 prefix_lens = [0] * len(board)
             else:
-                hashes = tuple(chain_block_hashes(token_ids, block_tokens))
-                # A longer prompt can match more tokens on the same block
-                # chain (the last block is never matchable), so the prompt
-                # length is part of the key.
-                key = (len(token_ids), hashes)
-                matchable = len(token_ids) - 1
+                # The match is capped one token short of the full prompt
+                # (prefill must compute at least one token), so only the
+                # first ``(input_len - 1) // block_tokens`` blocks can
+                # ever match regardless of the chain's length.
+                max_blocks = (request.input_len - 1) // block_tokens
+                probe = hashes[:max_blocks] if len(hashes) > max_blocks else hashes
                 prefix_lens = []
-                for index, store in enumerate(stores):
-                    if store is not None and versions[index] != store.version:
-                        memos[index].clear()
-                        versions[index] = store.version
-                    memo = memos[index]
-                    match = memo.get(key)
-                    if match is None:
-                        match = managers[index].match_prefix_hashes(
-                            hashes, matchable
-                        )
-                        if len(memo) >= _ROUTE_MEMO_LIMIT:
-                            memo.clear()
-                        memo[key] = match
-                    prefix_lens.append(match)
+                append = prefix_lens.append
+                for index in indexes:
+                    depth = 0
+                    for block_hash in probe:
+                        if block_hash in index:
+                            depth += 1
+                        else:
+                            break
+                    append(depth * block_tokens)
             return router.route(serving_request, board, prefix_lens)
 
         return route
@@ -400,8 +394,8 @@ class ShardedServingSystem:
             cores = self._make_cores(
                 telemetry=telemetry,
                 record_steps=False,
-                on_finish=builder.observe,
                 on_reject=builder.observe,
+                on_finish_batch=builder.observe_many,
             )
         if self.incremental_routing:
             route = self._incremental_route_fn(router, cores)
@@ -424,13 +418,19 @@ class ShardedServingSystem:
     ) -> Iterator[ServingRequest]:
         """Lazy counterpart of :meth:`_materialize` for :meth:`run_stream`.
 
-        Prompt token ids are only synthesised when a prefix cache will
-        consume them; otherwise the columnar generators keep per-request
-        cost to one small object.
+        Prompt content identity is only attached when a prefix cache will
+        consume it — and then as columnar block-hash chains at this
+        system's block size, so even the cache-aware path materialises no
+        token ids; otherwise the columnar generators keep per-request cost
+        to one small object.
         """
         if isinstance(arrivals, ArrivalProcess):
             stream = arrivals.generate_lazy(
-                self.workload, count=count, seed=seed, token_ids=self.prefix_cache
+                self.workload,
+                count=count,
+                seed=seed,
+                token_ids=self.prefix_cache,
+                prefix_block_tokens=self.block_tokens,
             )
         else:
             stream = iter(sorted(arrivals, key=lambda timed: timed.arrival_time))

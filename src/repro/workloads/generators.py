@@ -13,6 +13,7 @@ Every generator accepts a ``seed`` so experiments are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Iterator
 
 import numpy as np
@@ -190,10 +191,7 @@ def generate_chat_requests(
     """
     count = count if count is not None else spec.num_requests
     require_positive_int("count", count)
-    system_rng = np.random.default_rng([seed, 0xC047])
-    system_tokens = tuple(
-        system_rng.integers(0, _VOCAB_SIZE, spec.system_prompt_len).tolist()
-    )
+    system_tokens = _chat_system_tokens(spec, seed)
     num_sessions = max(spec.num_sessions, -(-count // spec.turns_per_session))
     histories: list[tuple[int, ...]] = [system_tokens] * num_sessions
     session_rngs = [
@@ -250,6 +248,106 @@ def generate_requests(
 
 
 # ----------------------------------------------------------------------
+# Columnar prefix identity (chat)
+# ----------------------------------------------------------------------
+#: Sessions hashed per chunk: bounds the transient token matrix to a few MB
+#: regardless of stream length.
+_HASH_CHUNK_SESSIONS = 2048
+
+
+def _chat_system_tokens(spec: ChatWorkloadSpec, seed: int) -> tuple[int, ...]:
+    """The shared system prompt — one draw, identical across sessions."""
+    system_rng = np.random.default_rng([seed, 0xC047])
+    return tuple(
+        system_rng.integers(0, _VOCAB_SIZE, spec.system_prompt_len).tolist()
+    )
+
+
+def _resolve_chat_tokens(
+    system_tokens: tuple[int, ...], seed: int, session: int, draw_count: int
+) -> tuple[int, ...]:
+    """Regenerate one chat prompt's token tuple on demand.
+
+    A session's turn-``t`` prompt is the system prompt followed by the first
+    ``t * (user + generation) + user`` values of the session RNG stream —
+    drawing them in one batched call yields the same values as the object
+    path's per-turn draws (numpy PCG64 output is call-shape independent).
+    """
+    rng = np.random.default_rng([seed, 0x5E55, session])
+    return system_tokens + tuple(
+        rng.integers(0, _VOCAB_SIZE, draw_count).tolist()
+    )
+
+
+def _hash_token_row_matrix(tokens: np.ndarray, block_tokens: int) -> np.ndarray:
+    """Chained block hashes of every row of a token matrix, vectorised.
+
+    Row-for-row equal to ``repro.runtime.block_store.chain_block_hashes``:
+    the same polynomial (multiplier 1000003, seed 0x9E3779B97F4A7C15) over
+    the same ``(token + 1)`` terms, with uint64 wraparound standing in for
+    the mod-``2**64`` reduction.  Each block's contribution is a dot product
+    with the precomputed multiplier powers; the sequential part is one
+    multiply-add per *block*, vectorised across rows.
+    """
+    num_rows, width = tokens.shape
+    num_blocks = width // block_tokens
+    multiplier = 1000003
+    modulus = 2**64
+    powers = np.array(
+        [pow(multiplier, block_tokens - 1 - j, modulus) for j in range(block_tokens)],
+        dtype=np.uint64,
+    )
+    step = np.uint64(pow(multiplier, block_tokens, modulus))
+    values = (
+        tokens[:, : num_blocks * block_tokens].astype(np.uint64) + np.uint64(1)
+    ).reshape(num_rows, num_blocks, block_tokens)
+    contributions = (values * powers).sum(axis=2, dtype=np.uint64)
+    hashes = np.empty((num_rows, num_blocks), dtype=np.uint64)
+    value = np.full(num_rows, 0x9E3779B97F4A7C15, dtype=np.uint64)
+    for block_index in range(num_blocks):
+        value = value * step + contributions[:, block_index]
+        hashes[:, block_index] = value
+    return hashes
+
+
+def _chat_prefix_hash_rows(
+    spec: ChatWorkloadSpec,
+    num_sessions: int,
+    seed: int,
+    block_tokens: int,
+) -> np.ndarray:
+    """Per-session block-hash rows covering the final turn's prompt.
+
+    Returns a ``(num_sessions, max_prompt // block_tokens)`` uint64 matrix;
+    a turn-``t`` request's chain is the first ``input_len // block_tokens``
+    entries of its session's row (turn prompts are strict prefixes of one
+    another).  Token matrices are built per session chunk and discarded, so
+    peak transient memory is bounded by the chunk, not the stream.
+    """
+    max_prompt = spec.prompt_len_at_turn(spec.turns_per_session - 1)
+    num_blocks = max_prompt // block_tokens
+    hashes = np.empty((num_sessions, num_blocks), dtype=np.uint64)
+    if num_blocks == 0:
+        return hashes
+    system = np.array(_chat_system_tokens(spec, seed), dtype=np.int64)
+    hashed_len = num_blocks * block_tokens
+    system_part = min(len(system), hashed_len)
+    draw_count = hashed_len - system_part
+    for start in range(0, num_sessions, _HASH_CHUNK_SESSIONS):
+        stop = min(start + _HASH_CHUNK_SESSIONS, num_sessions)
+        tokens = np.empty((stop - start, hashed_len), dtype=np.int64)
+        tokens[:, :system_part] = system[:system_part]
+        if draw_count:
+            for offset, session in enumerate(range(start, stop)):
+                rng = np.random.default_rng([seed, 0x5E55, session])
+                tokens[offset, system_part:] = rng.integers(
+                    0, _VOCAB_SIZE, draw_count
+                )
+        hashes[start:stop] = _hash_token_row_matrix(tokens, block_tokens)
+    return hashes
+
+
+# ----------------------------------------------------------------------
 # Columnar generation (the streaming hot path)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -262,16 +360,25 @@ class RequestColumns:
     one at a time, as the serving loop consumes them — so a million-long
     stream never exists as a million simultaneous objects.
 
-    Token-id prefixes are deliberately omitted: they only matter to the
-    prefix cache, and callers that need them fall back to the object
-    generators.  Everything else (length distributions, the forced-max
-    first request, chat's deterministic per-turn lengths and turn-major
-    session order) matches the object path value-for-value.
+    Prompt *content* travels as prefix identity, not token ids: chat
+    streams built with ``prefix_block_tokens`` carry one uint64 block-hash
+    row per session (``prefix_hash_rows``), and each emitted request gets
+    the row slice covering its prompt plus a ``token_source`` that can
+    regenerate the full token tuple on demand.  The serving hot path
+    (admission, prefix matching, cache-aware routing) consumes the hash
+    chains directly; token ids only materialise if somebody actually reads
+    ``Request.token_ids``.  Everything else (length distributions, the
+    forced-max first request, chat's deterministic per-turn lengths and
+    turn-major session order) matches the object path value-for-value.
     """
 
     input_lens: np.ndarray
     generation_lens: np.ndarray
     session_ids: np.ndarray | None = None
+    prefix_hash_rows: np.ndarray | None = None
+    prefix_block_tokens: int | None = None
+    system_tokens: tuple[int, ...] | None = None
+    seed: int | None = None
 
     def __len__(self) -> int:
         return len(self.input_lens)
@@ -283,7 +390,7 @@ class RequestColumns:
         if self.session_ids is None:
             for input_len, generation_len in zip(input_lens, generation_lens):
                 yield Request(input_len=input_len, generation_len=generation_len)
-        else:
+        elif self.prefix_hash_rows is None:
             for input_len, generation_len, session in zip(
                 input_lens, generation_lens, self.session_ids.tolist()
             ):
@@ -291,6 +398,31 @@ class RequestColumns:
                     input_len=input_len,
                     generation_len=generation_len,
                     session_id=session,
+                )
+        else:
+            block_tokens = self.prefix_block_tokens
+            hash_rows = self.prefix_hash_rows
+            system_tokens = self.system_tokens
+            system_len = len(system_tokens)
+            for input_len, generation_len, session in zip(
+                input_lens, generation_lens, self.session_ids.tolist()
+            ):
+                chain = tuple(
+                    hash_rows[session, : input_len // block_tokens].tolist()
+                )
+                yield Request(
+                    input_len=input_len,
+                    generation_len=generation_len,
+                    session_id=session,
+                    prefix_hashes=chain,
+                    prefix_block_tokens=block_tokens,
+                    token_source=partial(
+                        _resolve_chat_tokens,
+                        system_tokens,
+                        self.seed,
+                        session,
+                        input_len - system_len,
+                    ),
                 )
 
     def materialize(self) -> list[Request]:
@@ -302,6 +434,7 @@ def generate_request_columns(
     spec: WorkloadSpec,
     count: int | None = None,
     seed: int = 0,
+    prefix_block_tokens: int | None = None,
 ) -> RequestColumns:
     """Vectorised :func:`generate_requests`: columns, not objects.
 
@@ -310,8 +443,11 @@ def generate_request_columns(
     spec maximum the same way).  Chat prompt lengths are deterministic
     arithmetic in the turn index, so the columns are built directly with
     ``np.repeat``/``np.tile`` in the object path's turn-major emission
-    order; token values — the only seed-dependent part of a chat stream —
-    are omitted (see :class:`RequestColumns`).
+    order.  Passing ``prefix_block_tokens`` additionally hashes each
+    session's token stream into a shared uint64 block-hash row (vectorised,
+    chunked) so emitted chat requests carry their prefix chain plus a lazy
+    token source — bit-identical content identity to the object path
+    without materialising any token list up front.
     """
     count = count if count is not None else spec.num_requests
     require_positive_int("count", count)
@@ -331,6 +467,19 @@ def generate_request_columns(
             np.arange(num_sessions, dtype=np.int64), spec.turns_per_session
         )[:count]
         generation_lens = np.full(count, spec.generation_len, dtype=np.int64)
+        if prefix_block_tokens is not None:
+            require_positive_int("prefix_block_tokens", prefix_block_tokens)
+            return RequestColumns(
+                input_lens=input_lens,
+                generation_lens=generation_lens,
+                session_ids=session_ids,
+                prefix_hash_rows=_chat_prefix_hash_rows(
+                    spec, num_sessions, seed, prefix_block_tokens
+                ),
+                prefix_block_tokens=prefix_block_tokens,
+                system_tokens=_chat_system_tokens(spec, seed),
+                seed=seed,
+            )
         return RequestColumns(
             input_lens=input_lens,
             generation_lens=generation_lens,

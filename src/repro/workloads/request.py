@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import require_non_negative, require_positive_int
@@ -26,6 +26,19 @@ class Request:
     number of tokens to decode.  ``padded_len`` records the length the
     request is padded to under padding-based systems (FlexGen and
     MoE-Lightning(p)); it defaults to the true ``input_len``.
+
+    Prompt content can be carried three ways, cheapest first:
+
+    * ``prefix_hashes`` — the chained block-hash prefix of the prompt at
+      ``prefix_block_tokens`` tokens per block, as produced by
+      ``repro.runtime.block_store.chain_block_hashes``.  This is the only
+      content identity the serving hot path (admission, prefix matching,
+      cache-aware routing) needs, and for chat workloads it is a slice of
+      a per-session hash row shared across turns.
+    * ``token_source`` — a zero-argument callable that regenerates the
+      full token tuple on demand.  ``token_ids`` then materialises lazily
+      on first read and is cached; nothing is paid if nobody reads it.
+    * ``token_ids`` — the eager token tuple, as before.
     """
 
     input_len: int
@@ -34,6 +47,15 @@ class Request:
     padded_len: int | None = None
     session_id: int | None = None
     token_ids: tuple[int, ...] | None = None
+    prefix_hashes: tuple[int, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+    prefix_block_tokens: int | None = field(
+        default=None, repr=False, compare=False
+    )
+    token_source: Callable[[], Sequence[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         require_positive_int("input_len", self.input_len)
@@ -43,10 +65,17 @@ class Request:
                 f"padded_len ({self.padded_len}) must be >= input_len "
                 f"({self.input_len})"
             )
-        if self.token_ids is not None and len(self.token_ids) != self.input_len:
+        # Read the raw slot, not the property: validation must not trigger
+        # lazy materialisation.
+        token_ids = self.__dict__.get("token_ids")
+        if token_ids is not None and len(token_ids) != self.input_len:
             raise ConfigurationError(
-                f"token_ids holds {len(self.token_ids)} tokens but input_len "
+                f"token_ids holds {len(token_ids)} tokens but input_len "
                 f"is {self.input_len}"
+            )
+        if self.prefix_hashes is not None and self.prefix_block_tokens is None:
+            raise ConfigurationError(
+                "prefix_hashes requires prefix_block_tokens"
             )
 
     @property
@@ -71,6 +100,27 @@ class Request:
         """Prompt plus generated tokens (final KV-cache length)."""
         return self.effective_input_len + self.generation_len
 
+    def block_hash_chain(self, block_tokens: int) -> tuple[int, ...] | None:
+        """Chained block hashes of the prompt at ``block_tokens`` per block.
+
+        Returns the stored ``prefix_hashes`` when they were computed at the
+        same block size (no token materialisation), falls back to hashing
+        ``token_ids``, and returns ``None`` when the request carries no
+        content identity at all.
+        """
+        if (
+            self.prefix_hashes is not None
+            and self.prefix_block_tokens == block_tokens
+        ):
+            return self.prefix_hashes
+        token_ids = self.token_ids
+        if token_ids is None:
+            return None
+        # Local import: workloads must stay importable without runtime/.
+        from repro.runtime.block_store import chain_block_hashes
+
+        return tuple(chain_block_hashes(token_ids, block_tokens))
+
     def padded_to(self, length: int) -> "Request":
         """Return a copy of this request padded to ``length`` tokens."""
         if length < self.input_len:
@@ -83,8 +133,39 @@ class Request:
             request_id=self.request_id,
             padded_len=length,
             session_id=self.session_id,
-            token_ids=self.token_ids,
+            token_ids=self.__dict__.get("token_ids"),
+            prefix_hashes=self.prefix_hashes,
+            prefix_block_tokens=self.prefix_block_tokens,
+            token_source=self.token_source,
         )
+
+
+def _request_token_ids_get(self: Request) -> tuple[int, ...] | None:
+    tokens = self.__dict__.get("token_ids")
+    if tokens is None:
+        source = self.__dict__.get("token_source")
+        if source is not None:
+            tokens = tuple(source())
+            if len(tokens) != self.input_len:
+                raise ConfigurationError(
+                    f"token_source produced {len(tokens)} tokens but "
+                    f"input_len is {self.input_len}"
+                )
+            self.__dict__["token_ids"] = tokens
+    return tokens
+
+
+def _request_token_ids_set(self: Request, value: tuple[int, ...] | None) -> None:
+    self.__dict__["token_ids"] = value
+
+
+# ``token_ids`` is a data descriptor so lazy requests materialise on first
+# read.  The frozen dataclass ``__init__`` assigns via ``object.__setattr__``,
+# which routes through the property setter into the instance dict; direct
+# attribute assignment still raises FrozenInstanceError as before.
+Request.token_ids = property(  # type: ignore[assignment]
+    _request_token_ids_get, _request_token_ids_set
+)
 
 
 @dataclass

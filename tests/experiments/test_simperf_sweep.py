@@ -11,9 +11,13 @@ import pytest
 
 from repro.experiments.simperf_sweep import (
     PRE_PR_BASELINE,
+    REFERENCE_REQUESTS,
+    REFERENCE_SHARDS,
     _make_backend,
+    cache_aware_ratio,
     check_near_linear_scaling,
     gate_against_baseline,
+    measure_cache_ratio,
     measure_reference,
     run_simperf_sweep,
     speedup_vs_pre_pr,
@@ -75,6 +79,41 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             run_simperf_sweep(stream_lengths=(), shard_counts=(2,))
 
+    def test_prefix_cache_family_doubles_the_grid(self, monkeypatch):
+        # The calibration-sized ratio pair is stubbed out: this test checks
+        # the grid shape, the bench measures the real thing.
+        monkeypatch.setattr(
+            "repro.experiments.simperf_sweep.measure_cache_ratio",
+            lambda backend, **kwargs: (1.0, []),
+        )
+        rows = run_simperf_sweep(
+            stream_lengths=(100,),
+            shard_counts=(2,),
+            with_reference=False,
+            with_prefix_cache=True,
+            trace_memory_at=100,
+            seed=0,
+        )
+        speed = [row for row in rows if row["peak_mem_mb"] is None]
+        memory = [row for row in rows if row["peak_mem_mb"] is not None]
+        assert [
+            (row["router"], row["prefix_cache"]) for row in speed
+        ] == [("least-loaded", False), ("cache-aware", True)]
+        assert [
+            (row["router"], row["prefix_cache"]) for row in memory
+        ] == [("least-loaded", False), ("cache-aware", True)]
+
+    def test_cache_ratio_pair_shares_the_timeline(self):
+        ratio, rows = measure_cache_ratio(
+            _make_backend(), num_requests=200, num_shards=2, repeats=1
+        )
+        cached, plain = rows
+        assert cached["router"] == "cache-aware" and cached["prefix_cache"]
+        assert plain["router"] == "least-loaded" and not plain["prefix_cache"]
+        assert ratio == pytest.approx(
+            cached["events_per_sec"] / plain["events_per_sec"]
+        )
+
 
 class TestSpeedups:
     def test_vs_reference_matches_configuration(self):
@@ -104,6 +143,43 @@ class TestSpeedups:
             _row("streaming", 5 * baseline),
         ]
         assert speedup_vs_pre_pr(rows) == pytest.approx(10.0)
+
+
+class TestCacheRatio:
+    def _pair(self, cached_eps: float, plain_eps: float) -> list[dict]:
+        return [
+            _row(
+                "streaming",
+                cached_eps,
+                num_requests=REFERENCE_REQUESTS,
+                num_shards=REFERENCE_SHARDS,
+            ),
+            _row(
+                "streaming",
+                plain_eps,
+                num_requests=REFERENCE_REQUESTS,
+                num_shards=REFERENCE_SHARDS,
+                router="least-loaded",
+                prefix_cache=False,
+            ),
+        ]
+
+    def test_divides_the_calibration_pair(self):
+        assert cache_aware_ratio(self._pair(150.0, 100.0)) == pytest.approx(1.5)
+
+    def test_later_pair_wins(self):
+        # The best-of reference streaming row precedes the paired trial at
+        # the same configuration; the paired rows must be the ones divided.
+        rows = self._pair(999.0, 999.0) + self._pair(150.0, 100.0)
+        assert cache_aware_ratio(rows) == pytest.approx(1.5)
+
+    def test_ignores_other_sizes_and_memory_rows(self):
+        rows = self._pair(150.0, 100.0)
+        rows[0]["num_requests"] = 1  # off-calibration cache row
+        assert cache_aware_ratio(rows) is None
+        rows = self._pair(150.0, 100.0)
+        rows[1]["peak_mem_mb"] = 50.0  # memory rows never pair
+        assert cache_aware_ratio(rows) is None
 
 
 class TestScalingCheck:
@@ -137,9 +213,17 @@ class TestScalingCheck:
 
 
 class TestGate:
-    def _document(self, events_per_sec: float, reference: float) -> dict:
+    def _document(
+        self,
+        events_per_sec: float,
+        reference: float,
+        prefix_cache_eps: float | None = None,
+    ) -> dict:
+        summary: dict[str, object] = {"events_per_sec": events_per_sec}
+        if prefix_cache_eps is not None:
+            summary["prefix_cache_events_per_sec"] = prefix_cache_eps
         return {
-            "summary": {"events_per_sec": events_per_sec},
+            "summary": summary,
             "rows": [_row("time-sliced", reference)],
         }
 
@@ -161,3 +245,45 @@ class TestGate:
             gate_against_baseline(
                 self._document(500.0, 500.0), self._document(1000.0, 500.0)
             )
+
+    def test_failure_message_prints_measured_vs_required_ratio(self):
+        # 500 measured vs a 700 floor: the message must state both numbers
+        # and their ratio so a red CI run is diagnosable from the log line.
+        with pytest.raises(
+            ConfigurationError,
+            match=r"measured 500 events/s vs required 700 events/s.*"
+            r"ratio 0\.71, need >= 1\.00",
+        ):
+            gate_against_baseline(
+                self._document(500.0, 500.0), self._document(1000.0, 500.0)
+            )
+
+    def test_cache_family_gates_separately(self):
+        # Headline holds at parity while the prefix-cache family regresses
+        # below the floor: the gate must still fail, naming the family.
+        with pytest.raises(
+            ConfigurationError, match=r"prefix-cache regression.*ratio"
+        ):
+            gate_against_baseline(
+                self._document(1000.0, 500.0, prefix_cache_eps=500.0),
+                self._document(1000.0, 500.0, prefix_cache_eps=1000.0),
+            )
+
+    def test_cache_family_passes_and_reports(self):
+        verdict = gate_against_baseline(
+            self._document(1000.0, 500.0, prefix_cache_eps=900.0),
+            self._document(1000.0, 500.0, prefix_cache_eps=1000.0),
+        )
+        assert verdict["prefix_cache_events_per_sec"] == pytest.approx(900.0)
+        assert verdict["prefix_cache_floor_events_per_sec"] == pytest.approx(
+            700.0
+        )
+
+    def test_cache_family_optional(self):
+        # Baselines from before the prefix-cache family carry no cache
+        # summary; the gate must not demand one.
+        verdict = gate_against_baseline(
+            self._document(1000.0, 500.0, prefix_cache_eps=900.0),
+            self._document(1000.0, 500.0),
+        )
+        assert "prefix_cache_floor_events_per_sec" not in verdict

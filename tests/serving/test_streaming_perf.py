@@ -98,12 +98,19 @@ def test_streaming_mode_reproduces_exact_timeline(backend, monkeypatch, router):
 
     captured = []
     original = ReportBuilder.observe
+    original_many = ReportBuilder.observe_many
 
     def spy(self, serving_request):
         captured.append(serving_request)
         original(self, serving_request)
 
+    def spy_many(self, serving_requests):
+        batch = list(serving_requests)
+        captured.extend(batch)
+        original_many(self, batch)
+
     monkeypatch.setattr(ReportBuilder, "observe", spy)
+    monkeypatch.setattr(ReportBuilder, "observe_many", spy_many)
     streaming = run_stream(
         make_sharded(backend, num_requests, router=router, store_samples=False),
         num_requests,
@@ -234,6 +241,39 @@ def test_streaming_memory_is_flat_in_stream_length(backend):
     assert peaks[100_000] < 2.0 * peaks[25_000]
     # Absolute sanity: far below what 100k stored ServingRequests need.
     assert peaks[100_000] < 120e6
+
+
+def test_lazy_hash_memory_is_flat_in_stream_length(backend):
+    """Cache-aware streaming stays flat too: hashes, no token lists.
+
+    The prefix-cache hot path carries each prompt as a per-session hash
+    row plus a lazy token source — never a materialised token tuple — and
+    the shard stores' residency is bounded by their pools, not by the
+    stream.  4x the requests must stay within a small factor of the peak
+    (per-session hash rows and interpreter noise are the only growth).
+    """
+    rate = sustainable_rate(backend, num_shards=4)
+    peaks = {}
+    for num_requests in (10_000, 40_000):
+        system = make_sharded(
+            backend,
+            num_requests,
+            num_shards=4,
+            router="cache-aware",
+            prefix_cache=True,
+            store_samples=False,
+        )
+        tracemalloc.start()
+        result = run_stream(system, num_requests, rate=rate)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[num_requests] = peak
+        assert result.report.num_completed + result.report.num_rejected == (
+            num_requests
+        )
+    assert peaks[40_000] < 2.0 * peaks[10_000]
+    # Absolute sanity: far below what 40k stored token tuples need.
+    assert peaks[40_000] < 80e6
 
 
 def test_streaming_percentiles_agree_with_exact_at_scale(backend):
