@@ -4,11 +4,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
         "continuous-batching serving simulator with multi-GPU sharding, "
+        "heterogeneous device types, prefill/decode disaggregation, "
         "shared-prefix KV caching and end-to-end serving telemetry"
     ),
     long_description=(
@@ -20,9 +21,12 @@ setup(
         "(tensor/expert partition plans, partitioned roofline models, "
         "sharded serving with routing and chunked prefill), and a shared "
         "ref-counted prefix cache (content-hash-chained KV blocks, "
-        "cache-aware routing, multi-turn chat workloads), and an opt-in "
-        "observability layer (request-lifecycle Chrome traces, streaming "
-        "P2 percentile metrics, time-series sampling) layered on top."
+        "cache-aware routing, multi-turn chat workloads, TTL session "
+        "eviction), an opt-in observability layer (request-lifecycle "
+        "Chrome traces, streaming P2 percentile metrics, time-series "
+        "sampling), and disaggregated serving (heterogeneous device "
+        "specs, prefill/decode pools, priced KV migration with "
+        "phase-aware routing) layered on top."
     ),
     author="paper-repo-growth",
     license="Apache-2.0",
@@ -42,6 +46,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.experiments.serving_sweep:main",
+            "repro-disagg = repro.experiments.disagg_sweep:main",
             "repro-simperf = repro.experiments.simperf_sweep:main",
             "repro-trace = repro.obs.trace_cli:main",
         ],

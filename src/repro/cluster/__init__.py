@@ -7,8 +7,9 @@ the partitioned core models) and data-parallel sharded serving
 (:class:`ClusterSpec` + :class:`~repro.serving.sharded.ShardedServingSystem`).
 
 * :mod:`repro.cluster.spec` — :class:`GPULinkSpec` (NVLink / PCIe-P2P /
-  Ethernet) and :class:`ClusterSpec` (N devices + link, shared-host or
-  scale-out).
+  Ethernet), :class:`DeviceSpec` (per-device node, phase role and load
+  state) and :class:`ClusterSpec` (N devices + link, shared-host,
+  scale-out or heterogeneous).
 * :mod:`repro.cluster.partition` — :class:`PartitionPlan` splitting a
   model's weights, KV cache and FLOPs across shards and pricing the
   resulting collectives.
@@ -16,7 +17,10 @@ the partitioned core models) and data-parallel sharded serving
 
 from repro.cluster.partition import CollectiveTraffic, PartitionPlan
 from repro.cluster.spec import (
+    DEVICE_ROLES,
+    DEVICE_STATES,
     ClusterSpec,
+    DeviceSpec,
     GPULinkSpec,
     ethernet_100g,
     nvlink,
@@ -26,6 +30,9 @@ from repro.cluster.spec import (
 __all__ = [
     "ClusterSpec",
     "CollectiveTraffic",
+    "DEVICE_ROLES",
+    "DEVICE_STATES",
+    "DeviceSpec",
     "GPULinkSpec",
     "PartitionPlan",
     "ethernet_100g",

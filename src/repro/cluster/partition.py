@@ -29,7 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.spec import ClusterSpec
+from repro.cluster.spec import ClusterSpec, DeviceSpec
+from repro.hardware.spec import HardwareSpec
 from repro.core.policy import Policy
 from repro.models.config import ModelConfig
 from repro.models.memory import (
@@ -126,6 +127,29 @@ class PartitionPlan:
     def shard_fraction(self) -> float:
         """Fraction of weights, KV bytes and FLOPs each shard carries."""
         return 1.0 / self.num_shards
+
+    # ------------------------------------------------------------------
+    # Per-device views (heterogeneous clusters)
+    # ------------------------------------------------------------------
+    def shard_device(self, shard_id: int) -> "DeviceSpec":
+        """The :class:`~repro.cluster.spec.DeviceSpec` shard ``shard_id`` runs on."""
+        return self.cluster.device(shard_id)
+
+    def shard_device_hardware(self, shard_id: int) -> "HardwareSpec":
+        """The node shard ``shard_id`` prices against (its *own* device)."""
+        return self.cluster.device_hardware(shard_id)
+
+    @property
+    def binding_device_gpu_memory(self) -> float:
+        """GPU capacity of the tightest device in the cluster.
+
+        The plan splits bytes evenly, so a shard placed on the smallest
+        device is the one that decides whether the plan fits; on a
+        homogeneous cluster this is simply the node's GPU memory.
+        """
+        if not self.cluster.devices:
+            return self.cluster.node.gpu_memory
+        return min(d.node.gpu_memory for d in self.cluster.devices)
 
     def shard_weight_bytes(self, model: ModelConfig) -> float:
         """Parameter bytes resident on one shard."""

@@ -27,6 +27,65 @@ from repro.utils.errors import ConfigurationError
 from repro.utils.units import GB
 from repro.utils.validation import require_positive, require_positive_int
 
+#: Phase roles a device can take in a disaggregated serving cluster.
+DEVICE_ROLES = ("unified", "prefill", "decode")
+
+#: Model-load states (Helix-style): a device with no weights resident, one
+#: still streaming weights in, and one ready to serve.
+DEVICE_STATES = ("no-model", "loading", "ready")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device of a (possibly heterogeneous) cluster.
+
+    ``node`` is the full single-GPU node the device brings (its own memory
+    capacity and roofline parameters), ``role`` the serving phase it is
+    specialised for, and ``state``/``ready_at`` its model-load state: a
+    ``loading`` device holds weights-in-flight and starts serving at
+    ``ready_at`` simulated seconds; a ``no-model`` device never serves and
+    is skipped by the router entirely.
+    """
+
+    device_id: int
+    node: HardwareSpec
+    role: str = "unified"
+    state: str = "ready"
+    ready_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ConfigurationError(
+                f"device_id must be >= 0, got {self.device_id}"
+            )
+        if self.role not in DEVICE_ROLES:
+            raise ConfigurationError(
+                f"unknown device role {self.role!r}; choose from {DEVICE_ROLES}"
+            )
+        if self.state not in DEVICE_STATES:
+            raise ConfigurationError(
+                f"unknown device state {self.state!r}; choose from "
+                f"{DEVICE_STATES}"
+            )
+        if self.node.tp_size != 1:
+            raise ConfigurationError(
+                f"a DeviceSpec node must hold exactly one GPU (tp_size=1), "
+                f"got tp_size={self.node.tp_size}"
+            )
+        if self.ready_at < 0:
+            raise ConfigurationError(
+                f"ready_at must be >= 0, got {self.ready_at}"
+            )
+        if self.state == "ready" and self.ready_at != 0.0:
+            raise ConfigurationError(
+                "a ready device must have ready_at == 0.0; use state='loading'"
+            )
+
+    @property
+    def serves(self) -> bool:
+        """Whether the device can (eventually) serve requests."""
+        return self.state != "no-model"
+
 
 @dataclass(frozen=True)
 class GPULinkSpec:
@@ -78,6 +137,7 @@ class ClusterSpec:
     num_devices: int = 1
     link: GPULinkSpec = field(default_factory=pcie_peer_link)
     host_shared: bool = True
+    devices: tuple[DeviceSpec, ...] = ()
 
     def __post_init__(self) -> None:
         require_positive_int("num_devices", self.num_devices)
@@ -87,6 +147,36 @@ class ClusterSpec:
                 f"tp_size={self.node.tp_size}; use ClusterSpec.from_hardware() "
                 f"to split an aggregate node into devices"
             )
+        if self.devices:
+            if len(self.devices) != self.num_devices:
+                raise ConfigurationError(
+                    f"devices lists {len(self.devices)} entries but "
+                    f"num_devices is {self.num_devices}"
+                )
+            for i, dev in enumerate(self.devices):
+                if dev.device_id != i:
+                    raise ConfigurationError(
+                        f"devices must be listed in id order: slot {i} holds "
+                        f"device_id {dev.device_id}"
+                    )
+            roles = {d.role for d in self.devices}
+            if "unified" in roles and roles & {"prefill", "decode"}:
+                raise ConfigurationError(
+                    "a cluster mixes either unified devices or "
+                    "prefill/decode specialists, not both"
+                )
+            if roles & {"prefill", "decode"}:
+                serving = [d for d in self.devices if d.serves]
+                if not any(d.role == "prefill" for d in serving):
+                    raise ConfigurationError(
+                        "a disaggregated cluster needs at least one serving "
+                        "prefill device"
+                    )
+                if not any(d.role == "decode" for d in serving):
+                    raise ConfigurationError(
+                        "a disaggregated cluster needs at least one serving "
+                        "decode device"
+                    )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -148,6 +238,32 @@ class ClusterSpec:
             host_shared=False,
         )
 
+    @classmethod
+    def of_devices(
+        cls,
+        devices: list[DeviceSpec] | tuple[DeviceSpec, ...],
+        link: GPULinkSpec | None = None,
+        name: str | None = None,
+    ) -> "ClusterSpec":
+        """A scale-out cluster built from explicit per-device specs.
+
+        This is the heterogeneous constructor: each device brings its own
+        full node (its own GPU type, memory and roofline parameters), a
+        phase role and a load state.  ``node`` is set to the first device's
+        node so scalar-cluster callers keep a representative view.
+        """
+        devs = tuple(devices)
+        if not devs:
+            raise ConfigurationError("of_devices needs at least one device")
+        return cls(
+            name=name or f"{len(devs)}dev[{devs[0].node.gpu.name}...]",
+            node=devs[0].node,
+            num_devices=len(devs),
+            link=link or ethernet_100g(),
+            host_shared=False,
+            devices=devs,
+        )
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -156,13 +272,55 @@ class ClusterSpec:
         """True for a 1-device cluster (the backward-compatible default)."""
         return self.num_devices == 1
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when per-device specs list more than one distinct node."""
+        return bool(self.devices) and any(
+            d.node != self.node for d in self.devices
+        )
+
+    @property
+    def is_disaggregated(self) -> bool:
+        """True when devices are specialised into prefill/decode roles."""
+        return bool(self.devices) and any(
+            d.role != "unified" for d in self.devices
+        )
+
+    def device(self, device_id: int) -> DeviceSpec:
+        """The :class:`DeviceSpec` of one device.
+
+        Scalar clusters (no explicit ``devices``) synthesize a ready,
+        unified device over :meth:`shard_hardware`, so every cluster can be
+        viewed per-device.
+        """
+        if not 0 <= device_id < self.num_devices:
+            raise ConfigurationError(
+                f"device_id {device_id} out of range for "
+                f"{self.num_devices}-device cluster"
+            )
+        if self.devices:
+            return self.devices[device_id]
+        return DeviceSpec(device_id=device_id, node=self.shard_hardware())
+
+    def device_hardware(self, device_id: int) -> HardwareSpec:
+        """The node one device sees (per-device for heterogeneous clusters)."""
+        return self.device(device_id).node
+
     def aggregate_hardware(self) -> HardwareSpec:
         """The whole cluster as one :class:`HardwareSpec` (Table 1 symbols).
 
         For a shared host this is exactly the registry's aggregate node —
         GPU capacity/bandwidth/FLOPs multiplied by ``num_devices``, CPU and
         PCIe shared.  For scale-out clusters the hosts aggregate too.
+
+        A *heterogeneous* cluster aggregates at the bottleneck: tensor /
+        expert parallelism barriers every device at each collective, so the
+        group paces at ``num_devices`` times the slowest device's roofline,
+        and the equal split bounds per-shard capacity by the smallest
+        device's memory.
         """
+        if self.is_heterogeneous:
+            return self._bottleneck_aggregate()
         if self.is_trivial:
             return self.node
         name = f"{self.num_devices}x{self.node.gpu.name}+{self.node.cpu.name}"
@@ -187,11 +345,50 @@ class ClusterSpec:
             tp_size=self.num_devices,
         )
 
+    def _bottleneck_aggregate(self) -> HardwareSpec:
+        """Barrier-paced aggregate of a heterogeneous device set.
+
+        Collectives synchronise every device, so the group's GPU roofline is
+        ``num_devices`` times the *slowest* device's, and the equal
+        partition split caps usable memory at ``num_devices`` times the
+        *smallest* device's.  Hosts (scale-out) sum.
+        """
+        n = self.num_devices
+        nodes = [d.node for d in self.devices]
+        gpu = replace(
+            nodes[0].gpu,
+            name=f"{n}xhet[{nodes[0].gpu.name}...]",
+            memory_bytes=min(x.gpu.memory_bytes for x in nodes) * n,
+            memory_bandwidth=min(x.gpu.memory_bandwidth for x in nodes) * n,
+            peak_flops=min(x.gpu.peak_flops for x in nodes) * n,
+        )
+        cpu = replace(
+            nodes[0].cpu,
+            memory_bytes=sum(x.cpu.memory_bytes for x in nodes),
+            memory_bandwidth=sum(x.cpu.memory_bandwidth for x in nodes),
+            peak_flops=sum(x.cpu.peak_flops for x in nodes),
+            cores=sum(x.cpu.cores for x in nodes),
+        )
+        interconnect = replace(
+            nodes[0].interconnect,
+            bandwidth=sum(x.interconnect.bandwidth for x in nodes),
+        )
+        return replace(
+            nodes[0],
+            name=f"{n}xhet[{self.name}]",
+            gpu=gpu,
+            cpu=cpu,
+            interconnect=interconnect,
+            tp_size=n,
+        )
+
     def shard_hardware(self) -> HardwareSpec:
         """The node one data-parallel shard sees.
 
         Scale-out shards own their whole node; shards of a shared host split
         its CPU memory/bandwidth/compute and its PCIe bandwidth evenly.
+        For a heterogeneous cluster this is the *representative* node — use
+        :meth:`device_hardware` for a specific shard.
         """
         if self.is_trivial or not self.host_shared:
             return self.node
@@ -217,6 +414,19 @@ class ClusterSpec:
     def describe(self) -> str:
         """Human-readable summary used by reports."""
         sharing = "shared host" if self.host_shared else "one host per device"
+        if self.devices:
+            parts = []
+            for dev in self.devices:
+                tag = dev.node.gpu.name
+                if dev.role != "unified":
+                    tag += f":{dev.role}"
+                if dev.state != "ready":
+                    tag += f"({dev.state})"
+                parts.append(tag)
+            return (
+                f"{self.name}: [{', '.join(parts)}] over {self.link.name} "
+                f"({self.link.bandwidth / 1e9:.0f} GB/s/dev, {sharing})"
+            )
         return (
             f"{self.name}: {self.num_devices}x {self.node.gpu.name} over "
             f"{self.link.name} ({self.link.bandwidth / 1e9:.0f} GB/s/dev, "

@@ -283,8 +283,15 @@ class PartitionedMemoryModel(MemoryModel):
     # ------------------------------------------------------------------
     @property
     def usable_gpu_memory(self) -> float:
-        """One device's GPU bytes available to the policy after the reserve."""
-        return self.plan.cluster.node.gpu_memory * (1.0 - self.reserve_fraction)
+        """One device's GPU bytes available to the policy after the reserve.
+
+        Shards split the model *evenly*, so on a heterogeneous cluster the
+        binding device is the one with the least memory: every shard must
+        fit on the tightest device for the plan to be executable at all.
+        """
+        return self.plan.binding_device_gpu_memory * (
+            1.0 - self.reserve_fraction
+        )
 
     # ------------------------------------------------------------------
     # Per-shard footprints

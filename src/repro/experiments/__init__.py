@@ -26,6 +26,10 @@ suite, the examples and the report generator can share them:
 * :mod:`repro.experiments.overlap_sweep` — serialized vs. overlapped
   prefill/decode streams over one loaded chat stream (goodput/TPOT/TTFT
   curves; not a paper artifact).
+* :mod:`repro.experiments.disagg_sweep` — disaggregated prefill/decode
+  pools (priced KV migration, phase-aware routing) vs. unified serving at
+  equal device count, plus a heterogeneous fast-prefill cluster (not a
+  paper artifact).
 * :mod:`repro.experiments.simperf_sweep` — simulator raw-speed sweep
   (events/sec vs. stream length and shard count; measures the simulator
   itself, not a paper artifact).
@@ -51,6 +55,7 @@ from repro.experiments.tp_scaling import run_tp_scaling
 from repro.experiments.serving_sweep import offline_capacity, run_serving_sweep
 from repro.experiments.shard_scaling import run_shard_scaling
 from repro.experiments.cache_sweep import run_cache_sweep
+from repro.experiments.disagg_sweep import run_disagg_sweep
 from repro.experiments.overlap_sweep import run_overlap_sweep
 from repro.experiments.bench_output import (
     serving_summary,
@@ -78,6 +83,7 @@ __all__ = [
     "run_serving_sweep",
     "run_shard_scaling",
     "run_cache_sweep",
+    "run_disagg_sweep",
     "run_overlap_sweep",
     "run_simperf_sweep",
     "serving_summary",

@@ -79,6 +79,7 @@ def run_serving_sweep(
     chunk_prefill_tokens: int | None = None,
     prefix_cache: bool = False,
     overlap: bool = False,
+    session_ttl: float | None = None,
     telemetry=None,
     store_samples: bool = True,
 ) -> list[dict[str, object]]:
@@ -134,6 +135,7 @@ def run_serving_sweep(
             chunk_prefill_tokens=chunk_prefill_tokens,
             prefix_cache=prefix_cache,
             overlap=overlap,
+            session_ttl=session_ttl,
             store_samples=store_samples,
         )
         for backend, policy in zip(backends, policies)
@@ -290,6 +292,26 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--disagg",
+        action="store_true",
+        help=(
+            "compare disaggregated prefill/decode pools (priced KV "
+            "migration, phase-aware routing) against unified serving at "
+            "equal device count under mixed chat + long-prompt traffic "
+            "(see repro-disagg for the full set of knobs)"
+        ),
+    )
+    parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "evict prefix-cache sessions idle longer than this simulated "
+            "duration (requires --prefix-cache on; sharded/disagg modes)"
+        ),
+    )
+    parser.add_argument(
         "--exact-report",
         action="store_true",
         help=(
@@ -377,6 +399,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if args.shards < 1:
             raise ConfigurationError(f"--shards must be >= 1, got {args.shards}")
+        if args.session_ttl is not None and args.prefix_cache != "on":
+            raise ConfigurationError(
+                "--session-ttl requires --prefix-cache on: without the "
+                "shared block store there are no idle cached sessions to "
+                "expire"
+            )
 
         meta = {
             "model": args.model,
@@ -392,6 +420,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "chunk_prefill": args.chunk_prefill,
             "prefix_cache": args.prefix_cache,
             "overlap": args.overlap,
+            "session_ttl": args.session_ttl,
+            "disagg": args.disagg,
             "report": "exact" if args.exact_report else "streaming",
         }
         prefix_cache = args.prefix_cache == "on"
@@ -414,7 +444,35 @@ def main(argv: Sequence[str] | None = None) -> int:
                 metrics=True,
                 sample_interval=interval,
             )
-        if args.shards > 1:
+        if args.disagg:
+            # Disaggregation comparison: unified vs prefill/decode pools
+            # (vs a fast-prefill heterogeneous cluster) at equal device
+            # count, under the mixed traffic the split exists for.
+            from repro.experiments.disagg_sweep import (
+                DISAGG_COLUMNS,
+                run_disagg_sweep,
+            )
+
+            num_shards = args.shards if args.shards > 1 else 4
+            rows = run_disagg_sweep(
+                system_name=args.systems[0],
+                model_name=args.model,
+                hardware_name=args.hardware,
+                num_shards=num_shards,
+                load_factor=args.load_factor or 3.0,
+                seed=args.seed,
+                prefix_cache=prefix_cache,
+                session_ttl=args.session_ttl,
+                use_simulator=args.simulate,
+            )
+            columns = list(DISAGG_COLUMNS)
+            if args.session_ttl is not None:
+                columns.append("ttl_evictions")
+            title = (
+                f"Disaggregation sweep: mixed traffic @ {args.model} / "
+                f"{args.hardware} x{num_shards} (seed {args.seed})"
+            )
+        elif args.shards > 1:
             # Sharded mode sweeps shard counts at one load point: take it
             # from --load-factor, falling back to the strongest requested
             # --load-factors rate rather than silently dropping them.
@@ -441,6 +499,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 use_simulator=args.simulate,
                 prefix_cache=prefix_cache,
                 overlap=overlap,
+                session_ttl=args.session_ttl,
                 telemetry=telemetry,
                 store_samples=args.exact_report,
             )
@@ -470,6 +529,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 chunk_prefill_tokens=chunk_prefill,
                 prefix_cache=prefix_cache,
                 overlap=overlap,
+                session_ttl=args.session_ttl,
                 telemetry=telemetry,
                 store_samples=args.exact_report,
             )

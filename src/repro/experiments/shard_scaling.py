@@ -57,6 +57,7 @@ def run_shard_scaling(
     use_simulator: bool = False,
     prefix_cache: bool = False,
     overlap: bool = False,
+    session_ttl: float | None = None,
     telemetry=None,
     store_samples: bool = True,
 ) -> list[dict[str, object]]:
@@ -120,6 +121,7 @@ def run_shard_scaling(
             use_simulator=use_simulator,
             prefix_cache=prefix_cache,
             overlap=overlap,
+            session_ttl=session_ttl,
             store_samples=store_samples,
         )
         attach = telemetry if index == len(shard_counts) - 1 else None

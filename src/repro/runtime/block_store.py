@@ -94,6 +94,9 @@ class KVBlock:
     #: (refcount zero, retained for prefix matching) and is therefore
     #: counted in the store's incremental reclaim totals.
     cached: bool = False
+    #: Simulated instant the block entered the cache (idleness start);
+    #: TTL eviction compares this against the session-idle cutoff.
+    last_touch_time: float = 0.0
 
     @property
     def is_shareable(self) -> bool:
@@ -153,7 +156,12 @@ class SharedBlockStore:
         self._next_block_id = 0
         self._clock = 0
         self.evictions = 0
+        self.ttl_evictions = 0
         self.cow_copies = 0
+        #: Simulated time, advanced (monotonically) by the engine that owns
+        #: the store; only consulted by TTL eviction, so stores driven
+        #: without a clock behave exactly as before.
+        self.clock_time = 0.0
         #: Bumped on every content-index mutation (block registered or
         #: evicted); routers memoise prefix matches against this, so a
         #: stale memo can never survive an index change.
@@ -234,6 +242,7 @@ class SharedBlockStore:
     def _cache(self, block: KVBlock) -> None:
         """Count a block entering the reusable cache (refcount hit zero)."""
         block.cached = True
+        block.last_touch_time = self.clock_time
         self._num_cached += 1
         # Per-block page counts are store constants (zero for a pool the
         # split does not touch), so no allocation needs to be consulted.
@@ -258,6 +267,25 @@ class SharedBlockStore:
             if block is not None and block.cached and block.last_use == last_use:
                 return block
         return None
+
+    def allocatable_blocks(self) -> int:
+        """Fresh blocks allocatable right now, counting evictable cache.
+
+        The capacity half of :meth:`can_allocate_blocks` as a count instead
+        of a verdict: how many blocks could be carved out of free pages plus
+        everything LRU eviction could reclaim.  Routers use this as a KV
+        headroom signal, so it runs in O(1) off the incremental counters.
+        """
+        limit: int | None = None
+        if self._block_cpu_pages:
+            available = self.cpu_pool.free_pages + self._cached_cpu_pages
+            limit = available // self._block_cpu_pages
+        if self._block_gpu_pages:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            available = self.gpu_pool.free_pages + self._cached_gpu_pages
+            gpu_limit = available // self._block_gpu_pages
+            limit = gpu_limit if limit is None else min(limit, gpu_limit)
+        return limit or 0
 
     def can_allocate_blocks(
         self, num_blocks: int, reserved_block_ids: Iterable[int] = ()
@@ -477,6 +505,97 @@ class SharedBlockStore:
             block.last_use = self._clock
             out_block_ids.append(block.block_id)
 
+    def register_chain(
+        self,
+        matched_ids: Sequence[int],
+        num_tokens: int,
+        block_hashes: Sequence[int | None],
+        out_block_ids: list[int],
+    ) -> int:
+        """Register one sequence's whole prefix chain in a single call.
+
+        Fuses the admission/migration registration path — pin the prefix
+        match (``matched_ids``), then carve the remaining ``num_tokens``
+        minus cached tokens into fresh blocks tagged with the chain's
+        remaining ``block_hashes`` — without the per-block loops and
+        intermediate size/hash lists the caller used to build.  Observably
+        identical to :meth:`acquire_many` followed by
+        :meth:`allocate_block` per block: same eviction points, ids and
+        index/clock transitions.  On a mid-run pool failure every block
+        this call pinned or committed is released before re-raising, so
+        the store is left exactly as found.  Returns the cached (matched)
+        token count.
+        """
+        start = len(out_block_ids)
+        try:
+            if matched_ids:
+                self.acquire_many(matched_ids)
+                out_block_ids.extend(matched_ids)
+            cached_tokens = len(matched_ids) * self.block_tokens
+            remaining = num_tokens - cached_tokens
+            if remaining > 0:
+                blocks = self.blocks
+                hash_index = self._hash_index
+                cpu_pool = self.cpu_pool
+                gpu_pool = self.gpu_pool
+                cpu_pages = self._block_cpu_pages
+                gpu_pages = self._block_gpu_pages
+                block_tokens = self.block_tokens
+                block_index = len(matched_ids)
+                num_hashes = len(block_hashes)
+                while remaining > 0:
+                    take = (
+                        block_tokens if remaining >= block_tokens else remaining
+                    )
+                    # A full block lying entirely inside the known prompt is
+                    # content-addressable; later prompts can share it.
+                    block_hash = (
+                        block_hashes[block_index]
+                        if take == block_tokens and block_index < num_hashes
+                        else None
+                    )
+                    if cpu_pages > cpu_pool.free_pages or (
+                        gpu_pages and gpu_pages > gpu_pool.free_pages
+                    ):
+                        self._reclaim_for(
+                            self._block_cpu_bytes, self._block_gpu_bytes
+                        )
+                    block = KVBlock(
+                        block_id=self._next_block_id,
+                        num_tokens=take,
+                        ref_count=1,
+                    )
+                    self._next_block_id += 1
+                    if cpu_pages:
+                        block.cpu_allocation = cpu_pool.take_pages(cpu_pages)
+                    if gpu_pages:
+                        assert gpu_pool is not None  # constructor guarantee
+                        try:
+                            block.gpu_allocation = gpu_pool.take_pages(
+                                gpu_pages
+                            )
+                        except MemoryManagerError:
+                            if block.cpu_allocation is not None:
+                                cpu_pool.free(block.cpu_allocation)
+                            raise
+                    if block_hash is not None and block_hash not in hash_index:
+                        block.block_hash = block_hash
+                        hash_index[block_hash] = block.block_id
+                        self.version += 1
+                    blocks[block.block_id] = block
+                    self._total_cpu_pages += cpu_pages
+                    self._total_gpu_pages += gpu_pages
+                    self._clock += 1
+                    block.last_use = self._clock
+                    out_block_ids.append(block.block_id)
+                    remaining -= take
+                    block_index += 1
+        except MemoryManagerError:
+            self.release_many(out_block_ids[start:])
+            del out_block_ids[start:]
+            raise
+        return cached_tokens
+
     def append_to_block(self, block_id: int, num_tokens: int) -> KVBlock:
         """Grow a *private* partial block in place (decode-token append).
 
@@ -570,6 +689,35 @@ class SharedBlockStore:
                 return
             self._free(victim)
             self.evictions += 1
+
+    def expire_idle(self, cutoff: float) -> int:
+        """Free cached blocks idle since before ``cutoff`` (TTL eviction).
+
+        A chat session that went quiet leaves its whole prefix chain parked
+        in the cache; TTL eviction reclaims those pages ahead of allocation
+        pressure.  Blocks are freed in LRU order off the existing lazy
+        heap: the integer use clock is monotone in simulated time, so the
+        heap head is also the oldest block by ``last_touch_time`` and the
+        scan stops at the first survivor — O(evicted), not O(cached).
+        Returns the number of blocks expired (also accumulated on
+        ``ttl_evictions``).
+        """
+        expired = 0
+        heap = self._lru_heap
+        blocks = self.blocks
+        while heap:
+            last_use, block_id = heap[0]
+            block = blocks.get(block_id)
+            if block is None or not block.cached or block.last_use != last_use:
+                heapq.heappop(heap)  # stale entry (re-acquired or freed)
+                continue
+            if block.last_touch_time > cutoff:
+                break
+            heapq.heappop(heap)
+            self._free(block)
+            expired += 1
+        self.ttl_evictions += expired
+        return expired
 
     def _fits(self, cpu_bytes: float, gpu_bytes: float) -> bool:
         # Only ever asked about one block's constant split, so the page

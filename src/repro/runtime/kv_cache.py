@@ -121,6 +121,30 @@ class KVCacheManager:
     def _blocks_for_tokens(self, num_tokens: int) -> int:
         return -(-num_tokens // self.block_tokens)
 
+    def headroom_tokens(self) -> int:
+        """Tokens of fresh KV the pools could still take on (routing signal).
+
+        In the shared regime this counts evictable cache as available — the
+        same accounting :meth:`can_admit` uses — so headroom only shrinks
+        when pages are pinned by live sequences.  It is a capacity signal,
+        not an admission guarantee: prefix hits make real requests cheaper
+        than this projects.
+        """
+        if self.block_store is not None:
+            return self.block_store.allocatable_blocks() * self.block_tokens
+        per_token = self.bytes_per_token()
+        gpu_share = per_token * self.gpu_ratio
+        cpu_share = per_token - gpu_share
+        limit = float("inf")
+        if cpu_share > 0:
+            free = self.cpu_pool.free_pages * self.cpu_pool.page_bytes
+            limit = free / cpu_share
+        if gpu_share > 0:
+            assert self.gpu_pool is not None  # guaranteed by the constructor
+            free = self.gpu_pool.free_pages * self.gpu_pool.page_bytes
+            limit = min(limit, free / gpu_share)
+        return int(limit) if limit != float("inf") else 0
+
     # ------------------------------------------------------------------
     # Prefix matching
     # ------------------------------------------------------------------
@@ -213,34 +237,9 @@ class KVCacheManager:
         # Blocks beyond the reservation are matchable but useless here
         # (shorter re-issue of a longer cached prompt).
         matched_ids = matched_ids[: num_tokens // self.block_tokens]
-        hashes = block_hashes
-        try:
-            if matched_ids:
-                store.acquire_many(matched_ids)
-                table.block_ids.extend(matched_ids)
-            cache.cached_tokens = len(matched_ids) * self.block_tokens
-            remaining = num_tokens - cache.cached_tokens
-            if remaining > 0:
-                block_tokens = self.block_tokens
-                block_index = len(matched_ids)
-                sizes = []
-                run_hashes = []
-                while remaining > 0:
-                    take = min(block_tokens, remaining)
-                    sizes.append(take)
-                    # A full block lying entirely inside the known prompt
-                    # is content-addressable; later prompts can share it.
-                    run_hashes.append(
-                        hashes[block_index]
-                        if take == block_tokens and block_index < len(hashes)
-                        else None
-                    )
-                    remaining -= take
-                    block_index += 1
-                store.allocate_run(sizes, run_hashes, table.block_ids)
-        except MemoryManagerError:
-            store.release_many(table.block_ids)
-            raise
+        cache.cached_tokens = store.register_chain(
+            matched_ids, num_tokens, block_hashes, table.block_ids
+        )
         cache.num_tokens = num_tokens
         self.sequences[sequence_id] = cache
         return cache

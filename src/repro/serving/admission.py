@@ -67,11 +67,17 @@ class AdmissionController:
         cpu_kv_budget_bytes: float | None = None,
         gpu_kv_budget_bytes: float | None = None,
         prefix_cache: bool = False,
+        reserve_output_tokens: bool = True,
         telemetry=None,
     ) -> None:
         self.model = model
         self.policy = policy
         self.prefix_cache = prefix_cache
+        #: Prefill-role engines hand requests off before decoding a single
+        #: token, so they reserve KV for the prompt only; reserving the
+        #: end-of-generation size there would waste most of the pool on
+        #: tokens the *decode* shard will hold.
+        self.reserve_output_tokens = reserve_output_tokens
         #: Optional :class:`repro.obs.Telemetry`; verdict counters only —
         #: admission has no clock, so timestamped events stay with the engine.
         self.telemetry = telemetry
@@ -187,7 +193,7 @@ class AdmissionController:
         request = serving_request.request
         if not self.kv_cache.can_admit(
             request.effective_input_len,
-            request.generation_len,
+            request.generation_len if self.reserve_output_tokens else 0,
             **self._prefix_identity(request),
         ):
             return AdmissionDecision(
@@ -247,9 +253,12 @@ class AdmissionController:
         path pays for one capacity probe per admission, not two.
         """
         request = serving_request.request
+        reserve = (
+            request.generation_len if self.reserve_output_tokens else 0
+        )
         cache = self.kv_cache.register_sequence(
             serving_request.request_id,
-            request.effective_input_len + request.generation_len,
+            request.effective_input_len + reserve,
             **self._prefix_identity(request),
         )
         serving_request.tokens_cached = cache.cached_tokens
@@ -270,6 +279,16 @@ class AdmissionController:
     def release(self, serving_request: ServingRequest) -> None:
         """Free a finished request's KV reservation."""
         self.kv_cache.release_sequence(serving_request.request_id)
+
+    def kv_headroom_tokens(self) -> int:
+        """Tokens of fresh KV this controller could still reserve.
+
+        The phase router's decode-side signal: decode shards are ranked by
+        how much KV growth they can absorb, not by request count — a shard
+        carrying a few very long sessions is as loaded as one carrying many
+        short ones.
+        """
+        return self.kv_cache.headroom_tokens()
 
     def utilization(self) -> dict[str, float]:
         """Fraction of each KV pool currently reserved."""

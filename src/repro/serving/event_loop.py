@@ -43,10 +43,14 @@ from repro.serving.server import EngineCore
 from repro.utils.errors import SimulationError
 
 #: Tie-break priorities at equal timestamps: completions apply first so the
-#: router sees post-retirement state, then arrivals enqueue, and only once
-#: the timestamp is fully drained do idle shards begin their next step.
+#: router sees post-retirement state, then scheduled callbacks (KV-transfer
+#: landings) deliver, then arrivals enqueue, and only once the timestamp is
+#: fully drained do idle shards begin their next step.  Renumbering arrivals
+#: below callbacks preserves every pre-existing relative order (completions
+#: still beat arrivals), so unified timelines are unchanged.
 _STEP_COMPLETE = 0
-_ARRIVAL = 1
+_CALLBACK = 1
+_ARRIVAL = 2
 
 #: A routing decision: maps one arrival plus the live cores to a shard index.
 RouteFn = Callable[[ServingRequest, Sequence[EngineCore]], int]
@@ -76,12 +80,26 @@ class ServingEventLoop:
         self._heap: list[tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._pending_arrivals = 0
+        self._pending_callbacks = 0
         self._stream: Iterator[ServingRequest] | None = None
         self._core_index = {id(core): i for i, core in enumerate(self.cores)}
         self._touched: set[int] = set()
 
     def _push(self, time: float, priority: int, payload: object) -> None:
         heapq.heappush(self._heap, (time, priority, next(self._seq), payload))
+
+    def schedule(self, time: float, callback: Callable[[], Iterable[int]]) -> None:
+        """Deliver ``callback`` at ``time`` (a priced in-flight transfer).
+
+        The callback runs after same-instant step completions and before
+        same-instant arrivals, and returns the shard indices it touched so
+        the loop re-kicks exactly those (a source shard whose admissions
+        were KV-blocked on the transfer's reservation retries immediately).
+        Pending callbacks count as live work: the wedge detector knows an
+        idle-looking shard may be waiting on one.
+        """
+        self._push(time, _CALLBACK, callback)
+        self._pending_callbacks += 1
 
     # ------------------------------------------------------------------
     # The loop
@@ -168,6 +186,9 @@ class ServingEventLoop:
                 )
             self.cores[shard].offer(serving_request)
             self._touched.add(shard)
+        elif priority == _CALLBACK:
+            self._pending_callbacks -= 1
+            self._touched.update(payload())
         else:
             core = payload
             core.complete_step()
@@ -191,10 +212,15 @@ class ServingEventLoop:
             completion = core.begin_step()
             if completion is not None:
                 self._push(completion, _STEP_COMPLETE, core)
-            elif core.has_work() and self._pending_arrivals == 0:
+            elif (
+                core.has_work()
+                and self._pending_arrivals == 0
+                and self._pending_callbacks == 0
+            ):
                 # Nothing in flight anywhere can unblock this shard's
-                # admission once the arrival stream is exhausted and its
-                # own steps have drained: the engine is wedged.
+                # admission once the arrival stream is exhausted, every
+                # scheduled callback (in-flight KV transfer) has landed and
+                # its own steps have drained: the engine is wedged.
                 raise SimulationError(
                     "serving engine stalled with work outstanding"
                 )

@@ -107,3 +107,102 @@ class ShardRouter:
             shard = (mixed >> 16) % self.num_shards
         self.assignments[shard] += 1
         return shard
+
+
+class PhaseRouter:
+    """Capacity- and phase-aware routing for a disaggregated cluster.
+
+    Prefill and decode shards answer different questions, so they get
+    different signals:
+
+    * **prefills** go to the prefill shard that will *start* the prompt
+      soonest: outstanding prefill tokens plus the new prompt, divided by
+      the shard's measured prefill speed — so a fast device absorbs
+      proportionally more tokens than a slow one, and a monster prompt
+      does not shadow a short one behind it;
+    * **decodes** (migration targets) go to the decode shard with the most
+      KV headroom — decode capacity is memory, not request count: a shard
+      holding a few very long sessions is as full as one holding many
+      short ones.
+
+    Shards whose device is still loading the model (``ready_at`` in the
+    future) are skipped while any already-ready shard exists; a fully cold
+    pool falls back to the earliest-ready shard so startup traffic queues
+    where it will be served first.
+    """
+
+    def __init__(
+        self,
+        prefill_shards: Sequence[int],
+        decode_shards: Sequence[int],
+        prefill_speeds: Sequence[float],
+        ready_at: Sequence[float] | None = None,
+    ) -> None:
+        if not prefill_shards or not decode_shards:
+            raise ConfigurationError(
+                "disaggregated routing needs at least one prefill and one "
+                "decode shard"
+            )
+        self.prefill_shards = list(prefill_shards)
+        self.decode_shards = list(decode_shards)
+        #: Relative prefill throughput per shard id (tokens/second at the
+        #: reference prompt length); only prefill shards need entries.
+        self.prefill_speeds = list(prefill_speeds)
+        self.ready_at = list(ready_at) if ready_at is not None else None
+        #: Prompt tokens routed to but not yet handed off by each shard.
+        self.outstanding_tokens = {shard: 0 for shard in self.prefill_shards}
+        self.assignments: dict[int, int] = {
+            shard: 0 for shard in (*self.prefill_shards, *self.decode_shards)
+        }
+
+    def _eligible(self, shards: Sequence[int], now: float) -> list[int]:
+        if self.ready_at is None:
+            return list(shards)
+        ready = [s for s in shards if self.ready_at[s] <= now]
+        if ready:
+            return ready
+        # Cold pool: queue on whichever shard will come up first.
+        return [min(shards, key=lambda s: (self.ready_at[s], s))]
+
+    def route_prefill(
+        self,
+        serving_request: ServingRequest,
+        loads: Sequence[int],
+    ) -> int:
+        """Pick the prefill shard that will finish this prompt soonest."""
+        prompt = serving_request.request.effective_input_len
+        now = serving_request.arrival_time
+        shard = min(
+            self._eligible(self.prefill_shards, now),
+            key=lambda s: (
+                (self.outstanding_tokens[s] + prompt) / self.prefill_speeds[s],
+                loads[s],
+                s,
+            ),
+        )
+        self.outstanding_tokens[shard] += prompt
+        self.assignments[shard] += 1
+        return shard
+
+    def complete_prefill(self, shard: int, tokens: int) -> None:
+        """Retire a handed-off (or finished) prompt's routed tokens."""
+        self.outstanding_tokens[shard] -= tokens
+
+    def route_decode(
+        self,
+        headrooms: Sequence[int],
+        loads: Sequence[int],
+        now: float,
+    ) -> int:
+        """Pick the decode shard with the most KV headroom (migration target).
+
+        ``headrooms[s]`` is shard ``s``'s
+        :meth:`~repro.serving.admission.AdmissionController.kv_headroom_tokens`;
+        ties break by outstanding load, then shard id.
+        """
+        shard = min(
+            self._eligible(self.decode_shards, now),
+            key=lambda s: (-headrooms[s], loads[s], s),
+        )
+        self.assignments[shard] += 1
+        return shard

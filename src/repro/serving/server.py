@@ -34,9 +34,13 @@ from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
 from repro.serving.queue import RequestQueue, RequestState, ServingRequest
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.systems.base import OffloadingSystem
-from repro.utils.errors import SimulationError
+from repro.utils.errors import ConfigurationError, SimulationError
 from repro.utils.validation import require_positive, require_positive_int
 from repro.workloads.spec import WorkloadSpec
+
+#: Phase roles an engine core can serve (mirrors the cluster layer's
+#: ``DEVICE_ROLES``; kept local so serving stays importable without it).
+ENGINE_ROLES = ("unified", "prefill", "decode")
 
 
 class EngineStepModel:
@@ -280,18 +284,34 @@ class EngineCore:
         shard_id: int | None = None,
         prefix_cache: bool = False,
         overlap: bool = False,
+        role: str = "unified",
+        session_ttl: float | None = None,
         telemetry=None,
         record_steps: bool = True,
         on_finish=None,
         on_reject=None,
         on_finish_batch=None,
     ) -> None:
+        if role not in ENGINE_ROLES:
+            raise ConfigurationError(
+                f"unknown engine role {role!r}; choose from {ENGINE_ROLES}"
+            )
+        if session_ttl is not None and session_ttl <= 0:
+            raise ConfigurationError(
+                f"session_ttl must be > 0 seconds, got {session_ttl}"
+            )
         self.policy = policy
         self.step_model = step_model
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.shard_id = shard_id
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        #: Phase specialisation: a ``prefill`` core never decodes — finished
+        #: prompts leave through ``on_handoff`` — and a ``decode`` core never
+        #: prefills — it only receives migrated requests via
+        #: :meth:`accept_migrated`.  ``unified`` is the historical behaviour.
+        self.role = role
+        self.session_ttl = session_ttl
         #: Optional :class:`repro.obs.Telemetry`.  Every emission below sits
         #: behind ``if self.telemetry is not None`` and never mutates serving
         #: state, so a run without it is bit-for-bit the historical timeline.
@@ -305,6 +325,10 @@ class EngineCore:
             block_tokens=block_tokens,
             prefix_cache=prefix_cache,
             telemetry=telemetry,
+            # A prefill specialist holds a request's KV only until the
+            # migration lands, so it reserves the prompt — not the
+            # end-of-generation size the decode side must guarantee.
+            reserve_output_tokens=(role != "prefill"),
         )
         self.scheduler = ContinuousBatchingScheduler(
             policy=policy,
@@ -333,6 +357,24 @@ class EngineCore:
         self.on_finish = on_finish
         self.on_reject = on_reject
         self.on_finish_batch = on_finish_batch
+        #: Disaggregation seams.  ``on_handoff(core, requests)`` fires when a
+        #: prefill core completes prompts that must migrate; ``_pending_joins``
+        #: stages migrated requests on a decode core until the next step
+        #: boundary at which admission accepts them.  Both stay empty/None on
+        #: unified cores, so the hot path pays one truthiness test.
+        self.on_handoff = None
+        self._pending_joins: list[ServingRequest] = []
+        self.prefills_completed = 0
+        self.migrated_in = 0
+        self.migrated_out = 0
+        self.migration_rejected = 0
+        #: TTL eviction: the store only exists in the prefix-cache regime;
+        #: without one (or without a TTL) the hook below is never entered.
+        self._ttl_store = (
+            self.admission.kv_cache.block_store
+            if session_ttl is not None
+            else None
+        )
         # O(1) counters mirroring what a scan over records/steps would
         # compute (asserted equal at tier 1).
         self.offered_count = 0
@@ -428,11 +470,90 @@ class EngineCore:
             or bool(self.queue)
             or bool(self.running)
             or bool(self.prefilling)
+            or bool(self._pending_joins)
         )
 
     def load(self) -> int:
         """Outstanding requests on this shard (routing signal)."""
-        return len(self.queue) + len(self.running) + len(self.prefilling)
+        return (
+            len(self.queue)
+            + len(self.running)
+            + len(self.prefilling)
+            + len(self._pending_joins)
+        )
+
+    # ------------------------------------------------------------------
+    # Disaggregated prefill/decode seams
+    # ------------------------------------------------------------------
+    def accept_migrated(self, serving_request: ServingRequest) -> None:
+        """Receive a request whose prefill-side KV transfer just landed.
+
+        The request is staged and joins the running set at this core's
+        next step boundary, once admission accepts its end-of-generation
+        KV reservation (registration walks the prompt's hash chain, so
+        blocks already cached here are shared, not duplicated).  TTFT was
+        stamped by the prefill shard; the decode clock only governs TPOT.
+        """
+        if self.role != "decode":
+            raise SimulationError(
+                "accept_migrated requires a decode-role core"
+            )
+        self._pending_joins.append(serving_request)
+        self._bump_load(1)
+
+    def release_migrated(self, serving_request: ServingRequest) -> None:
+        """Free the source-side KV of a handed-off request post-transfer.
+
+        Called on the *prefill* core when the migration lands on its
+        target: hashed prompt blocks drop to the cache (still matchable by
+        future prompts), private tails free outright.
+        """
+        self.admission.release(serving_request)
+
+    def _flush_joins(self) -> None:
+        """Admit staged migrations into the running set (step boundary).
+
+        Requests the admission controller cannot fit yet stay staged while
+        this core still has running work to retire (capacity frees as it
+        does); a request that cannot fit even on an otherwise-empty core
+        is rejected — waiting could never help it.
+        """
+        still: list[ServingRequest] = []
+        joined = False
+        epoch = self._decode_epochs[0]
+        for serving_request in self._pending_joins:
+            decision = self.admission.check(serving_request)
+            if decision.admitted:
+                self.admission.admit_checked(serving_request)
+                serving_request.shard_id = self.shard_id
+                self.migrated_in += 1
+                serving_request.attach_decode_epoch(self._decode_epochs)
+                finish_epoch = (
+                    epoch + serving_request.request.generation_len - 1
+                )
+                self._finish_buckets.setdefault(finish_epoch, []).append(
+                    serving_request
+                )
+                self.running.append(serving_request)
+                joined = True
+            elif self.running or joined:
+                still.append(serving_request)
+            else:
+                serving_request.mark_rejected(
+                    self.now, "migration target over capacity"
+                )
+                self.rejected_count += 1
+                self.migration_rejected += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_reject(
+                        serving_request, self.now, "migration target over capacity"
+                    )
+                if self.on_reject is not None:
+                    self.on_reject(serving_request)
+                self._bump_load(-1)
+        self._pending_joins = still
+        if joined:
+            self._running_version += 1
 
     @property
     def step_in_flight(self) -> bool:
@@ -507,6 +628,10 @@ class EngineCore:
         """
         if self._in_flight is not None:
             raise SimulationError("engine step already in flight")
+        if self._pending_joins:
+            # Migrated requests join at step boundaries (decode role only);
+            # unified cores never stage any, so this is one falsy test.
+            self._flush_joins()
         # The chunk the scheduler returns is the carried-over prefilling set
         # followed by this step's new admissions; remember the boundary
         # before next_action mutates anything so the admit instants below
@@ -552,6 +677,10 @@ class EngineCore:
             raise SimulationError("no engine step in flight to complete")
         self._in_flight = None
         self.now = in_flight.completion
+        if self._ttl_store is not None:
+            # Blocks cached during this completion stamp the current instant
+            # as their idleness start; expiry itself runs post-retirement.
+            self._ttl_store.clock_time = self.now
         if in_flight.decoded_running:
             # O(1): every attached running request reads one more decoded
             # token through the shared epoch; the partition memo derives
@@ -570,6 +699,8 @@ class EngineCore:
         if self.telemetry is not None:
             self.telemetry.record_step(self.shard_id, step)
         self._retire_finished()
+        if self._ttl_store is not None:
+            self._ttl_store.expire_idle(self.now - self.session_ttl)
         return step.kind
 
     def _begin_prefill(self, chunk: list[ServingRequest]) -> _InFlightStep:
@@ -773,6 +904,9 @@ class EngineCore:
         self, chunk: list[ServingRequest], first_token_at: float
     ) -> None:
         """Retire completed prompts into the running set; keep the rest."""
+        if self.role == "prefill":
+            self._finish_chunk_prefill(chunk, first_token_at)
+            return
         still_prefilling: list[ServingRequest] = []
         joined = False
         epoch = self._decode_epochs[0]
@@ -796,6 +930,54 @@ class EngineCore:
         self.prefilling = still_prefilling
         if joined:
             self._running_version += 1
+
+    def _finish_chunk_prefill(
+        self, chunk: list[ServingRequest], first_token_at: float
+    ) -> None:
+        """Prefill-role completion: emit the first token, then hand off.
+
+        A completed prompt's first token comes out of the prefill pass
+        itself (the DistServe handoff point), so TTFT is stamped here; the
+        request then leaves this shard through ``on_handoff`` — its KV
+        stays reserved until :meth:`release_migrated` confirms the
+        transfer landed.  Single-token requests are already complete and
+        finish locally; nothing of theirs is worth migrating.
+        """
+        still_prefilling: list[ServingRequest] = []
+        handoffs: list[ServingRequest] = []
+        done: list[ServingRequest] = []
+        for serving_request in chunk:
+            if serving_request.is_prefill_complete:
+                serving_request.mark_first_token(first_token_at)
+                if serving_request.request.generation_len <= 1:
+                    done.append(serving_request)
+                else:
+                    handoffs.append(serving_request)
+            else:
+                still_prefilling.append(serving_request)
+        self.prefilling = still_prefilling
+        if done:
+            for serving_request in done:
+                serving_request.mark_finished(self.now)
+                self.admission.release(serving_request)
+                self.completed_count += 1
+                self.tokens_generated_total += serving_request.tokens_decoded
+                if self.telemetry is not None:
+                    self.telemetry.record_finish(serving_request)
+                if self.on_finish is not None:
+                    self.on_finish(serving_request)
+            if self.on_finish_batch is not None:
+                self.on_finish_batch(done)
+            self._bump_load(-len(done))
+        if handoffs:
+            self.prefills_completed += len(handoffs)
+            self.migrated_out += len(handoffs)
+            self._bump_load(-len(handoffs))
+            if self.on_handoff is None:
+                raise SimulationError(
+                    "prefill core completed prompts with no handoff sink"
+                )
+            self.on_handoff(self, handoffs)
 
     def _retire_finished(self) -> None:
         # Requests are bucketed at join time by the decode epoch at which
@@ -834,8 +1016,13 @@ class EngineCore:
         self._bump_load(-len(finished))
 
     def admission_stats(self) -> dict[str, int]:
-        """Drop/admit counters in the report's canonical key order."""
-        return {
+        """Drop/admit counters in the report's canonical key order.
+
+        Extra keys appear only for the features that can produce them
+        (TTL eviction, migration), so runs without those are dict-identical
+        to the historical report.
+        """
+        stats = {
             "admitted": self.admission.admitted_count,
             "rejected_kv": self.admission.rejected_kv_count,
             "rejected_slots": self.admission.rejected_slots_count,
@@ -843,6 +1030,13 @@ class EngineCore:
             "cache_hits": self.admission.cache_hit_count,
             "cached_tokens": self.admission.cached_tokens_total,
         }
+        if self._ttl_store is not None:
+            stats["ttl_evictions"] = self._ttl_store.ttl_evictions
+        if self.role != "unified":
+            stats["migrated_in"] = self.migrated_in
+            stats["migrated_out"] = self.migrated_out
+            stats["migration_rejected"] = self.migration_rejected
+        return stats
 
 
 @dataclass(frozen=True)
@@ -924,6 +1118,7 @@ class ServingSystem:
         chunk_prefill_tokens: int | None = None,
         prefix_cache: bool = False,
         overlap: bool = False,
+        session_ttl: float | None = None,
         store_samples: bool = True,
     ) -> None:
         self.backend = backend
@@ -937,6 +1132,12 @@ class ServingSystem:
         self.chunk_prefill_tokens = chunk_prefill_tokens
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        if session_ttl is not None and not prefix_cache:
+            raise ConfigurationError(
+                "session_ttl requires prefix_cache=True: without the shared "
+                "block store there are no idle cached sessions to expire"
+            )
+        self.session_ttl = session_ttl
         #: ``store_samples=False`` switches the report to streaming P²
         #: aggregation and drops the per-step timeline from the result —
         #: the per-request timestamps themselves stay bit-for-bit the
@@ -1010,6 +1211,7 @@ class ServingSystem:
             chunk_prefill_tokens=self.chunk_prefill_tokens,
             prefix_cache=self.prefix_cache,
             overlap=self.overlap,
+            session_ttl=self.session_ttl,
             telemetry=telemetry,
             record_steps=self.store_samples,
             on_reject=builder.observe if builder is not None else None,

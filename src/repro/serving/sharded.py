@@ -29,13 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.cluster.spec import ClusterSpec
+from repro.cluster.spec import ClusterSpec, ethernet_100g
 from repro.core.policy import Policy
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
 from repro.serving.event_loop import ServingEventLoop
 from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
 from repro.serving.queue import ServingRequest
-from repro.serving.router import ShardRouter
+from repro.serving.router import PhaseRouter, ShardRouter
 from repro.serving.server import EngineCore, EngineStepModel, default_slo
 from repro.systems.base import OffloadingSystem
 from repro.utils.errors import ConfigurationError
@@ -59,11 +59,17 @@ class ShardStats:
     #: Engine steps this shard executed (simperf's event count alongside
     #: arrivals); 0 only on an idle shard.
     num_steps: int = 0
+    #: Phase role this shard served (``unified`` outside disaggregation)
+    #: and its KV-migration traffic (0/0 on unified shards).
+    role: str = "unified"
+    migrated_in: int = 0
+    migrated_out: int = 0
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
         return {
             "shard": self.shard_id,
+            "role": self.role,
             "offered": self.offered,
             "completed": self.completed,
             "rejected": self.rejected,
@@ -74,6 +80,8 @@ class ShardStats:
             "prefill_busy_s": self.prefill_stream_busy,
             "overlap_fraction": self.overlap_fraction,
             "num_steps": self.num_steps,
+            "migrated_in": self.migrated_in,
+            "migrated_out": self.migrated_out,
         }
 
 
@@ -161,6 +169,9 @@ class ShardedServingSystem:
         overlap: bool = False,
         store_samples: bool = True,
         incremental_routing: bool = True,
+        disaggregated: bool = False,
+        prefill_shards: int | None = None,
+        session_ttl: float | None = None,
     ) -> None:
         if num_shards is None:
             if cluster is None:
@@ -199,6 +210,55 @@ class ShardedServingSystem:
             )
         self.prefix_cache = prefix_cache
         self.overlap = overlap
+        if session_ttl is not None and not prefix_cache:
+            raise ConfigurationError(
+                "session_ttl requires prefix_cache=True: without the shared "
+                "block store there are no idle cached sessions to expire"
+            )
+        self.session_ttl = session_ttl
+        # ------------------------------------------------------------------
+        # Phase roles: explicit device roles on the cluster win; otherwise
+        # ``disaggregated=True`` splits the shard range into a prefill pool
+        # followed by a decode pool.
+        # ------------------------------------------------------------------
+        if self.cluster is not None and self.cluster.is_disaggregated:
+            disaggregated = True
+        self.disaggregated = disaggregated
+        if not disaggregated and prefill_shards is not None:
+            raise ConfigurationError(
+                "prefill_shards requires disaggregated=True"
+            )
+        if disaggregated:
+            if num_shards < 2:
+                raise ConfigurationError(
+                    "disaggregated serving needs at least 2 shards (one "
+                    "prefill, one decode)"
+                )
+            if self.cluster is not None and self.cluster.is_disaggregated:
+                if prefill_shards is not None:
+                    raise ConfigurationError(
+                        "prefill_shards conflicts with a cluster that "
+                        "already assigns device roles"
+                    )
+                self.shard_roles = [
+                    self.cluster.device(i).role for i in range(num_shards)
+                ]
+            else:
+                n_prefill = (
+                    prefill_shards
+                    if prefill_shards is not None
+                    else max(1, num_shards // 2)
+                )
+                if not 0 < n_prefill < num_shards:
+                    raise ConfigurationError(
+                        f"prefill_shards must leave at least one decode "
+                        f"shard: got {n_prefill} of {num_shards}"
+                    )
+                self.shard_roles = ["prefill"] * n_prefill + ["decode"] * (
+                    num_shards - n_prefill
+                )
+        else:
+            self.shard_roles = ["unified"] * num_shards
         #: ``store_samples=False`` switches :meth:`run` to the streaming
         #: hot path: lazy arrivals, no per-step records, P^2 sketch report.
         #: The serving timeline is identical either way; only report
@@ -217,6 +277,33 @@ class ShardedServingSystem:
             use_simulator=use_simulator,
             ctx_bucket=ctx_bucket,
         )
+        # A device-bearing cluster prices each shard against its own node:
+        # per-shard backends (same system, that device's hardware) feed both
+        # the shard's step model and its admission budgets.  Clusters without
+        # explicit devices keep the single shared model above — the
+        # bit-for-bit-preserved historical path.
+        self._shard_backends: list[OffloadingSystem] | None = None
+        self._shard_step_models: list[EngineStepModel] | None = None
+        self._ready_at = [0.0] * num_shards
+        if self.cluster is not None and self.cluster.devices:
+            self._shard_backends = []
+            self._shard_step_models = []
+            for i in range(num_shards):
+                device = self.cluster.device(i)
+                shard_backend = backend.with_hardware(device.node)
+                self._shard_backends.append(shard_backend)
+                self._shard_step_models.append(
+                    EngineStepModel(
+                        shard_backend,
+                        workload,
+                        self.policy,
+                        use_simulator=use_simulator,
+                        ctx_bucket=ctx_bucket,
+                    )
+                )
+                self._ready_at[i] = (
+                    device.ready_at if device.serves else float("inf")
+                )
         # Validate the router policy eagerly so configuration errors
         # surface at construction, not mid-run.
         ShardRouter(num_shards, router)
@@ -237,12 +324,23 @@ class ShardedServingSystem:
         on_reject: Callable[[ServingRequest], None] | None = None,
         on_finish_batch: Callable[[list[ServingRequest]], None] | None = None,
     ) -> list[EngineCore]:
-        return [
-            EngineCore(
-                backend=self.backend,
+        cores = []
+        for shard_id in range(self.num_shards):
+            backend = (
+                self._shard_backends[shard_id]
+                if self._shard_backends is not None
+                else self.backend
+            )
+            step_model = (
+                self._shard_step_models[shard_id]
+                if self._shard_step_models is not None
+                else self.step_model
+            )
+            core = EngineCore(
+                backend=backend,
                 workload=self.workload,
                 policy=self.policy,
-                step_model=self.step_model,
+                step_model=step_model,
                 scheduling=self.scheduling,
                 queue_ordering=self.queue_ordering,
                 max_queue_depth=self.max_queue_depth,
@@ -251,14 +349,22 @@ class ShardedServingSystem:
                 shard_id=shard_id,
                 prefix_cache=self.prefix_cache,
                 overlap=self.overlap,
+                role=self.shard_roles[shard_id],
+                session_ttl=self.session_ttl,
                 telemetry=telemetry,
                 record_steps=record_steps,
                 on_finish=on_finish,
                 on_reject=on_reject,
                 on_finish_batch=on_finish_batch,
             )
-            for shard_id in range(self.num_shards)
-        ]
+            ready_at = self._ready_at[shard_id]
+            if 0.0 < ready_at < float("inf"):
+                # A loading device's clock starts where its weight stream
+                # ends: its first step cannot begin before the model is
+                # resident (arrivals queue against that clock).
+                core.now = ready_at
+            cores.append(core)
+        return cores
 
     # ------------------------------------------------------------------
     # The sharded serving loop
@@ -379,6 +485,8 @@ class ShardedServingSystem:
         optionally attaches a fresh :class:`repro.obs.Telemetry` for this
         run; disabled, the run is bit-for-bit the historical timeline.
         """
+        if self.disaggregated:
+            return self._run_disagg(arrivals, count, seed, telemetry)
         router = ShardRouter(self.num_shards, self.router_policy)
         builder: ReportBuilder | None = None
         if self.store_samples:
@@ -409,6 +517,47 @@ class ShardedServingSystem:
             makespan = loop.run_stream(self._stream_records(arrivals, count, seed))
             report = builder.build(makespan)
         return self._finalize(records, cores, makespan, report)
+
+    def _run_disagg(
+        self,
+        arrivals: ArrivalProcess | list[TimedRequest],
+        count: int | None,
+        seed: int,
+        telemetry=None,
+    ) -> ShardedServingResult:
+        """Disaggregated run: prefill pool -> priced KV transfer -> decode pool.
+
+        Arrivals route to the prefill shard that will start them soonest
+        (outstanding prompt tokens over measured prefill speed); a completed
+        prompt's KV migrates to the decode shard with the most headroom as a
+        scheduled transfer event priced on the cluster link, with blocks the
+        target already caches deduplicated out of the transfer.
+        """
+        builder: ReportBuilder | None = None
+        if self.store_samples:
+            records = self._materialize(arrivals, count, seed)
+            cores = self._make_cores(telemetry=telemetry)
+        else:
+            records = []
+            builder = ReportBuilder(self.slo, store_samples=False)
+            cores = self._make_cores(
+                telemetry=telemetry,
+                record_steps=False,
+                on_reject=builder.observe,
+                on_finish_batch=builder.observe_many,
+            )
+        controller = _DisaggController(self, cores)
+        loop = ServingEventLoop(cores, controller.route, telemetry=telemetry)
+        controller.attach(loop)
+        if builder is None:
+            makespan = loop.run(records)
+            report = summarize(records, makespan=makespan, slo=self.slo)
+        else:
+            makespan = loop.run_stream(self._stream_records(arrivals, count, seed))
+            report = builder.build(makespan)
+        return self._finalize(
+            records, cores, makespan, report, router_name="phase-aware"
+        )
 
     def _stream_records(
         self,
@@ -455,6 +604,12 @@ class ShardedServingSystem:
         regression tests: with load-independent routing (round-robin,
         session-affinity) :meth:`run` reproduces this timeline bit-for-bit.
         """
+        if self.disaggregated:
+            raise ConfigurationError(
+                "run_time_sliced does not support disaggregated serving: "
+                "KV-transfer landings are scheduled events, which only the "
+                "event loop orders correctly"
+            )
         records = self._materialize(arrivals, count, seed)
         router = ShardRouter(self.num_shards, self.router_policy)
         cores = self._make_cores()
@@ -476,6 +631,7 @@ class ShardedServingSystem:
         cores: list[EngineCore],
         makespan: float,
         report: ServingReport,
+        router_name: str | None = None,
     ) -> ShardedServingResult:
         # Per-shard stats come from the cores' O(1) counters rather than a
         # scan over the request records: every offered request is terminal
@@ -499,6 +655,9 @@ class ShardedServingSystem:
                     prefill_stream_busy=core.prefill_stream_busy,
                     overlap_fraction=core.overlap_fraction,
                     num_steps=core.num_steps,
+                    role=core.role,
+                    migrated_in=core.migrated_in,
+                    migrated_out=core.migrated_out,
                 )
             )
         totals: dict[str, int] = {}
@@ -509,7 +668,7 @@ class ShardedServingSystem:
             system=self.backend.name,
             workload=self.workload.name,
             scheduling=self.scheduling,
-            router=self.router_policy,
+            router=router_name or self.router_policy,
             num_shards=self.num_shards,
             policy=self.policy,
             slo=self.slo,
@@ -519,3 +678,113 @@ class ShardedServingSystem:
             shard_stats=shard_stats,
             admission_stats=totals,
         )
+
+
+class _DisaggController:
+    """Wires a prefill pool to a decode pool through priced KV transfers.
+
+    One controller per disaggregated run.  It owns the
+    :class:`~repro.serving.router.PhaseRouter` (arrivals -> prefill shard,
+    handoffs -> decode shard), installs itself as every prefill core's
+    ``on_handoff`` sink, and turns each handoff into a scheduled event on
+    the serving loop at ``now + link.latency + bytes / link.bandwidth``.
+    Prompt blocks the target's prefix cache already holds are deduplicated
+    out of the transfer: matched blocks re-register against the target's
+    existing hash-chain entries and move zero bytes.
+
+    The source's KV reservation is held until the transfer lands (the
+    blocks are being read in flight), then released — hashed prompt blocks
+    drop into the source's prefix cache, private tails free outright.
+    """
+
+    def __init__(
+        self, system: ShardedServingSystem, cores: list[EngineCore]
+    ) -> None:
+        self.cores = cores
+        self.loop: ServingEventLoop | None = None
+        roles = system.shard_roles
+        self.prefill_ids = [i for i, r in enumerate(roles) if r == "prefill"]
+        self.decode_ids = [i for i, r in enumerate(roles) if r == "decode"]
+        # Measured prefill speed per shard: tokens/second pricing one
+        # reference prompt through that shard's own step model, so a fast
+        # device's pool absorbs proportionally more prompt tokens.
+        ref_tokens = max(1, system.workload.max_prompt_len)
+        speeds = [1.0] * len(cores)
+        for i in self.prefill_ids:
+            speeds[i] = ref_tokens / cores[i].step_model.chunked_prefill_time(
+                1, ref_tokens
+            )
+        self.router = PhaseRouter(
+            self.prefill_ids,
+            self.decode_ids,
+            speeds,
+            ready_at=system._ready_at,
+        )
+        self.board = [0] * len(cores)
+        for core in cores:
+            core.attach_load_board(self.board)
+        for i in self.prefill_ids:
+            cores[i].on_handoff = self.handoff
+        link = (
+            system.cluster.link if system.cluster is not None else ethernet_100g()
+        )
+        self._link_latency = link.latency
+        self._link_bandwidth = link.bandwidth
+        self.transfers = 0
+        self.transfer_bytes = 0.0
+
+    def attach(self, loop: ServingEventLoop) -> None:
+        self.loop = loop
+
+    def route(self, serving_request: ServingRequest, cores) -> int:
+        """The event loop's RouteFn: every arrival is a prefill."""
+        return self.router.route_prefill(serving_request, self.board)
+
+    def handoff(
+        self, source: EngineCore, requests: list[ServingRequest]
+    ) -> None:
+        """Migrate finished prompts off a prefill core (completion instant)."""
+        loop = self.loop
+        assert loop is not None  # attach() runs before any step begins
+        now = source.now
+        headrooms = [0] * len(self.cores)
+        for shard in self.decode_ids:
+            headrooms[shard] = self.cores[shard].admission.kv_headroom_tokens()
+        for serving_request in requests:
+            request = serving_request.request
+            self.router.complete_prefill(
+                source.shard_id, request.effective_input_len
+            )
+            target_id = self.router.route_decode(headrooms, self.board, now)
+            target = self.cores[target_id]
+            # Blocks the target already caches transfer nothing: its
+            # registration re-acquires the resident hash-chain entries.
+            matched = target.admission.match_prefix(request)
+            move_tokens = max(0, request.effective_input_len - matched)
+            num_bytes = target.admission.kv_cache.bytes_for_tokens(move_tokens)
+            delay = self._link_latency + num_bytes / self._link_bandwidth
+            self.transfers += 1
+            self.transfer_bytes += num_bytes
+            # Same-batch handoffs see the reservation they just implied, so
+            # a burst spreads across targets instead of piling onto one.
+            headrooms[target_id] -= (
+                request.effective_input_len + request.generation_len
+            )
+            loop.schedule(
+                now + delay, self._landing(serving_request, source, target)
+            )
+
+    def _landing(
+        self,
+        serving_request: ServingRequest,
+        source: EngineCore,
+        target: EngineCore,
+    ):
+        def land() -> tuple[int, int]:
+            # Accept on the target before releasing the source: mid-flight
+            # the blocks exist on both ends, never neither.
+            target.accept_migrated(serving_request)
+            source.release_migrated(serving_request)
+            return (source.shard_id, target.shard_id)
+
+        return land

@@ -138,6 +138,31 @@ class OffloadingSystem(abc.ABC):
         return self.partition.num_shards if self.partition is not None else 1
 
     # ------------------------------------------------------------------
+    # Per-device rebinding (heterogeneous serving shards)
+    # ------------------------------------------------------------------
+    def _clone_kwargs(self) -> dict:
+        """Subclass-specific constructor kwargs preserved by :meth:`with_hardware`."""
+        return {}
+
+    def with_hardware(self, hardware: HardwareSpec) -> "OffloadingSystem":
+        """The same system re-priced on a different (single) device.
+
+        Heterogeneous serving builds one backend per shard so each
+        :class:`~repro.serving.server.EngineCore` prices steps and KV
+        budgets against its *own* device's roofline and memory, not one
+        shared profile.  Cluster/partition context is intentionally
+        dropped: the result describes exactly one device.
+        """
+        return type(self)(
+            self.model,
+            hardware,
+            efficiency=self.efficiency,
+            max_sim_layers=self.max_sim_layers,
+            decode_samples=self.decode_samples,
+            **self._clone_kwargs(),
+        )
+
+    # ------------------------------------------------------------------
     # Subclass responsibilities
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -67,6 +67,12 @@ class FlexGenSystem(OffloadingSystem):
         if cpu_attention:
             self.name = "flexgen(c)"
 
+    def _clone_kwargs(self) -> dict:
+        return {
+            "cpu_attention": self.cpu_attention,
+            "policy_mode": self.policy_mode,
+        }
+
     # ------------------------------------------------------------------
     # Pipeline-parallel CPU memory pressure
     # ------------------------------------------------------------------

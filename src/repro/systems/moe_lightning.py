@@ -34,6 +34,9 @@ class MoELightningSystem(OffloadingSystem):
         if padded:
             self.name = "moe-lightning(p)"
 
+    def _clone_kwargs(self) -> dict:
+        return {"padded": self.padded}
+
     def optimizer(self, workload: WorkloadSpec) -> PolicyOptimizer:
         """The HRM-based policy optimizer configured for this system.
 

@@ -1,0 +1,104 @@
+"""DeviceSpec / heterogeneous ClusterSpec: validation, roles, load states."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, DeviceSpec
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture()
+def devices(t4_node, l4_node):
+    return [
+        DeviceSpec(device_id=0, node=l4_node, role="prefill"),
+        DeviceSpec(device_id=1, node=t4_node, role="decode"),
+    ]
+
+
+class TestDeviceSpecValidation:
+    def test_defaults_are_ready_unified(self, t4_node):
+        device = DeviceSpec(device_id=0, node=t4_node)
+        assert device.role == "unified"
+        assert device.state == "ready"
+        assert device.ready_at == 0.0
+        assert device.serves
+
+    def test_unknown_role_rejected(self, t4_node):
+        with pytest.raises(ConfigurationError, match="role"):
+            DeviceSpec(device_id=0, node=t4_node, role="prefil")
+
+    def test_unknown_state_rejected(self, t4_node):
+        with pytest.raises(ConfigurationError, match="state"):
+            DeviceSpec(device_id=0, node=t4_node, state="warming")
+
+    def test_multi_gpu_node_rejected(self, multi_t4_node):
+        with pytest.raises(ConfigurationError, match="tp_size"):
+            DeviceSpec(device_id=0, node=multi_t4_node)
+
+    def test_ready_device_cannot_have_future_ready_at(self, t4_node):
+        with pytest.raises(ConfigurationError, match="ready_at"):
+            DeviceSpec(device_id=0, node=t4_node, ready_at=5.0)
+
+    def test_loading_device_serves_after_ready_at(self, t4_node):
+        device = DeviceSpec(
+            device_id=0, node=t4_node, state="loading", ready_at=30.0
+        )
+        assert device.serves
+        assert device.ready_at == 30.0
+
+    def test_no_model_device_never_serves(self, t4_node):
+        device = DeviceSpec(device_id=0, node=t4_node, state="no-model")
+        assert not device.serves
+
+
+class TestOfDevices:
+    def test_empty_device_list_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ClusterSpec.of_devices([])
+
+    def test_heterogeneous_and_disaggregated_views(self, devices):
+        cluster = ClusterSpec.of_devices(devices)
+        assert cluster.num_devices == 2
+        assert cluster.is_heterogeneous
+        assert cluster.is_disaggregated
+        assert cluster.device(0).role == "prefill"
+        assert cluster.device(1).role == "decode"
+        assert cluster.device_hardware(0).gpu.name != (
+            cluster.device_hardware(1).gpu.name
+        )
+
+    def test_homogeneous_unified_cluster_is_neither(self, t4_node):
+        cluster = ClusterSpec.of_devices(
+            [DeviceSpec(device_id=i, node=t4_node) for i in range(3)]
+        )
+        assert not cluster.is_heterogeneous
+        assert not cluster.is_disaggregated
+
+    def test_mixing_unified_with_phase_roles_rejected(self, t4_node):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.of_devices(
+                [
+                    DeviceSpec(device_id=0, node=t4_node, role="unified"),
+                    DeviceSpec(device_id=1, node=t4_node, role="prefill"),
+                ]
+            )
+
+    def test_disaggregated_cluster_needs_both_pools(self, t4_node):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.of_devices(
+                [
+                    DeviceSpec(device_id=i, node=t4_node, role="prefill")
+                    for i in range(2)
+                ]
+            )
+
+    def test_scalar_cluster_synthesizes_ready_devices(self, t4_node):
+        cluster = ClusterSpec.scale_out(t4_node, 2)
+        device = cluster.device(1)
+        assert device.role == "unified"
+        assert device.serves
+        assert device.ready_at == 0.0
+
+    def test_device_id_out_of_range(self, devices):
+        cluster = ClusterSpec.of_devices(devices)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            cluster.device(2)

@@ -199,3 +199,112 @@ class TestAccounting:
         store.release(block.block_id)
         assert store.bytes_in_use(live_only=True) == (0.0, 0.0)
         assert store.bytes_in_use() == (BLOCK_BYTES, 0.0)
+
+
+class TestRegisterChain:
+    """Bulk chain registration: one call, same store state as the loops."""
+
+    def _chain(self, prompt_tokens):
+        return chain_block_hashes(tuple(prompt_tokens), BLOCK_TOKENS)
+
+    def test_fresh_chain_matches_manual_allocation(self):
+        tokens = tuple(range(16))
+        hashes = self._chain(tokens)
+        manual = make_store()
+        manual_ids = []
+        remaining = 16
+        for block_hash in hashes:
+            size = min(BLOCK_TOKENS, remaining)
+            manual_ids.append(
+                manual.allocate_block(size, block_hash=block_hash).block_id
+            )
+            remaining -= size
+        bulk = make_store()
+        out: list[int] = []
+        cached = bulk.register_chain([], 16, hashes, out)
+        assert cached == 0
+        assert out == manual_ids
+        assert bulk.prefix_index == manual.prefix_index
+        assert bulk.bytes_in_use() == manual.bytes_in_use()
+
+    def test_matched_prefix_pinned_not_reallocated(self):
+        """The migration-landing path: a fully cached chain re-registers."""
+        store = make_store()
+        tokens = tuple(range(16))
+        hashes = self._chain(tokens)
+        out_first: list[int] = []
+        store.register_chain([], 16, hashes, out_first)
+        for block_id in out_first:
+            store.release(block_id)
+        assert store.num_cached_blocks == len(out_first)
+        out_second: list[int] = []
+        cached = store.register_chain(out_first, 16, hashes, out_second)
+        assert cached == 16
+        assert out_second == out_first  # same resident blocks, re-acquired
+        # Re-registration added no blocks and no duplicate hash entries.
+        assert store.num_blocks == len(out_first)
+        assert len(store.prefix_index) == len(hashes)
+        for block_id in out_second:
+            assert store.blocks[block_id].ref_count == 1
+
+    def test_failure_releases_every_block_it_took(self):
+        store = make_store(num_blocks=2)
+        tokens = tuple(range(16))  # needs 4 blocks; only 2 fit
+        hashes = self._chain(tokens)
+        out: list[int] = []
+        with pytest.raises(MemoryManagerError):
+            store.register_chain([], 16, hashes, out)
+        # The out list is rolled back; the blocks it did commit are fully
+        # released — hashed blocks park in the cache (as the unfused
+        # release path leaves them), holding no live references.
+        assert out == []
+        assert store.bytes_in_use(live_only=True) == (0.0, 0.0)
+        assert all(b.ref_count == 0 for b in store.blocks.values())
+
+
+class TestTTLEviction:
+    def _cached_block(self, store, block_hash, at_time):
+        store.clock_time = at_time
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=block_hash)
+        store.release(block.block_id)  # shareable -> parks in the cache
+        return block
+
+    def test_expires_only_blocks_idle_past_cutoff(self):
+        store = make_store()
+        old = self._cached_block(store, block_hash=1, at_time=0.0)
+        fresh = self._cached_block(store, block_hash=2, at_time=100.0)
+        expired = store.expire_idle(cutoff=50.0)
+        assert expired == 1
+        assert store.ttl_evictions == 1
+        assert old.block_id not in store.blocks
+        assert fresh.block_id in store.blocks
+
+    def test_referenced_blocks_never_expire(self):
+        store = make_store()
+        block = store.allocate_block(BLOCK_TOKENS, block_hash=3)
+        store.clock_time = 100.0
+        assert store.expire_idle(cutoff=200.0) == 0
+        assert block.block_id in store.blocks
+
+    def test_reacquired_block_survives_stale_heap_entry(self):
+        store = make_store()
+        block = self._cached_block(store, block_hash=4, at_time=0.0)
+        store.acquire(block.block_id)  # back in use: lazy heap entry stale
+        store.clock_time = 100.0
+        assert store.expire_idle(cutoff=50.0) == 0
+        assert block.block_id in store.blocks
+        store.release(block.block_id)  # re-cached at t=100
+        assert store.expire_idle(cutoff=50.0) == 0
+        assert store.expire_idle(cutoff=150.0) == 1
+
+    def test_expiry_is_lru_ordered_and_stops_at_survivor(self):
+        store = make_store()
+        blocks = [
+            self._cached_block(store, block_hash=10 + i, at_time=10.0 * i)
+            for i in range(4)
+        ]
+        assert store.expire_idle(cutoff=15.0) == 2  # t=0 and t=10 expire
+        assert blocks[0].block_id not in store.blocks
+        assert blocks[1].block_id not in store.blocks
+        assert blocks[2].block_id in store.blocks
+        assert blocks[3].block_id in store.blocks

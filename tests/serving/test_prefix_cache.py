@@ -186,3 +186,48 @@ class TestCacheAwareSharding:
         sticky = [len(shards) == 1 for shards in by_session.values()]
         assert sum(sticky) >= len(sticky) - 2  # near-perfect affinity
         assert result.report.hit_rate > 0.5
+
+
+class TestSessionTTL:
+    """--session-ttl: idle cached sessions expire; hot ones survive."""
+
+    def test_ttl_requires_prefix_cache(self, backend, workload):
+        with pytest.raises(ConfigurationError, match="prefix_cache"):
+            ServingSystem(backend, workload, session_ttl=30.0)
+
+    def test_short_ttl_evicts_idle_sessions(self, backend, workload):
+        # A slow trickle of arrivals leaves each session idle far longer
+        # than the TTL between turns: the cache keeps expiring.
+        result = run_chat(
+            backend,
+            workload,
+            prefix_cache=True,
+            load_factor=0.25,
+            session_ttl=1.0,
+        )
+        assert result.report.num_completed == NUM_REQUESTS
+        assert result.admission_stats["ttl_evictions"] > 0
+
+    def test_generous_ttl_evicts_nothing_and_keeps_hits(self, backend, workload):
+        baseline = run_chat(backend, workload, prefix_cache=True)
+        generous = run_chat(
+            backend, workload, prefix_cache=True, session_ttl=1e9
+        )
+        assert generous.admission_stats["ttl_evictions"] == 0
+        assert "ttl_evictions" not in baseline.admission_stats
+        # An infinite-in-practice TTL reproduces the no-TTL hit rate.
+        assert generous.report.hit_rate == baseline.report.hit_rate
+        assert generous.makespan == baseline.makespan
+
+    def test_eviction_costs_hits_but_not_correctness(self, backend, workload):
+        keep = run_chat(backend, workload, prefix_cache=True)
+        expire = run_chat(
+            backend,
+            workload,
+            prefix_cache=True,
+            load_factor=0.25,
+            session_ttl=1.0,
+        )
+        assert expire.report.num_completed == NUM_REQUESTS
+        # Expired prefixes must be re-prefilled: the hit rate can only drop.
+        assert expire.report.hit_rate <= keep.report.hit_rate
