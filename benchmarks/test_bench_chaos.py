@@ -1,0 +1,88 @@
+"""Serving goodput under injected faults (beyond-paper robustness).
+
+A full :func:`repro.experiments.chaos_sweep.run_chaos_sweep` run — the
+same seeded chat stream served fault-free, under an empty fault schedule
+(the determinism control), a transient single-shard crash with and
+without retries, a correlated pool crash and a rolling restart.  Rows
+land in ``BENCH_chaos.json`` for CI trend tracking and the benchmark
+*gates* the robustness claims the subsystem exists for: an empty
+schedule must be bit-for-bit identical to the no-injector run, retries
+must strictly beat no-retries on SLO goodput under a transient crash,
+and post-recovery goodput must return to within 10% of the fault-free
+baseline.  Set ``BENCH_CHAOS_JSON`` to redirect the artifact path.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.bench_output import write_bench_chaos_json
+from repro.experiments.chaos_sweep import (
+    CHAOS_SWEEP_COLUMNS,
+    gates_pass,
+    run_chaos_sweep,
+)
+
+BENCH_JSON = os.environ.get("BENCH_CHAOS_JSON", "BENCH_chaos.json")
+
+SWEEP_KWARGS = {
+    "num_shards": 4,
+    "load_factor": 0.7,
+    "num_requests": 120,
+    "generation_len": 8,
+    "max_retries": 2,
+    "retry_backoff": 0.25,
+    "seed": 0,
+}
+
+
+@pytest.mark.paper_artifact("Chaos sweep (beyond-paper)")
+def test_bench_chaos_sweep(benchmark, print_rows):
+    sweep = benchmark.pedantic(
+        run_chaos_sweep,
+        kwargs=SWEEP_KWARGS,
+        iterations=1,
+        rounds=1,
+    )
+    rows = sweep["rows"]
+    gates = sweep["gates"]
+    print_rows(
+        rows,
+        columns=list(CHAOS_SWEEP_COLUMNS),
+        title=(
+            "Chaos sweep: crash / recovery / retry scenarios @ "
+            "mixtral-8x7b x4, Poisson arrivals"
+        ),
+    )
+    document = write_bench_chaos_json(
+        BENCH_JSON,
+        rows,
+        gates=gates,
+        meta={
+            "source": "benchmarks/test_bench_chaos.py",
+            "model": "mixtral-8x7b",
+            "hardware": "1xT4",
+            "workload": "chat",
+            **SWEEP_KWARGS,
+        },
+    )
+    by_name = {row["scenario"]: row for row in rows}
+    # Every scenario served the identical offered stream (retries add
+    # re-submissions on top of the same originals).
+    assert by_name["fault-free"]["offered"] == SWEEP_KWARGS["num_requests"]
+    assert by_name["transient-crash"]["crashes"] == 1
+    assert by_name["transient-crash"]["kv_bytes_lost"] > 0
+    # The robustness gates: determinism of the empty schedule ...
+    assert gates["empty_schedule_identical"] is True
+    # ... retries strictly win under a transient single-shard crash ...
+    assert (
+        by_name["transient-crash+retry"]["goodput"]
+        > by_name["transient-crash"]["goodput"]
+    )
+    # ... and the recovered cluster returns to baseline goodput.
+    assert gates["post_recovery_goodput_ratio"] >= (
+        1.0 - gates["recovery_tolerance"]
+    )
+    assert gates_pass(gates)
+    assert document["gates"] == gates
+    assert document["meta"]["source"] == "benchmarks/test_bench_chaos.py"

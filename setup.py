@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="moe-lightning-repro",
-    version="0.8.0",
+    version="0.9.0",
     description=(
         "Reproduction of MoE-Lightning (ASPLOS'25): high-throughput MoE "
         "inference on memory-constrained GPUs, plus an online "
@@ -26,7 +26,10 @@ setup(
         "Chrome traces, streaming P2 percentile metrics, time-series "
         "sampling), and disaggregated serving (heterogeneous device "
         "specs, prefill/decode pools, priced KV migration with "
-        "phase-aware routing) layered on top."
+        "phase-aware routing), and a deterministic fault-injection / "
+        "crash-recovery subsystem (seeded fault schedules, retry and "
+        "admission-shedding policies, chaos sweeps with acceptance "
+        "gates) layered on top."
     ),
     author="paper-repo-growth",
     license="Apache-2.0",
@@ -49,6 +52,7 @@ setup(
             "repro-disagg = repro.experiments.disagg_sweep:main",
             "repro-simperf = repro.experiments.simperf_sweep:main",
             "repro-trace = repro.obs.trace_cli:main",
+            "repro-chaos = repro.experiments.chaos_sweep:main",
         ],
     },
     classifiers=[

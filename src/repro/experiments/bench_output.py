@@ -249,3 +249,62 @@ def write_bench_simperf_json(
     target = Path(path)
     target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
+
+
+#: Metrics copied per scenario into the chaos summary.
+CHAOS_SUMMARY_METRICS: tuple[str, ...] = (
+    "goodput",
+    "goodput_fraction",
+    "completed",
+    "rejected",
+    "retries",
+    "crashes",
+    "recoveries",
+    "unavailability_s",
+    "drop_crash",
+    "drop_timeout",
+    "drop_shed",
+)
+
+
+def chaos_summary(
+    rows: Sequence[Mapping[str, object]],
+) -> dict[str, dict[str, object]]:
+    """Per-scenario headline metrics of one chaos sweep."""
+    summary: dict[str, dict[str, object]] = {}
+    for row in rows:
+        scenario = str(row.get("scenario", "unknown"))
+        summary[scenario] = {
+            metric: row[metric]
+            for metric in CHAOS_SUMMARY_METRICS
+            if metric in row
+        }
+    return summary
+
+
+def write_bench_chaos_json(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    gates: Mapping[str, object] | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Write the chaos benchmark artifact (``BENCH_chaos.json``).
+
+    Same stamping discipline as :func:`write_bench_serving_json`; the
+    ``gates`` block records the sweep's acceptance verdicts (empty-schedule
+    determinism, retry-vs-no-retry goodput win, post-recovery goodput
+    ratio) so CI trend tooling gates on the artifact alone.
+    """
+    document: dict[str, object] = {
+        "benchmark": "chaos",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "meta": _clean_row(meta or {}),
+        "summary": chaos_summary(rows),
+        "gates": _clean_row(gates or {}),
+        "rows": [_clean_row(row) for row in rows],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

@@ -192,6 +192,27 @@ class Telemetry:
             )
         self.count("requests.rejected")
 
+    def record_fault(
+        self, shard_id: int | None, kind: str, now: float, **args
+    ) -> None:
+        """One injected fault event (crash / recover / straggle / link)."""
+        if self.trace is not None:
+            payload = dict(args)
+            if shard_id is not None:
+                payload["shard"] = shard_id
+            self.trace.add_instant("faults", kind, now, **payload)
+        self.count(f"faults.{kind}")
+
+    def record_unavailability(
+        self, shard_id: int, start: float, end: float
+    ) -> None:
+        """One shard's full downtime window (crash to serving-again)."""
+        if self.trace is not None:
+            self.trace.add_span(
+                f"{shard_label(shard_id)}/fault", "unavailable", start, end - start
+            )
+        self.observe("unavailability", end - start)
+
     def record_finish(self, serving_request: object) -> None:
         """One retired request: its gapless lifecycle chain + latencies."""
         sr = serving_request

@@ -157,6 +157,7 @@ class SharedBlockStore:
         self._clock = 0
         self.evictions = 0
         self.ttl_evictions = 0
+        self.crash_drops = 0
         self.cow_copies = 0
         #: Simulated time, advanced (monotonically) by the engine that owns
         #: the store; only consulted by TTL eviction, so stores driven
@@ -718,6 +719,26 @@ class SharedBlockStore:
             expired += 1
         self.ttl_evictions += expired
         return expired
+
+    def drop_all_cached(self) -> int:
+        """Free every cached (refcount-zero) block: crash teardown.
+
+        A crashed shard's prefix cache does not survive the device — after
+        live sequences are released, this sweep frees the remaining cached
+        blocks so the store's resident bytes return to zero and no dangling
+        ``prefix_index`` entries survive.  Counted separately from capacity
+        and TTL evictions (``crash_drops``).  Returns the number of blocks
+        dropped.
+        """
+        dropped = 0
+        while True:
+            victim = self._pop_lru_cached()
+            if victim is None:
+                break
+            self._free(victim)
+            dropped += 1
+        self.crash_drops += dropped
+        return dropped
 
     def _fits(self, cpu_bytes: float, gpu_bytes: float) -> bool:
         # Only ever asked about one block's constant split, so the page

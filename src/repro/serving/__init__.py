@@ -53,7 +53,18 @@ from repro.serving.metrics import (
     percentile,
     summarize,
 )
-from repro.serving.queue import RequestQueue, RequestState, ServingRequest
+from repro.serving.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    ResiliencePolicy,
+)
+from repro.serving.queue import (
+    OUTCOME_CODES,
+    RequestQueue,
+    RequestState,
+    ServingRequest,
+)
 from repro.serving.scheduler import (
     SCHEDULING_POLICIES,
     ContinuousBatchingScheduler,
@@ -97,6 +108,11 @@ __all__ = [
     "EngineCore",
     "EngineStep",
     "EngineStepModel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "OUTCOME_CODES",
+    "ResiliencePolicy",
     "ROUTER_POLICIES",
     "ServingEventLoop",
     "ServingResult",

@@ -190,7 +190,12 @@ class ServingEventLoop:
             self._pending_callbacks -= 1
             self._touched.update(payload())
         else:
-            core = payload
+            core, crash_epoch = payload
+            if core.crash_epoch != crash_epoch:
+                # The shard crashed after this step launched: the step died
+                # with the device, its requests were torn down at crash
+                # time, and this completion event is stale.
+                return
             core.complete_step()
             self._touched.add(self._core_index[id(core)])
 
@@ -207,11 +212,15 @@ class ServingEventLoop:
             return
         for index in sorted(touched):
             core = self.cores[index]
-            if core.step_in_flight or not core.has_work():
+            if core.down or core.step_in_flight or not core.has_work():
+                # A down core never begins a step; work it queued while
+                # awaiting recovery kicks when the ready event touches it.
                 continue
             completion = core.begin_step()
             if completion is not None:
-                self._push(completion, _STEP_COMPLETE, core)
+                # The crash epoch rides the completion event so a crash
+                # between begin and complete invalidates it (see _dispatch).
+                self._push(completion, _STEP_COMPLETE, (core, core.crash_epoch))
             elif (
                 core.has_work()
                 and self._pending_arrivals == 0

@@ -30,13 +30,13 @@ Aggregation runs in one of two modes (:class:`ReportBuilder`):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import P2Quantile
-from repro.serving.queue import RequestState, ServingRequest
+from repro.serving.queue import OUTCOME_CODES, RequestState, ServingRequest
 from repro.utils.validation import require_positive
 
 #: Percentiles reported for each latency metric.
@@ -113,6 +113,13 @@ class ServingReport:
     cached_token_fraction: float = 0.0
     mean_ttft_hit: float = 0.0
     mean_ttft_miss: float = 0.0
+    #: Rejections by canonical outcome code (``queue-full``, ``crash``,
+    #: ``timeout``, ``shed``, ...) — the per-class breakdown of
+    #: ``num_rejected``, so drops never vanish into one opaque total.
+    outcomes: dict[str, int] = field(default_factory=dict)
+    #: Offered requests that were resilience-layer re-submissions
+    #: (``attempt > 0``); 0 on every run without retries.
+    num_retries: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -148,7 +155,7 @@ class ServingReport:
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary for the table renderer."""
-        return {
+        row: dict[str, object] = {
             "offered": self.num_offered,
             "completed": self.num_completed,
             "rejected": self.num_rejected,
@@ -171,6 +178,10 @@ class ServingReport:
             "hit_rate": self.hit_rate,
             "cached_token_fraction": self.cached_token_fraction,
         }
+        row["retries"] = self.num_retries
+        for code in OUTCOME_CODES:
+            row[f"drop_{code.replace('-', '_')}"] = self.outcomes.get(code, 0)
+        return row
 
 
 class ReportBuilder:
@@ -200,6 +211,8 @@ class ReportBuilder:
         self.cache_hits = 0
         self.prompt_tokens = 0
         self.cached_tokens = 0
+        self.outcomes: dict[str, int] = {}
+        self.num_retries = 0
         if store_samples:
             self._samples: dict[str, list[float]] = {
                 name: [] for name in self._LATENCIES
@@ -227,9 +240,13 @@ class ReportBuilder:
     def observe(self, sr: ServingRequest) -> None:
         """Fold one terminal (or still-live, at stream end) request in."""
         self.num_offered += 1
+        if sr.attempt:
+            self.num_retries += 1
         state = sr.state
         if state is RequestState.REJECTED:
             self.num_rejected += 1
+            code = sr.outcome_code or "other"
+            self.outcomes[code] = self.outcomes.get(code, 0) + 1
             return
         if state is not RequestState.FINISHED:
             return
@@ -290,9 +307,13 @@ class ReportBuilder:
         counts = self._counts
         for sr in serving_requests:
             self.num_offered += 1
+            if sr.attempt:
+                self.num_retries += 1
             state = sr.state
             if state is RequestState.REJECTED:
                 self.num_rejected += 1
+                code = sr.outcome_code or "other"
+                self.outcomes[code] = self.outcomes.get(code, 0) + 1
                 continue
             if state is not RequestState.FINISHED:
                 continue
@@ -384,6 +405,8 @@ class ReportBuilder:
             ),
             mean_ttft_hit=self._mean("hit_ttft"),
             mean_ttft_miss=self._mean("miss_ttft"),
+            outcomes=dict(self.outcomes),
+            num_retries=self.num_retries,
         )
 
 

@@ -32,6 +32,38 @@ class RequestState(enum.Enum):
     REJECTED = "rejected"
 
 
+#: Canonical terminal outcome codes for non-completed requests.  Every
+#: rejection carries exactly one of these so reports can account for each
+#: drop class separately (queue overflow vs crash vs deadline vs shed ...).
+OUTCOME_CODES: tuple[str, ...] = (
+    "queue-full",
+    "oversized",
+    "migration-capacity",
+    "crash",
+    "timeout",
+    "shed",
+    "unavailable",
+    "other",
+)
+
+#: Human-readable reject reasons -> canonical outcome codes (legacy call
+#: sites pass only a reason string; new ones pass ``code=`` explicitly).
+_REASON_CODES = {
+    "queue full": "queue-full",
+    "migration target over capacity": "migration-capacity",
+}
+
+
+def outcome_code_for(reason: str) -> str:
+    """Map a reject reason string onto its canonical outcome code."""
+    code = _REASON_CODES.get(reason)
+    if code is not None:
+        return code
+    if reason.startswith("prompt") or "exceed" in reason or "capacity" in reason:
+        return "oversized"
+    return "other"
+
+
 @dataclass
 class ServingRequest:
     """One request's serving lifecycle and timestamps.
@@ -59,6 +91,13 @@ class ServingRequest:
     tokens_cached: int = 0
     reject_reason: str | None = None
     shard_id: int | None = None
+    #: Retry generation: 0 for the original submission, 1+ for re-entries
+    #: injected by the resilience layer (same underlying ``Request``, so
+    #: session identity and the prefix hash chain are preserved).
+    attempt: int = 0
+    #: Canonical terminal outcome code for rejected requests (see
+    #: :data:`OUTCOME_CODES`); ``None`` while live and for completions.
+    outcome_code: str | None = None
 
     # Class-level defaults so the ``tokens_decoded`` property works during
     # ``__init__`` and on detached requests (not dataclass fields).
@@ -131,11 +170,17 @@ class ServingRequest:
         self.state = RequestState.FINISHED
         self.finish_time = now
 
-    def mark_rejected(self, now: float, reason: str) -> None:
-        """Record a drop (queue overflow or admission-control rejection)."""
+    def mark_rejected(self, now: float, reason: str, code: str | None = None) -> None:
+        """Record a drop (queue overflow, admission rejection, crash, ...).
+
+        ``code`` pins the canonical outcome code; legacy call sites that
+        pass only a reason string get it derived via
+        :func:`outcome_code_for`.
+        """
         self.state = RequestState.REJECTED
         self.finish_time = now
         self.reject_reason = reason
+        self.outcome_code = code if code is not None else outcome_code_for(reason)
 
     # ------------------------------------------------------------------
     # Latency metrics
@@ -248,6 +293,16 @@ class RequestQueue:
             self._heap,
             (self._key(serving_request), next(self._tiebreak), serving_request),
         )
+
+    def drain(self) -> list[ServingRequest]:
+        """Remove and return every queued request in serving order.
+
+        Used by crash teardown: a dead shard's waiting queue empties in one
+        sweep so each request gets exactly one terminal record.
+        """
+        drained = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return drained
 
     def __len__(self) -> int:
         return len(self._heap)

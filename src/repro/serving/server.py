@@ -291,6 +291,8 @@ class EngineCore:
         on_finish=None,
         on_reject=None,
         on_finish_batch=None,
+        resilience=None,
+        slo=None,
     ) -> None:
         if role not in ENGINE_ROLES:
             raise ConfigurationError(
@@ -412,6 +414,48 @@ class EngineCore:
         self._partition_sizes: np.ndarray | None = None
         self._partition_epoch = 0
         self._partition_micro = 0
+        # ---- Fault tolerance (inert unless a FaultInjector drives them) ----
+        #: Request-level :class:`~repro.serving.faults.ResiliencePolicy`
+        #: (deadline timeouts and admission shedding run on-core; retries
+        #: are the injector's job through ``on_fail``).
+        self.resilience = resilience
+        #: Whether the shard is crashed (or reloading): it begins no steps
+        #: and — unless recovery is pending — rejects offers at the door.
+        self.down = False
+        #: Bumped once per :meth:`crash`; a step-completion event stamped
+        #: with an older epoch is stale and must not be applied.
+        self.crash_epoch = 0
+        #: True between a crash and the shard's scheduled recovery: offers
+        #: queue (they will be served post-reload) instead of rejecting.
+        self.recover_pending = False
+        #: Straggler slowdown factor (>= 1); every step priced while it is
+        #: not 1.0 stretches by it.  Fault-free runs never touch it.
+        self.perf_penalty = 1.0
+        #: Failure sink ``(serving_request, now, code)`` — the injector's
+        #: retry hook for timeout/unavailable/migration-loss drops.
+        self.on_fail = None
+        self.crash_dropped = 0
+        self.timeout_dropped = 0
+        self.shed_dropped = 0
+        self.unavailable_dropped = 0
+        self._deadline = resilience.deadline if resilience is not None else None
+        # Predictive shedding: one queued request's expected service time,
+        # priced once (its share of a full micro-batch prefill pass).  The
+        # memo call happens only with shedding on, so runs without it never
+        # touch the step model here.
+        self._shed_ttft: float | None = None
+        self._shed_unit = 0.0
+        if resilience is not None and resilience.shed:
+            if slo is None:
+                raise ConfigurationError(
+                    "admission shedding needs an SLO to predict against"
+                )
+            self._shed_ttft = slo.ttft * resilience.shed_ttft_factor
+            mu = policy.micro_batch_size
+            prompt = max(1, workload.effective_prompt_len(backend.padded))
+            self._shed_unit = (
+                step_model.chunked_prefill_time(mu, mu * prompt) / mu
+            )
 
     # ------------------------------------------------------------------
     # External interface (arrival ingestion and clock control)
@@ -436,14 +480,58 @@ class EngineCore:
             self._load_board[self.shard_id] = self._load
 
     def offer(self, serving_request: ServingRequest) -> bool:
-        """Ingest one arrival; returns False when the full queue drops it."""
+        """Ingest one arrival; returns False when the core drops it.
+
+        Drops happen at the door for three reasons, each with its own
+        outcome code: the queue is full (``queue-full``), the shard is
+        dead with no recovery scheduled (``unavailable``), or predictive
+        shedding judges the request's SLO already doomed under current
+        load (``shed``).  A down shard *with* recovery pending queues the
+        request — it will be served after the reload.
+        """
         if self.shard_id is not None:
             serving_request.shard_id = self.shard_id
         self.offered_count += 1
+        now = serving_request.arrival_time
+        if self.down and not self.recover_pending:
+            serving_request.mark_rejected(
+                now, "shard unavailable", code="unavailable"
+            )
+            self.unavailable_dropped += 1
+            self.rejected_count += 1
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    serving_request, now, "shard unavailable"
+                )
+            if self.on_reject is not None:
+                self.on_reject(serving_request)
+            if self.on_fail is not None:
+                self.on_fail(serving_request, now, "unavailable")
+            return False
+        if (
+            self._shed_ttft is not None
+            and self.load() * self._shed_unit > self._shed_ttft
+        ):
+            # Predictive admission: the queue ahead already implies a TTFT
+            # past the shed threshold, so admitting would burn capacity on
+            # a request that cannot meet its SLO.  Sheds never retry — the
+            # signal is "the cluster is saturated", not "try again".
+            serving_request.mark_rejected(
+                now, "predicted wait exceeds SLO", code="shed"
+            )
+            self.shed_dropped += 1
+            self.rejected_count += 1
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    serving_request, now, "predicted wait exceeds SLO"
+                )
+            if self.on_reject is not None:
+                self.on_reject(serving_request)
+            return False
         was_idle = not self.has_work()
         if not self.queue.push(serving_request):
             serving_request.mark_rejected(
-                serving_request.arrival_time, "queue full"
+                serving_request.arrival_time, "queue full", code="queue-full"
             )
             self.dropped_queue_full += 1
             self.rejected_count += 1
@@ -540,7 +628,9 @@ class EngineCore:
                 still.append(serving_request)
             else:
                 serving_request.mark_rejected(
-                    self.now, "migration target over capacity"
+                    self.now,
+                    "migration target over capacity",
+                    code="migration-capacity",
                 )
                 self.rejected_count += 1
                 self.migration_rejected += 1
@@ -628,6 +718,8 @@ class EngineCore:
         """
         if self._in_flight is not None:
             raise SimulationError("engine step already in flight")
+        if self._deadline is not None:
+            self._expire_deadline()
         if self._pending_joins:
             # Migrated requests join at step boundaries (decode role only);
             # unified cores never stage any, so this is one falsy test.
@@ -642,7 +734,9 @@ class EngineCore:
         )
         for oversized in action.rejected:
             oversized.mark_rejected(
-                self.now, oversized.reject_reason or "oversized request"
+                self.now,
+                oversized.reject_reason or "oversized request",
+                code="oversized",
             )
             self.rejected_count += 1
             if self.telemetry is not None:
@@ -669,6 +763,114 @@ class EngineCore:
         # in ``prefilling`` keeps has_work()/load() honest mid-flight.
         self.prefilling = list(self._in_flight.chunk)
         return self._in_flight.completion
+
+    def _expire_deadline(self) -> None:
+        """Drop queued requests whose deadline has already passed.
+
+        Checked head-first at each step boundary: under FCFS ordering the
+        head is the oldest waiter, so the sweep is exact; under SJF it
+        catches the expired head but may leave older long prompts deeper
+        in the heap until they surface.  Expired requests carry the
+        ``timeout`` outcome code and flow through ``on_fail`` so the
+        resilience layer can retry them elsewhere.
+        """
+        deadline = self._deadline
+        while True:
+            head = self.queue.peek()
+            if head is None or self.now - head.arrival_time <= deadline:
+                break
+            self.queue.pop()
+            head.mark_rejected(
+                self.now, "deadline exceeded in queue", code="timeout"
+            )
+            self.timeout_dropped += 1
+            self.rejected_count += 1
+            self._bump_load(-1)
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    head, self.now, "deadline exceeded in queue"
+                )
+                self.telemetry.count("requests.timeout")
+            if self.on_reject is not None:
+                self.on_reject(head)
+            if self.on_fail is not None:
+                self.on_fail(head, self.now, "timeout")
+
+    def crash(self, now: float) -> list[ServingRequest]:
+        """Tear down this shard at ``now``; returns every dropped request.
+
+        Crash semantics, in order: the in-flight step dies with the device
+        (its already-queued completion event is invalidated by the crash
+        epoch bump); every queued, prefilling, running and staged request
+        gets exactly one terminal record with the ``crash`` outcome code;
+        every KV reservation — including prompt KV a prefill core was
+        holding for not-yet-landed migrations — is released and the
+        shard's prefix cache is purged, so the block store returns to zero
+        resident bytes with no negative refcounts and no dangling
+        ``prefix_index`` entries.  The core is then ``down``: it begins no
+        steps until a recovery event clears the flag.
+
+        Retries are the caller's job (the injector re-injects the returned
+        list per its policy); ``on_fail`` is *not* invoked here to keep
+        the retry decision in one place.
+        """
+        self.now = max(self.now, now)
+        self._in_flight = None
+        dropped: list[ServingRequest] = []
+        dropped.extend(self.queue.drain())
+        dropped.extend(self.prefilling)
+        self.prefilling = []
+        for serving_request in self.running:
+            serving_request.detach_decode_epoch()
+        dropped.extend(self.running)
+        self.running = []
+        dropped.extend(self._pending_joins)
+        self._pending_joins = []
+        for serving_request in dropped:
+            serving_request.mark_rejected(self.now, "shard crash", code="crash")
+            self.rejected_count += 1
+            self.crash_dropped += 1
+            if self.telemetry is not None:
+                self.telemetry.record_reject(
+                    serving_request, self.now, "shard crash"
+                )
+            if self.on_reject is not None:
+                self.on_reject(serving_request)
+        self.admission.kv_cache.release_all()
+        store = self.admission.kv_cache.block_store
+        if store is not None:
+            store.drop_all_cached()
+        self._finish_buckets.clear()
+        self._running_version += 1
+        self._bump_load(-self._load)
+        self.crash_epoch += 1
+        self.down = True
+        return dropped
+
+    def fail_migrated(
+        self, serving_request: ServingRequest, now: float
+    ) -> None:
+        """Terminal-mark an in-flight migration lost to a mid-transfer crash.
+
+        Between handoff and landing a migrating request sits on *no*
+        core's sets, so a crash of its source or target orphans it; the
+        landing callback reports the loss here, on the source core, which
+        keeps the cluster-total ``offered == completed + rejected``
+        invariant intact.
+        """
+        serving_request.mark_rejected(
+            now, "migration lost to crash", code="crash"
+        )
+        self.rejected_count += 1
+        self.crash_dropped += 1
+        if self.telemetry is not None:
+            self.telemetry.record_reject(
+                serving_request, now, "migration lost to crash"
+            )
+        if self.on_reject is not None:
+            self.on_reject(serving_request)
+        if self.on_fail is not None:
+            self.on_fail(serving_request, now, "crash")
 
     def complete_step(self) -> str:
         """Apply the in-flight step's effects at its completion instant."""
@@ -708,6 +910,8 @@ class EngineCore:
             for serving_request in chunk:
                 serving_request.mark_running(self.now)
             duration = self.step_model.prefill_time(chunk)
+            if self.perf_penalty != 1.0:
+                duration *= self.perf_penalty
             # The whole prompt is processed this step; consuming it now
             # lets completion route every request through _finish_chunk.
             for serving_request in chunk:
@@ -737,6 +941,8 @@ class EngineCore:
         duration = self.step_model.chunked_prefill_time(
             max(1, num_worked), max(1, tokens_processed)
         )
+        if self.perf_penalty != 1.0:
+            duration *= self.perf_penalty
         mu = min(self.policy.micro_batch_size, max(1, num_worked))
         step = EngineStep(
             kind="prefill",
@@ -778,6 +984,11 @@ class EngineCore:
             chunk_time = self.step_model.chunked_prefill_time(
                 max(1, num_worked), max(1, tokens_processed)
             )
+        if self.perf_penalty != 1.0:
+            # A straggling device slows both streams: they share the same
+            # degraded weight-streaming bandwidth.
+            decode_time *= self.perf_penalty
+            chunk_time *= self.perf_penalty
         duration = max(decode_time, chunk_time)
         # Count each request exactly once: the decode half works the
         # requests running at step start, the prefill half the chunk's
@@ -812,6 +1023,8 @@ class EngineCore:
         duration = self.step_model.decode_step_time(
             len(self.running), binding_context
         )
+        if self.perf_penalty != 1.0:
+            duration *= self.perf_penalty
         step = EngineStep(
             kind="decode",
             start=self.now,
@@ -1036,6 +1249,11 @@ class EngineCore:
             stats["migrated_in"] = self.migrated_in
             stats["migrated_out"] = self.migrated_out
             stats["migration_rejected"] = self.migration_rejected
+        if self.crash_epoch > 0 or self.resilience is not None:
+            stats["crash_dropped"] = self.crash_dropped
+            stats["timeout_dropped"] = self.timeout_dropped
+            stats["shed_dropped"] = self.shed_dropped
+            stats["unavailable_dropped"] = self.unavailable_dropped
         return stats
 
 

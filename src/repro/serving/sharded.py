@@ -33,6 +33,7 @@ from repro.cluster.spec import ClusterSpec, ethernet_100g
 from repro.core.policy import Policy
 from repro.serving.arrivals import ArrivalProcess, TimedRequest
 from repro.serving.event_loop import ServingEventLoop
+from repro.serving.faults import FaultInjector, FaultSchedule, ResiliencePolicy
 from repro.serving.metrics import SLO, ReportBuilder, ServingReport, summarize
 from repro.serving.queue import ServingRequest
 from repro.serving.router import PhaseRouter, ShardRouter
@@ -101,6 +102,9 @@ class ShardedServingResult:
     report: ServingReport
     shard_stats: list[ShardStats]
     admission_stats: dict[str, int] = field(default_factory=dict)
+    #: Injected-fault counters (crashes, recoveries, retries, KV lost,
+    #: unavailability seconds); empty on every fault-free run.
+    fault_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def shard_utilizations(self) -> list[float]:
@@ -141,6 +145,13 @@ class ShardedServingResult:
         row["overlap_fraction"] = self.overlap_fraction
         row["decode_busy_s"] = sum(s.decode_stream_busy for s in self.shard_stats)
         row["prefill_busy_s"] = sum(s.prefill_stream_busy for s in self.shard_stats)
+        # Fault counters render on every row (zeros on fault-free runs) so
+        # chaos-sweep tables stay rectangular across scenarios.
+        faults = self.fault_stats
+        row["crashes"] = int(faults.get("crashes", 0))
+        row["recoveries"] = int(faults.get("recoveries", 0))
+        row["unavailability_s"] = faults.get("unavailability_s", 0.0)
+        row["kv_bytes_lost"] = faults.get("kv_bytes_lost", 0.0)
         return row
 
 
@@ -172,6 +183,8 @@ class ShardedServingSystem:
         disaggregated: bool = False,
         prefill_shards: int | None = None,
         session_ttl: float | None = None,
+        faults: FaultSchedule | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if num_shards is None:
             if cluster is None:
@@ -216,6 +229,22 @@ class ShardedServingSystem:
                 "block store there are no idle cached sessions to expire"
             )
         self.session_ttl = session_ttl
+        #: Chaos layer: a seeded :class:`FaultSchedule` of crash/recover/
+        #: straggle/link events and a request-level
+        #: :class:`ResiliencePolicy` (deadline, retries, shedding).  Both
+        #: ``None`` (the default) leaves the run on the historical
+        #: fault-free code path; an *empty* schedule attaches an injector
+        #: whose every hook is inert, reproducing the same timeline
+        #: bit-for-bit (asserted at tier 1).
+        self.faults = faults
+        self.resilience = resilience
+        if faults is not None:
+            bad = [s for s in faults.shards() if not 0 <= s < num_shards]
+            if bad:
+                raise ConfigurationError(
+                    f"fault schedule targets shards {bad} outside the "
+                    f"{num_shards}-shard cluster"
+                )
         # ------------------------------------------------------------------
         # Phase roles: explicit device roles on the cluster win; otherwise
         # ``disaggregated=True`` splits the shard range into a prefill pool
@@ -356,6 +385,8 @@ class ShardedServingSystem:
                 on_finish=on_finish,
                 on_reject=on_reject,
                 on_finish_batch=on_finish_batch,
+                resilience=self.resilience,
+                slo=self.slo,
             )
             ready_at = self._ready_at[shard_id]
             if 0.0 < ready_at < float("inf"):
@@ -365,6 +396,23 @@ class ShardedServingSystem:
                 core.now = ready_at
             cores.append(core)
         return cores
+
+    def _make_injector(
+        self, cores: list[EngineCore], telemetry=None
+    ) -> FaultInjector | None:
+        """One fresh injector per run, or ``None`` on the fault-free path.
+
+        Constructed when either chaos input is present: a schedule (even an
+        empty one — the determinism contract is tested through exactly this
+        path) or a resilience policy (whose retries need the injector's
+        re-injection machinery even with no faults scheduled).
+        """
+        if self.faults is None and self.resilience is None:
+            return None
+        schedule = self.faults if self.faults is not None else FaultSchedule.empty()
+        return FaultInjector(
+            cores, schedule, resilience=self.resilience, telemetry=telemetry
+        )
 
     # ------------------------------------------------------------------
     # The sharded serving loop
@@ -509,14 +557,28 @@ class ShardedServingSystem:
             route = self._incremental_route_fn(router, cores)
         else:
             route = self._route_fn(router)
+        injector = self._make_injector(cores, telemetry)
+        if injector is not None:
+            # Dead/loading shards leave the routable set; drops flow into
+            # the retry machinery; retries re-route through the same
+            # (avoidance-wrapped) policy.
+            route = injector.wrap_route(route)
+            injector.set_route(route)
+            for core in cores:
+                core.on_fail = injector.handle_failure
         loop = ServingEventLoop(cores, route, telemetry=telemetry)
+        if injector is not None:
+            injector.attach(
+                loop,
+                record_sink=records.append if builder is None else None,
+            )
         if builder is None:
             makespan = loop.run(records)
             report = summarize(records, makespan=makespan, slo=self.slo)
         else:
             makespan = loop.run_stream(self._stream_records(arrivals, count, seed))
             report = builder.build(makespan)
-        return self._finalize(records, cores, makespan, report)
+        return self._finalize(records, cores, makespan, report, injector=injector)
 
     def _run_disagg(
         self,
@@ -547,8 +609,28 @@ class ShardedServingSystem:
                 on_finish_batch=builder.observe_many,
             )
         controller = _DisaggController(self, cores)
-        loop = ServingEventLoop(cores, controller.route, telemetry=telemetry)
+        injector = self._make_injector(cores, telemetry)
+        route = controller.route
+        if injector is not None:
+            # The phase router's own readiness filter does the avoidance:
+            # the injector flips ``ready_at[shard]`` to +inf on crash and
+            # to the reload-complete instant on recovery, and both
+            # route_prefill and route_decode already skip not-yet-ready
+            # shards.  No wrapper needed — a wrapper's least-loaded
+            # fallback could cross the phase boundary.
+            injector.add_ready_view(controller.router.ready_at)
+            injector.on_crash_drops.append(controller.on_crash_drops)
+            injector.set_route(route)
+            controller.injector = injector
+            for core in cores:
+                core.on_fail = injector.handle_failure
+        loop = ServingEventLoop(cores, route, telemetry=telemetry)
         controller.attach(loop)
+        if injector is not None:
+            injector.attach(
+                loop,
+                record_sink=records.append if builder is None else None,
+            )
         if builder is None:
             makespan = loop.run(records)
             report = summarize(records, makespan=makespan, slo=self.slo)
@@ -556,7 +638,12 @@ class ShardedServingSystem:
             makespan = loop.run_stream(self._stream_records(arrivals, count, seed))
             report = builder.build(makespan)
         return self._finalize(
-            records, cores, makespan, report, router_name="phase-aware"
+            records,
+            cores,
+            makespan,
+            report,
+            router_name="phase-aware",
+            injector=injector,
         )
 
     def _stream_records(
@@ -610,6 +697,12 @@ class ShardedServingSystem:
                 "KV-transfer landings are scheduled events, which only the "
                 "event loop orders correctly"
             )
+        if self.faults is not None or self.resilience is not None:
+            raise ConfigurationError(
+                "run_time_sliced does not support fault injection or "
+                "resilience: fault and retry events are scheduled on the "
+                "event loop, which only run() drives"
+            )
         records = self._materialize(arrivals, count, seed)
         router = ShardRouter(self.num_shards, self.router_policy)
         cores = self._make_cores()
@@ -632,6 +725,7 @@ class ShardedServingSystem:
         makespan: float,
         report: ServingReport,
         router_name: str | None = None,
+        injector: FaultInjector | None = None,
     ) -> ShardedServingResult:
         # Per-shard stats come from the cores' O(1) counters rather than a
         # scan over the request records: every offered request is terminal
@@ -677,6 +771,7 @@ class ShardedServingSystem:
             report=report,
             shard_stats=shard_stats,
             admission_stats=totals,
+            fault_stats=injector.stats() if injector is not None else {},
         )
 
 
@@ -732,9 +827,31 @@ class _DisaggController:
         self._link_bandwidth = link.bandwidth
         self.transfers = 0
         self.transfer_bytes = 0.0
+        #: Set by the run when chaos is on: supplies the live link-penalty
+        #: factor for transfer pricing and the crash epochs that tell a
+        #: landing its source or target died mid-flight.
+        self.injector = None
+        self.transfers_lost = 0
 
     def attach(self, loop: ServingEventLoop) -> None:
         self.loop = loop
+
+    def on_crash_drops(self, shard: int, dropped: list[ServingRequest]) -> None:
+        """Unwind router accounting for a crashed shard's dropped requests.
+
+        Prompts routed to a prefill shard hold their token count in the
+        :class:`~repro.serving.router.PhaseRouter`'s ``outstanding_tokens``
+        until handoff retires it; a crash drops them without ever handing
+        off, so the count is retired here — otherwise the shard would look
+        permanently loaded after it recovers.  Decode-shard drops hold no
+        router state (their prompts were retired at handoff).
+        """
+        if shard not in self.router.outstanding_tokens:
+            return
+        for serving_request in dropped:
+            self.router.complete_prefill(
+                shard, serving_request.request.effective_input_len
+            )
 
     def route(self, serving_request: ServingRequest, cores) -> int:
         """The event loop's RouteFn: every arrival is a prefill."""
@@ -763,6 +880,10 @@ class _DisaggController:
             move_tokens = max(0, request.effective_input_len - matched)
             num_bytes = target.admission.kv_cache.bytes_for_tokens(move_tokens)
             delay = self._link_latency + num_bytes / self._link_bandwidth
+            if self.injector is not None and self.injector.link_penalty != 1.0:
+                # A degraded cluster link stretches the whole transfer
+                # (latency and bandwidth share the impaired fabric).
+                delay *= self.injector.link_penalty
             self.transfers += 1
             self.transfer_bytes += num_bytes
             # Same-batch handoffs see the reservation they just implied, so
@@ -771,7 +892,8 @@ class _DisaggController:
                 request.effective_input_len + request.generation_len
             )
             loop.schedule(
-                now + delay, self._landing(serving_request, source, target)
+                now + delay,
+                self._landing(serving_request, source, target, now + delay),
             )
 
     def _landing(
@@ -779,8 +901,32 @@ class _DisaggController:
         serving_request: ServingRequest,
         source: EngineCore,
         target: EngineCore,
+        land_time: float,
     ):
-        def land() -> tuple[int, int]:
+        # Crash epochs captured at launch: a bump before landing means the
+        # shard died while the blocks were in flight.
+        source_epoch = source.crash_epoch
+        target_epoch = target.crash_epoch
+
+        def land() -> tuple[int, ...]:
+            if source.crash_epoch != source_epoch:
+                # The source died mid-transfer: the blocks being read died
+                # with it, and crash teardown already released its whole
+                # KV residency — the held reservation included — so no
+                # release happens here (releasing again would double-free).
+                self.transfers_lost += 1
+                source.fail_migrated(serving_request, land_time)
+                return ()
+            if target.crash_epoch != target_epoch or target.down:
+                # The target became unavailable before the transfer landed
+                # (crashed, or crashed and is still reloading): the
+                # transfer aborts and the source's held reservation is
+                # released exactly once, here — hashed prompt blocks drop
+                # into the source's prefix cache, private tails free.
+                self.transfers_lost += 1
+                source.release_migrated(serving_request)
+                source.fail_migrated(serving_request, land_time)
+                return (source.shard_id,)
             # Accept on the target before releasing the source: mid-flight
             # the blocks exist on both ends, never neither.
             target.accept_migrated(serving_request)

@@ -1,0 +1,115 @@
+"""The chaos sweep experiment: shape, gates, CLI and artifact plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos_sweep import (
+    CHAOS_SWEEP_COLUMNS,
+    gates_pass,
+    main,
+    run_chaos_sweep,
+)
+from repro.utils.errors import ConfigurationError
+
+SWEEP_KWARGS = dict(num_requests=48, seed=0)
+
+SCENARIOS = (
+    "fault-free",
+    "empty-schedule",
+    "transient-crash",
+    "transient-crash+retry",
+    "correlated+retry",
+    "rolling-restart+retry",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_chaos_sweep(**SWEEP_KWARGS)
+
+
+def test_one_row_per_scenario(sweep):
+    assert [row["scenario"] for row in sweep["rows"]] == list(SCENARIOS)
+
+
+def test_rows_carry_the_table_columns(sweep):
+    for row in sweep["rows"]:
+        for column in CHAOS_SWEEP_COLUMNS:
+            assert column in row, column
+
+
+def test_every_scenario_conserves_requests(sweep):
+    for row in sweep["rows"]:
+        assert row["completed"] + row["rejected"] == row["offered"]
+        assert row["offered"] >= SWEEP_KWARGS["num_requests"]
+
+
+def test_fault_rows_record_faults(sweep):
+    by_name = {row["scenario"]: row for row in sweep["rows"]}
+    assert by_name["fault-free"]["crashes"] == 0
+    assert by_name["empty-schedule"]["crashes"] == 0
+    assert by_name["transient-crash"]["crashes"] == 1
+    assert by_name["transient-crash"]["recoveries"] == 1
+    assert by_name["transient-crash"]["drop_crash"] > 0
+    assert by_name["transient-crash"]["retries"] == 0
+    assert by_name["transient-crash+retry"]["retries"] > 0
+    assert by_name["correlated+retry"]["crashes"] == 2
+    assert by_name["rolling-restart+retry"]["crashes"] == 4
+    assert by_name["rolling-restart+retry"]["recoveries"] == 4
+
+
+def test_acceptance_gates_hold(sweep):
+    """The PR's three robustness gates, asserted at tier 1."""
+    gates = sweep["gates"]
+    assert gates["empty_schedule_identical"] is True
+    assert gates["retry_goodput"] > gates["no_retry_goodput"]
+    assert gates["post_recovery_arrivals"] > 0
+    assert gates["post_recovery_goodput_ratio"] >= (
+        1.0 - gates["recovery_tolerance"]
+    )
+    assert gates_pass(gates) is True
+
+
+def test_gates_pass_requires_every_gate(sweep):
+    gates = dict(sweep["gates"])
+    assert gates_pass(gates)
+    gates["retry_beats_no_retry"] = False
+    assert not gates_pass(gates)
+
+
+def test_single_shard_rejected():
+    with pytest.raises(ConfigurationError, match=">= 2 shards"):
+        run_chaos_sweep(num_shards=1)
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigurationError, match="unknown system"):
+        run_chaos_sweep(system_name="nope")
+
+
+def test_cli_writes_gated_artifact(tmp_path, capsys):
+    out = tmp_path / "BENCH_chaos.json"
+    code = main(
+        [
+            "--num-requests",
+            "48",
+            "--gate",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Chaos sweep" in captured.out
+    assert "gates:" in captured.out
+    document = json.loads(out.read_text())
+    assert document["benchmark"] == "chaos"
+    assert document["gates"]["empty_schedule_identical"] is True
+    assert [row["scenario"] for row in document["rows"]] == list(SCENARIOS)
+    assert "transient-crash+retry" in document["summary"]
+
+
+def test_cli_rejects_bad_config(capsys):
+    assert main(["--shards", "1"]) == 2
+    assert "repro-chaos: error" in capsys.readouterr().err
